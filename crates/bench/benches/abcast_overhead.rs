@@ -1,0 +1,40 @@
+//! E2 (paper §7): overhead of the concurrency-control algorithms on the
+//! atomic-broadcast protocol over the simulated network.
+//!
+//! Paper claim: "the overhead incurred by J-SAMOA's concurrency control
+//! algorithms while executing our example protocol is relatively low" —
+//! i.e. the versioning policies should sit close to `unsync` and well below
+//! the cost of losing correctness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samoa_bench::gc::abcast_run;
+use samoa_proto::StackPolicy;
+
+fn bench_abcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_abcast_overhead");
+    g.sample_size(10);
+    let sites = 3;
+    let msgs = 20;
+    for (policy, label) in [
+        (StackPolicy::Unsync, "unsync"),
+        (StackPolicy::Serial, "serial"),
+        (StackPolicy::TwoPhase, "two-phase"),
+        (StackPolicy::Basic, "vca-basic"),
+        (StackPolicy::Bound, "vca-bound"),
+        (StackPolicy::Route, "vca-route"),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let o = abcast_run(sites, msgs, p, seed);
+                assert_eq!(o.delivered, msgs);
+                o
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_abcast);
+criterion_main!(benches);

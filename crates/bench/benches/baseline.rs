@@ -1,0 +1,29 @@
+//! E6: conflict-ratio sweep — the Appia-style serial baseline is the floor;
+//! versioning throughput approaches the (unsafe) unsync ceiling as the
+//! probability of touching the shared hot microprotocol falls.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samoa_bench::synth::{flat_stack, flat_workload, run_flat, BenchPolicy, WorkKind};
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_conflict_sweep");
+    g.sample_size(10);
+    let n_protocols = 8;
+    let n_comps = 24;
+    for hot_pct in [100u64, 50, 0] {
+        for policy in [BenchPolicy::Serial, BenchPolicy::Basic, BenchPolicy::Unsync] {
+            let id = BenchmarkId::new(policy.label(), hot_pct);
+            g.bench_with_input(id, &(hot_pct, policy), |b, &(h, p)| {
+                let stack = flat_stack(n_protocols, Duration::from_micros(300), WorkKind::Io);
+                let wl = flat_workload(n_protocols, n_comps, 1, h as f64 / 100.0, 11);
+                b.iter(|| run_flat(&stack, &wl, p, 4))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

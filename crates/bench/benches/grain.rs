@@ -1,0 +1,35 @@
+//! E3: throughput as per-handler work grows (the "grain of concurrent
+//! execution" of paper §7). The coarser the grain, the more the isolating
+//! policies gain over the Appia-style serial baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samoa_bench::synth::{flat_stack, flat_workload, run_flat, BenchPolicy, WorkKind};
+
+fn bench_grain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_grain");
+    g.sample_size(10);
+    let n_protocols = 8;
+    let n_comps = 24;
+    for work_us in [100u64, 500] {
+        for policy in [
+            BenchPolicy::Serial,
+            BenchPolicy::TwoPhase,
+            BenchPolicy::Basic,
+            BenchPolicy::Bound,
+            BenchPolicy::Unsync,
+        ] {
+            let id = BenchmarkId::new(policy.label(), work_us);
+            g.bench_with_input(id, &(work_us, policy), |b, &(w, p)| {
+                let stack = flat_stack(n_protocols, Duration::from_micros(w), WorkKind::Io);
+                let wl = flat_workload(n_protocols, n_comps, 2, 0.0, 7);
+                b.iter(|| run_flat(&stack, &wl, p, 4))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_grain);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E4 (paper §5.2/§5.3): extra parallelism of `VCAbound` and `VCAroute`
+//! over `VCAbasic` on a staged pipeline with asynchronous hand-off.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samoa_bench::synth::{pipeline_stack, run_pipeline, BenchPolicy, WorkKind};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_pipeline_policies");
+    g.sample_size(10);
+    let n_comps = 16;
+    for stages in [2usize, 4] {
+        for policy in [
+            BenchPolicy::Basic,
+            BenchPolicy::Bound,
+            BenchPolicy::Route,
+            BenchPolicy::Serial,
+            BenchPolicy::Unsync,
+        ] {
+            let id = BenchmarkId::new(policy.label(), stages);
+            g.bench_with_input(id, &(stages, policy), |b, &(s, p)| {
+                let stack = pipeline_stack(s, Duration::from_micros(300), WorkKind::Io);
+                b.iter(|| run_pipeline(&stack, n_comps, p, 4))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

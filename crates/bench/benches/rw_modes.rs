@@ -1,0 +1,26 @@
+//! E7 (extension — paper §7 future work): reader sharing via read-only
+//! declarations, swept over the write ratio.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samoa_bench::synth::{run_rw, rw_stack};
+
+fn bench_rw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_rw_modes");
+    g.sample_size(10);
+    let n_comps = 24;
+    for write_every in [24usize, 4] {
+        for (use_read_mode, label) in [(false, "all-write"), (true, "read-mode")] {
+            let id = BenchmarkId::new(label, write_every);
+            g.bench_with_input(id, &(write_every, use_read_mode), |b, &(we, rm)| {
+                let stack = rw_stack(Duration::from_micros(300));
+                b.iter(|| run_rw(&stack, n_comps, we, rm, 4))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rw);
+criterion_main!(benches);

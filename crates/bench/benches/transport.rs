@@ -1,0 +1,47 @@
+//! Transport-stack throughput under injected faults: how much goodput the
+//! Chunker/Window/Checksum microprotocols sustain as the network degrades.
+
+#![allow(clippy::field_reassign_with_default)]
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samoa_net::{NetConfig, SiteId};
+use samoa_transport::{TransportConfig, TransportNet};
+
+fn transfer(loss_pct: u64, corruption_pct: u64, bytes_len: usize, seed: u64) -> Duration {
+    let net_cfg = NetConfig::fast(seed)
+        .with_loss(loss_pct as f64 / 100.0)
+        .with_corruption(corruption_pct as f64 / 100.0);
+    let mut cfg = TransportConfig::default();
+    cfg.mtu = 64;
+    cfg.window = 16;
+    cfg.rto = Duration::from_millis(8);
+    let net = TransportNet::new(2, net_cfg, cfg);
+    let payload = Bytes::from(vec![7u8; bytes_len]);
+    let start = Instant::now();
+    net.endpoint(0).send(SiteId(1), payload);
+    while net.endpoint(1).delivered().is_empty() {
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    start.elapsed()
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_goodput");
+    g.sample_size(10);
+    for (loss, corr) in [(0u64, 0u64), (10, 0), (0, 10), (10, 5)] {
+        let id = BenchmarkId::from_parameter(format!("loss{loss}_corr{corr}"));
+        g.bench_with_input(id, &(loss, corr), |b, &(l, co)| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                transfer(l, co, 8_192, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerate the experiment tables of EXPERIMENTS.md.
+//!
+//! ```text
+//! tables            # run all experiments
+//! tables --exp e2   # run one experiment
+//! tables --quick    # smaller parameters (CI-friendly)
+//! ```
+
+use samoa_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let exp = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+    let want = |name: &str| exp.as_deref().is_none_or(|e| e == name);
+
+    if want("e1") {
+        println!("==============================================================");
+        println!("{}", experiments::e1());
+    }
+    if want("e2") {
+        println!("==============================================================");
+        let (sites, msgs) = if quick { (3, 20) } else { (5, 60) };
+        println!("E2 (§7): atomic broadcast, {sites} sites, {msgs} messages — concurrency-control overhead\n");
+        experiments::e2(sites, msgs).print();
+        println!();
+    }
+    if want("e3") {
+        println!("==============================================================");
+        println!("E3: concurrency grain — throughput vs per-handler work (I/O-style)\n");
+        experiments::e3().print();
+        println!();
+    }
+    if want("e4") {
+        println!("==============================================================");
+        println!("E4 (§5.2/§5.3): pipeline parallelism per policy\n");
+        experiments::e4().print();
+        println!();
+    }
+    if want("e5") {
+        println!("==============================================================");
+        let trials = if quick { 3 } else { 10 };
+        println!("E5 (§3 Problem): view change racing a broadcast burst\n");
+        experiments::e5(trials).print();
+        println!();
+    }
+    if want("e6") {
+        println!("==============================================================");
+        println!("E6: conflict-ratio sweep — serial floor vs versioning vs unsync\n");
+        experiments::e6().print();
+        println!();
+    }
+    if want("e7") {
+        println!("==============================================================");
+        println!("E7 (extension, paper §7 future work): read-only declarations share readers\n");
+        experiments::e7().print();
+        println!();
+    }
+    if want("e8") {
+        println!("==============================================================");
+        println!("E8 (ablation): tight vs coarse isolation declarations on the GC stack\n");
+        experiments::e8().print();
+        println!();
+    }
+    if want("e9") {
+        println!("==============================================================");
+        println!("E9: the two algorithm families — versioning (blocking, never aborts)\n    vs optimistic rollback/retry (never blocks, re-executes)\n");
+        experiments::e9().print();
+        println!();
+    }
+}

@@ -1,0 +1,405 @@
+//! The experiment implementations behind the `tables` binary: one function
+//! per experiment id of DESIGN.md §3 / EXPERIMENTS.md.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+// (Duration::sum over an iterator is used by the E8 averaging.)
+
+use samoa_core::prelude::*;
+use samoa_proto::StackPolicy;
+
+use crate::gc::{abcast_run, declaration_tightness_run, view_race_run};
+use crate::report::{ms, per_sec, ratio, Table};
+use crate::synth::{
+    flat_stack, flat_workload, pipeline_stack, run_flat, run_pipeline, run_rw, rw_stack,
+    BenchPolicy, WorkKind,
+};
+
+/// E1 — the paper's Fig. 1: which runs each policy admits, verified by the
+/// recorded run and the serializability checker.
+pub fn e1() -> String {
+    let mut out = String::new();
+    out.push_str("E1 (Fig. 1): runs of the P/Q/R/S diamond under two external events\n\n");
+
+    // Build the diamond with a gate that stalls computation 1 before S, so
+    // an unsynchronised execution produces exactly run r3.
+    let build = |gate_on: bool| -> (Runtime, EventType, EventType, Arc<AtomicBool>) {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let r = b.protocol("R");
+        let s = b.protocol("S");
+        let a0 = b.event("a0");
+        let b0 = b.event("b0");
+        let to_r = b.event("a1/b1");
+        let to_s = b.event("a2/b2");
+        let _ = (p, q, r, s);
+        let gate = Arc::new(AtomicBool::new(false));
+        b.bind(a0, p, "P", move |ctx, ev| ctx.trigger(to_r, ev.clone()));
+        b.bind(b0, q, "Q", move |ctx, ev| ctx.trigger(to_r, ev.clone()));
+        let rst = ProtocolState::new(r, ());
+        {
+            let rst = rst.clone();
+            b.bind(to_r, r, "R", move |ctx, ev| {
+                rst.with(ctx, |_| ());
+                ctx.trigger(to_s, ev.clone())
+            });
+        }
+        let sst = ProtocolState::new(s, ());
+        {
+            let gate = Arc::clone(&gate);
+            b.bind(to_s, s, "S", move |ctx, _| {
+                if gate_on && ctx.comp_id() == 1 {
+                    while !gate.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                sst.with(ctx, |_| ());
+                Ok(())
+            });
+        }
+        (
+            Runtime::with_config(b.build(), RuntimeConfig::recording()),
+            a0,
+            b0,
+            gate,
+        )
+    };
+
+    // Unsync with the gate: run r3 occurs and the checker rejects it.
+    {
+        let (rt, a0, b0, gate) = build(true);
+        let ka = rt.spawn_unsync(move |ctx| ctx.trigger(a0, EventData::empty()));
+        std::thread::sleep(Duration::from_millis(20));
+        let kb = rt.spawn_unsync(move |ctx| ctx.trigger(b0, EventData::empty()));
+        let _ = kb; // kb overtakes ka at S
+        std::thread::sleep(Duration::from_millis(40));
+        gate.store(true, Ordering::SeqCst);
+        rt.quiesce();
+        let _ = ka;
+        out.push_str("cactus-style unsync, schedule forced toward r3:\n");
+        out.push_str(&rt.history().format_run(rt.stack()));
+        match rt.check_isolation() {
+            Ok(order) => out.push_str(&format!("  checker: serializable as {order:?}\n")),
+            Err(v) => out.push_str(&format!("  checker: VIOLATION — {v}\n")),
+        }
+    }
+
+    // SAMOA (VCAbasic) under the same schedule pressure: r3 impossible.
+    {
+        let (rt, a0, b0, gate) = build(true);
+        let stack = rt.stack().clone();
+        let p = stack.all_protocols();
+        let (pp, qq, rr, ss) = (p[0], p[1], p[2], p[3]);
+        let ka = rt.spawn_isolated(&[pp, rr, ss], move |ctx| ctx.trigger(a0, EventData::empty()));
+        std::thread::sleep(Duration::from_millis(20));
+        let kb = rt.spawn_isolated(&[qq, rr, ss], move |ctx| ctx.trigger(b0, EventData::empty()));
+        std::thread::sleep(Duration::from_millis(20));
+        gate.store(true, Ordering::SeqCst);
+        rt.quiesce();
+        let (_, _) = (ka, kb);
+        out.push_str("\nsamoa isolated (VCAbasic), same schedule pressure:\n");
+        out.push_str(&rt.history().format_run(rt.stack()));
+        match rt.check_isolation() {
+            Ok(order) => out.push_str(&format!(
+                "  checker: serializable, equivalent serial order {order:?}\n"
+            )),
+            Err(v) => out.push_str(&format!("  checker: VIOLATION — {v}\n")),
+        }
+    }
+    out
+}
+
+/// E2 — §7's experiment: atomic broadcast over the simulated network;
+/// overhead of each concurrency-control policy relative to `unsync`.
+pub fn e2(sites: usize, msgs: usize) -> Table {
+    let mut t = Table::new(&[
+        "policy",
+        "wall_ms (median of 3)",
+        "msgs/s",
+        "agreement",
+        "datagrams",
+        "vs-unsync",
+    ]);
+    let median_run = |policy: StackPolicy| {
+        let mut runs: Vec<_> = (0..3)
+            .map(|s| abcast_run(sites, msgs, policy, 42 + s))
+            .collect();
+        runs.sort_by_key(|o| o.wall);
+        let agreement = runs.iter().all(|o| o.agreement);
+        let mut mid = runs.swap_remove(1);
+        mid.agreement = agreement;
+        mid
+    };
+    let base = median_run(StackPolicy::Unsync);
+    for (policy, label) in [
+        (StackPolicy::Unsync, "unsync"),
+        (StackPolicy::Serial, "serial (appia)"),
+        (StackPolicy::TwoPhase, "two-phase"),
+        (StackPolicy::Basic, "vca-basic"),
+        (StackPolicy::Bound, "vca-bound"),
+        (StackPolicy::Route, "vca-route"),
+    ] {
+        let o = if policy == StackPolicy::Unsync {
+            base.clone()
+        } else {
+            median_run(policy)
+        };
+        t.row(&[
+            label.to_string(),
+            ms(o.wall),
+            per_sec(o.throughput()),
+            if o.agreement { "yes" } else { "NO" }.to_string(),
+            o.datagrams.to_string(),
+            ratio(o.wall.as_secs_f64() / base.wall.as_secs_f64()),
+        ]);
+    }
+    t
+}
+
+/// E3 — concurrency grain: throughput as per-handler work grows, for
+/// I/O-style (sleeping) handlers. Serial pays the full sum; versioning
+/// policies overlap independent computations.
+pub fn e3() -> Table {
+    let mut t = Table::new(&[
+        "work_us", "policy", "wall_ms", "blocked_ms", "comps/s", "vs-serial",
+    ]);
+    let n_protocols = 8;
+    let n_comps = 48;
+    for work_us in [0u64, 100, 500, 2000] {
+        let work = Duration::from_micros(work_us);
+        let wl = flat_workload(n_protocols, n_comps, 2, 0.0, 7);
+        let mut serial_wall = None;
+        for policy in [
+            BenchPolicy::Serial,
+            BenchPolicy::TwoPhase,
+            BenchPolicy::Basic,
+            BenchPolicy::Bound,
+            BenchPolicy::Unsync,
+        ] {
+            let stack = flat_stack(n_protocols, work, WorkKind::Io);
+            let wall = run_flat(&stack, &wl, policy, 4);
+            if policy == BenchPolicy::Serial {
+                serial_wall = Some(wall);
+            }
+            let vs = serial_wall
+                .map(|s| ratio(s.as_secs_f64() / wall.as_secs_f64()))
+                .unwrap_or_default();
+            // The instrumented cost of isolation: total admission blocking.
+            let blocked = stack.rt.stats().admission_wait;
+            t.row(&[
+                work_us.to_string(),
+                policy.label().to_string(),
+                ms(wall),
+                ms(blocked),
+                per_sec(n_comps as f64 / wall.as_secs_f64()),
+                vs,
+            ]);
+        }
+    }
+    t
+}
+
+/// E4 — policy parallelism on a pipeline: VCAbound/VCAroute release stages
+/// early and pipeline computations; VCAbasic holds every stage to
+/// completion and serialises them.
+pub fn e4() -> Table {
+    let mut t = Table::new(&["stages", "policy", "wall_ms", "vs-basic"]);
+    let n_comps = 24;
+    for stages in [2usize, 4, 6] {
+        let work = Duration::from_micros(400);
+        let mut basic_wall = None;
+        for policy in [
+            BenchPolicy::Basic,
+            BenchPolicy::Bound,
+            BenchPolicy::Route,
+            BenchPolicy::Serial,
+            BenchPolicy::Unsync,
+        ] {
+            let stack = pipeline_stack(stages, work, WorkKind::Io);
+            let wall = run_pipeline(&stack, n_comps, policy, 4);
+            if policy == BenchPolicy::Basic {
+                basic_wall = Some(wall);
+            }
+            let vs = basic_wall
+                .map(|b| ratio(b.as_secs_f64() / wall.as_secs_f64()))
+                .unwrap_or_default();
+            t.row(&[
+                stages.to_string(),
+                policy.label().to_string(),
+                ms(wall),
+                vs,
+            ]);
+        }
+    }
+    t
+}
+
+/// E5 — the §3 view-change race: stale-view discards and joiner message
+/// gaps per policy, over several trials.
+pub fn e5(trials: u64) -> Table {
+    let mut t = Table::new(&[
+        "policy",
+        "trials",
+        "stale_discards",
+        "trials_with_race",
+        "missed_at_joiner",
+    ]);
+    for (policy, label) in [
+        (StackPolicy::Unsync, "unsync"),
+        (StackPolicy::Serial, "serial (appia)"),
+        (StackPolicy::Basic, "vca-basic"),
+        (StackPolicy::Route, "vca-route"),
+    ] {
+        let mut discards = 0u64;
+        let mut racy_trials = 0u64;
+        let mut missed = 0usize;
+        for seed in 0..trials {
+            let o = view_race_run(policy, 100 + seed, 6);
+            discards += o.stale_discards;
+            racy_trials += u64::from(o.stale_discards > 0);
+            missed += o.missed_at_joiner;
+        }
+        t.row(&[
+            label.to_string(),
+            trials.to_string(),
+            discards.to_string(),
+            racy_trials.to_string(),
+            missed.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E7 (extension — the paper's §7 future work, implemented): read-only
+/// declarations let readers share a microprotocol; on read-heavy workloads
+/// this recovers most of the parallelism the all-write semantics forfeits.
+pub fn e7() -> Table {
+    let mut t = Table::new(&["write_every", "mode", "wall_ms", "speedup"]);
+    let n_comps = 32;
+    let work = Duration::from_micros(500);
+    for write_every in [32usize, 8, 2] {
+        let all_write = {
+            let stack = rw_stack(work);
+            run_rw(&stack, n_comps, write_every, false, 4)
+        };
+        let read_mode = {
+            let stack = rw_stack(work);
+            run_rw(&stack, n_comps, write_every, true, 4)
+        };
+        t.row(&[
+            write_every.to_string(),
+            "all-write (paper)".to_string(),
+            ms(all_write),
+            ratio(1.0),
+        ]);
+        t.row(&[
+            write_every.to_string(),
+            "read/write modes".to_string(),
+            ms(read_mode),
+            ratio(all_write.as_secs_f64() / read_mode.as_secs_f64()),
+        ]);
+    }
+    t
+}
+
+/// E9 — the paper's two algorithm families head to head: versioning
+/// (never aborts, blocks) vs optimistic timestamp/validation with rollback
+/// (never blocks, re-executes). §1 names both; only family 1 is specified,
+/// so family 2 is represented by classical backward-validation OCC.
+pub fn e9() -> Table {
+    use crate::synth::families::{run_occ, run_vca};
+    let mut t = Table::new(&["work", "hot", "family", "wall_ms", "aborts", "speedup"]);
+    let (n_slots, n_comps, injectors) = (16, 64, 8);
+    let work = Duration::from_micros(500);
+    for kind in [WorkKind::Io, WorkKind::Cpu] {
+        let kind_label = match kind {
+            WorkKind::Io => "io",
+            WorkKind::Cpu => "cpu",
+        };
+        for hot in [0.0f64, 1.0] {
+            let vca = run_vca(n_slots, n_comps, hot, work, kind, injectors, 77);
+            let occ = run_occ(n_slots, n_comps, hot, work, kind, injectors, 77);
+            t.row(&[
+                kind_label.to_string(),
+                format!("{hot:.1}"),
+                "versioning (vca)".to_string(),
+                ms(vca.wall),
+                "0".to_string(),
+                ratio(1.0),
+            ]);
+            t.row(&[
+                kind_label.to_string(),
+                format!("{hot:.1}"),
+                "optimistic (occ)".to_string(),
+                ms(occ.wall),
+                occ.aborts.to_string(),
+                ratio(vca.wall.as_secs_f64() / occ.wall.as_secs_f64()),
+            ]);
+        }
+    }
+    t
+}
+
+/// E8 (ablation): tight per-event-kind declarations vs declaring every
+/// microprotocol, on a heartbeat-heavy reliable-broadcast workload.
+pub fn e8() -> Table {
+    let mut t = Table::new(&["declaration", "wall_ms (avg of 5)", "speedup"]);
+    let msgs = 60;
+    let trials = 5;
+    let avg = |declare_all: bool| -> Duration {
+        let total: Duration = (0..trials)
+            .map(|s| declaration_tightness_run(declare_all, 31 + s, msgs))
+            .sum();
+        total / trials as u32
+    };
+    let coarse = avg(true);
+    let tight = avg(false);
+    t.row(&[
+        "declare-all (coarse)".to_string(),
+        ms(coarse),
+        ratio(1.0),
+    ]);
+    t.row(&[
+        "per-event-kind (tight)".to_string(),
+        ms(tight),
+        ratio(coarse.as_secs_f64() / tight.as_secs_f64()),
+    ]);
+    t
+}
+
+/// E6 — baseline comparison over a conflict sweep: as the probability of
+/// touching the shared hot microprotocol falls, versioning throughput
+/// approaches unsync while serial stays flat.
+pub fn e6() -> Table {
+    let mut t = Table::new(&["hot", "policy", "wall_ms", "vs-serial"]);
+    let n_protocols = 8;
+    let n_comps = 48;
+    let work = Duration::from_micros(500);
+    for hot in [1.0f64, 0.5, 0.1, 0.0] {
+        let wl = flat_workload(n_protocols, n_comps, 1, hot, 11);
+        let mut serial_wall = None;
+        for policy in [
+            BenchPolicy::Serial,
+            BenchPolicy::Basic,
+            BenchPolicy::Unsync,
+        ] {
+            let stack = flat_stack(n_protocols, work, WorkKind::Io);
+            let wall = run_flat(&stack, &wl, policy, 4);
+            if policy == BenchPolicy::Serial {
+                serial_wall = Some(wall);
+            }
+            let vs = serial_wall
+                .map(|s| ratio(s.as_secs_f64() / wall.as_secs_f64()))
+                .unwrap_or_default();
+            t.row(&[
+                format!("{hot:.1}"),
+                policy.label().to_string(),
+                ms(wall),
+                vs,
+            ]);
+        }
+    }
+    t
+}

@@ -1,0 +1,14 @@
+//! # samoa-bench — benchmark harness for the SAMOA reproduction
+//!
+//! Workload generators, experiment drivers, and table rendering for the six
+//! experiments of DESIGN.md §3 (E1–E6). The `tables` binary prints every
+//! experiment's table; the Criterion benches under `benches/` measure the
+//! same workloads statistically.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod gc;
+pub mod report;
+pub mod synth;

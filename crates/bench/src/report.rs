@@ -1,0 +1,111 @@
+//! Minimal fixed-width table printer for the experiment tables.
+
+/// A simple table: header row plus data rows, printed with aligned columns.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                line.push_str(&cells[i]);
+                line.push_str(&" ".repeat(pad));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a duration in milliseconds with 2 decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Format a throughput (per second) with no decimals.
+pub fn per_sec(x: f64) -> String {
+    format!("{x:.0}")
+}
+
+/// Format a speedup ratio with 2 decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["policy", "ms"]);
+        t.row(&["serial".into(), "12.00".into()]);
+        t.row(&["vca-basic".into(), "3.50".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("policy"));
+        assert!(lines[2].starts_with("serial"));
+        // Columns align: "ms" header starts at same offset in each row.
+        let col = lines[0].find("ms").unwrap();
+        assert_eq!(&lines[2][col..col + 2], "12");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(std::time::Duration::from_millis(1500)), "1500.00");
+        assert_eq!(per_sec(123.4), "123");
+        assert_eq!(ratio(2.0), "2.00x");
+    }
+}

@@ -1,0 +1,622 @@
+//! Synthetic microprotocol stacks and workload drivers for experiments
+//! E3 (concurrency grain), E4 (policy parallelism on pipelines), and E6
+//! (baseline comparison over a conflict sweep).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use samoa_core::prelude::*;
+
+/// How a handler burns its per-visit work budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkKind {
+    /// CPU-bound: spin for the duration (models in-memory protocol work;
+    /// exposes multiprocessor speedups, the paper's motivation #3).
+    Cpu,
+    /// I/O-bound: sleep for the duration (models the paper's "slow I/O
+    /// operations in background", motivation #1).
+    Io,
+}
+
+/// Busy-wait for `d` (coarse; used for simulated CPU work only).
+pub fn spin(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// A flat stack of `n` independent microprotocols; protocol `i`'s handler
+/// burns the configured work and bumps a counter.
+pub struct FlatStack {
+    /// The runtime.
+    pub rt: Runtime,
+    /// One microprotocol per slot.
+    pub protocols: Vec<ProtocolId>,
+    /// Event `i` triggers protocol `i`'s handler.
+    pub events: Vec<EventType>,
+    /// Visit counters.
+    pub counters: Vec<ProtocolState<u64>>,
+}
+
+/// Build a flat stack whose handlers burn `work` per visit.
+pub fn flat_stack(n: usize, work: Duration, kind: WorkKind) -> FlatStack {
+    let mut b = StackBuilder::new();
+    let mut protocols = Vec::new();
+    let mut events = Vec::new();
+    let mut counters = Vec::new();
+    for i in 0..n {
+        let p = b.protocol(&format!("P{i}"));
+        let e = b.event(&format!("E{i}"));
+        let c = ProtocolState::new(p, 0u64);
+        {
+            let c = c.clone();
+            b.bind(e, p, &format!("h{i}"), move |ctx, _| {
+                match kind {
+                    WorkKind::Cpu => spin(work),
+                    WorkKind::Io => {
+                        if !work.is_zero() {
+                            std::thread::sleep(work)
+                        }
+                    }
+                }
+                c.with(ctx, |v| *v += 1);
+                Ok(())
+            });
+        }
+        protocols.push(p);
+        events.push(e);
+        counters.push(c);
+    }
+    FlatStack {
+        rt: Runtime::new(b.build()),
+        protocols,
+        events,
+        counters,
+    }
+}
+
+/// A pipeline stack: stage `i`'s handler burns work and *asynchronously*
+/// triggers stage `i + 1` (asynchronous hand-off is what lets `VCAbound`
+/// and `VCAroute` release a finished stage early; a synchronous chain keeps
+/// the first stage's handler on the stack until the whole chain finishes,
+/// making early release impossible by construction).
+pub struct PipelineStack {
+    /// The runtime.
+    pub rt: Runtime,
+    /// One microprotocol per stage.
+    pub protocols: Vec<ProtocolId>,
+    /// The entry event (stage 0).
+    pub entry: EventType,
+    /// Handler ids, stage order (for routing patterns).
+    pub handlers: Vec<HandlerId>,
+    /// Per-stage visit counters.
+    pub counters: Vec<ProtocolState<u64>>,
+}
+
+/// Build a pipeline of `stages` stages with `work` per stage.
+pub fn pipeline_stack(stages: usize, work: Duration, kind: WorkKind) -> PipelineStack {
+    let mut b = StackBuilder::new();
+    let protocols: Vec<ProtocolId> = (0..stages).map(|i| b.protocol(&format!("S{i}"))).collect();
+    let events: Vec<EventType> = (0..stages).map(|i| b.event(&format!("Stage{i}"))).collect();
+    let counters: Vec<ProtocolState<u64>> = protocols
+        .iter()
+        .map(|&p| ProtocolState::new(p, 0u64))
+        .collect();
+    let mut handlers = Vec::new();
+    for i in 0..stages {
+        let c = counters[i].clone();
+        let next = events.get(i + 1).copied();
+        handlers.push(b.bind(events[i], protocols[i], &format!("stage{i}"), move |ctx, ev| {
+            match kind {
+                WorkKind::Cpu => spin(work),
+                WorkKind::Io => {
+                    if !work.is_zero() {
+                        std::thread::sleep(work)
+                    }
+                }
+            }
+            c.with(ctx, |v| *v += 1);
+            if let Some(next) = next {
+                ctx.async_trigger(next, ev.clone())?;
+            }
+            Ok(())
+        }));
+    }
+    PipelineStack {
+        rt: Runtime::new(b.build()),
+        protocols,
+        entry: events[0],
+        handlers,
+        counters,
+    }
+}
+
+impl PipelineStack {
+    /// The chain routing pattern (stage0 as root).
+    pub fn route_pattern(&self) -> RoutePattern {
+        let mut pat = RoutePattern::new().root(self.handlers[0]);
+        for w in self.handlers.windows(2) {
+            pat = pat.edge(w[0], w[1]);
+        }
+        pat
+    }
+
+    /// The `isolated bound` declaration: each stage visited exactly once.
+    pub fn bound_decl(&self) -> Vec<(ProtocolId, u64)> {
+        self.protocols.iter().map(|&p| (p, 1)).collect()
+    }
+}
+
+/// Policy selector for the synthetic drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchPolicy {
+    /// Cactus-without-locks baseline (no isolation; unsafe in general).
+    Unsync,
+    /// Appia baseline (serial computations).
+    Serial,
+    /// Conservative two-phase locking.
+    TwoPhase,
+    /// VCAbasic over the visited protocols.
+    Basic,
+    /// VCAbound with exact per-protocol bounds.
+    Bound,
+    /// VCAroute over the pipeline's chain pattern (pipelines only).
+    Route,
+}
+
+impl BenchPolicy {
+    /// Display label used by the tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchPolicy::Unsync => "unsync",
+            BenchPolicy::Serial => "serial",
+            BenchPolicy::TwoPhase => "two-phase",
+            BenchPolicy::Basic => "vca-basic",
+            BenchPolicy::Bound => "vca-bound",
+            BenchPolicy::Route => "vca-route",
+        }
+    }
+}
+
+/// A generated flat-stack workload: each computation visits a list of
+/// protocol slots (each slot visited exactly once per computation).
+pub struct FlatWorkload {
+    /// Per-computation visit lists (indices into the stack).
+    pub visits: Vec<Vec<usize>>,
+}
+
+/// Generate a conflict-parameterised workload: each computation visits
+/// `per_comp` distinct protocols; with probability `hot` its first visit is
+/// protocol 0 (the shared hot spot), the rest are drawn uniformly.
+pub fn flat_workload(
+    n_protocols: usize,
+    n_comps: usize,
+    per_comp: usize,
+    hot: f64,
+    seed: u64,
+) -> FlatWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_comp = per_comp.min(n_protocols);
+    let visits = (0..n_comps)
+        .map(|_| {
+            let mut v: Vec<usize> = Vec::with_capacity(per_comp);
+            if hot > 0.0 && rng.gen_bool(hot) {
+                v.push(0);
+            }
+            while v.len() < per_comp {
+                let p = rng.gen_range(0..n_protocols);
+                if !v.contains(&p) {
+                    v.push(p);
+                }
+            }
+            v
+        })
+        .collect();
+    FlatWorkload { visits }
+}
+
+/// Run a flat workload under `policy` with `injectors` spawner threads;
+/// returns the wall-clock time from first spawn to full quiescence.
+pub fn run_flat(stack: &FlatStack, wl: &FlatWorkload, policy: BenchPolicy, injectors: usize) -> Duration {
+    let rt = stack.rt.clone();
+    let events = Arc::new(stack.events.clone());
+    let protocols = Arc::new(stack.protocols.clone());
+    let chunks: Vec<Vec<Vec<usize>>> = split_round_robin(&wl.visits, injectors.max(1));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in &chunks {
+            let rt = rt.clone();
+            let events = Arc::clone(&events);
+            let protocols = Arc::clone(&protocols);
+            scope.spawn(move || {
+                for visit in chunk {
+                    let decl: Vec<ProtocolId> = visit.iter().map(|&i| protocols[i]).collect();
+                    let evs: Vec<EventType> = visit.iter().map(|&i| events[i]).collect();
+                    let body = move |ctx: &Ctx| {
+                        for e in &evs {
+                            ctx.trigger(*e, EventData::empty())?;
+                        }
+                        Ok(())
+                    };
+                    match policy {
+                        BenchPolicy::Unsync => rt.spawn(Decl::Unsync, body),
+                        BenchPolicy::Serial => rt.spawn(Decl::Serial, body),
+                        BenchPolicy::TwoPhase => rt.spawn(Decl::TwoPhase(&decl), body),
+                        BenchPolicy::Basic => rt.spawn(Decl::Basic(&decl), body),
+                        BenchPolicy::Bound => {
+                            let bd: Vec<(ProtocolId, u64)> =
+                                decl.iter().map(|&p| (p, 1)).collect();
+                            rt.spawn(Decl::Bound(&bd), body)
+                        }
+                        BenchPolicy::Route => {
+                            unreachable!("route applies to pipeline workloads")
+                        }
+                    };
+                }
+            });
+        }
+    });
+    rt.quiesce();
+    start.elapsed()
+}
+
+/// Run `n_comps` computations through a pipeline under `policy`; returns
+/// the wall-clock time from first spawn to full quiescence.
+pub fn run_pipeline(
+    stack: &PipelineStack,
+    n_comps: usize,
+    policy: BenchPolicy,
+    injectors: usize,
+) -> Duration {
+    let rt = stack.rt.clone();
+    let entry = stack.entry;
+    let decl = stack.protocols.clone();
+    let bounds = stack.bound_decl();
+    let pattern = stack.route_pattern();
+    let per: Vec<usize> = split_counts(n_comps, injectors.max(1));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for &count in &per {
+            let rt = rt.clone();
+            let decl = decl.clone();
+            let bounds = bounds.clone();
+            let pattern = pattern.clone();
+            scope.spawn(move || {
+                for _ in 0..count {
+                    let body = move |ctx: &Ctx| ctx.trigger(entry, EventData::empty());
+                    match policy {
+                        BenchPolicy::Unsync => rt.spawn(Decl::Unsync, body),
+                        BenchPolicy::Serial => rt.spawn(Decl::Serial, body),
+                        BenchPolicy::TwoPhase => rt.spawn(Decl::TwoPhase(&decl), body),
+                        BenchPolicy::Basic => rt.spawn(Decl::Basic(&decl), body),
+                        BenchPolicy::Bound => rt.spawn(Decl::Bound(&bounds), body),
+                        BenchPolicy::Route => rt.spawn(Decl::Route(&pattern), body),
+                    };
+                }
+            });
+        }
+    });
+    rt.quiesce();
+    start.elapsed()
+}
+
+/// A single-microprotocol stack with a read-only `lookup` handler and a
+/// read-write `update` handler — the workload for the §7 isolation-levels
+/// extension (experiment E7).
+pub struct RwStack {
+    /// The runtime.
+    pub rt: Runtime,
+    /// The registry microprotocol.
+    pub registry: ProtocolId,
+    /// Event bound to the read-only handler.
+    pub lookup: EventType,
+    /// Event bound to the read-write handler.
+    pub update: EventType,
+    /// The value the writers bump.
+    pub value: ProtocolState<u64>,
+}
+
+/// Build the read/write stack; both handlers burn `work` (I/O-style).
+pub fn rw_stack(work: Duration) -> RwStack {
+    let mut b = StackBuilder::new();
+    let registry = b.protocol("Registry");
+    let lookup = b.event("Lookup");
+    let update = b.event("Update");
+    let value = ProtocolState::new(registry, 0u64);
+    {
+        let value = value.clone();
+        b.bind_read_only(lookup, registry, "lookup", move |ctx, _| {
+            let _ = value.read_with(ctx, |v| *v);
+            if !work.is_zero() {
+                std::thread::sleep(work);
+            }
+            Ok(())
+        });
+    }
+    {
+        let value = value.clone();
+        b.bind(update, registry, "update", move |ctx, _| {
+            if !work.is_zero() {
+                std::thread::sleep(work);
+            }
+            value.with(ctx, |v| *v += 1);
+            Ok(())
+        });
+    }
+    RwStack {
+        rt: Runtime::new(b.build()),
+        registry,
+        lookup,
+        update,
+        value,
+    }
+}
+
+/// Run a read-heavy workload: computation `i` writes when
+/// `i % write_every == 0`, otherwise reads. With `use_read_mode` the readers
+/// declare [`AccessMode::Read`] and share; without it everything declares
+/// write mode (the paper's original semantics). Returns the wall time.
+pub fn run_rw(
+    stack: &RwStack,
+    n_comps: usize,
+    write_every: usize,
+    use_read_mode: bool,
+    injectors: usize,
+) -> Duration {
+    let rt = stack.rt.clone();
+    let (registry, lookup, update) = (stack.registry, stack.lookup, stack.update);
+    let per: Vec<(usize, usize)> = {
+        // (start, count) slices of the computation index space.
+        let n = injectors.max(1);
+        let mut out = Vec::new();
+        let mut start = 0;
+        for i in 0..n {
+            let count = n_comps / n + usize::from(i < n_comps % n);
+            out.push((start, count));
+            start += count;
+        }
+        out
+    };
+    let start_t = Instant::now();
+    std::thread::scope(|scope| {
+        for &(start, count) in &per {
+            let rt = rt.clone();
+            scope.spawn(move || {
+                for i in start..start + count {
+                    let is_write = i % write_every == 0;
+                    if is_write {
+                        rt.spawn_isolated(&[registry], move |ctx| {
+                            ctx.trigger(update, EventData::empty())
+                        });
+                    } else if use_read_mode {
+                        rt.spawn_isolated_rw(&[(registry, AccessMode::Read)], move |ctx| {
+                            ctx.trigger(lookup, EventData::empty())
+                        });
+                    } else {
+                        rt.spawn_isolated(&[registry], move |ctx| {
+                            ctx.trigger(lookup, EventData::empty())
+                        });
+                    }
+                }
+            });
+        }
+    });
+    rt.quiesce();
+    start_t.elapsed()
+}
+
+/// Experiment E9: the paper's two algorithm families head to head on an
+/// identical read-modify-write workload. Both run `n_comps` computations
+/// from `injectors` threads, each computation touching one slot (the hot
+/// slot with probability `hot`), reading, working for `work`, writing.
+pub mod families {
+    use super::*;
+    use samoa_core::optimistic::{OccCell, OccRuntime};
+
+    /// Result of one family run.
+    #[derive(Debug, Clone, Copy)]
+    pub struct FamilyOutcome {
+        /// Wall-clock time.
+        pub wall: Duration,
+        /// Aborted attempts (0 for the versioning family — it never aborts).
+        pub aborts: u64,
+    }
+
+    fn slot_choices(n_slots: usize, n_comps: usize, hot: f64, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_comps)
+            .map(|_| {
+                if hot > 0.0 && rng.gen_bool(hot) {
+                    0
+                } else {
+                    rng.gen_range(0..n_slots)
+                }
+            })
+            .collect()
+    }
+
+    /// Optimistic family (rollback/retry).
+    pub fn run_occ(
+        n_slots: usize,
+        n_comps: usize,
+        hot: f64,
+        work: Duration,
+        kind: WorkKind,
+        injectors: usize,
+        seed: u64,
+    ) -> FamilyOutcome {
+        let rt = OccRuntime::new();
+        let cells: Vec<OccCell<u64>> = (0..n_slots).map(|_| OccCell::new(0)).collect();
+        let choices = slot_choices(n_slots, n_comps, hot, seed);
+        let chunks: Vec<Vec<usize>> = {
+            let mut out = vec![Vec::new(); injectors.max(1)];
+            for (i, &c) in choices.iter().enumerate() {
+                out[i % injectors.max(1)].push(c);
+            }
+            out
+        };
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in &chunks {
+                let rt = rt.clone();
+                let cells = cells.clone();
+                scope.spawn(move || {
+                    for &slot in chunk {
+                        rt.execute(|tx| {
+                            let v = cells[slot].read(tx, |c| *c);
+                            match kind {
+                                WorkKind::Cpu => spin(work),
+                                WorkKind::Io => {
+                                    if !work.is_zero() {
+                                        std::thread::sleep(work)
+                                    }
+                                }
+                            }
+                            cells[slot].write(tx, |c| *c = v + 1);
+                            Ok(())
+                        })
+                        .expect("occ execute");
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed();
+        assert_eq!(
+            cells.iter().map(|c| c.read_committed(|v| *v)).sum::<u64>(),
+            n_comps as u64,
+            "occ lost updates"
+        );
+        FamilyOutcome {
+            wall,
+            aborts: rt.aborts(),
+        }
+    }
+
+    /// Versioning family (VCAbasic; blocking `isolated` so both families
+    /// have exactly `injectors` concurrent computations).
+    pub fn run_vca(
+        n_slots: usize,
+        n_comps: usize,
+        hot: f64,
+        work: Duration,
+        kind: WorkKind,
+        injectors: usize,
+        seed: u64,
+    ) -> FamilyOutcome {
+        let stack = flat_stack(n_slots, work, kind);
+        let choices = slot_choices(n_slots, n_comps, hot, seed);
+        let chunks: Vec<Vec<usize>> = {
+            let mut out = vec![Vec::new(); injectors.max(1)];
+            for (i, &c) in choices.iter().enumerate() {
+                out[i % injectors.max(1)].push(c);
+            }
+            out
+        };
+        let rt = stack.rt.clone();
+        let protocols = Arc::new(stack.protocols.clone());
+        let events = Arc::new(stack.events.clone());
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in &chunks {
+                let rt = rt.clone();
+                let protocols = Arc::clone(&protocols);
+                let events = Arc::clone(&events);
+                scope.spawn(move || {
+                    for &slot in chunk {
+                        rt.isolated(&[protocols[slot]], |ctx| {
+                            ctx.trigger(events[slot], EventData::empty())
+                        })
+                        .expect("vca isolated");
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed();
+        assert_eq!(
+            total_visits(&stack.counters),
+            n_comps as u64,
+            "vca lost visits"
+        );
+        FamilyOutcome { wall, aborts: 0 }
+    }
+}
+
+/// Total visits across the stack's counters (workload sanity check).
+pub fn total_visits(counters: &[ProtocolState<u64>]) -> u64 {
+    counters.iter().map(|c| c.read(|v| *v)).sum()
+}
+
+fn split_round_robin<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
+    let mut out = vec![Vec::new(); n];
+    for (i, item) in items.iter().enumerate() {
+        out[i % n].push(item.clone());
+    }
+    out
+}
+
+fn split_counts(total: usize, n: usize) -> Vec<usize> {
+    (0..n).map(|i| total / n + usize::from(i < total % n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_workload_respects_parameters() {
+        let wl = flat_workload(8, 20, 3, 1.0, 1);
+        assert_eq!(wl.visits.len(), 20);
+        for v in &wl.visits {
+            assert_eq!(v.len(), 3);
+            assert!(v.contains(&0), "hot=1.0 must include the hot protocol");
+            let mut dedup = v.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "visits must be distinct");
+        }
+    }
+
+    #[test]
+    fn run_flat_executes_every_visit() {
+        let stack = flat_stack(4, Duration::ZERO, WorkKind::Cpu);
+        let wl = flat_workload(4, 12, 2, 0.5, 2);
+        let expected: u64 = wl.visits.iter().map(|v| v.len() as u64).sum();
+        for policy in [
+            BenchPolicy::Basic,
+            BenchPolicy::Bound,
+            BenchPolicy::Serial,
+            BenchPolicy::TwoPhase,
+            BenchPolicy::Unsync,
+        ] {
+            let d = run_flat(&stack, &wl, policy, 2);
+            assert!(d > Duration::ZERO);
+        }
+        assert_eq!(total_visits(&stack.counters), expected * 5);
+    }
+
+    #[test]
+    fn run_pipeline_executes_all_stages() {
+        let stack = pipeline_stack(3, Duration::ZERO, WorkKind::Cpu);
+        for policy in [
+            BenchPolicy::Basic,
+            BenchPolicy::Bound,
+            BenchPolicy::Route,
+            BenchPolicy::Serial,
+        ] {
+            run_pipeline(&stack, 5, policy, 2);
+            let _ = policy;
+        }
+        assert_eq!(total_visits(&stack.counters), 3 * 5 * 4);
+    }
+
+    #[test]
+    fn split_helpers_cover_everything() {
+        assert_eq!(split_counts(10, 3), vec![4, 3, 3]);
+        let rr = split_round_robin(&[1, 2, 3, 4, 5], 2);
+        assert_eq!(rr[0], vec![1, 3, 5]);
+        assert_eq!(rr[1], vec![2, 4]);
+    }
+}

@@ -1,0 +1,602 @@
+//! Computations: the unit of isolation.
+//!
+//! An external event spawns a *computation* — the event plus everything it
+//! causally triggers (paper §2). Each computation has:
+//!
+//! * a resolved `CompSpec` (its private version snapshot from Rule 1),
+//! * a task queue of asynchronously triggered handler calls and explicitly
+//!   spawned closures,
+//! * a small, demand-grown set of worker threads (at least the root thread),
+//! * an error slot (the paper throws; we record and report on join).
+//!
+//! A computation *completes* when its closure body returned and every task —
+//! including threads spawned by handlers — has terminated; the completing
+//! worker then runs Rule 3 (upgrade local versions / release locks) exactly
+//! once.
+//!
+//! ## Why a fixed worker pool cannot deadlock here
+//!
+//! Workers block while waiting for version admission, but version waits
+//! always point from younger computations to strictly older ones (versions
+//! are handed out in spawn order under the spawn lock), so the oldest
+//! computation always makes progress — and each computation keeps at least
+//! its root worker alive until its own task count reaches zero. This is the
+//! deadlock-freedom argument of paper §6 made operational.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::ctx::Ctx;
+use crate::error::{CompId, Result, SamoaError};
+use crate::event::{EventData, EventType};
+use crate::graph::RouteCheck;
+use crate::handler::HandlerId;
+use crate::policy::{AccessMode, CompMode, CompSpec};
+use crate::protocol::ProtocolId;
+use crate::runtime::RuntimeInner;
+
+/// Boxed task body type (a closure run by a computation worker).
+pub(crate) type TaskFn = Box<dyn FnOnce(&Ctx) -> Result<()> + Send>;
+
+/// A unit of queued work inside a computation.
+pub(crate) enum Task {
+    /// Execution of an asynchronously triggered handler.
+    Call {
+        event: EventType,
+        handler: HandlerId,
+        data: EventData,
+        /// The handler that issued the event (for route bookkeeping and
+        /// diagnostics); `None` when issued by the closure body.
+        issuer: Option<(HandlerId, ProtocolId)>,
+    },
+    /// An explicitly spawned closure (`Ctx::spawn`); it executes with the
+    /// identity of the handler that spawned it and delays that handler's
+    /// completion (paper Rule 4: "any threads spawned by the handler
+    /// terminated").
+    Closure {
+        origin: Option<(HandlerId, ProtocolId)>,
+        exec: Option<Arc<ExecState>>,
+        /// Inherited read-only restriction of the spawning handler.
+        read_only: bool,
+        f: TaskFn,
+    },
+}
+
+/// Tracks one handler execution (or the closure body): the function itself
+/// plus any threads it spawned, transitively. The *post* action — Rule 4's
+/// per-call release — runs only when all of them have finished.
+pub(crate) struct ExecState {
+    /// `(fn_done, live_children)`.
+    state: Mutex<(bool, usize)>,
+    pub(crate) post: PostAction,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum PostAction {
+    /// Rule 4 for handler `h` of protocol `p`.
+    Handler(HandlerId, ProtocolId),
+    /// End of the closure body's direct-call privilege (`VCAroute` root).
+    Root,
+}
+
+impl ExecState {
+    pub(crate) fn new(post: PostAction) -> Self {
+        ExecState {
+            state: Mutex::new((false, 0)),
+            post,
+        }
+    }
+
+    pub(crate) fn add_child(&self) {
+        self.state.lock().1 += 1;
+    }
+
+    /// The function body returned; post-action is due if no children remain.
+    pub(crate) fn finish_fn(&self) -> bool {
+        let mut s = self.state.lock();
+        debug_assert!(!s.0);
+        s.0 = true;
+        s.1 == 0
+    }
+
+    /// A child thread finished; post-action is due if it was the last and
+    /// the function body already returned.
+    fn finish_child(&self) -> bool {
+        let mut s = self.state.lock();
+        debug_assert!(s.1 > 0);
+        s.1 -= 1;
+        s.0 && s.1 == 0
+    }
+}
+
+/// Shared state of one running computation.
+pub(crate) struct ComputationInner {
+    pub(crate) id: CompId,
+    pub(crate) rt: Arc<RuntimeInner>,
+    pub(crate) spec: CompSpec,
+    queue: Mutex<VecDeque<Task>>,
+    queue_cv: Condvar,
+    /// Tasks queued or running, plus one for the closure body until it (and
+    /// its spawned children) finish.
+    pending: AtomicUsize,
+    workers: AtomicUsize,
+    idle: AtomicUsize,
+    completion_claimed: AtomicBool,
+    error: Mutex<Option<SamoaError>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl ComputationInner {
+    pub(crate) fn new(id: CompId, rt: Arc<RuntimeInner>, spec: CompSpec) -> Arc<Self> {
+        Arc::new(ComputationInner {
+            id,
+            rt,
+            spec,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            pending: AtomicUsize::new(1), // the root closure's slot
+            workers: AtomicUsize::new(1), // the root worker
+            idle: AtomicUsize::new(0),
+            completion_claimed: AtomicBool::new(false),
+            error: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    /// Record the first error of the computation; later ones are dropped.
+    pub(crate) fn set_error(&self, e: SamoaError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    pub(crate) fn take_error(&self) -> Option<SamoaError> {
+        self.error.lock().clone()
+    }
+
+    /// Enqueue a task, waking or growing workers as needed.
+    pub(crate) fn enqueue(self: &Arc<Self>, task: Task) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queue.lock().push_back(task);
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            self.queue_cv.notify_one();
+        } else {
+            let w = self.workers.load(Ordering::SeqCst);
+            if w < self.rt.config.max_threads_per_computation {
+                self.workers.fetch_add(1, Ordering::SeqCst);
+                let comp = Arc::clone(self);
+                std::thread::spawn(move || {
+                    comp.worker_loop();
+                    comp.worker_exit();
+                });
+            }
+            // Otherwise an existing (busy) worker will drain the queue; the
+            // root worker stays alive until pending == 0, so progress is
+            // guaranteed even if no new thread could be spawned.
+        }
+    }
+
+    fn next_task(&self) -> Option<Task> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Some(t);
+            }
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            self.idle.fetch_add(1, Ordering::SeqCst);
+            self.queue_cv.wait(&mut q);
+            self.idle.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Release one `pending` slot; wake sleepers when it was the last so
+    /// they can exit.
+    pub(crate) fn release_pending(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.queue_cv.notify_all();
+        }
+    }
+
+    /// Drain tasks until the computation has none left.
+    pub(crate) fn worker_loop(self: &Arc<Self>) {
+        while let Some(task) = self.next_task() {
+            self.run_task(task);
+            self.release_pending();
+        }
+    }
+
+    /// Called when a worker leaves `worker_loop`; the first worker to leave
+    /// runs completion (Rule 3).
+    pub(crate) fn worker_exit(self: &Arc<Self>) {
+        self.workers.fetch_sub(1, Ordering::SeqCst);
+        debug_assert_eq!(self.pending.load(Ordering::SeqCst), 0);
+        if !self.completion_claimed.swap(true, Ordering::SeqCst) {
+            self.complete();
+        }
+    }
+
+    fn run_task(self: &Arc<Self>, task: Task) {
+        match task {
+            Task::Call {
+                event,
+                handler,
+                data,
+                issuer,
+            } => {
+                if let Err(e) = self.call_handler(issuer, event, handler, &data, true) {
+                    self.set_error(e);
+                }
+            }
+            Task::Closure {
+                origin,
+                exec,
+                read_only,
+                f,
+            } => {
+                let ctx = if read_only {
+                    Ctx::new_read_only(Arc::clone(self), origin, exec.clone())
+                } else {
+                    Ctx::new(Arc::clone(self), origin, exec.clone())
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => self.set_error(e),
+                    Err(payload) => self.set_error(SamoaError::HandlerPanic {
+                        handler: origin.map(|(h, _)| h).unwrap_or(HandlerId(u32::MAX)),
+                        message: panic_message(payload),
+                    }),
+                }
+                if let Some(exec) = exec {
+                    if exec.finish_child() {
+                        self.run_post(exec.post);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admission check at event-*issue* time: surface declaration errors in
+    /// the issuing thread, as the paper's exceptions do.
+    pub(crate) fn check_issue(
+        &self,
+        issuer: Option<(HandlerId, ProtocolId)>,
+        handler: HandlerId,
+        is_async: bool,
+    ) -> Result<()> {
+        let pid = self.rt.stack.handler_protocol(handler);
+        match self.spec.mode {
+            CompMode::Unsync => Ok(()),
+            CompMode::Basic | CompMode::Bound | CompMode::Locked => {
+                if self.spec.entry(pid).is_none() {
+                    Err(SamoaError::UndeclaredProtocol {
+                        comp: self.id,
+                        protocol: pid,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            CompMode::Route => {
+                // Synchronous calls are admitted (and marked active) inside
+                // `call_handler`; only asynchronous issues mark here, so the
+                // pending mark exists from issue to execution.
+                if !is_async {
+                    return Ok(());
+                }
+                let rs = self.spec.route.as_ref().expect("route spec");
+                let check = rs.lock().admit(issuer.map(|(h, _)| h), handler, true);
+                self.route_check_to_result(check, issuer, handler)
+            }
+        }
+    }
+
+    fn route_check_to_result(
+        &self,
+        check: RouteCheck,
+        issuer: Option<(HandlerId, ProtocolId)>,
+        handler: HandlerId,
+    ) -> Result<()> {
+        match check {
+            RouteCheck::Ok => Ok(()),
+            RouteCheck::NotInPattern => Err(SamoaError::NotInPattern {
+                comp: self.id,
+                handler,
+            }),
+            RouteCheck::NoRoute => Err(SamoaError::NoRoute {
+                comp: self.id,
+                from: issuer.map(|(h, _)| h),
+                to: handler,
+            }),
+        }
+    }
+
+    /// Execute one handler call: admission (Rule 2), execution, per-call
+    /// release (Rule 4). `from_async` distinguishes execution of a queued
+    /// asynchronous event (whose route admission happened at issue).
+    pub(crate) fn call_handler(
+        self: &Arc<Self>,
+        caller: Option<(HandlerId, ProtocolId)>,
+        event: EventType,
+        handler: HandlerId,
+        data: &EventData,
+        from_async: bool,
+    ) -> Result<()> {
+        let pid = self.rt.stack.handler_protocol(handler);
+
+        // ---- Rule 2: admission ----
+        let wait_start = if self.spec.mode == CompMode::Unsync {
+            None
+        } else {
+            Some(std::time::Instant::now())
+        };
+        match self.spec.mode {
+            CompMode::Unsync => {}
+            CompMode::Locked => {
+                // Locks were acquired at spawn; only validate the declaration.
+                if self.spec.entry(pid).is_none() {
+                    return Err(SamoaError::UndeclaredProtocol {
+                        comp: self.id,
+                        protocol: pid,
+                    });
+                }
+            }
+            CompMode::Basic => {
+                let e = self
+                    .spec
+                    .entry(pid)
+                    .ok_or(SamoaError::UndeclaredProtocol {
+                        comp: self.id,
+                        protocol: pid,
+                    })?;
+                let pv = e.pv;
+                match e.mode {
+                    AccessMode::Write => {
+                        self.rt.versions[pid.index()].wait_write(move |lv| lv + 1 >= pv, pv);
+                    }
+                    AccessMode::Read => {
+                        // Read-mode computations may only call read-only
+                        // handlers, and wait only for writers up to their
+                        // snapshot epoch.
+                        if !self.rt.stack.handler_read_only(handler) {
+                            return Err(SamoaError::ReadModeViolation {
+                                comp: self.id,
+                                protocol: pid,
+                                handler,
+                            });
+                        }
+                        self.rt.versions[pid.index()].wait_until(move |lv| lv >= pv);
+                    }
+                }
+            }
+            CompMode::Bound => {
+                let e = self
+                    .spec
+                    .entry(pid)
+                    .ok_or(SamoaError::UndeclaredProtocol {
+                        comp: self.id,
+                        protocol: pid,
+                    })?;
+                if !e.reserve() {
+                    return Err(SamoaError::BoundExhausted {
+                        comp: self.id,
+                        protocol: pid,
+                        bound: e.bound,
+                    });
+                }
+                let (pv, b) = (e.pv, e.bound);
+                self.rt.versions[pid.index()].wait_write(move |lv| lv + b >= pv, pv);
+            }
+            CompMode::Route => {
+                let rs = self.spec.route.as_ref().expect("route spec");
+                if from_async {
+                    rs.lock().activate_pending(handler);
+                } else {
+                    let check = rs.lock().admit(caller.map(|(h, _)| h), handler, false);
+                    self.route_check_to_result(check, caller, handler)?;
+                }
+                let e = self.spec.entry(pid).expect("pattern protocol declared");
+                let pv = e.pv;
+                self.rt.versions[pid.index()].wait_write(move |lv| lv + 1 >= pv, pv);
+            }
+        }
+
+        // ---- execute ----
+        if let Some(t0) = wait_start {
+            self.rt.stats.note_admission_wait(t0.elapsed());
+        }
+        self.rt.stats.note_handler_call();
+        self.rt.history.record_call(self.id, event, handler);
+        let exec = Arc::new(ExecState::new(PostAction::Handler(handler, pid)));
+        let ctx = if self.rt.stack.handler_read_only(handler) {
+            Ctx::new_read_only(Arc::clone(self), Some((handler, pid)), Some(Arc::clone(&exec)))
+        } else {
+            Ctx::new(Arc::clone(self), Some((handler, pid)), Some(Arc::clone(&exec)))
+        };
+        let func = Arc::clone(&self.rt.stack.entry(handler).func);
+        let outcome = catch_unwind(AssertUnwindSafe(|| func(&ctx, data)));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => Err(SamoaError::HandlerPanic {
+                handler,
+                message: panic_message(payload),
+            }),
+        };
+
+        // ---- Rule 4: per-call release, deferred past spawned children ----
+        if exec.finish_fn() {
+            self.run_post(exec.post);
+        }
+        result
+    }
+
+    /// Rule 4 actions once a handler execution (function + spawned threads)
+    /// or the closure body has fully finished.
+    pub(crate) fn run_post(&self, post: PostAction) {
+        match post {
+            PostAction::Handler(h, pid) => match self.spec.mode {
+                CompMode::Bound => {
+                    self.rt.versions[pid.index()].bump();
+                }
+                CompMode::Route => {
+                    let rs = self.spec.route.as_ref().expect("route spec");
+                    let released = {
+                        let mut g = rs.lock();
+                        g.deactivate(h);
+                        g.release_scan()
+                    };
+                    self.release_protocols(&released);
+                }
+                _ => {}
+            },
+            PostAction::Root => {
+                if self.spec.mode == CompMode::Route {
+                    let rs = self.spec.route.as_ref().expect("route spec");
+                    let released = {
+                        let mut g = rs.lock();
+                        g.finish_root();
+                        g.release_scan()
+                    };
+                    self.release_protocols(&released);
+                }
+            }
+        }
+    }
+
+    fn release_protocols(&self, released: &[ProtocolId]) {
+        for &p in released {
+            let e = self.spec.entry(p).expect("released protocol declared");
+            self.rt.versions[p.index()].raise_to(e.pv);
+        }
+    }
+
+    /// Rule 3: after the computation has completed, upgrade the local
+    /// versions of every declared microprotocol (or release the 2PL locks),
+    /// then signal joiners.
+    fn complete(self: &Arc<Self>) {
+        match self.spec.mode {
+            CompMode::Unsync => {}
+            CompMode::Locked => {
+                for e in &self.spec.entries {
+                    self.rt.locks[e.pid.index()].release();
+                }
+            }
+            CompMode::Basic | CompMode::Bound => {
+                for e in &self.spec.entries {
+                    if e.mode == AccessMode::Read {
+                        // Release the reader hold registered at spawn.
+                        self.rt.versions[e.pid.index()].unregister_reader(e.pv);
+                        continue;
+                    }
+                    let (pv, b) = (e.pv, e.bound);
+                    self.rt.versions[e.pid.index()].wait_then(
+                        move |lv| lv + b >= pv,
+                        move |lv| {
+                            if *lv < pv {
+                                *lv = pv;
+                            }
+                        },
+                    );
+                }
+            }
+            CompMode::Route => {
+                let remaining = self
+                    .spec
+                    .route
+                    .as_ref()
+                    .expect("route spec")
+                    .lock()
+                    .unreleased_protocols();
+                for p in remaining {
+                    let e = self.spec.entry(p).expect("pattern protocol declared");
+                    let pv = e.pv;
+                    self.rt.versions[p.index()].wait_then(
+                        move |lv| lv + 1 >= pv,
+                        move |lv| {
+                            if *lv < pv {
+                                *lv = pv;
+                            }
+                        },
+                    );
+                }
+            }
+        }
+        // Counter/active bookkeeping first, so that a joiner woken by the
+        // done flag observes the completed count already updated.
+        self.rt.computation_finished();
+        {
+            let mut d = self.done.lock();
+            *d = true;
+        }
+        self.done_cv.notify_all();
+    }
+
+    /// Block until the computation has fully completed (Rule 3 done).
+    pub(crate) fn wait_done(&self) {
+        let mut d = self.done.lock();
+        while !*d {
+            self.done_cv.wait(&mut d);
+        }
+    }
+}
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_state_fn_only() {
+        let e = ExecState::new(PostAction::Root);
+        assert!(e.finish_fn());
+    }
+
+    #[test]
+    fn exec_state_waits_for_children() {
+        let e = ExecState::new(PostAction::Root);
+        e.add_child();
+        e.add_child();
+        assert!(!e.finish_fn());
+        assert!(!e.finish_child());
+        assert!(e.finish_child());
+    }
+
+    #[test]
+    fn exec_state_child_finishing_before_fn() {
+        let e = ExecState::new(PostAction::Root);
+        e.add_child();
+        assert!(!e.finish_child());
+        assert!(e.finish_fn());
+    }
+
+    #[test]
+    fn panic_message_extracts_strings() {
+        assert_eq!(
+            panic_message(Box::new("boom")),
+            "boom".to_string()
+        );
+        assert_eq!(
+            panic_message(Box::new(String::from("kaboom"))),
+            "kaboom".to_string()
+        );
+        assert_eq!(panic_message(Box::new(17u8)), "non-string panic payload");
+    }
+}

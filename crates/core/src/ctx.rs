@@ -1,0 +1,202 @@
+//! The computation context handed to handlers and `isolated` closures.
+//!
+//! [`Ctx`] carries the computation identity and exposes the paper's event
+//! primitives: synchronous `trigger` / `triggerAll` and asynchronous
+//! `asyncTrigger` / `asyncTriggerAll` (§3), plus explicit thread creation
+//! within the computation (§4: "new threads can be created dynamically").
+
+use std::sync::Arc;
+
+use crate::computation::{ComputationInner, ExecState, Task};
+use crate::error::{CompId, Result, SamoaError};
+use crate::event::{EventData, EventType};
+use crate::handler::HandlerId;
+use crate::protocol::ProtocolId;
+use crate::stack::Stack;
+
+/// Execution context of a handler (or of the `isolated` closure body).
+///
+/// A `Ctx` is bound to one computation and one call site; nested handler
+/// calls get fresh contexts. It is not `Clone` — pass `&Ctx` down, or use
+/// [`Ctx::spawn`] to move work to another thread of the same computation.
+pub struct Ctx {
+    comp: Arc<ComputationInner>,
+    /// The handler currently executing, and its microprotocol; `None` in the
+    /// closure body.
+    current: Option<(HandlerId, ProtocolId)>,
+    /// Execution-state of the current handler call (or closure body), used
+    /// to tie spawned threads to the call's completion (paper Rule 4).
+    exec: Option<Arc<ExecState>>,
+    /// True while executing a handler registered with `bind_read_only`.
+    read_only: bool,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        comp: Arc<ComputationInner>,
+        current: Option<(HandlerId, ProtocolId)>,
+        exec: Option<Arc<ExecState>>,
+    ) -> Self {
+        Ctx {
+            comp,
+            current,
+            exec,
+            read_only: false,
+        }
+    }
+
+    pub(crate) fn new_read_only(
+        comp: Arc<ComputationInner>,
+        current: Option<(HandlerId, ProtocolId)>,
+        exec: Option<Arc<ExecState>>,
+    ) -> Self {
+        Ctx {
+            comp,
+            current,
+            exec,
+            read_only: true,
+        }
+    }
+
+    /// Is the current handler declared read-only?
+    pub(crate) fn in_read_only_handler(&self) -> bool {
+        self.read_only
+    }
+
+    /// The id of the computation this context belongs to.
+    pub fn comp_id(&self) -> CompId {
+        self.comp.id
+    }
+
+    /// The microprotocol of the currently executing handler, if any.
+    pub fn current_protocol(&self) -> Option<ProtocolId> {
+        self.current.map(|(_, p)| p)
+    }
+
+    /// The currently executing handler, if any.
+    pub fn current_handler(&self) -> Option<HandlerId> {
+        self.current.map(|(h, _)| h)
+    }
+
+    /// The stack this computation runs over.
+    pub fn stack(&self) -> &Stack {
+        &self.comp.rt.stack
+    }
+
+    /// Record a state access for the isolation checker (called by
+    /// [`ProtocolState::with`](crate::protocol::ProtocolState::with) and
+    /// [`ProtocolState::read_with`](crate::protocol::ProtocolState::read_with)).
+    pub(crate) fn note_state_access(&self, pid: ProtocolId, write: bool) {
+        self.comp.rt.history.record_access(self.comp.id, pid, write);
+    }
+
+    fn handlers_for(&self, event: EventType) -> &[HandlerId] {
+        self.comp.rt.stack.bound_handlers(event)
+    }
+
+    /// Synchronously call *the* handler bound to `event` (paper `trigger`).
+    ///
+    /// Errors if zero or more than one handler is bound, if the target
+    /// microprotocol is undeclared, the visit bound is exhausted, or the
+    /// routing pattern has no route from the current handler.
+    pub fn trigger(&self, event: EventType, data: impl Into<EventData>) -> Result<()> {
+        let handlers = self.handlers_for(event);
+        match handlers {
+            [] => Err(SamoaError::NoHandler { event }),
+            [h] => {
+                let h = *h;
+                self.comp.check_issue(self.current, h, false)?;
+                self.comp
+                    .call_handler(self.current, event, h, &data.into(), false)
+            }
+            many => Err(SamoaError::MultipleHandlers {
+                event,
+                count: many.len(),
+            }),
+        }
+    }
+
+    /// Synchronously call *all* handlers bound to `event`, in bind order
+    /// (paper `triggerAll`). Zero bound handlers is a no-op. Stops at the
+    /// first failing handler.
+    pub fn trigger_all(&self, event: EventType, data: impl Into<EventData>) -> Result<()> {
+        let data = data.into();
+        let handlers: Vec<HandlerId> = self.handlers_for(event).to_vec();
+        for h in handlers {
+            self.comp.check_issue(self.current, h, false)?;
+            self.comp.call_handler(self.current, event, h, &data, false)?;
+        }
+        Ok(())
+    }
+
+    /// Asynchronously request *the* handler bound to `event` (paper
+    /// `asyncTrigger`): the call is queued and executed by a thread of this
+    /// computation. Declaration/routing errors surface here, in the issuing
+    /// thread; execution errors are reported when the computation is joined.
+    pub fn async_trigger(&self, event: EventType, data: impl Into<EventData>) -> Result<()> {
+        let handlers = self.handlers_for(event);
+        match handlers {
+            [] => Err(SamoaError::NoHandler { event }),
+            [h] => {
+                let h = *h;
+                self.comp.check_issue(self.current, h, true)?;
+                self.comp.enqueue(Task::Call {
+                    event,
+                    handler: h,
+                    data: data.into(),
+                    issuer: self.current,
+                });
+                Ok(())
+            }
+            many => Err(SamoaError::MultipleHandlers {
+                event,
+                count: many.len(),
+            }),
+        }
+    }
+
+    /// Asynchronously request *all* handlers bound to `event` (paper
+    /// `asyncTriggerAll`).
+    pub fn async_trigger_all(&self, event: EventType, data: impl Into<EventData>) -> Result<()> {
+        let data = data.into();
+        let handlers: Vec<HandlerId> = self.handlers_for(event).to_vec();
+        for h in handlers {
+            self.comp.check_issue(self.current, h, true)?;
+            self.comp.enqueue(Task::Call {
+                event,
+                handler: h,
+                data: data.clone(),
+                issuer: self.current,
+            });
+        }
+        Ok(())
+    }
+
+    /// Run `f` on another thread of this computation.
+    ///
+    /// The closure executes with the identity of the current handler: it may
+    /// access the current microprotocol's state, and the current handler
+    /// call is not considered complete (for Rule 4 release purposes) until
+    /// the closure finishes — the paper's "any threads spawned by the
+    /// handler terminated".
+    pub fn spawn(&self, f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static) {
+        if let Some(exec) = &self.exec {
+            exec.add_child();
+        }
+        self.comp.enqueue(Task::Closure {
+            origin: self.current,
+            exec: self.exec.clone(),
+            read_only: self.read_only,
+            f: Box::new(f),
+        });
+    }
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("comp", &self.comp.id)
+            .field("current", &self.current)
+            .finish()
+    }
+}

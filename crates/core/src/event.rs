@@ -1,0 +1,151 @@
+//! Events and event payloads.
+//!
+//! In the SAMOA model (paper §2) an *event* is a request at run time to call
+//! a handler. Each event has an *event type*; only handlers bound to that
+//! type are executed as a result of the event. Event types are first-class
+//! values: they can be passed around, stored, and bound to handlers.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, SamoaError};
+
+/// A first-class event type, created with
+/// [`StackBuilder::event`](crate::stack::StackBuilder::event).
+///
+/// Event types are cheap `Copy` tokens; the human-readable name lives in the
+/// [`Stack`](crate::stack::Stack).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventType(pub(crate) u32);
+
+impl EventType {
+    /// Raw index of this event type inside its stack.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EventType({})", self.0)
+    }
+}
+
+/// A type-erased, cheaply cloneable event payload.
+///
+/// J-SAMOA passes arbitrary Java objects as handler arguments; the Rust
+/// equivalent is an `Arc<dyn Any>`. Payloads are immutable — mutating shared
+/// protocol state goes through
+/// [`ProtocolState::with`](crate::protocol::ProtocolState::with), which is
+/// what the isolation machinery protects.
+#[derive(Clone)]
+pub struct EventData {
+    payload: Arc<dyn Any + Send + Sync>,
+}
+
+impl EventData {
+    /// Wrap a value as an event payload.
+    pub fn new<T: Any + Send + Sync>(value: T) -> Self {
+        EventData {
+            payload: Arc::new(value),
+        }
+    }
+
+    /// An empty payload, for pure-signal events.
+    pub fn empty() -> Self {
+        EventData::new(())
+    }
+
+    /// Borrow the payload as `T`, if it has that type.
+    pub fn get<T: Any>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+
+    /// Borrow the payload as `T`, or report a typed error naming `event`.
+    pub fn expect<T: Any>(&self, event: EventType) -> Result<&T> {
+        self.get::<T>().ok_or(SamoaError::WrongPayloadType {
+            event,
+            expected: std::any::type_name::<T>(),
+        })
+    }
+}
+
+impl fmt::Debug for EventData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EventData(..)")
+    }
+}
+
+impl Default for EventData {
+    fn default() -> Self {
+        EventData::empty()
+    }
+}
+
+macro_rules! impl_from_payload {
+    ($($t:ty),* $(,)?) => {
+        $(impl From<$t> for EventData {
+            fn from(value: $t) -> Self {
+                EventData::new(value)
+            }
+        })*
+    };
+}
+
+// Common payload types convert implicitly; custom structs use
+// `EventData::new`. (A blanket `impl<T> From<T>` would conflict with the
+// standard identity `From`.)
+impl_from_payload!((), bool, u32, u64, i64, usize, String, Vec<u8>);
+
+impl From<&str> for EventData {
+    fn from(value: &str) -> Self {
+        EventData::new(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let d = EventData::new(42u64);
+        assert_eq!(d.get::<u64>(), Some(&42));
+        assert_eq!(d.get::<u32>(), None);
+    }
+
+    #[test]
+    fn expect_reports_type_name() {
+        let d = EventData::new("hello".to_string());
+        let err = d.expect::<u64>(EventType(3)).unwrap_err();
+        match err {
+            SamoaError::WrongPayloadType { event, expected } => {
+                assert_eq!(event, EventType(3));
+                assert!(expected.contains("u64"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let d = EventData::new(vec![1, 2, 3]);
+        let d2 = d.clone();
+        assert_eq!(d2.get::<Vec<i32>>().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_payload_is_unit() {
+        let d = EventData::empty();
+        assert!(d.get::<()>().is_some());
+    }
+
+    #[test]
+    fn from_impl_wraps() {
+        let d: EventData = 7u64.into();
+        assert_eq!(d.get::<u64>(), Some(&7));
+        let s: EventData = "hi".into();
+        assert_eq!(s.get::<String>().unwrap(), "hi");
+    }
+}

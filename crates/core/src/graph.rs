@@ -1,0 +1,520 @@
+//! Routing patterns for `isolated route` (paper §4, §5.3).
+//!
+//! A routing pattern is a directed graph over handler names. An arrow
+//! `h1 ↦ h2` declares that the body of `h1` may call `h2`. The pattern also
+//! declares *roots*: the handlers that the `isolated` closure body may call
+//! directly.
+//!
+//! At run time the computation keeps a `RouteState` (crate-internal): which handlers are
+//! currently *active* (executing, or issued asynchronously and not yet
+//! executed — see DESIGN.md for why pending asynchronous events must count),
+//! and which vertices have been *removed* by early release (Rule 4(b)). A
+//! microprotocol whose handlers are all inactive and unreachable from any
+//! active handler can be released before the computation completes, which is
+//! where `VCAroute` gets its extra parallelism.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::handler::HandlerId;
+use crate::protocol::ProtocolId;
+
+/// A user-declared routing pattern: roots plus directed edges over handlers.
+///
+/// ```
+/// # use samoa_core::graph::RoutePattern;
+/// # use samoa_core::handler_id_for_tests as h;
+/// let pattern = RoutePattern::new()
+///     .root(h(0))
+///     .edge(h(0), h(1))
+///     .edge(h(1), h(2));
+/// assert_eq!(pattern.vertices().len(), 3);
+/// ```
+#[derive(Clone, Default)]
+pub struct RoutePattern {
+    pub(crate) roots: Vec<HandlerId>,
+    pub(crate) edges: Vec<(HandlerId, HandlerId)>,
+}
+
+impl RoutePattern {
+    /// Start an empty pattern.
+    pub fn new() -> Self {
+        RoutePattern::default()
+    }
+
+    /// Declare `h` as callable directly from the `isolated` closure body.
+    pub fn root(mut self, h: HandlerId) -> Self {
+        self.roots.push(h);
+        self
+    }
+
+    /// Declare that the body of `from` may call `to`.
+    pub fn edge(mut self, from: HandlerId, to: HandlerId) -> Self {
+        self.edges.push((from, to));
+        self
+    }
+
+    /// Build a pattern from handler *names* registered on a stack — the
+    /// ergonomic form for hand-written declarations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not registered (a misdeclared pattern is a
+    /// programming error the runtime could only report later and worse).
+    pub fn from_names(
+        stack: &crate::stack::Stack,
+        roots: &[&str],
+        edges: &[(&str, &str)],
+    ) -> RoutePattern {
+        let lookup = |name: &str| {
+            stack
+                .handler_by_name(name)
+                .unwrap_or_else(|| panic!("no handler named {name:?} in the stack"))
+        };
+        let mut pat = RoutePattern::new();
+        for r in roots {
+            pat = pat.root(lookup(r));
+        }
+        for (a, b) in edges {
+            pat = pat.edge(lookup(a), lookup(b));
+        }
+        pat
+    }
+
+    /// All handlers mentioned by the pattern (roots and edge endpoints).
+    pub fn vertices(&self) -> BTreeSet<HandlerId> {
+        let mut v: BTreeSet<HandlerId> = self.roots.iter().copied().collect();
+        for &(a, b) in &self.edges {
+            v.insert(a);
+            v.insert(b);
+        }
+        v
+    }
+}
+
+impl fmt::Debug for RoutePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoutePattern")
+            .field("roots", &self.roots)
+            .field("edges", &self.edges)
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+struct Vertex {
+    handler: HandlerId,
+    protocol: ProtocolId,
+    /// Successor vertex indices.
+    succ: Vec<usize>,
+    /// Number of currently executing calls of this handler.
+    active: u32,
+    /// Number of issued-but-not-yet-executed asynchronous events targeting
+    /// this handler.
+    pending: u32,
+    /// Removed by early release (Rule 4(b)); removed vertices neither accept
+    /// calls nor conduct reachability.
+    removed: bool,
+}
+
+/// Per-computation mutable routing state for `VCAroute`.
+pub(crate) struct RouteState {
+    verts: Vec<Vertex>,
+    /// Vertex indices callable directly from the closure body.
+    root_succ: Vec<usize>,
+    /// True while the `isolated` closure body is still running.
+    root_active: bool,
+    /// Distinct protocols covered by the pattern, in first-seen order.
+    protocols: Vec<ProtocolId>,
+}
+
+/// Outcome of a route admission check.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum RouteCheck {
+    /// Call admitted (and the target marked active/pending).
+    Ok,
+    /// Target handler is not a vertex of the pattern.
+    NotInPattern,
+    /// Target is a vertex but there is no route from the caller.
+    NoRoute,
+}
+
+impl RouteState {
+    /// Build the runtime state from a declared pattern.
+    ///
+    /// `protocol_of` maps each handler to its owning microprotocol.
+    pub(crate) fn new(
+        pattern: &RoutePattern,
+        protocol_of: impl Fn(HandlerId) -> ProtocolId,
+    ) -> Self {
+        let vertices: Vec<HandlerId> = pattern.vertices().into_iter().collect();
+        let index_of = |h: HandlerId| vertices.binary_search(&h).expect("vertex present");
+        let mut verts: Vec<Vertex> = vertices
+            .iter()
+            .map(|&h| Vertex {
+                handler: h,
+                protocol: protocol_of(h),
+                succ: Vec::new(),
+                active: 0,
+                pending: 0,
+                removed: false,
+            })
+            .collect();
+        for &(a, b) in &pattern.edges {
+            let (ia, ib) = (index_of(a), index_of(b));
+            if !verts[ia].succ.contains(&ib) {
+                verts[ia].succ.push(ib);
+            }
+        }
+        let root_succ: Vec<usize> = {
+            let mut seen = BTreeSet::new();
+            pattern
+                .roots
+                .iter()
+                .map(|&h| index_of(h))
+                .filter(|&i| seen.insert(i))
+                .collect()
+        };
+        let mut protocols = Vec::new();
+        for v in &verts {
+            if !protocols.contains(&v.protocol) {
+                protocols.push(v.protocol);
+            }
+        }
+        RouteState {
+            verts,
+            root_succ,
+            root_active: true,
+            protocols,
+        }
+    }
+
+    /// Protocols covered by the pattern (the `M` of Rule 1).
+    pub(crate) fn protocols(&self) -> &[ProtocolId] {
+        &self.protocols
+    }
+
+    fn vertex(&self, h: HandlerId) -> Option<usize> {
+        self.verts
+            .binary_search_by_key(&h, |v| v.handler)
+            .ok()
+            .filter(|&i| !self.verts[i].removed)
+    }
+
+    /// Is there a live path from vertex `from` to vertex `to`?
+    /// Reflexive: a handler may always call itself recursively? No — only if
+    /// a self-edge (or cycle back) is declared, matching the paper's rule
+    /// that the *pattern* authorises every call.
+    fn has_path(&self, from: usize, to: usize) -> bool {
+        if self.verts[from].removed {
+            return false;
+        }
+        let mut visited = vec![false; self.verts.len()];
+        let mut stack = vec![from];
+        visited[from] = true;
+        while let Some(i) = stack.pop() {
+            for &j in &self.verts[i].succ {
+                if self.verts[j].removed {
+                    continue;
+                }
+                if j == to {
+                    return true;
+                }
+                if !visited[j] {
+                    visited[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        false
+    }
+
+    /// Admission check for a call of `to` made by `from` (`None` = the
+    /// closure body). On success the target is marked: `sync` calls become
+    /// active immediately; `async` issues become pending until
+    /// [`Self::activate_pending`] runs.
+    pub(crate) fn admit(
+        &mut self,
+        from: Option<HandlerId>,
+        to: HandlerId,
+        is_async: bool,
+    ) -> RouteCheck {
+        let Some(ti) = self.vertex(to) else {
+            // Distinguish "never in pattern" from "removed": both are errors,
+            // but removal of a still-needed vertex indicates a pattern bug,
+            // so report the more precise NotInPattern either way.
+            return RouteCheck::NotInPattern;
+        };
+        let admitted = match from {
+            None => self.root_active && self.root_succ.contains(&ti),
+            Some(f) => match self.vertex(f) {
+                Some(fi) => self.has_path(fi, ti),
+                None => false,
+            },
+        };
+        if !admitted {
+            return RouteCheck::NoRoute;
+        }
+        if is_async {
+            self.verts[ti].pending += 1;
+        } else {
+            self.verts[ti].active += 1;
+        }
+        RouteCheck::Ok
+    }
+
+    /// Convert one pending mark into an active mark when an asynchronous
+    /// event's handler starts executing.
+    pub(crate) fn activate_pending(&mut self, h: HandlerId) {
+        let i = self
+            .verts
+            .binary_search_by_key(&h, |v| v.handler)
+            .expect("pending handler is a vertex");
+        debug_assert!(self.verts[i].pending > 0);
+        self.verts[i].pending -= 1;
+        self.verts[i].active += 1;
+    }
+
+    /// Mark a handler execution as finished (Rule 4(a)).
+    pub(crate) fn deactivate(&mut self, h: HandlerId) {
+        let i = self
+            .verts
+            .binary_search_by_key(&h, |v| v.handler)
+            .expect("active handler is a vertex");
+        debug_assert!(self.verts[i].active > 0);
+        self.verts[i].active -= 1;
+    }
+
+    /// Mark the closure body as returned; its direct-call privilege ends.
+    pub(crate) fn finish_root(&mut self) {
+        self.root_active = false;
+    }
+
+    /// Rule 4(b): find every protocol whose vertices are all inactive,
+    /// non-pending and unreachable from any active/pending vertex (or the
+    /// still-running closure body), remove those vertices, and return the
+    /// protocols so the caller can upgrade their local versions.
+    pub(crate) fn release_scan(&mut self) -> Vec<ProtocolId> {
+        let n = self.verts.len();
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, v) in self.verts.iter().enumerate() {
+            if !v.removed && (v.active > 0 || v.pending > 0) {
+                reachable[i] = true;
+                stack.push(i);
+            }
+        }
+        if self.root_active {
+            for &i in &self.root_succ {
+                if !self.verts[i].removed && !reachable[i] {
+                    reachable[i] = true;
+                    stack.push(i);
+                }
+            }
+        }
+        while let Some(i) = stack.pop() {
+            for &j in &self.verts[i].succ {
+                if !self.verts[j].removed && !reachable[j] {
+                    reachable[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        let mut released = Vec::new();
+        for &p in &self.protocols.clone() {
+            let vs: Vec<usize> = (0..n).filter(|&i| self.verts[i].protocol == p).collect();
+            let all_gone = vs.iter().all(|&i| {
+                let v = &self.verts[i];
+                v.removed || (!reachable[i] && v.active == 0 && v.pending == 0)
+            });
+            let any_live = vs.iter().any(|&i| !self.verts[i].removed);
+            if all_gone && any_live {
+                for &i in &vs {
+                    self.verts[i].removed = true;
+                }
+                released.push(p);
+            }
+        }
+        released
+    }
+
+    /// Protocols whose vertices have *not* been removed yet — these are the
+    /// ones Rule 3 must still upgrade at completion.
+    pub(crate) fn unreleased_protocols(&self) -> Vec<ProtocolId> {
+        self.protocols
+            .iter()
+            .copied()
+            .filter(|&p| {
+                self.verts
+                    .iter()
+                    .any(|v| v.protocol == p && !v.removed)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for RouteState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RouteState")
+            .field("vertices", &self.verts)
+            .field("root_active", &self.root_active)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u32) -> HandlerId {
+        HandlerId(i)
+    }
+    fn p(i: u32) -> ProtocolId {
+        ProtocolId(i)
+    }
+
+    /// A chain 0 -> 1 -> 2 with one protocol per handler.
+    fn chain() -> RouteState {
+        let pat = RoutePattern::new()
+            .root(h(0))
+            .edge(h(0), h(1))
+            .edge(h(1), h(2));
+        RouteState::new(&pat, |hid| p(hid.0))
+    }
+
+    #[test]
+    fn protocols_collected_in_order() {
+        let s = chain();
+        assert_eq!(s.protocols(), &[p(0), p(1), p(2)]);
+    }
+
+    #[test]
+    fn root_can_call_declared_root_only() {
+        let mut s = chain();
+        assert_eq!(s.admit(None, h(0), false), RouteCheck::Ok);
+        assert_eq!(s.admit(None, h(1), false), RouteCheck::NoRoute);
+        assert_eq!(s.admit(None, h(9), false), RouteCheck::NotInPattern);
+    }
+
+    #[test]
+    fn path_not_just_edge_is_accepted() {
+        let mut s = chain();
+        // 0 -> 2 has a path through 1 even though there is no direct edge.
+        assert_eq!(s.admit(Some(h(0)), h(2), false), RouteCheck::Ok);
+    }
+
+    #[test]
+    fn reverse_direction_rejected() {
+        let mut s = chain();
+        assert_eq!(s.admit(Some(h(2)), h(0), false), RouteCheck::NoRoute);
+    }
+
+    #[test]
+    fn self_call_needs_cycle() {
+        let mut s = chain();
+        assert_eq!(s.admit(Some(h(1)), h(1), false), RouteCheck::NoRoute);
+        let pat = RoutePattern::new().root(h(0)).edge(h(0), h(0));
+        let mut s2 = RouteState::new(&pat, |_| p(0));
+        assert_eq!(s2.admit(Some(h(0)), h(0), false), RouteCheck::Ok);
+    }
+
+    #[test]
+    fn release_scan_frees_tail_after_handler_moves_on() {
+        let mut s = chain();
+        // While root is active everything is reachable: nothing released.
+        assert!(s.release_scan().is_empty());
+        // Root calls h0; root body returns.
+        assert_eq!(s.admit(None, h(0), false), RouteCheck::Ok);
+        s.finish_root();
+        // h0 active: 1 and 2 reachable from it; nothing released.
+        assert!(s.release_scan().is_empty());
+        // h0 calls h1 (sync) and finishes itself afterwards.
+        assert_eq!(s.admit(Some(h(0)), h(1), false), RouteCheck::Ok);
+        s.deactivate(h(1)); // inner call returns first
+        s.deactivate(h(0));
+        // Now only protocol 0's vertex h0 is inactive and unreachable; h1/h2
+        // are unreachable too since nothing is active.
+        let mut released = s.release_scan();
+        released.sort();
+        assert_eq!(released, vec![p(0), p(1), p(2)]);
+        assert!(s.unreleased_protocols().is_empty());
+    }
+
+    #[test]
+    fn active_handler_retains_its_successors() {
+        let mut s = chain();
+        assert_eq!(s.admit(None, h(0), false), RouteCheck::Ok);
+        s.finish_root();
+        // h0 running: nothing can be released, including h0's own protocol.
+        assert!(s.release_scan().is_empty());
+        s.deactivate(h(0));
+        let released = s.release_scan();
+        assert_eq!(released.len(), 3);
+    }
+
+    #[test]
+    fn early_release_of_head_while_tail_runs() {
+        let mut s = chain();
+        assert_eq!(s.admit(None, h(0), false), RouteCheck::Ok);
+        s.finish_root();
+        assert_eq!(s.admit(Some(h(0)), h(1), false), RouteCheck::Ok);
+        s.deactivate(h(0)); // h0 done, h1 still running
+        let released = s.release_scan();
+        // h0 unreachable from active h1 (edges point forward): released.
+        assert_eq!(released, vec![p(0)]);
+        // h1's own protocol and h2 (reachable from h1) stay.
+        assert_eq!(s.unreleased_protocols(), vec![p(1), p(2)]);
+        // A later call back into h0 must now fail.
+        assert_eq!(s.admit(Some(h(1)), h(0), false), RouteCheck::NotInPattern);
+    }
+
+    #[test]
+    fn pending_async_blocks_release() {
+        let mut s = chain();
+        assert_eq!(s.admit(None, h(0), false), RouteCheck::Ok);
+        s.finish_root();
+        // h0 issues an async event to h2, then completes.
+        assert_eq!(s.admit(Some(h(0)), h(2), true), RouteCheck::Ok);
+        s.deactivate(h(0));
+        let released = s.release_scan();
+        // h2 pending: protocol 2 retained; 0 and 1 unreachable -> released.
+        let mut r = released;
+        r.sort();
+        assert_eq!(r, vec![p(0), p(1)]);
+        // Async event now executes.
+        s.activate_pending(h(2));
+        assert!(s.release_scan().is_empty());
+        s.deactivate(h(2));
+        assert_eq!(s.release_scan(), vec![p(2)]);
+    }
+
+    #[test]
+    fn cycle_prevents_release_until_all_inactive() {
+        // 0 <-> 1 cycle, one protocol each.
+        let pat = RoutePattern::new()
+            .root(h(0))
+            .edge(h(0), h(1))
+            .edge(h(1), h(0));
+        let mut s = RouteState::new(&pat, |hid| p(hid.0));
+        assert_eq!(s.admit(None, h(0), false), RouteCheck::Ok);
+        s.finish_root();
+        // h0 active keeps h1 reachable, and h1 keeps h0 reachable.
+        assert!(s.release_scan().is_empty());
+        s.deactivate(h(0));
+        let mut r = s.release_scan();
+        r.sort();
+        assert_eq!(r, vec![p(0), p(1)]);
+    }
+
+    #[test]
+    fn duplicate_edges_and_roots_deduplicated() {
+        let pat = RoutePattern::new()
+            .root(h(0))
+            .root(h(0))
+            .edge(h(0), h(1))
+            .edge(h(0), h(1));
+        let s = RouteState::new(&pat, |hid| p(hid.0));
+        assert_eq!(s.root_succ.len(), 1);
+        assert_eq!(s.verts[0].succ.len(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! # A guided tour of SAMOA
+//!
+//! This module contains no code — it is the narrative documentation for the
+//! framework, structured after the paper's own development (model →
+//! constructs → algorithms → pitfalls). Everything shown here compiles and
+//! runs as doctests.
+//!
+//! ## 1. The model: microprotocols, events, computations
+//!
+//! A protocol is a *stack*: microprotocols (handlers + private local state)
+//! bound to typed events. Handlers may only touch their own
+//! microprotocol's state; everything else flows through events.
+//!
+//! ```
+//! use samoa_core::prelude::*;
+//!
+//! let mut b = StackBuilder::new();
+//! let parser = b.protocol("Parser");
+//! let store = b.protocol("Store");
+//! let ingest = b.event("Ingest");
+//! let put = b.event("Put");
+//!
+//! let seen = ProtocolState::new(parser, 0u64);
+//! let words = ProtocolState::new(store, Vec::<usize>::new());
+//! {
+//!     let seen = seen.clone();
+//!     b.bind(ingest, parser, "parse", move |ctx, ev| {
+//!         let line: &String = ev.expect(ingest)?;
+//!         let n = line.split_whitespace().count();
+//!         seen.with(ctx, |s| *s += 1);       // own state: fine
+//!         ctx.trigger(put, EventData::new(n)) // other state: via events
+//!     });
+//! }
+//! {
+//!     let words = words.clone();
+//!     b.bind(put, store, "keep", move |ctx, ev| {
+//!         let n = *ev.expect::<usize>(put)?;
+//!         words.with(ctx, |w| w.push(n));
+//!         Ok(())
+//!     });
+//! }
+//! let rt = Runtime::new(b.build());
+//! # rt.isolated(&[parser, store], |ctx| ctx.trigger(ingest, EventData::new("a b".to_string()))).unwrap();
+//! # assert_eq!(words.snapshot(), vec![2]);
+//! ```
+//!
+//! An **external event** (a datagram arrival, an application request, a
+//! timeout) spawns a **computation**: the event plus everything it causally
+//! triggers. Computations are where concurrency happens — and where the
+//! framework steps in.
+//!
+//! ## 2. Declarative isolation
+//!
+//! Instead of taking locks, you declare what the computation may touch:
+//!
+//! ```
+//! # use samoa_core::prelude::*;
+//! # let mut b = StackBuilder::new();
+//! # let parser = b.protocol("Parser");
+//! # let store = b.protocol("Store");
+//! # let ingest = b.event("Ingest");
+//! # b.bind(ingest, parser, "parse", |_, _| Ok(()));
+//! # let rt = Runtime::new(b.build());
+//! rt.isolated(&[parser, store], |ctx| {
+//!     ctx.trigger(ingest, EventData::new("hello".to_string()))
+//! })?;
+//! # samoa_core::Result::Ok(())
+//! ```
+//!
+//! The runtime guarantees the **isolation property**: the concurrent
+//! execution of all computations is equivalent to *some serial execution*
+//! of them. Calling an undeclared microprotocol is an error
+//! ([`SamoaError::UndeclaredProtocol`]), not a race.
+//!
+//! Three algorithm variants trade declaration effort for parallelism:
+//!
+//! | call | you declare | released |
+//! |---|---|---|
+//! | [`Runtime::isolated`] | the set `M` | at completion |
+//! | [`Runtime::isolated_bound`] | `M` + visit bounds | when a bound is exhausted |
+//! | [`Runtime::isolated_route`] | a handler-call graph | when unreachable from active handlers |
+//!
+//! Use `isolated` by default. Reach for `bound`/`route` when profiling
+//! shows computations queueing behind microprotocols their predecessors
+//! have finished with — classically, pipelines with asynchronous hand-off
+//! (see `examples/pipeline.rs`: bound/route pipeline computations for a
+//! ~stages× speedup at identical isolation).
+//!
+//! ## 3. Verifying isolation
+//!
+//! Turn on history recording and the runtime will *prove or refute* serial
+//! equivalence after the fact:
+//!
+//! ```
+//! # use samoa_core::prelude::*;
+//! # let mut b = StackBuilder::new();
+//! # let p = b.protocol("P");
+//! # let e = b.event("E");
+//! # let s = ProtocolState::new(p, 0u64);
+//! # { let s = s.clone(); b.bind(e, p, "h", move |ctx, _| { s.with(ctx, |v| *v += 1); Ok(()) }); }
+//! let rt = Runtime::with_config(b.build(), RuntimeConfig::recording());
+//! # rt.isolated(&[p], |ctx| ctx.trigger(e, EventData::empty())).unwrap();
+//! match rt.check_isolation() {
+//!     Ok(order) => println!("equivalent serial order: {order:?}"),
+//!     Err(violation) => panic!("{violation}"), // names the precedence cycle
+//! }
+//! ```
+//!
+//! [`Runtime::stats`] additionally reports the summed admission-wait time —
+//! the direct, measurable cost of isolation.
+//!
+//! ## 4. Extensions beyond the paper's core
+//!
+//! * **Read-only handlers** ([`StackBuilder::bind_read_only`]) and
+//!   read-mode declarations ([`Runtime::isolated_rw`] with
+//!   [`AccessMode::Read`]): readers of the same epoch share a
+//!   microprotocol; writers serialise against them. The paper's §7
+//!   "several levels of isolation", implemented.
+//! * **Optimistic rollback** ([`crate::optimistic`]): the paper's second
+//!   algorithm family. Different contract — bodies are `Fn` (re-runnable,
+//!   state-only); use it for read-heavy shared caches, never for protocol
+//!   code with network effects.
+//!
+//! ## 5. Pitfalls
+//!
+//! * **Don't trigger while holding state.** Keep
+//!   [`ProtocolState::with`] closures short; compute what to send, end the
+//!   closure, then trigger. (Re-entrant `with` on the same protocol from
+//!   the same thread panics on the inner borrow.)
+//! * **Don't call a blocking `isolated` from inside a handler** with an
+//!   overlapping declaration — the inner computation waits for the outer's
+//!   versions while the outer waits for the call to return. Use
+//!   [`Runtime::spawn`]: causally dependent external events are *detached*
+//!   computations that serialise after their cause.
+//! * **Isolation is inter-computation.** Threads of one computation
+//!   ([`Ctx::spawn`], async triggers with `max_threads_per_computation > 1`)
+//!   synchronise only through per-microprotocol state atomicity; order them
+//!   yourself if their order matters. Setting
+//!   [`RuntimeConfig::max_threads_per_computation`] to 1 keeps a
+//!   computation's asynchronous events FIFO.
+//! * **Declarations are commitments.** Under-declare and you get a runtime
+//!   error; over-declare and you serialise more than necessary (experiment
+//!   E8 in EXPERIMENTS.md quantifies the cost). Declare what the event's
+//!   cascade can actually reach.
+//!
+//! [`SamoaError::UndeclaredProtocol`]: crate::error::SamoaError::UndeclaredProtocol
+//! [`Runtime::isolated`]: crate::runtime::Runtime::isolated
+//! [`Runtime::isolated_bound`]: crate::runtime::Runtime::isolated_bound
+//! [`Runtime::isolated_route`]: crate::runtime::Runtime::isolated_route
+//! [`Runtime::isolated_rw`]: crate::runtime::Runtime::isolated_rw
+//! [`Runtime::spawn`]: crate::runtime::Runtime::spawn
+//! [`Runtime::stats`]: crate::runtime::Runtime::stats
+//! [`RuntimeConfig::max_threads_per_computation`]: crate::runtime::RuntimeConfig::max_threads_per_computation
+//! [`StackBuilder::bind_read_only`]: crate::stack::StackBuilder::bind_read_only
+//! [`ProtocolState::with`]: crate::protocol::ProtocolState::with
+//! [`Ctx::spawn`]: crate::ctx::Ctx::spawn
+//! [`AccessMode::Read`]: crate::policy::AccessMode::Read

@@ -1,0 +1,99 @@
+//! # samoa-core — the SAMOA microprotocol framework
+//!
+//! A Rust reproduction of *“SAMOA: Framework for Synchronisation Augmented
+//! Microprotocol Approach”* (Wojciechowski, Rütti, Schiper; IPDPS 2004).
+//!
+//! Protocols are compositions of **microprotocols** — groups of event
+//! handlers sharing local state — communicating through typed **events**.
+//! External events spawn **computations**; the runtime's versioning
+//! concurrency control guarantees the **isolation property**: the concurrent
+//! execution of computations is equivalent to some serial execution of them,
+//! without any programmer-written locks.
+//!
+//! ```
+//! use samoa_core::prelude::*;
+//!
+//! // Build a stack: one microprotocol with one handler.
+//! let mut b = StackBuilder::new();
+//! let logger = b.protocol("Logger");
+//! let log_ev = b.event("Log");
+//! let lines = ProtocolState::new(logger, Vec::<String>::new());
+//! {
+//!     let lines = lines.clone();
+//!     b.bind(log_ev, logger, "log", move |ctx, ev| {
+//!         let msg: &String = ev.expect(log_ev)?;
+//!         lines.with(ctx, |l| l.push(msg.clone()));
+//!         Ok(())
+//!     });
+//! }
+//! let rt = Runtime::new(b.build());
+//!
+//! // Each external event runs isolated, declaring what it may touch.
+//! rt.isolated(&[logger], |ctx| ctx.trigger(log_ev, "hello".to_string()))
+//!     .unwrap();
+//! assert_eq!(lines.snapshot(), vec!["hello".to_string()]);
+//! ```
+//!
+//! The three algorithms of the paper are selected per computation:
+//! [`Runtime::isolated`] (VCAbasic), [`Runtime::isolated_bound`] (VCAbound),
+//! and [`Runtime::isolated_route`] (VCAroute); [`Runtime::serial`] and
+//! [`Runtime::unsync`] provide the Appia-style and Cactus-style baselines
+//! the paper compares against, and [`Runtime::two_phase`] a classical
+//! two-phase-locking comparator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod computation;
+pub mod ctx;
+pub mod error;
+pub mod event;
+pub mod graph;
+pub mod guide;
+pub mod handler;
+pub mod history;
+pub mod optimistic;
+pub mod policy;
+pub mod protocol;
+pub mod runtime;
+pub mod stack;
+pub mod version;
+
+pub use ctx::Ctx;
+pub use error::{CompId, Result, SamoaError};
+pub use event::{EventData, EventType};
+pub use graph::RoutePattern;
+pub use handler::HandlerId;
+pub use history::{check_serializable, Access, History, IsolationViolation, RunEntry};
+pub use policy::{AccessMode, Policy};
+pub use protocol::{ProtocolId, ProtocolState};
+pub use runtime::{CompHandle, Decl, Runtime, RuntimeConfig, RuntimeStats};
+pub use stack::{Stack, StackBuilder};
+
+/// Everything most programs need.
+pub mod prelude {
+    pub use crate::ctx::Ctx;
+    pub use crate::error::{Result, SamoaError};
+    pub use crate::event::{EventData, EventType};
+    pub use crate::graph::RoutePattern;
+    pub use crate::handler::HandlerId;
+    pub use crate::policy::{AccessMode, Policy};
+    pub use crate::protocol::{ProtocolId, ProtocolState};
+    pub use crate::runtime::{CompHandle, Decl, Runtime, RuntimeConfig, RuntimeStats};
+    pub use crate::stack::{Stack, StackBuilder};
+}
+
+/// Construct a raw [`HandlerId`] — for doctests and examples that build
+/// routing patterns without a stack. Real code gets handler ids from
+/// [`StackBuilder::bind`].
+#[doc(hidden)]
+pub fn handler_id_for_tests(i: u32) -> HandlerId {
+    HandlerId(i)
+}
+
+/// Construct a raw [`ProtocolId`] — for tests that exercise the
+/// serializability checker without building a stack.
+#[doc(hidden)]
+pub fn protocol_id_for_tests(i: u32) -> ProtocolId {
+    ProtocolId(i)
+}

@@ -1,0 +1,268 @@
+//! Concurrency-control policies and per-computation specifications.
+//!
+//! The paper's three versioning algorithms (`VCAbasic`, `VCAbound`,
+//! `VCAroute`, §5) plus the comparators used by the evaluation:
+//!
+//! * [`Policy::Serial`] — Appia-style: each computation declares *all*
+//!   microprotocols, so computations execute one after another.
+//! * [`Policy::Unsync`] — Cactus-style with no programmer-supplied locks:
+//!   no admission control at all; used to demonstrate isolation violations.
+//! * [`Policy::TwoPhase`] — conservative two-phase locking over the declared
+//!   set, the classical algorithm the paper's Related Work compares against.
+//!
+//! All versioning computations share one `(gv, lv)` counter machinery and
+//! can safely run concurrently with each other (a `VCAbasic` computation is
+//! a `VCAbound` computation with every bound = 1 that releases only at
+//! completion); `TwoPhase` uses a separate lock table and must not be mixed
+//! with versioning computations on overlapping microprotocols.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::graph::RouteState;
+use crate::protocol::ProtocolId;
+
+/// The concurrency-control algorithm a computation (or a whole experiment)
+/// runs under. Mainly a label for benches and tables; the runtime picks the
+/// algorithm per `isolated*` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Appia baseline: fully serial computations.
+    Serial,
+    /// Cactus-without-locks baseline: no isolation at all.
+    Unsync,
+    /// The basic version-counting algorithm (paper §5.1).
+    VcaBasic,
+    /// Version counting with least upper bounds (paper §5.2).
+    VcaBound,
+    /// Version counting with a routing pattern (paper §5.3).
+    VcaRoute,
+    /// Conservative two-phase locking comparator.
+    TwoPhase,
+}
+
+impl Policy {
+    /// All policies, in the order the experiment tables print them.
+    pub const ALL: [Policy; 6] = [
+        Policy::Unsync,
+        Policy::Serial,
+        Policy::TwoPhase,
+        Policy::VcaBasic,
+        Policy::VcaBound,
+        Policy::VcaRoute,
+    ];
+
+    /// Does this policy guarantee the isolation property?
+    pub fn isolating(self) -> bool {
+        !matches!(self, Policy::Unsync)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Policy::Serial => "serial",
+            Policy::Unsync => "unsync",
+            Policy::VcaBasic => "vca-basic",
+            Policy::VcaBound => "vca-bound",
+            Policy::VcaRoute => "vca-route",
+            Policy::TwoPhase => "two-phase",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which admission/completion rules a spawned computation follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CompMode {
+    Unsync,
+    Basic,
+    Bound,
+    Route,
+    Locked,
+}
+
+/// How a computation may access a declared microprotocol (paper §7 future
+/// work: "different types of handlers (read-only, read-and-write) and
+/// several levels of isolation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessMode {
+    /// Full access: the computation serialises with every other computation
+    /// on this microprotocol (the paper's original semantics).
+    #[default]
+    Write,
+    /// Read-only access: the computation may only call this microprotocol's
+    /// read-only handlers; read-only computations of the same epoch share
+    /// the microprotocol, serialising only against writers.
+    Read,
+}
+
+/// Private version bookkeeping for one declared microprotocol (`pv[p]_k`,
+/// `bound[p]_k`, and the number of visits consumed so far).
+#[derive(Debug)]
+pub(crate) struct PvEntry {
+    pub(crate) pid: ProtocolId,
+    /// The private version this computation obtained in Rule 1 (for readers:
+    /// the snapshot epoch — `gv_p` at spawn, without incrementing).
+    pub(crate) pv: u64,
+    /// Declared least upper bound on visits (1 for basic/route).
+    pub(crate) bound: u64,
+    /// Visits consumed; admission reserves before calling so that concurrent
+    /// threads of the same computation cannot overrun the bound.
+    pub(crate) used: AtomicU64,
+    /// Declared access mode.
+    pub(crate) mode: AccessMode,
+}
+
+/// The resolved specification of a computation: its mode plus the version
+/// snapshot produced by Rule 1 (and the routing state for `VCAroute`).
+pub(crate) struct CompSpec {
+    pub(crate) mode: CompMode,
+    /// Sorted by `pid` for binary search. Empty for `Unsync`.
+    pub(crate) entries: Vec<PvEntry>,
+    pub(crate) route: Option<Mutex<RouteState>>,
+}
+
+impl CompSpec {
+    pub(crate) fn entry(&self, pid: ProtocolId) -> Option<&PvEntry> {
+        self.entries
+            .binary_search_by_key(&pid, |e| e.pid)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+}
+
+impl fmt::Debug for CompSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompSpec")
+            .field("mode", &self.mode)
+            .field("entries", &self.entries)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One slot of the two-phase-locking lock table: a plain blocking binary
+/// lock whose guard can be released from a different thread than the one
+/// that acquired it (a computation's completion may run on any of its
+/// worker threads).
+#[derive(Debug, Default)]
+pub(crate) struct LockCell {
+    held: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockCell {
+    pub(crate) fn new() -> Self {
+        LockCell::default()
+    }
+
+    pub(crate) fn acquire(&self) {
+        let mut held = self.held.lock();
+        while *held {
+            self.cv.wait(&mut held);
+        }
+        *held = true;
+    }
+
+    pub(crate) fn release(&self) {
+        let mut held = self.held.lock();
+        debug_assert!(*held, "releasing a lock that is not held");
+        *held = false;
+        self.cv.notify_one();
+    }
+}
+
+/// Remaining-budget view used by tests and diagnostics.
+impl PvEntry {
+    pub(crate) fn reserve(&self) -> bool {
+        // fetch_add returns the previous value; previous < bound means this
+        // reservation is within budget.
+        self.used.fetch_add(1, Ordering::AcqRel) < self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn policy_display_names() {
+        assert_eq!(Policy::VcaBasic.to_string(), "vca-basic");
+        assert_eq!(Policy::Serial.to_string(), "serial");
+        assert!(Policy::Serial.isolating());
+        assert!(!Policy::Unsync.isolating());
+        assert_eq!(Policy::ALL.len(), 6);
+    }
+
+    #[test]
+    fn pv_entry_reserve_respects_bound() {
+        let e = PvEntry {
+            pid: ProtocolId(0),
+            pv: 3,
+            bound: 2,
+            used: AtomicU64::new(0),
+            mode: AccessMode::Write,
+        };
+        assert!(e.reserve());
+        assert!(e.reserve());
+        assert!(!e.reserve());
+        assert!(!e.reserve());
+    }
+
+    #[test]
+    fn lock_cell_mutual_exclusion() {
+        let cell = Arc::new(LockCell::new());
+        cell.acquire();
+        let c2 = Arc::clone(&cell);
+        let t = std::thread::spawn(move || {
+            c2.acquire();
+            c2.release();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!t.is_finished(), "second acquire should block");
+        cell.release();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn lock_cell_cross_thread_release() {
+        let cell = Arc::new(LockCell::new());
+        cell.acquire();
+        let c2 = Arc::clone(&cell);
+        // Release from another thread, as completion may do.
+        std::thread::spawn(move || c2.release()).join().unwrap();
+        cell.acquire();
+        cell.release();
+    }
+
+    #[test]
+    fn comp_spec_entry_lookup() {
+        let spec = CompSpec {
+            mode: CompMode::Basic,
+            entries: vec![
+                PvEntry {
+                    pid: ProtocolId(1),
+                    pv: 1,
+                    bound: 1,
+                    used: AtomicU64::new(0),
+                    mode: AccessMode::Write,
+                },
+                PvEntry {
+                    pid: ProtocolId(4),
+                    pv: 2,
+                    bound: 1,
+                    used: AtomicU64::new(0),
+                    mode: AccessMode::Write,
+                },
+            ],
+            route: None,
+        };
+        assert_eq!(spec.entry(ProtocolId(4)).unwrap().pv, 2);
+        assert!(spec.entry(ProtocolId(2)).is_none());
+    }
+}

@@ -1,0 +1,681 @@
+//! The SAMOA runtime: spawning computations and enforcing isolation.
+//!
+//! [`Runtime`] owns the immutable [`Stack`], the per-microprotocol version
+//! cells (`lv_p`), the global version counters (`gv_p`, under one spawn lock
+//! so Rule 1 is atomic), the 2PL lock table for the comparator policy, and
+//! the optional history recorder.
+//!
+//! A computation is started either *blocking* ([`Runtime::run`] and the
+//! `isolated*` conveniences — the calling thread becomes the computation's
+//! root worker and the call returns after the computation has completed) or
+//! *detached* ([`Runtime::spawn`] — Rule 1 still executes synchronously in
+//! the caller, so spawn order determines version order, then a new root
+//! thread takes over and the caller gets a [`CompHandle`]).
+//!
+//! Never call a blocking `isolated*` from *inside* a handler when the new
+//! declaration overlaps the running computation's: the inner computation
+//! would wait for the outer's versions while the outer waits for the inner
+//! to finish. Use [`Runtime::spawn`] for causally dependent external events
+//! (the paper's computations *caused by* a computation, §2).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::computation::{panic_message, ComputationInner, ExecState, PostAction};
+use crate::ctx::Ctx;
+use crate::error::{CompId, Result, SamoaError};
+use crate::graph::{RoutePattern, RouteState};
+use crate::handler::HandlerId;
+use crate::history::{History, HistoryRecorder, IsolationViolation};
+use crate::policy::{AccessMode, CompMode, CompSpec, LockCell, PvEntry};
+use crate::protocol::ProtocolId;
+use crate::stack::Stack;
+use crate::version::VersionCell;
+
+/// Tunables of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Record runs and state accesses for the isolation checker
+    /// ([`Runtime::history`]). Off by default; recording adds a global
+    /// mutex acquisition per handler call and state access.
+    pub record_history: bool,
+    /// Upper limit on worker threads per computation (≥ 1). The root worker
+    /// always exists; extra workers are spawned on demand for asynchronous
+    /// events and `Ctx::spawn` closures.
+    pub max_threads_per_computation: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            record_history: false,
+            max_threads_per_computation: 4,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A config with history recording enabled — what the isolation tests
+    /// and experiment tables use.
+    pub fn recording() -> Self {
+        RuntimeConfig {
+            record_history: true,
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
+/// Declaration of a computation: which concurrency-control algorithm it runs
+/// under and what it declares a priori (paper §4).
+///
+/// A uniform entry point for benches; protocol code usually calls the typed
+/// conveniences ([`Runtime::isolated`], [`Runtime::isolated_bound`], …).
+#[derive(Debug, Clone)]
+pub enum Decl<'a> {
+    /// `isolated M e` — VCAbasic over the microprotocols in `M`.
+    Basic(&'a [ProtocolId]),
+    /// `isolated M e` with per-microprotocol access modes (paper §7 future
+    /// work: read-only declarations let readers share a microprotocol).
+    ReadWrite(&'a [(ProtocolId, AccessMode)]),
+    /// `isolated bound M e` — VCAbound with per-microprotocol visit bounds.
+    Bound(&'a [(ProtocolId, u64)]),
+    /// `isolated route M e` — VCAroute over a declared routing pattern.
+    Route(&'a RoutePattern),
+    /// Appia-style baseline: `M` = every microprotocol in the stack.
+    Serial,
+    /// Cactus-without-locks baseline: no admission control.
+    Unsync,
+    /// Conservative two-phase locking over `M` (comparator; do not mix with
+    /// versioning computations on overlapping microprotocols).
+    TwoPhase(&'a [ProtocolId]),
+}
+
+/// Point-in-time runtime counters (see [`Runtime::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Computations spawned so far.
+    pub computations_spawned: u64,
+    /// Computations fully completed (Rule 3 done).
+    pub computations_completed: u64,
+    /// Handler calls executed.
+    pub handler_calls: u64,
+    /// Total time computations spent blocked in admission (Rule 2 waits
+    /// plus 2PL lock acquisition) — the direct cost of isolation. Summed
+    /// across threads, so it can exceed wall-clock time.
+    pub admission_wait: std::time::Duration,
+}
+
+#[derive(Default)]
+pub(crate) struct StatCounters {
+    spawned: AtomicU64,
+    completed: AtomicU64,
+    handler_calls: AtomicU64,
+    admission_wait_ns: AtomicU64,
+}
+
+impl StatCounters {
+    pub(crate) fn note_handler_call(&self) {
+        self.handler_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_admission_wait(&self, d: std::time::Duration) {
+        self.admission_wait_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+pub(crate) struct RuntimeInner {
+    pub(crate) stack: Stack,
+    pub(crate) versions: Vec<VersionCell>,
+    pub(crate) locks: Vec<LockCell>,
+    pub(crate) history: HistoryRecorder,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) stats: StatCounters,
+    /// Global version counters, Rule 1's atomicity domain.
+    gv: Mutex<Vec<u64>>,
+    comp_seq: AtomicU64,
+    active: Mutex<usize>,
+    active_cv: Condvar,
+}
+
+impl RuntimeInner {
+    pub(crate) fn computation_finished(&self) {
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        let mut a = self.active.lock();
+        *a -= 1;
+        if *a == 0 {
+            self.active_cv.notify_all();
+        }
+    }
+}
+
+/// The entry point of the framework. Cheap to clone (`Arc` inside).
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl Runtime {
+    /// Create a runtime over a finished stack with default configuration.
+    pub fn new(stack: Stack) -> Self {
+        Runtime::with_config(stack, RuntimeConfig::default())
+    }
+
+    /// Create a runtime with explicit configuration.
+    pub fn with_config(stack: Stack, config: RuntimeConfig) -> Self {
+        let n = stack.protocol_count();
+        Runtime {
+            inner: Arc::new(RuntimeInner {
+                versions: (0..n).map(|_| VersionCell::new()).collect(),
+                locks: (0..n).map(|_| LockCell::new()).collect(),
+                history: HistoryRecorder::new(config.record_history),
+                stats: StatCounters::default(),
+                gv: Mutex::new(vec![0; n]),
+                comp_seq: AtomicU64::new(0),
+                active: Mutex::new(0),
+                active_cv: Condvar::new(),
+                stack,
+                config,
+            }),
+        }
+    }
+
+    /// The stack this runtime executes.
+    pub fn stack(&self) -> &Stack {
+        &self.inner.stack
+    }
+
+    /// Current local version of a microprotocol (diagnostics/tests).
+    pub fn local_version(&self, p: ProtocolId) -> u64 {
+        self.inner.versions[p.index()].get()
+    }
+
+    /// Active reader holds on a microprotocol (diagnostics/tests).
+    pub fn reader_holds(&self, p: ProtocolId) -> usize {
+        self.inner.versions[p.index()].reader_holds()
+    }
+
+    /// A human-readable snapshot of the runtime's version state — one line
+    /// per microprotocol with its global version (`gv`), local version
+    /// (`lv`) and reader holds, plus the number of active computations.
+    /// For debugging stuck stacks: a protocol with `lv < gv` is held by
+    /// `gv - lv` not-yet-released computations.
+    pub fn debug_snapshot(&self) -> String {
+        let gv = self.inner.gv.lock().clone();
+        let active = *self.inner.active.lock();
+        let mut out = format!("active computations: {active}\n");
+        for (i, name) in (0..self.inner.stack.protocol_count())
+            .map(|i| (i, self.inner.stack.protocol_name(ProtocolId(i as u32))))
+        {
+            let lv = self.inner.versions[i].get();
+            let holds = self.inner.versions[i].reader_holds();
+            out.push_str(&format!(
+                "  {name:<16} gv={:<6} lv={:<6} pending={:<4} readers={holds}\n",
+                gv[i],
+                lv,
+                gv[i].saturating_sub(lv),
+            ));
+        }
+        out
+    }
+
+    // ---- Rule 1: spawning ----
+
+    fn spawn_comp(&self, decl: &Decl<'_>) -> Arc<ComputationInner> {
+        let id = self.inner.comp_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inner.stats.spawned.fetch_add(1, Ordering::Relaxed);
+        let spec = self.make_spec(decl);
+        if spec.mode == CompMode::Locked {
+            // Conservative 2PL growing phase: all locks before the
+            // computation starts, in canonical order (deadlock-free).
+            let t0 = std::time::Instant::now();
+            for e in &spec.entries {
+                self.inner.locks[e.pid.index()].acquire();
+            }
+            self.inner.stats.note_admission_wait(t0.elapsed());
+        }
+        *self.inner.active.lock() += 1;
+        ComputationInner::new(id, Arc::clone(&self.inner), spec)
+    }
+
+    fn make_spec(&self, decl: &Decl<'_>) -> CompSpec {
+        let all;
+        let w = AccessMode::Write;
+        let (mode, pairs): (CompMode, Vec<(ProtocolId, u64, AccessMode)>) = match decl {
+            Decl::Unsync => (CompMode::Unsync, Vec::new()),
+            Decl::Basic(pids) => (CompMode::Basic, dedup_max(pids.iter().map(|&p| (p, 1, w)))),
+            Decl::ReadWrite(entries) => (
+                CompMode::Basic,
+                dedup_max(entries.iter().map(|&(p, m)| (p, 1, m))),
+            ),
+            Decl::Serial => {
+                all = self.inner.stack.all_protocols();
+                (CompMode::Basic, dedup_max(all.iter().map(|&p| (p, 1, w))))
+            }
+            Decl::Bound(entries) => (
+                CompMode::Bound,
+                dedup_max(entries.iter().map(|&(p, b)| (p, b, w))),
+            ),
+            Decl::TwoPhase(pids) => {
+                (CompMode::Locked, dedup_max(pids.iter().map(|&p| (p, 0, w))))
+            }
+            Decl::Route(pattern) => {
+                let rs = RouteState::new(pattern, |h| self.inner.stack.handler_protocol(h));
+                let pairs = dedup_max(rs.protocols().iter().map(|&p| (p, 1, w)));
+                let entries = self.allocate_versions(CompMode::Route, &pairs);
+                return CompSpec {
+                    mode: CompMode::Route,
+                    entries,
+                    route: Some(Mutex::new(rs)),
+                };
+            }
+        };
+        let entries = self.allocate_versions(mode, &pairs);
+        CompSpec {
+            mode,
+            entries,
+            route: None,
+        }
+    }
+
+    /// Rule 1: atomically bump `gv_p` for each declared microprotocol and
+    /// snapshot the private versions. Read-mode declarations snapshot the
+    /// epoch *without* bumping and register a reader hold — still inside the
+    /// spawn lock, so any writer spawned later is guaranteed to observe the
+    /// hold before its own admission check.
+    fn allocate_versions(
+        &self,
+        mode: CompMode,
+        pairs: &[(ProtocolId, u64, AccessMode)],
+    ) -> Vec<PvEntry> {
+        let mut gv = self.inner.gv.lock();
+        pairs
+            .iter()
+            .map(|&(pid, bound, access)| {
+                assert!(
+                    pid.index() < gv.len(),
+                    "declared unknown protocol {pid:?}"
+                );
+                let increment = if mode == CompMode::Locked || access == AccessMode::Read {
+                    0
+                } else {
+                    bound
+                };
+                gv[pid.index()] += increment;
+                let pv = gv[pid.index()];
+                if access == AccessMode::Read && mode != CompMode::Locked {
+                    self.inner.versions[pid.index()].register_reader(pv);
+                }
+                PvEntry {
+                    pid,
+                    pv,
+                    bound,
+                    used: AtomicU64::new(0),
+                    mode: access,
+                }
+            })
+            .collect()
+    }
+
+    // ---- running computations ----
+
+    /// Run a computation *blocking*: the calling thread executes the closure
+    /// body, helps drain the computation's asynchronous work, runs Rule 3,
+    /// and returns the closure's value once the computation has completed.
+    pub fn run<R>(&self, decl: Decl<'_>, f: impl FnOnce(&Ctx) -> Result<R>) -> Result<R> {
+        let comp = self.spawn_comp(&decl);
+        let mut out: Option<R> = None;
+        root_execute(&comp, |ctx| f(ctx).map(|r| out = Some(r)));
+        comp.worker_loop();
+        comp.worker_exit();
+        comp.wait_done();
+        match comp.take_error() {
+            Some(e) => Err(e),
+            None => Ok(out.expect("closure returned Ok")),
+        }
+    }
+
+    /// Start a computation *detached* and return a handle. Rule 1 executes
+    /// synchronously here, so the caller's spawn order fixes the version
+    /// (i.e. serialisation) order; the body runs on a new root thread.
+    pub fn spawn(
+        &self,
+        decl: Decl<'_>,
+        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
+    ) -> CompHandle {
+        let comp = self.spawn_comp(&decl);
+        let c2 = Arc::clone(&comp);
+        std::thread::spawn(move || {
+            root_execute(&c2, f);
+            c2.worker_loop();
+            c2.worker_exit();
+        });
+        CompHandle { comp }
+    }
+
+    // ---- typed conveniences, matching the paper's constructs ----
+
+    /// `isolated M e` (VCAbasic, §5.1), blocking.
+    pub fn isolated<R>(
+        &self,
+        m: &[ProtocolId],
+        f: impl FnOnce(&Ctx) -> Result<R>,
+    ) -> Result<R> {
+        self.run(Decl::Basic(m), f)
+    }
+
+    /// `isolated M e` with per-microprotocol access modes, blocking:
+    /// read-only declarations let this computation share those
+    /// microprotocols with other readers of the same epoch (paper §7
+    /// "several levels of isolation", implemented).
+    pub fn isolated_rw<R>(
+        &self,
+        m: &[(ProtocolId, AccessMode)],
+        f: impl FnOnce(&Ctx) -> Result<R>,
+    ) -> Result<R> {
+        self.run(Decl::ReadWrite(m), f)
+    }
+
+    /// `isolated bound M e` (VCAbound, §5.2), blocking: each microprotocol
+    /// is declared with a least upper bound on visits, and is released to
+    /// successors as soon as its budget is exhausted.
+    ///
+    /// ```
+    /// # use samoa_core::prelude::*;
+    /// let mut b = StackBuilder::new();
+    /// let p = b.protocol("P");
+    /// let e = b.event("E");
+    /// b.bind(e, p, "h", |_, _| Ok(()));
+    /// let rt = Runtime::new(b.build());
+    /// // Two visits declared, two performed: fine.
+    /// rt.isolated_bound(&[(p, 2)], |ctx| {
+    ///     ctx.trigger(e, EventData::empty())?;
+    ///     ctx.trigger(e, EventData::empty())
+    /// })
+    /// .unwrap();
+    /// // A third visit would be a BoundExhausted error:
+    /// let err = rt
+    ///     .isolated_bound(&[(p, 1)], |ctx| {
+    ///         ctx.trigger(e, EventData::empty())?;
+    ///         ctx.trigger(e, EventData::empty())
+    ///     })
+    ///     .unwrap_err();
+    /// assert!(matches!(err, SamoaError::BoundExhausted { .. }));
+    /// ```
+    pub fn isolated_bound<R>(
+        &self,
+        m: &[(ProtocolId, u64)],
+        f: impl FnOnce(&Ctx) -> Result<R>,
+    ) -> Result<R> {
+        self.run(Decl::Bound(m), f)
+    }
+
+    /// `isolated route M e` (VCAroute, §5.3), blocking: the declaration is a
+    /// routing pattern — which handlers the closure body may call (roots)
+    /// and which handler may call which (edges). A microprotocol is
+    /// released as soon as none of its handlers is active or reachable from
+    /// an active handler.
+    ///
+    /// ```
+    /// # use samoa_core::prelude::*;
+    /// let mut b = StackBuilder::new();
+    /// let p = b.protocol("P");
+    /// let q = b.protocol("Q");
+    /// let e1 = b.event("E1");
+    /// let e2 = b.event("E2");
+    /// let h2 = b.bind(e2, q, "h2", |_, _| Ok(()));
+    /// let h1 = b.bind(e1, p, "h1", move |ctx, _| ctx.trigger(e2, EventData::empty()));
+    /// let rt = Runtime::new(b.build());
+    /// let pattern = RoutePattern::new().root(h1).edge(h1, h2);
+    /// rt.isolated_route(&pattern, |ctx| ctx.trigger(e1, EventData::empty()))
+    ///     .unwrap();
+    /// ```
+    pub fn isolated_route<R>(
+        &self,
+        pattern: &RoutePattern,
+        f: impl FnOnce(&Ctx) -> Result<R>,
+    ) -> Result<R> {
+        self.run(Decl::Route(pattern), f)
+    }
+
+    /// Appia-style serial computation (declares every microprotocol).
+    pub fn serial<R>(&self, f: impl FnOnce(&Ctx) -> Result<R>) -> Result<R> {
+        self.run(Decl::Serial, f)
+    }
+
+    /// Cactus-style unsynchronised computation (no isolation!).
+    pub fn unsync<R>(&self, f: impl FnOnce(&Ctx) -> Result<R>) -> Result<R> {
+        self.run(Decl::Unsync, f)
+    }
+
+    /// Conservative two-phase-locking computation (comparator).
+    pub fn two_phase<R>(
+        &self,
+        m: &[ProtocolId],
+        f: impl FnOnce(&Ctx) -> Result<R>,
+    ) -> Result<R> {
+        self.run(Decl::TwoPhase(m), f)
+    }
+
+    /// Detached `isolated M e`.
+    pub fn spawn_isolated(
+        &self,
+        m: &[ProtocolId],
+        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
+    ) -> CompHandle {
+        self.spawn(Decl::Basic(m), f)
+    }
+
+    /// Detached `isolated M e` with access modes.
+    pub fn spawn_isolated_rw(
+        &self,
+        m: &[(ProtocolId, AccessMode)],
+        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
+    ) -> CompHandle {
+        self.spawn(Decl::ReadWrite(m), f)
+    }
+
+    /// Detached `isolated bound M e`.
+    pub fn spawn_isolated_bound(
+        &self,
+        m: &[(ProtocolId, u64)],
+        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
+    ) -> CompHandle {
+        self.spawn(Decl::Bound(m), f)
+    }
+
+    /// Detached `isolated route M e`.
+    pub fn spawn_isolated_route(
+        &self,
+        pattern: &RoutePattern,
+        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
+    ) -> CompHandle {
+        self.spawn(Decl::Route(pattern), f)
+    }
+
+    /// Detached serial computation.
+    pub fn spawn_serial(
+        &self,
+        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
+    ) -> CompHandle {
+        self.spawn(Decl::Serial, f)
+    }
+
+    /// Detached unsynchronised computation.
+    pub fn spawn_unsync(
+        &self,
+        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
+    ) -> CompHandle {
+        self.spawn(Decl::Unsync, f)
+    }
+
+    /// Detached two-phase-locking computation.
+    ///
+    /// Note: the 2PL growing phase runs in the *caller*, so this blocks
+    /// until all declared locks are acquired.
+    pub fn spawn_two_phase(
+        &self,
+        m: &[ProtocolId],
+        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
+    ) -> CompHandle {
+        self.spawn(Decl::TwoPhase(m), f)
+    }
+
+    // ---- observation ----
+
+    /// Block until every computation spawned so far has completed.
+    pub fn quiesce(&self) {
+        let mut a = self.inner.active.lock();
+        while *a > 0 {
+            self.inner.active_cv.wait(&mut a);
+        }
+    }
+
+    /// Snapshot the runtime counters: computations, handler calls, and the
+    /// total time spent blocked in admission — the direct, measurable cost
+    /// of the isolation machinery.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            computations_spawned: self.inner.stats.spawned.load(Ordering::Relaxed),
+            computations_completed: self.inner.stats.completed.load(Ordering::Relaxed),
+            handler_calls: self.inner.stats.handler_calls.load(Ordering::Relaxed),
+            admission_wait: std::time::Duration::from_nanos(
+                self.inner.stats.admission_wait_ns.load(Ordering::Relaxed),
+            ),
+        }
+    }
+
+    /// Snapshot the recorded history (empty unless
+    /// [`RuntimeConfig::record_history`] is set).
+    pub fn history(&self) -> History {
+        self.inner.history.snapshot()
+    }
+
+    /// Clear the recorded history.
+    pub fn reset_history(&self) {
+        self.inner.history.reset()
+    }
+
+    /// Check the isolation property over everything recorded so far,
+    /// returning an equivalent serial order of computations on success.
+    pub fn check_isolation(&self) -> std::result::Result<Vec<CompId>, IsolationViolation> {
+        self.history().check_isolation()
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("stack", &self.inner.stack)
+            .field("active", &*self.inner.active.lock())
+            .finish()
+    }
+}
+
+/// Handle to a detached computation.
+pub struct CompHandle {
+    comp: Arc<ComputationInner>,
+}
+
+impl CompHandle {
+    /// The computation's id (its position in global spawn order).
+    pub fn comp_id(&self) -> CompId {
+        self.comp.id
+    }
+
+    /// Block until the computation completes; report its first error.
+    pub fn join(self) -> Result<()> {
+        self.comp.wait_done();
+        match self.comp.take_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for CompHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CompHandle(k{})", self.comp.id)
+    }
+}
+
+/// Execute the computation's closure body on the current thread, tying
+/// route-root release to the body *and* the threads it spawned.
+fn root_execute(comp: &Arc<ComputationInner>, f: impl FnOnce(&Ctx) -> Result<()>) {
+    let exec = Arc::new(ExecState::new(PostAction::Root));
+    let ctx = Ctx::new(Arc::clone(comp), None, Some(Arc::clone(&exec)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => comp.set_error(e),
+        Err(payload) => comp.set_error(SamoaError::HandlerPanic {
+            handler: HandlerId(u32::MAX),
+            message: panic_message(payload),
+        }),
+    }
+    if exec.finish_fn() {
+        comp.run_post(PostAction::Root);
+    }
+    comp.release_pending();
+}
+
+/// Deduplicate a declaration, keeping the maximum bound and the stronger
+/// access mode per protocol, sorted by protocol id (the order `PvEntry`
+/// lookup requires).
+fn dedup_max(
+    pairs: impl Iterator<Item = (ProtocolId, u64, AccessMode)>,
+) -> Vec<(ProtocolId, u64, AccessMode)> {
+    let mut v: Vec<(ProtocolId, u64, AccessMode)> = pairs.collect();
+    v.sort_by_key(|&(p, _, _)| p);
+    v.dedup_by(|later, earlier| {
+        if later.0 == earlier.0 {
+            earlier.1 = earlier.1.max(later.1);
+            if later.2 == AccessMode::Write {
+                earlier.2 = AccessMode::Write;
+            }
+            true
+        } else {
+            false
+        }
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_max_merges() {
+        use AccessMode::{Read, Write};
+        let v = dedup_max(
+            [
+                (ProtocolId(2), 1, Read),
+                (ProtocolId(0), 3, Write),
+                (ProtocolId(2), 5, Write),
+                (ProtocolId(0), 1, Read),
+                (ProtocolId(7), 1, Read),
+            ]
+            .into_iter(),
+        );
+        assert_eq!(
+            v,
+            vec![
+                (ProtocolId(0), 3, Write),
+                (ProtocolId(2), 5, Write),
+                (ProtocolId(7), 1, Read),
+            ]
+        );
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = RuntimeConfig::default();
+        assert!(!c.record_history);
+        assert!(c.max_threads_per_computation >= 1);
+        assert!(RuntimeConfig::recording().record_history);
+    }
+}

@@ -1,0 +1,300 @@
+//! Protocol stacks: registries of microprotocols, event types and bindings.
+//!
+//! A [`StackBuilder`] registers microprotocols, event types and handlers and
+//! binds event types to handlers (the paper's `bind` primitive, §3). The
+//! finished, immutable [`Stack`] is handed to the
+//! [`Runtime`](crate::runtime::Runtime).
+//!
+//! Per the paper (§4) we do not support dynamic binding: all handlers must be
+//! bound before any `isolated` commences and cannot be (re)bound inside
+//! computations. Freezing the builder into an immutable `Stack` enforces this
+//! statically.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ctx::Ctx;
+use crate::error::Result;
+use crate::event::{EventData, EventType};
+use crate::handler::{HandlerEntry, HandlerFn, HandlerId};
+use crate::protocol::ProtocolId;
+
+/// Mutable registry used to assemble a protocol stack.
+#[derive(Default)]
+pub struct StackBuilder {
+    protocols: Vec<String>,
+    events: Vec<String>,
+    handlers: Vec<HandlerEntry>,
+    /// `bindings[event] = handlers bound to that event, in bind order`.
+    bindings: Vec<Vec<HandlerId>>,
+}
+
+impl StackBuilder {
+    /// Start an empty stack.
+    pub fn new() -> Self {
+        StackBuilder::default()
+    }
+
+    /// Register a microprotocol and get its id.
+    pub fn protocol(&mut self, name: &str) -> ProtocolId {
+        let id = ProtocolId(self.protocols.len() as u32);
+        self.protocols.push(name.to_string());
+        id
+    }
+
+    /// Register an event type and get its first-class token.
+    pub fn event(&mut self, name: &str) -> EventType {
+        let id = EventType(self.events.len() as u32);
+        self.events.push(name.to_string());
+        self.bindings.push(Vec::new());
+        id
+    }
+
+    /// Register handler `name` of microprotocol `protocol` with body `f`,
+    /// and bind it to event type `event`.
+    ///
+    /// Returns the handler's id, usable in routing patterns
+    /// ([`RoutePattern`](crate::graph::RoutePattern)).
+    pub fn bind<F>(&mut self, event: EventType, protocol: ProtocolId, name: &str, f: F) -> HandlerId
+    where
+        F: Fn(&Ctx, &EventData) -> Result<()> + Send + Sync + 'static,
+    {
+        assert!(
+            protocol.index() < self.protocols.len(),
+            "unknown protocol {protocol:?}"
+        );
+        assert!(event.index() < self.events.len(), "unknown event {event:?}");
+        self.bind_inner(event, protocol, name, Arc::new(f) as HandlerFn, false)
+    }
+
+    /// Like [`StackBuilder::bind`], but declares the handler **read-only**:
+    /// it promises not to mutate its microprotocol's state (use
+    /// [`ProtocolState::read_with`](crate::protocol::ProtocolState::read_with)
+    /// inside). Computations that declared the microprotocol with
+    /// [`AccessMode::Read`](crate::policy::AccessMode::Read) may only call
+    /// read-only handlers.
+    pub fn bind_read_only<F>(
+        &mut self,
+        event: EventType,
+        protocol: ProtocolId,
+        name: &str,
+        f: F,
+    ) -> HandlerId
+    where
+        F: Fn(&Ctx, &EventData) -> Result<()> + Send + Sync + 'static,
+    {
+        self.bind_inner(event, protocol, name, Arc::new(f) as HandlerFn, true)
+    }
+
+    fn bind_inner(
+        &mut self,
+        event: EventType,
+        protocol: ProtocolId,
+        name: &str,
+        func: HandlerFn,
+        read_only: bool,
+    ) -> HandlerId {
+        assert!(
+            protocol.index() < self.protocols.len(),
+            "unknown protocol {protocol:?}"
+        );
+        assert!(event.index() < self.events.len(), "unknown event {event:?}");
+        let id = HandlerId(self.handlers.len() as u32);
+        self.handlers.push(HandlerEntry {
+            id,
+            name: name.to_string(),
+            protocol,
+            func,
+            read_only,
+        });
+        self.bindings[event.index()].push(id);
+        id
+    }
+
+    /// Bind an *additional* event type to an already-registered handler.
+    ///
+    /// SAMOA event types and handler names are first-class; a handler may be
+    /// bound to several event types.
+    pub fn bind_existing(&mut self, event: EventType, handler: HandlerId) {
+        assert!(
+            handler.index() < self.handlers.len(),
+            "unknown handler {handler:?}"
+        );
+        assert!(event.index() < self.events.len(), "unknown event {event:?}");
+        self.bindings[event.index()].push(handler);
+    }
+
+    /// Freeze the registry into an immutable [`Stack`].
+    pub fn build(self) -> Stack {
+        let mut by_name = HashMap::new();
+        for h in &self.handlers {
+            by_name.insert(h.name.clone(), h.id);
+        }
+        Stack {
+            inner: Arc::new(StackInner {
+                protocols: self.protocols,
+                events: self.events,
+                handlers: self.handlers,
+                bindings: self.bindings,
+                handlers_by_name: by_name,
+            }),
+        }
+    }
+}
+
+pub(crate) struct StackInner {
+    pub(crate) protocols: Vec<String>,
+    pub(crate) events: Vec<String>,
+    pub(crate) handlers: Vec<HandlerEntry>,
+    pub(crate) bindings: Vec<Vec<HandlerId>>,
+    pub(crate) handlers_by_name: HashMap<String, HandlerId>,
+}
+
+/// An immutable, fully bound protocol stack.
+#[derive(Clone)]
+pub struct Stack {
+    pub(crate) inner: Arc<StackInner>,
+}
+
+impl Stack {
+    /// Number of registered microprotocols.
+    pub fn protocol_count(&self) -> usize {
+        self.inner.protocols.len()
+    }
+
+    /// Number of registered event types.
+    pub fn event_count(&self) -> usize {
+        self.inner.events.len()
+    }
+
+    /// Number of registered handlers.
+    pub fn handler_count(&self) -> usize {
+        self.inner.handlers.len()
+    }
+
+    /// Name of a microprotocol.
+    pub fn protocol_name(&self, p: ProtocolId) -> &str {
+        &self.inner.protocols[p.index()]
+    }
+
+    /// Name of an event type.
+    pub fn event_name(&self, e: EventType) -> &str {
+        &self.inner.events[e.index()]
+    }
+
+    /// Name of a handler.
+    pub fn handler_name(&self, h: HandlerId) -> &str {
+        &self.inner.handlers[h.index()].name
+    }
+
+    /// The microprotocol a handler belongs to.
+    pub fn handler_protocol(&self, h: HandlerId) -> ProtocolId {
+        self.inner.handlers[h.index()].protocol
+    }
+
+    /// Was the handler declared read-only?
+    pub fn handler_read_only(&self, h: HandlerId) -> bool {
+        self.inner.handlers[h.index()].read_only
+    }
+
+    /// Handlers bound to an event type, in bind order.
+    pub fn bound_handlers(&self, e: EventType) -> &[HandlerId] {
+        &self.inner.bindings[e.index()]
+    }
+
+    /// Look a handler up by its registered name.
+    pub fn handler_by_name(&self, name: &str) -> Option<HandlerId> {
+        self.inner.handlers_by_name.get(name).copied()
+    }
+
+    /// All microprotocol ids, in registration order. Handy for the
+    /// Appia-style serial baseline (`M` = everything).
+    pub fn all_protocols(&self) -> Vec<ProtocolId> {
+        (0..self.inner.protocols.len() as u32)
+            .map(ProtocolId)
+            .collect()
+    }
+
+    pub(crate) fn entry(&self, h: HandlerId) -> &HandlerEntry {
+        &self.inner.handlers[h.index()]
+    }
+}
+
+impl fmt::Debug for Stack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stack")
+            .field("protocols", &self.inner.protocols)
+            .field("events", &self.inner.events)
+            .field("handlers", &self.inner.handlers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> impl Fn(&Ctx, &EventData) -> Result<()> + Send + Sync + 'static {
+        |_, _| Ok(())
+    }
+
+    #[test]
+    fn build_registers_everything() {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let e = b.event("E");
+        let h1 = b.bind(e, p, "h1", noop());
+        let h2 = b.bind(e, q, "h2", noop());
+        let s = b.build();
+        assert_eq!(s.protocol_count(), 2);
+        assert_eq!(s.event_count(), 1);
+        assert_eq!(s.handler_count(), 2);
+        assert_eq!(s.protocol_name(p), "P");
+        assert_eq!(s.event_name(e), "E");
+        assert_eq!(s.bound_handlers(e), &[h1, h2]);
+        assert_eq!(s.handler_protocol(h1), p);
+        assert_eq!(s.handler_protocol(h2), q);
+        assert_eq!(s.handler_by_name("h2"), Some(h2));
+        assert_eq!(s.handler_by_name("nope"), None);
+    }
+
+    #[test]
+    fn bind_existing_adds_second_event() {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let e1 = b.event("E1");
+        let e2 = b.event("E2");
+        let h = b.bind(e1, p, "h", noop());
+        b.bind_existing(e2, h);
+        let s = b.build();
+        assert_eq!(s.bound_handlers(e2), &[h]);
+    }
+
+    #[test]
+    fn all_protocols_lists_in_order() {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let s = b.build();
+        assert_eq!(s.all_protocols(), vec![p, q]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown protocol")]
+    fn bind_with_foreign_protocol_panics() {
+        let mut b = StackBuilder::new();
+        let e = b.event("E");
+        b.bind(e, ProtocolId(5), "h", noop());
+    }
+
+    #[test]
+    fn event_with_no_binding_is_empty() {
+        let mut b = StackBuilder::new();
+        let _p = b.protocol("P");
+        let e = b.event("E");
+        let s = b.build();
+        assert!(s.bound_handlers(e).is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! Version counters — the heart of the versioning concurrency control.
+//!
+//! Each microprotocol `p` has a *global* version counter `gv_p`, bumped when
+//! a computation declaring `p` is spawned (Rule 1), and a *local* version
+//! counter `lv_p`, advanced as computations release `p` (Rules 3/4). A
+//! computation may call a handler of `p` only when its private version of `p`
+//! matches `lv_p` per the algorithm's admission condition (Rule 2). See paper
+//! §5.
+//!
+//! `VersionCell` (crate-internal) is the `lv_p` side: a monotonic counter that threads can
+//! wait on. The `gv_p` side lives in the runtime's spawn state, guarded by a
+//! single spawn lock so that Rule 1's bulk increment-and-snapshot is atomic.
+//!
+//! ## Reader sharing (paper §7 future work)
+//!
+//! The cell additionally tracks *reader holds*: a computation that declares
+//! `p` read-only registers a hold at its snapshot epoch (the value of `gv_p`
+//! at spawn) and releases it at completion. Readers of the same epoch share
+//! freely; a **write** admission must additionally wait until no reader
+//! holds an epoch *older than* the writer's private version — those readers
+//! serialise before the writer. Readers spawned later get a newer epoch and
+//! wait for the writer's release through the ordinary `lv` condition, so
+//! every wait still points from younger to older computations and the
+//! protocol remains deadlock-free.
+
+use std::collections::BTreeMap;
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct CellState {
+    lv: u64,
+    /// Active reader holds: epoch → count.
+    readers: BTreeMap<u64, usize>,
+}
+
+impl CellState {
+    fn readers_below(&self, epoch: u64) -> bool {
+        self.readers
+            .range(..epoch)
+            .any(|(_, &count)| count > 0)
+    }
+}
+
+/// A waitable, monotonically increasing local version counter (`lv_p`) with
+/// reader-hold tracking.
+#[derive(Debug, Default)]
+pub(crate) struct VersionCell {
+    state: Mutex<CellState>,
+    cv: Condvar,
+}
+
+impl VersionCell {
+    pub(crate) fn new() -> Self {
+        VersionCell::default()
+    }
+
+    /// Current value (for diagnostics; racy by nature).
+    pub(crate) fn get(&self) -> u64 {
+        self.state.lock().lv
+    }
+
+    /// Block until `pred(lv)` holds, then return the value that satisfied it.
+    ///
+    /// `pred` must be monotone: once true it must stay true as `lv` grows.
+    /// All admission conditions in the paper (`lv == pv - 1` being reached
+    /// from below, `lv >= pv - bound`) are of this shape because a
+    /// computation only waits on versions *ahead* of the current `lv`.
+    pub(crate) fn wait_until(&self, pred: impl Fn(u64) -> bool) -> u64 {
+        let mut st = self.state.lock();
+        while !pred(st.lv) {
+            self.cv.wait(&mut st);
+        }
+        st.lv
+    }
+
+    /// Write admission: block until `pred(lv)` holds **and** no reader holds
+    /// an epoch older than `pv`.
+    pub(crate) fn wait_write(&self, pred: impl Fn(u64) -> bool, pv: u64) -> u64 {
+        let mut st = self.state.lock();
+        while !pred(st.lv) || st.readers_below(pv) {
+            self.cv.wait(&mut st);
+        }
+        st.lv
+    }
+
+    /// Like [`Self::wait_until`], but gives up after `timeout` and returns
+    /// `None`. Used by deadlock-detection tests and defensive shutdown paths.
+    #[cfg(test)]
+    pub(crate) fn wait_until_timeout(
+        &self,
+        pred: impl Fn(u64) -> bool,
+        timeout: std::time::Duration,
+    ) -> Option<u64> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while !pred(st.lv) {
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                return None;
+            }
+        }
+        Some(st.lv)
+    }
+
+    /// Increment by one and wake all waiters (VCAbound Rule 4).
+    pub(crate) fn bump(&self) -> u64 {
+        let mut st = self.state.lock();
+        st.lv += 1;
+        let v = st.lv;
+        self.cv.notify_all();
+        v
+    }
+
+    /// Raise to `target` if currently below it, and wake all waiters.
+    /// Versions are never downgraded (Rules 3 of VCAbound/VCAroute).
+    pub(crate) fn raise_to(&self, target: u64) {
+        let mut st = self.state.lock();
+        if st.lv < target {
+            st.lv = target;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wait until `pred(lv)` holds, then run `f` while still holding the
+    /// lock. The wait and the action are a single atomic step with respect
+    /// to other threads touching this cell.
+    pub(crate) fn wait_then<R>(
+        &self,
+        pred: impl Fn(u64) -> bool,
+        f: impl FnOnce(&mut u64) -> R,
+    ) -> R {
+        let mut st = self.state.lock();
+        while !pred(st.lv) {
+            self.cv.wait(&mut st);
+        }
+        let r = f(&mut st.lv);
+        self.cv.notify_all();
+        r
+    }
+
+    /// Register a reader hold at `epoch` (done under the runtime's spawn
+    /// lock so that a writer spawned later is guaranteed to observe it).
+    pub(crate) fn register_reader(&self, epoch: u64) {
+        let mut st = self.state.lock();
+        *st.readers.entry(epoch).or_insert(0) += 1;
+    }
+
+    /// Release a reader hold registered at `epoch`.
+    pub(crate) fn unregister_reader(&self, epoch: u64) {
+        let mut st = self.state.lock();
+        match st.readers.get_mut(&epoch) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                st.readers.remove(&epoch);
+            }
+            None => debug_assert!(false, "unregistering a reader that is not held"),
+        }
+        self.cv.notify_all();
+    }
+
+    /// Number of active reader holds (diagnostics).
+    pub(crate) fn reader_holds(&self) -> usize {
+        self.state.lock().readers.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = VersionCell::new();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn bump_increments_and_returns() {
+        let c = VersionCell::new();
+        assert_eq!(c.bump(), 1);
+        assert_eq!(c.bump(), 2);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn raise_to_never_downgrades() {
+        let c = VersionCell::new();
+        c.raise_to(5);
+        c.raise_to(3);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn wait_until_returns_immediately_when_satisfied() {
+        let c = VersionCell::new();
+        assert_eq!(c.wait_until(|v| v == 0), 0);
+    }
+
+    #[test]
+    fn wait_until_wakes_on_bump() {
+        let c = Arc::new(VersionCell::new());
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || c2.wait_until(|v| v >= 3));
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(1));
+            c.bump();
+        }
+        assert_eq!(t.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn wait_until_timeout_times_out() {
+        let c = VersionCell::new();
+        assert_eq!(
+            c.wait_until_timeout(|v| v >= 1, Duration::from_millis(10)),
+            None
+        );
+        c.bump();
+        assert_eq!(
+            c.wait_until_timeout(|v| v >= 1, Duration::from_millis(10)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn wait_then_is_atomic_with_action() {
+        let c = Arc::new(VersionCell::new());
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || {
+            c2.wait_then(|v| v == 1, |v| {
+                *v = 10;
+                *v
+            })
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        c.bump();
+        assert_eq!(t.join().unwrap(), 10);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let c = Arc::new(VersionCell::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || c.wait_until(|v| v >= 1)));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        c.bump();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn reader_holds_register_and_release() {
+        let c = VersionCell::new();
+        c.register_reader(0);
+        c.register_reader(0);
+        c.register_reader(2);
+        assert_eq!(c.reader_holds(), 3);
+        c.unregister_reader(0);
+        assert_eq!(c.reader_holds(), 2);
+        c.unregister_reader(0);
+        c.unregister_reader(2);
+        assert_eq!(c.reader_holds(), 0);
+    }
+
+    #[test]
+    fn wait_write_blocks_on_older_reader() {
+        let c = Arc::new(VersionCell::new());
+        c.register_reader(0); // reader at epoch 0
+        let c2 = Arc::clone(&c);
+        // Writer with pv = 1: lv condition (lv >= 0) holds, but the epoch-0
+        // reader blocks it.
+        let t = std::thread::spawn(move || c2.wait_write(|v| v + 1 >= 1, 1));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!t.is_finished(), "writer ignored the reader hold");
+        c.unregister_reader(0);
+        assert_eq!(t.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn wait_write_ignores_newer_readers() {
+        let c = VersionCell::new();
+        c.register_reader(5); // reader spawned after the writer
+        // Writer with pv = 1 must not wait for it.
+        assert_eq!(c.wait_write(|v| v + 1 >= 1, 1), 0);
+    }
+
+    #[test]
+    fn readers_of_same_epoch_share() {
+        let c = VersionCell::new();
+        c.register_reader(3);
+        c.register_reader(3);
+        // A writer at pv=3 is not blocked by epoch-3 readers (they are
+        // "after" it in serial order)...
+        assert_eq!(c.wait_write(|v| v + 1 >= 1, 3), 0);
+        // ...but a writer at pv=4 is.
+        assert!(c.state.lock().readers_below(4));
+    }
+}

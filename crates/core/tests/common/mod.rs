@@ -1,0 +1,104 @@
+//! Shared helpers for the runtime semantics tests.
+//!
+//! Not every test binary uses every helper.
+#![allow(dead_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use samoa_core::prelude::*;
+
+/// A stack of `n` independent microprotocols. Protocol `i` has one handler
+/// bound to event `i`; the handler performs a deliberately racy
+/// read-sleep-write on its protocol's visit log: it reads the log length in
+/// one state access, sleeps for the number of milliseconds given in the
+/// event payload, then appends `(comp_id, old_len)` in a second state
+/// access. Under an isolating policy `old_len` always equals the log's
+/// length at append time; under `Unsync` two overlapping computations can
+/// both read the same `old_len` — a lost update.
+pub struct ConflictStack {
+    pub rt: Runtime,
+    pub protocols: Vec<ProtocolId>,
+    pub events: Vec<EventType>,
+    /// Per protocol: the visit log `(comp, observed_len)`.
+    pub logs: Vec<ProtocolState<Vec<(u64, usize)>>>,
+}
+
+pub fn conflict_stack(n: usize) -> ConflictStack {
+    let mut b = StackBuilder::new();
+    let mut protocols = Vec::new();
+    let mut events = Vec::new();
+    let mut logs = Vec::new();
+    for i in 0..n {
+        let p = b.protocol(&format!("P{i}"));
+        let e = b.event(&format!("E{i}"));
+        let log = ProtocolState::new(p, Vec::<(u64, usize)>::new());
+        {
+            let log = log.clone();
+            b.bind(e, p, &format!("h{i}"), move |ctx, ev| {
+                let sleep_ms: u64 = *ev.expect::<u64>(e)?;
+                let old_len = log.with(ctx, |l| l.len());
+                if sleep_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(sleep_ms));
+                }
+                log.with(ctx, |l| l.push((ctx.comp_id(), old_len)));
+                Ok(())
+            });
+        }
+        protocols.push(p);
+        events.push(e);
+        logs.push(log);
+    }
+    let rt = Runtime::with_config(b.build(), RuntimeConfig::recording());
+    ConflictStack {
+        rt,
+        protocols,
+        events,
+        logs,
+    }
+}
+
+impl ConflictStack {
+    /// Did every append observe a consistent length (no lost updates)?
+    pub fn no_lost_updates(&self) -> bool {
+        self.logs.iter().all(|log| {
+            log.read(|l| l.iter().enumerate().all(|(i, &(_, seen))| seen == i))
+        })
+    }
+
+    /// Visit order of computations on protocol `i`.
+    pub fn visit_order(&self, i: usize) -> Vec<u64> {
+        self.logs[i].read(|l| l.iter().map(|&(c, _)| c).collect())
+    }
+}
+
+/// Join a handle, panicking (with a clear message) if it takes longer than
+/// `timeout` — turns an accidental deadlock into a test failure instead of a
+/// hung test binary.
+pub fn join_within(handle: CompHandle, timeout: Duration) -> Result<()> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(handle.join());
+    });
+    rx.recv_timeout(timeout)
+        .unwrap_or_else(|_| panic!("computation did not complete within {timeout:?}"))
+}
+
+/// Spin until `flag` is set or `timeout` elapses; returns whether it was set.
+pub fn wait_flag(flag: &AtomicBool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    flag.load(Ordering::SeqCst)
+}
+
+/// A fresh shared flag.
+pub fn flag() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(false))
+}

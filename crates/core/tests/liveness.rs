@@ -1,0 +1,156 @@
+//! Liveness properties: the deadlock-freedom argument of paper §6 under a
+//! mixed-policy torture workload, and computations *caused by* other
+//! computations (paper §2: external events issued from within handlers).
+
+mod common;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use common::conflict_stack;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use samoa_core::prelude::*;
+
+/// The §6 claim, operationalised: whatever mixture of basic / bound /
+/// read-write / serial computations runs, everything completes (versions
+/// impose a total order on call requests, so waits never cycle).
+#[test]
+fn mixed_policy_torture_run_completes() {
+    let s = conflict_stack(5);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for round in 0..3 {
+        let mut handles = Vec::new();
+        for j in 0..40 {
+            let i = rng.gen_range(0..5);
+            let k = rng.gen_range(0..5);
+            let (ei, ek) = (s.events[i], s.events[k]);
+            let decl = [s.protocols[i], s.protocols[k]];
+            let sleep = rng.gen_range(0..=1u64);
+            let body = move |ctx: &Ctx| {
+                ctx.trigger(ei, sleep)?;
+                ctx.async_trigger(ek, 0u64)
+            };
+            handles.push(match j % 4 {
+                0 => s.rt.spawn(Decl::Basic(&decl), body),
+                1 => {
+                    let bd = [(decl[0], 2), (decl[1], 2)];
+                    s.rt.spawn(Decl::Bound(&bd), body)
+                }
+                2 => s.rt.spawn(Decl::Serial, body),
+                _ => s.rt.spawn(Decl::Basic(&decl), body),
+            });
+        }
+        for h in handles {
+            assert!(
+                Instant::now() < deadline,
+                "torture round {round} deadlocked:\n{}",
+                s.rt.debug_snapshot()
+            );
+            h.join().unwrap();
+        }
+        s.rt.check_isolation()
+            .unwrap_or_else(|v| panic!("round {round}: {v}"));
+        s.rt.reset_history();
+    }
+    assert!(s.no_lost_updates());
+}
+
+/// A handler can spawn a *caused* computation (the paper's causally
+/// dependent external events): it must not deadlock even when the caused
+/// computation overlaps the causing one's declaration, because the spawn is
+/// detached — the caused computation simply serialises after.
+#[test]
+fn caused_computations_serialize_after_their_cause() {
+    let s = conflict_stack(1);
+    let e = s.events[0];
+    let rt = s.rt.clone();
+    let p = s.protocols[0];
+    let caused_done = Arc::new(AtomicUsize::new(0));
+    let cd = Arc::clone(&caused_done);
+    let log = s.logs[0].clone();
+    s.rt.isolated(&[p], move |ctx| {
+        ctx.trigger(e, 0u64)?;
+        // Issue a causally dependent external event: a NEW computation that
+        // also touches P. It can only run after we complete.
+        let cd = Arc::clone(&cd);
+        rt.spawn_isolated(&[p], move |ctx2| {
+            ctx2.trigger(e, 0u64)?;
+            cd.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        // Our computation is still running; the caused one must not have
+        // touched P yet (it holds version pv+1).
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(log.read(|l| l.len()), 1, "caused computation overtook");
+        Ok(())
+    })
+    .unwrap();
+    s.rt.quiesce();
+    assert_eq!(caused_done.load(Ordering::SeqCst), 1);
+    assert_eq!(s.visit_order(0), vec![1, 2]);
+    s.rt.check_isolation().unwrap();
+}
+
+/// debug_snapshot reflects held and released versions.
+#[test]
+fn debug_snapshot_shows_version_state() {
+    let s = conflict_stack(2);
+    let snap = s.rt.debug_snapshot();
+    assert!(snap.contains("P0"), "{snap}");
+    assert!(snap.contains("gv=0"), "{snap}");
+    s.rt.isolated(&[s.protocols[0]], |ctx| ctx.trigger(s.events[0], 0u64))
+        .unwrap();
+    let snap = s.rt.debug_snapshot();
+    assert!(snap.contains("gv=1"), "{snap}");
+    assert!(snap.contains("pending=0"), "{snap}");
+    assert!(snap.contains("active computations: 0"), "{snap}");
+}
+
+/// Route + bound + basic computations interleaved on a pipeline-shaped
+/// stack complete and stay serializable.
+#[test]
+fn route_bound_basic_mix_on_chain() {
+    let mut b = StackBuilder::new();
+    let ps: Vec<ProtocolId> = (0..3).map(|i| b.protocol(&format!("S{i}"))).collect();
+    let es: Vec<EventType> = (0..3).map(|i| b.event(&format!("E{i}"))).collect();
+    let states: Vec<ProtocolState<u64>> =
+        ps.iter().map(|&p| ProtocolState::new(p, 0)).collect();
+    let mut hs = Vec::new();
+    for i in 0..3 {
+        let st = states[i].clone();
+        let next = es.get(i + 1).copied();
+        hs.push(b.bind(es[i], ps[i], &format!("h{i}"), move |ctx, ev| {
+            st.with(ctx, |v| *v += 1);
+            if let Some(n) = next {
+                ctx.async_trigger(n, ev.clone())?;
+            }
+            Ok(())
+        }));
+    }
+    let rt = Runtime::with_config(b.build(), RuntimeConfig::recording());
+    let mut pat = RoutePattern::new().root(hs[0]);
+    for w in hs.windows(2) {
+        pat = pat.edge(w[0], w[1]);
+    }
+    let bounds: Vec<(ProtocolId, u64)> = ps.iter().map(|&p| (p, 1)).collect();
+    let mut handles = Vec::new();
+    for j in 0..15 {
+        let e0 = es[0];
+        let body = move |ctx: &Ctx| ctx.trigger(e0, EventData::empty());
+        handles.push(match j % 3 {
+            0 => rt.spawn(Decl::Basic(&ps), body),
+            1 => rt.spawn(Decl::Bound(&bounds), body),
+            _ => rt.spawn(Decl::Route(&pat), body),
+        });
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for (i, st) in states.iter().enumerate() {
+        assert_eq!(st.snapshot(), 15, "stage {i}");
+    }
+    rt.check_isolation().unwrap();
+}

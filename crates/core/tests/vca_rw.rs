@@ -1,0 +1,323 @@
+//! Semantics of read/write access modes — the paper's §7 future work
+//! ("different types of handlers (read-only, read-and-write) and several
+//! levels of isolation"), implemented.
+
+mod common;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::{flag, join_within, wait_flag};
+use samoa_core::prelude::*;
+
+/// A stack with one "Registry" microprotocol exposing a read-only `lookup`
+/// handler and a read-write `update` handler.
+struct Registry {
+    rt: Runtime,
+    registry: ProtocolId,
+    lookup: EventType,
+    update: EventType,
+    value: ProtocolState<u64>,
+    /// Concurrent readers currently inside `lookup`, and the max observed.
+    #[allow(dead_code)]
+    concurrent: Arc<AtomicUsize>,
+    max_concurrent: Arc<AtomicUsize>,
+}
+
+fn registry() -> Registry {
+    let mut b = StackBuilder::new();
+    let registry = b.protocol("Registry");
+    let lookup = b.event("Lookup");
+    let update = b.event("Update");
+    let value = ProtocolState::new(registry, 0u64);
+    let concurrent = Arc::new(AtomicUsize::new(0));
+    let max_concurrent = Arc::new(AtomicUsize::new(0));
+    {
+        let value = value.clone();
+        let concurrent = Arc::clone(&concurrent);
+        let max_concurrent = Arc::clone(&max_concurrent);
+        b.bind_read_only(lookup, registry, "lookup", move |ctx, ev| {
+            let sleep_ms: u64 = *ev.expect::<u64>(lookup)?;
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            max_concurrent.fetch_max(now, Ordering::SeqCst);
+            let _v = value.read_with(ctx, |v| *v);
+            if sleep_ms > 0 {
+                std::thread::sleep(Duration::from_millis(sleep_ms));
+            }
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+            Ok(())
+        });
+    }
+    {
+        let value = value.clone();
+        b.bind(update, registry, "update", move |ctx, ev| {
+            let add: u64 = *ev.expect::<u64>(update)?;
+            let v = value.with(ctx, |v| {
+                *v += add;
+                *v
+            });
+            let _ = v;
+            Ok(())
+        });
+    }
+    Registry {
+        rt: Runtime::with_config(b.build(), RuntimeConfig::recording()),
+        registry,
+        lookup,
+        update,
+        value,
+        concurrent,
+        max_concurrent,
+    }
+}
+
+#[test]
+fn readers_share_the_microprotocol() {
+    let r = registry();
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let e = r.lookup;
+        handles.push(
+            r.rt
+                .spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |ctx| {
+                    ctx.trigger(e, 20u64)
+                }),
+        );
+    }
+    for h in handles {
+        join_within(h, Duration::from_secs(10)).unwrap();
+    }
+    // With 6 readers sleeping 20ms each, sharing means several overlapped.
+    assert!(
+        r.max_concurrent.load(Ordering::SeqCst) >= 2,
+        "readers never overlapped: max {}",
+        r.max_concurrent.load(Ordering::SeqCst)
+    );
+    r.rt.check_isolation().unwrap();
+    assert_eq!(r.rt.reader_holds(r.registry), 0, "reader hold leaked");
+}
+
+#[test]
+fn write_mode_computations_still_serialize() {
+    let r = registry();
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let e = r.update;
+        handles.push(r.rt.spawn_isolated(&[r.registry], move |ctx| {
+            ctx.trigger(e, 1u64)
+        }));
+    }
+    for h in handles {
+        join_within(h, Duration::from_secs(10)).unwrap();
+    }
+    assert_eq!(r.value.snapshot(), 8);
+    r.rt.check_isolation().unwrap();
+}
+
+#[test]
+fn writer_waits_for_older_readers() {
+    let r = registry();
+    let reader_in = flag();
+    let writer_done = flag();
+    // Reader spawned first; it parks inside lookup until released.
+    let release = flag();
+    let h_reader = {
+        let (e, reader_in, release, writer_done) = (
+            r.lookup,
+            Arc::clone(&reader_in),
+            Arc::clone(&release),
+            Arc::clone(&writer_done),
+        );
+        let value = r.value.clone();
+        r.rt
+            .spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |ctx| {
+                ctx.trigger(e, 0u64)?;
+                reader_in.store(true, Ordering::SeqCst);
+                // Keep the computation alive; the reader hold persists to
+                // completion, so the writer must not have run yet.
+                assert!(
+                    wait_flag(&release, Duration::from_secs(10)),
+                    "never released"
+                );
+                assert!(
+                    !writer_done.load(Ordering::SeqCst),
+                    "writer overtook an older reader"
+                );
+                let _ = value.snapshot();
+                Ok(())
+            })
+    };
+    assert!(wait_flag(&reader_in, Duration::from_secs(10)));
+    let h_writer = {
+        let (e, writer_done) = (r.update, Arc::clone(&writer_done));
+        r.rt.spawn_isolated(&[r.registry], move |ctx| {
+            ctx.trigger(e, 5u64)?;
+            writer_done.store(true, Ordering::SeqCst);
+            Ok(())
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(
+        !writer_done.load(Ordering::SeqCst),
+        "writer ran while an older reader held the registry"
+    );
+    release.store(true, Ordering::SeqCst);
+    join_within(h_reader, Duration::from_secs(10)).unwrap();
+    join_within(h_writer, Duration::from_secs(10)).unwrap();
+    assert_eq!(r.value.snapshot(), 5);
+    r.rt.check_isolation().unwrap();
+}
+
+#[test]
+fn reader_after_writer_sees_the_write() {
+    let r = registry();
+    // Writer spawned first (slow), reader second: reader must wait and then
+    // observe the written value.
+    let observed = Arc::new(AtomicUsize::new(999));
+    let h_w = {
+        let e = r.update;
+        r.rt.spawn_isolated(&[r.registry], move |ctx| {
+            std::thread::sleep(Duration::from_millis(30));
+            ctx.trigger(e, 7u64)
+        })
+    };
+    // A read-only computation that reads the value through a read handler.
+    let b2_observed = Arc::clone(&observed);
+    let h_r = {
+        let value = r.value.clone();
+        let obs = Arc::clone(&b2_observed);
+        r.rt
+            .spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |_ctx| {
+                // State read outside a handler (setup-style) is fine for the
+                // assertion; admission ordering is what we test via trigger.
+                obs.store(value.snapshot() as usize, Ordering::SeqCst);
+                Ok(())
+            })
+    };
+    join_within(h_w, Duration::from_secs(10)).unwrap();
+    join_within(h_r, Duration::from_secs(10)).unwrap();
+    // NOTE: the closure body read the snapshot without admission, so this
+    // only checks that nothing deadlocked. The admission-ordered variant:
+    let r2 = registry();
+    let h_w = {
+        let e = r2.update;
+        r2.rt.spawn_isolated(&[r2.registry], move |ctx| {
+            std::thread::sleep(Duration::from_millis(30));
+            ctx.trigger(e, 7u64)
+        })
+    };
+    let h_r = {
+        let e = r2.lookup;
+        r2.rt
+            .spawn_isolated_rw(&[(r2.registry, AccessMode::Read)], move |ctx| {
+                ctx.trigger(e, 0u64)
+            })
+    };
+    join_within(h_w, Duration::from_secs(10)).unwrap();
+    join_within(h_r, Duration::from_secs(10)).unwrap();
+    assert_eq!(r2.value.snapshot(), 7);
+    r2.rt.check_isolation().unwrap();
+}
+
+#[test]
+fn read_mode_cannot_call_write_handler() {
+    let r = registry();
+    let err = r
+        .rt
+        .isolated_rw(&[(r.registry, AccessMode::Read)], |ctx| {
+            ctx.trigger(r.update, 1u64)
+        })
+        .unwrap_err();
+    match err {
+        SamoaError::ReadModeViolation { protocol, .. } => assert_eq!(protocol, r.registry),
+        other => panic!("unexpected error: {other}"),
+    }
+    // The failed computation released its reader hold.
+    assert_eq!(r.rt.reader_holds(r.registry), 0);
+    // The registry still works.
+    r.rt
+        .isolated(&[r.registry], |ctx| ctx.trigger(r.update, 2u64))
+        .unwrap();
+    assert_eq!(r.value.snapshot(), 2);
+}
+
+#[test]
+fn write_mode_may_call_read_only_handlers() {
+    let r = registry();
+    r.rt
+        .isolated(&[r.registry], |ctx| {
+            ctx.trigger(r.lookup, 0u64)?;
+            ctx.trigger(r.update, 3u64)
+        })
+        .unwrap();
+    assert_eq!(r.value.snapshot(), 3);
+    r.rt.check_isolation().unwrap();
+}
+
+#[test]
+fn mixed_readers_and_writers_stay_serializable() {
+    let r = registry();
+    let mut handles = Vec::new();
+    for i in 0..20 {
+        if i % 4 == 0 {
+            let e = r.update;
+            handles.push(r.rt.spawn_isolated(&[r.registry], move |ctx| {
+                ctx.trigger(e, 1u64)
+            }));
+        } else {
+            let e = r.lookup;
+            handles.push(r.rt.spawn_isolated_rw(
+                &[(r.registry, AccessMode::Read)],
+                move |ctx| ctx.trigger(e, 2u64),
+            ));
+        }
+    }
+    for h in handles {
+        join_within(h, Duration::from_secs(30)).unwrap();
+    }
+    assert_eq!(r.value.snapshot(), 5);
+    r.rt.check_isolation()
+        .unwrap_or_else(|v| panic!("mixed r/w violated isolation: {v}"));
+    assert_eq!(r.rt.reader_holds(r.registry), 0);
+}
+
+#[test]
+fn dedup_read_and_write_declaration_takes_write() {
+    let r = registry();
+    // Declaring the same protocol Read and Write: Write wins, so calling
+    // the write handler is legal.
+    r.rt
+        .isolated_rw(
+            &[
+                (r.registry, AccessMode::Read),
+                (r.registry, AccessMode::Write),
+            ],
+            |ctx| ctx.trigger(r.update, 4u64),
+        )
+        .unwrap();
+    assert_eq!(r.value.snapshot(), 4);
+}
+
+#[test]
+#[should_panic(expected = "read-only handler mutated")]
+fn read_only_handler_mutating_state_panics() {
+    let mut b = StackBuilder::new();
+    let p = b.protocol("P");
+    let e = b.event("E");
+    let s = ProtocolState::new(p, 0u64);
+    {
+        let s = s.clone();
+        b.bind_read_only(e, p, "bad", move |ctx, _| {
+            s.with(ctx, |v| *v += 1); // illegal: read-only handler writing
+            Ok(())
+        });
+    }
+    let rt = Runtime::new(b.build());
+    // The panic is converted to a HandlerPanic error; re-panic with its
+    // message so should_panic can match it.
+    let err = rt
+        .isolated(&[p], |ctx| ctx.trigger(e, EventData::empty()))
+        .unwrap_err();
+    panic!("{err}");
+}

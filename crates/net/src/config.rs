@@ -1,0 +1,126 @@
+//! Configuration of the simulated network.
+
+use std::time::Duration;
+
+/// Parameters of a [`SimNet`](crate::sim::SimNet).
+///
+/// Delays are drawn uniformly from `[min_delay, max_delay]` with a seeded
+/// RNG, so a given seed yields a reproducible delivery schedule (up to OS
+/// scheduling of the receiving computations).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// RNG seed for delays and loss decisions.
+    pub seed: u64,
+    /// Minimum one-way delay.
+    pub min_delay: Duration,
+    /// Maximum one-way delay.
+    pub max_delay: Duration,
+    /// Probability that a datagram is silently dropped in transit.
+    pub loss_probability: f64,
+    /// Probability that a datagram is duplicated in transit (the copy takes
+    /// an independently drawn delay). Real UDP duplicates; the RelComm
+    /// sequence numbers exist to mask exactly this.
+    pub duplicate_probability: f64,
+    /// Probability that one byte of a datagram is flipped in transit —
+    /// what checksum microprotocols exist to catch. Zero-length datagrams
+    /// pass through unharmed.
+    pub corruption_probability: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            seed: 0,
+            min_delay: Duration::from_micros(50),
+            max_delay: Duration::from_micros(500),
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            corruption_probability: 0.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A zero-loss, near-zero-latency network — what the fast benches use.
+    pub fn fast(seed: u64) -> Self {
+        NetConfig {
+            seed,
+            min_delay: Duration::ZERO,
+            max_delay: Duration::from_micros(20),
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            corruption_probability: 0.0,
+        }
+    }
+
+    /// A LAN-like network: sub-millisecond delays, no loss.
+    pub fn lan(seed: u64) -> Self {
+        NetConfig {
+            seed,
+            min_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(1),
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            corruption_probability: 0.0,
+        }
+    }
+
+    /// A lossy WAN-like network: multi-millisecond delays plus loss.
+    pub fn lossy_wan(seed: u64, loss: f64) -> Self {
+        NetConfig {
+            seed,
+            min_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+            loss_probability: loss,
+            duplicate_probability: 0.0,
+            corruption_probability: 0.0,
+        }
+    }
+
+    /// Override the seed, keeping everything else.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the loss probability, keeping everything else.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss_probability = loss;
+        self
+    }
+
+    /// Override the duplication probability, keeping everything else.
+    pub fn with_duplicates(mut self, p: f64) -> Self {
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Override the corruption probability, keeping everything else.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.corruption_probability = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let f = NetConfig::fast(7);
+        assert_eq!(f.seed, 7);
+        assert_eq!(f.loss_probability, 0.0);
+        assert!(f.max_delay >= f.min_delay);
+        let l = NetConfig::lossy_wan(1, 0.1);
+        assert!(l.loss_probability > 0.0);
+        assert!(NetConfig::lan(0).max_delay >= NetConfig::lan(0).min_delay);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = NetConfig::default().with_seed(9).with_loss(0.5);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.loss_probability, 0.5);
+    }
+}

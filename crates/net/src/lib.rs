@@ -1,0 +1,37 @@
+//! # samoa-net — simulated distributed substrate for SAMOA
+//!
+//! The SAMOA paper's evaluation ran its group-communication stack "on
+//! distributed machines" (§7). This crate replaces that testbed with a
+//! deterministic in-process simulator: `n` sites exchanging datagrams with
+//! seeded random delays, configurable loss, site crashes, and network
+//! partitions.
+//!
+//! ```
+//! use samoa_net::{NetConfig, SimNet, SiteId};
+//! use bytes::Bytes;
+//! use std::sync::Arc;
+//! use parking_lot::Mutex;
+//!
+//! let net = SimNet::new(2, NetConfig::fast(42));
+//! let inbox = Arc::new(Mutex::new(Vec::new()));
+//! {
+//!     let inbox = Arc::clone(&inbox);
+//!     net.register(SiteId(1), move |dg| inbox.lock().push(dg.payload));
+//! }
+//! net.send(SiteId(0), SiteId(1), Bytes::from_static(b"hello"));
+//! net.quiesce();
+//! assert_eq!(inbox.lock().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod sim;
+pub mod stats;
+pub mod transport;
+
+pub use config::NetConfig;
+pub use sim::{Datagram, NetHandle, SimNet, SiteId};
+pub use stats::SiteStats;
+pub use transport::Transport;

@@ -1,0 +1,637 @@
+//! The in-process network simulator.
+//!
+//! [`SimNet`] models `n` sites exchanging UDP-like datagrams with seeded
+//! random delays, optional loss, site crashes, and partitions. A single
+//! delivery thread pops due datagrams in timestamp order and invokes the
+//! destination site's registered callback — in the SAMOA stack that callback
+//! is the site's Network Module, which injects the message into the protocol
+//! by spawning an isolated computation.
+//!
+//! The paper's evaluation ran "on distributed machines" (§7); this simulator
+//! is the substitute substrate (see DESIGN.md): it preserves the property
+//! the isolation machinery cares about — messages arrive asynchronously and
+//! concurrently with application activity — while staying deterministic
+//! enough for tests (seeded delays and loss).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::NetConfig;
+use crate::stats::{SiteCounters, SiteStats};
+
+/// Identifier of a simulated site (process).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u16);
+
+impl SiteId {
+    /// Raw index of this site.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One datagram in flight or delivered.
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    /// Originating site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// Opaque payload (the protocol stack serialises its own messages).
+    pub payload: Bytes,
+}
+
+/// Per-site delivery callback.
+pub type DeliveryFn = dyn Fn(Datagram) + Send + Sync;
+
+struct InFlight {
+    at: Instant,
+    seq: u64,
+    dg: Datagram,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, o: &Self) -> bool {
+        self.at == o.at && self.seq == o.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, o: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for InFlight {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, o: &Self) -> CmpOrdering {
+        (o.at, o.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct NetState {
+    heap: BinaryHeap<InFlight>,
+    rng: StdRng,
+    crashed: Vec<bool>,
+    partition: Vec<usize>,
+    loss: f64,
+    duplicate: f64,
+    corruption: f64,
+    shutdown: bool,
+    seq: u64,
+    delivering: usize,
+}
+
+struct NetInner {
+    state: Mutex<NetState>,
+    cv: Condvar,
+    quiesce_cv: Condvar,
+    callbacks: RwLock<Vec<Option<Arc<DeliveryFn>>>>,
+    counters: Vec<SiteCounters>,
+    min_delay: Duration,
+    max_delay: Duration,
+}
+
+/// A cheap, cloneable handle to the network: send datagrams, inject faults,
+/// read statistics. Obtained from [`SimNet::handle`].
+#[derive(Clone)]
+pub struct NetHandle {
+    inner: Arc<NetInner>,
+}
+
+impl NetHandle {
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.inner.counters.len()
+    }
+
+    /// All site ids.
+    pub fn sites(&self) -> Vec<SiteId> {
+        (0..self.site_count() as u16).map(SiteId).collect()
+    }
+
+    /// Install (or replace) the delivery callback of a site.
+    pub fn register(&self, site: SiteId, callback: impl Fn(Datagram) + Send + Sync + 'static) {
+        self.inner.callbacks.write()[site.index()] = Some(Arc::new(callback));
+    }
+
+    /// Send a datagram. Loss is decided immediately; crash and partition are
+    /// evaluated at delivery time. Sends from a crashed site vanish.
+    pub fn send(&self, from: SiteId, to: SiteId, payload: Bytes) {
+        let mut st = self.inner.state.lock();
+        if st.shutdown {
+            return;
+        }
+        self.inner.counters[from.index()].note_sent();
+        if st.crashed[from.index()] {
+            self.inner.counters[to.index()].note_dropped_crash();
+            return;
+        }
+        let loss = st.loss;
+        if loss > 0.0 && st.rng.gen_bool(loss) {
+            self.inner.counters[to.index()].note_dropped_loss();
+            return;
+        }
+        let now = Instant::now();
+        let push = |st: &mut NetState, payload: Bytes| {
+            let span = self.inner.max_delay.saturating_sub(self.inner.min_delay);
+            let delay = if span.is_zero() {
+                self.inner.min_delay
+            } else {
+                self.inner.min_delay + span.mul_f64(st.rng.gen::<f64>())
+            };
+            st.seq += 1;
+            st.heap.push(InFlight {
+                at: now + delay,
+                seq: st.seq,
+                dg: Datagram { from, to, payload },
+            });
+        };
+        let duplicate = st.duplicate > 0.0 && {
+            let p = st.duplicate;
+            st.rng.gen_bool(p)
+        };
+        if duplicate {
+            self.inner.counters[to.index()].note_duplicated();
+            push(&mut st, payload.clone());
+        }
+        push(&mut st, payload);
+        drop(st);
+        self.inner.cv.notify_one();
+    }
+
+    /// Broadcast a payload to every site except `from` itself.
+    pub fn send_all(&self, from: SiteId, payload: Bytes) {
+        for to in self.sites() {
+            if to != from {
+                self.send(from, to, payload.clone());
+            }
+        }
+    }
+
+    /// Crash a site: everything to or from it is dropped until recovery.
+    pub fn crash(&self, site: SiteId) {
+        self.inner.state.lock().crashed[site.index()] = true;
+    }
+
+    /// Recover a crashed site.
+    pub fn recover(&self, site: SiteId) {
+        self.inner.state.lock().crashed[site.index()] = false;
+    }
+
+    /// Is the site currently crashed?
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.inner.state.lock().crashed[site.index()]
+    }
+
+    /// Partition the network into the given groups; sites not listed get a
+    /// singleton partition each. Messages cross partitions only after
+    /// [`NetHandle::heal`].
+    pub fn partition(&self, groups: &[&[SiteId]]) {
+        let mut st = self.inner.state.lock();
+        let n = st.partition.len();
+        for (i, p) in st.partition.iter_mut().enumerate() {
+            *p = groups.len() + i; // default: own singleton
+        }
+        let _ = n;
+        for (g, members) in groups.iter().enumerate() {
+            for s in members.iter() {
+                st.partition[s.index()] = g;
+            }
+        }
+    }
+
+    /// Remove all partitions.
+    pub fn heal(&self) {
+        let mut st = self.inner.state.lock();
+        for p in st.partition.iter_mut() {
+            *p = 0;
+        }
+    }
+
+    /// Change the loss probability on the fly.
+    pub fn set_loss(&self, loss: f64) {
+        self.inner.state.lock().loss = loss;
+    }
+
+    /// Statistics of one site.
+    pub fn stats(&self, site: SiteId) -> SiteStats {
+        self.inner.counters[site.index()].snapshot()
+    }
+
+    /// Aggregate statistics over all sites.
+    pub fn total_stats(&self) -> SiteStats {
+        self.inner
+            .counters
+            .iter()
+            .map(|c| c.snapshot())
+            .fold(SiteStats::default(), |a, b| a + b)
+    }
+
+    /// Block until no datagram is in flight or being delivered. Note that a
+    /// callback may send new datagrams; `quiesce` returns only once the
+    /// whole cascade has drained.
+    pub fn quiesce(&self) {
+        let mut st = self.inner.state.lock();
+        while !(st.heap.is_empty() && st.delivering == 0) {
+            self.inner.quiesce_cv.wait(&mut st);
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.inner.state.lock().shutdown = true;
+        self.inner.cv.notify_all();
+        self.inner.quiesce_cv.notify_all();
+    }
+}
+
+/// The simulator: owns the delivery thread. Dropping it shuts the network
+/// down (remaining in-flight datagrams are discarded).
+pub struct SimNet {
+    handle: NetHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SimNet {
+    /// Create a network of `n_sites` sites.
+    pub fn new(n_sites: usize, config: NetConfig) -> SimNet {
+        let inner = Arc::new(NetInner {
+            state: Mutex::new(NetState {
+                heap: BinaryHeap::new(),
+                rng: StdRng::seed_from_u64(config.seed),
+                crashed: vec![false; n_sites],
+                partition: vec![0; n_sites],
+                loss: config.loss_probability,
+                duplicate: config.duplicate_probability,
+                corruption: config.corruption_probability,
+                shutdown: false,
+                seq: 0,
+                delivering: 0,
+            }),
+            cv: Condvar::new(),
+            quiesce_cv: Condvar::new(),
+            callbacks: RwLock::new((0..n_sites).map(|_| None).collect()),
+            counters: (0..n_sites).map(|_| SiteCounters::default()).collect(),
+            min_delay: config.min_delay,
+            max_delay: config.max_delay.max(config.min_delay),
+        });
+        let handle = NetHandle {
+            inner: Arc::clone(&inner),
+        };
+        let thread_handle = NetHandle { inner };
+        let thread = std::thread::Builder::new()
+            .name("simnet-delivery".into())
+            .spawn(move || delivery_loop(thread_handle))
+            .expect("spawn delivery thread");
+        SimNet {
+            handle,
+            thread: Some(thread),
+        }
+    }
+
+    /// A cloneable handle for senders and fault injectors.
+    pub fn handle(&self) -> NetHandle {
+        self.handle.clone()
+    }
+
+    /// Shut the network down explicitly (also happens on drop).
+    pub fn shutdown(&mut self) {
+        self.handle.request_shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::ops::Deref for SimNet {
+    type Target = NetHandle;
+    fn deref(&self) -> &NetHandle {
+        &self.handle
+    }
+}
+
+impl Drop for SimNet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("sites", &self.handle.site_count())
+            .finish()
+    }
+}
+
+fn delivery_loop(net: NetHandle) {
+    let inner = &net.inner;
+    let mut st = inner.state.lock();
+    loop {
+        if st.shutdown {
+            break;
+        }
+        let now = Instant::now();
+        let due = match st.heap.peek() {
+            Some(top) if top.at <= now => true,
+            Some(top) => {
+                let at = top.at;
+                inner.cv.wait_until(&mut st, at);
+                continue;
+            }
+            None => {
+                if st.delivering == 0 {
+                    inner.quiesce_cv.notify_all();
+                }
+                inner.cv.wait(&mut st);
+                continue;
+            }
+        };
+        debug_assert!(due);
+        let mut item = st.heap.pop().expect("peeked");
+        let (from, to) = (item.dg.from, item.dg.to);
+        // Corruption: flip one bit of one byte in transit.
+        if st.corruption > 0.0 && !item.dg.payload.is_empty() {
+            let p = st.corruption;
+            if st.rng.gen_bool(p) {
+                let mut bytes = item.dg.payload.to_vec();
+                let idx = st.rng.gen_range(0..bytes.len());
+                let bit = st.rng.gen_range(0..8);
+                bytes[idx] ^= 1 << bit;
+                item.dg.payload = Bytes::from(bytes);
+                inner.counters[to.index()].note_corrupted();
+            }
+        }
+        if st.crashed[to.index()] || st.crashed[from.index()] {
+            inner.counters[to.index()].note_dropped_crash();
+            continue;
+        }
+        if st.partition[from.index()] != st.partition[to.index()] {
+            inner.counters[to.index()].note_dropped_partition();
+            continue;
+        }
+        let cb = inner.callbacks.read()[to.index()].clone();
+        if let Some(cb) = cb {
+            st.delivering += 1;
+            drop(st);
+            cb(item.dg);
+            inner.counters[to.index()].note_delivered();
+            st = inner.state.lock();
+            st.delivering -= 1;
+            if st.delivering == 0 && st.heap.is_empty() {
+                inner.quiesce_cv.notify_all();
+            }
+        }
+        // Unregistered destination: silently discarded.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn payload(b: u8) -> Bytes {
+        Bytes::copy_from_slice(&[b])
+    }
+
+    fn collect_net(n: usize, cfg: NetConfig) -> (SimNet, Vec<Arc<Mutex<Vec<u8>>>>) {
+        let net = SimNet::new(n, cfg);
+        let logs: Vec<Arc<Mutex<Vec<u8>>>> = (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        for (i, log) in logs.iter().enumerate() {
+            let log = Arc::clone(log);
+            net.register(SiteId(i as u16), move |dg| {
+                log.lock().push(dg.payload[0]);
+            });
+        }
+        (net, logs)
+    }
+
+    #[test]
+    fn basic_delivery() {
+        let (net, logs) = collect_net(2, NetConfig::fast(1));
+        net.send(SiteId(0), SiteId(1), payload(7));
+        net.quiesce();
+        assert_eq!(*logs[1].lock(), vec![7]);
+        assert_eq!(net.stats(SiteId(0)).sent, 1);
+        assert_eq!(net.stats(SiteId(1)).delivered, 1);
+    }
+
+    #[test]
+    fn send_all_reaches_everyone_but_self() {
+        let (net, logs) = collect_net(4, NetConfig::fast(2));
+        net.send_all(SiteId(2), payload(9));
+        net.quiesce();
+        for (i, log) in logs.iter().enumerate() {
+            let expected: Vec<u8> = if i == 2 { vec![] } else { vec![9] };
+            assert_eq!(*log.lock(), expected, "site {i}");
+        }
+    }
+
+    #[test]
+    fn crashed_destination_drops() {
+        let (net, logs) = collect_net(2, NetConfig::fast(3));
+        net.crash(SiteId(1));
+        net.send(SiteId(0), SiteId(1), payload(1));
+        net.quiesce();
+        assert!(logs[1].lock().is_empty());
+        assert_eq!(net.stats(SiteId(1)).dropped_crash, 1);
+        net.recover(SiteId(1));
+        net.send(SiteId(0), SiteId(1), payload(2));
+        net.quiesce();
+        assert_eq!(*logs[1].lock(), vec![2]);
+    }
+
+    #[test]
+    fn crashed_sender_sends_nothing() {
+        let (net, logs) = collect_net(2, NetConfig::fast(4));
+        net.crash(SiteId(0));
+        net.send(SiteId(0), SiteId(1), payload(1));
+        net.quiesce();
+        assert!(logs[1].lock().is_empty());
+        assert!(!net.is_crashed(SiteId(1)));
+        assert!(net.is_crashed(SiteId(0)));
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let (net, logs) = collect_net(3, NetConfig::fast(5));
+        net.partition(&[&[SiteId(0)], &[SiteId(1), SiteId(2)]]);
+        net.send(SiteId(0), SiteId(1), payload(1));
+        net.send(SiteId(1), SiteId(2), payload(2));
+        net.quiesce();
+        assert!(logs[1].lock().is_empty(), "cross-partition delivered");
+        assert_eq!(*logs[2].lock(), vec![2], "intra-partition blocked");
+        assert_eq!(net.stats(SiteId(1)).dropped_partition, 1);
+        net.heal();
+        net.send(SiteId(0), SiteId(1), payload(3));
+        net.quiesce();
+        assert_eq!(*logs[1].lock(), vec![3]);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let (net, logs) = collect_net(2, NetConfig::fast(6).with_loss(1.0));
+        for i in 0..10 {
+            net.send(SiteId(0), SiteId(1), payload(i));
+        }
+        net.quiesce();
+        assert!(logs[1].lock().is_empty());
+        assert_eq!(net.stats(SiteId(1)).dropped_loss, 10);
+        net.set_loss(0.0);
+        net.send(SiteId(0), SiteId(1), payload(42));
+        net.quiesce();
+        assert_eq!(*logs[1].lock(), vec![42]);
+    }
+
+    #[test]
+    fn same_seed_same_loss_pattern() {
+        let outcome = |seed: u64| {
+            let (net, logs) = collect_net(2, NetConfig::fast(seed).with_loss(0.5));
+            for i in 0..20 {
+                net.send(SiteId(0), SiteId(1), payload(i));
+            }
+            net.quiesce();
+            let mut got = logs[1].lock().clone();
+            got.sort_unstable();
+            got
+        };
+        assert_eq!(outcome(42), outcome(42));
+    }
+
+    #[test]
+    fn callback_can_send_and_quiesce_waits_for_cascade() {
+        let net = SimNet::new(2, NetConfig::fast(7));
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let h = net.handle();
+            let hits = Arc::clone(&hits);
+            net.register(SiteId(1), move |dg| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                // Ping-pong until payload reaches 0.
+                if dg.payload[0] > 0 {
+                    h.send(SiteId(1), SiteId(0), payload(dg.payload[0] - 1));
+                }
+            });
+        }
+        {
+            let h = net.handle();
+            let hits = Arc::clone(&hits);
+            net.register(SiteId(0), move |dg| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                if dg.payload[0] > 0 {
+                    h.send(SiteId(0), SiteId(1), payload(dg.payload[0] - 1));
+                }
+            });
+        }
+        net.send(SiteId(0), SiteId(1), payload(6));
+        net.quiesce();
+        assert_eq!(hits.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn delivery_respects_timestamp_order_for_deterministic_delays() {
+        // With min == max the delay is constant, so FIFO order holds.
+        let cfg = NetConfig {
+            seed: 1,
+            min_delay: Duration::from_micros(200),
+            max_delay: Duration::from_micros(200),
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            corruption_probability: 0.0,
+        };
+        let (net, logs) = collect_net(2, cfg);
+        for i in 0..10 {
+            net.send(SiteId(0), SiteId(1), payload(i));
+        }
+        net.quiesce();
+        assert_eq!(*logs[1].lock(), (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn full_duplication_doubles_deliveries() {
+        let (net, logs) = collect_net(2, NetConfig::fast(12).with_duplicates(1.0));
+        for i in 0..5 {
+            net.send(SiteId(0), SiteId(1), payload(i));
+        }
+        net.quiesce();
+        assert_eq!(logs[1].lock().len(), 10, "every datagram should arrive twice");
+        assert_eq!(net.stats(SiteId(1)).duplicated, 5);
+        let mut got = logs[1].lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn no_duplication_by_default() {
+        let (net, logs) = collect_net(2, NetConfig::fast(13));
+        net.send(SiteId(0), SiteId(1), payload(1));
+        net.quiesce();
+        assert_eq!(logs[1].lock().len(), 1);
+        assert_eq!(net.stats(SiteId(1)).duplicated, 0);
+    }
+
+    #[test]
+    fn full_corruption_flips_exactly_one_bit() {
+        let (net, logs) = collect_net(2, NetConfig::fast(14).with_corruption(1.0));
+        net.send(SiteId(0), SiteId(1), Bytes::copy_from_slice(&[0u8, 0, 0, 0]));
+        net.quiesce();
+        let got = logs[1].lock().clone();
+        // collect_net's callback stores only the first byte; use stats and
+        // a dedicated capture instead.
+        let _ = got;
+        assert_eq!(net.stats(SiteId(1)).corrupted, 1);
+    }
+
+    #[test]
+    fn corruption_alters_payload_bits() {
+        let net = SimNet::new(2, NetConfig::fast(15).with_corruption(1.0));
+        let got: Arc<Mutex<Vec<Bytes>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let got = Arc::clone(&got);
+            net.register(SiteId(1), move |dg| got.lock().push(dg.payload));
+        }
+        let original = Bytes::from_static(&[0xAA, 0xBB, 0xCC]);
+        net.send(SiteId(0), SiteId(1), original.clone());
+        net.quiesce();
+        let delivered = got.lock()[0].clone();
+        assert_eq!(delivered.len(), original.len());
+        let diff_bits: u32 = delivered
+            .iter()
+            .zip(original.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1, "exactly one bit must flip");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut net = SimNet::new(2, NetConfig::fast(8));
+        net.send(SiteId(0), SiteId(1), payload(1));
+        net.shutdown();
+        net.shutdown();
+        // Sends after shutdown are ignored.
+        net.send(SiteId(0), SiteId(1), payload(2));
+    }
+}

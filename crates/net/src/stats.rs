@@ -1,0 +1,132 @@
+//! Per-site and network-wide delivery statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one site. All methods are thread-safe.
+#[derive(Debug, Default)]
+pub struct SiteCounters {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped_loss: AtomicU64,
+    dropped_crash: AtomicU64,
+    dropped_partition: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+impl SiteCounters {
+    pub(crate) fn note_sent(&self) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_delivered(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_dropped_loss(&self) {
+        self.dropped_loss.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_dropped_crash(&self) {
+        self.dropped_crash.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_dropped_partition(&self) {
+        self.dropped_partition.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_duplicated(&self) {
+        self.duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_corrupted(&self) {
+        self.corrupted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> SiteStats {
+        SiteStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped_loss: self.dropped_loss.load(Ordering::Relaxed),
+            dropped_crash: self.dropped_crash.load(Ordering::Relaxed),
+            dropped_partition: self.dropped_partition.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of one site's counters.
+///
+/// `sent` counts datagrams the site originated; the `delivered`/`dropped_*`
+/// counters are attributed to the *destination* site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Datagrams this site sent.
+    pub sent: u64,
+    /// Datagrams delivered to this site.
+    pub delivered: u64,
+    /// Datagrams to this site dropped by random loss.
+    pub dropped_loss: u64,
+    /// Datagrams to/from this site dropped because a side was crashed.
+    pub dropped_crash: u64,
+    /// Datagrams to this site dropped by a partition.
+    pub dropped_partition: u64,
+    /// Datagrams to this site duplicated in transit.
+    pub duplicated: u64,
+    /// Datagrams to this site corrupted in transit (one flipped bit).
+    pub corrupted: u64,
+}
+
+impl SiteStats {
+    /// All drops combined.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_crash + self.dropped_partition
+    }
+}
+
+impl std::ops::Add for SiteStats {
+    type Output = SiteStats;
+    fn add(self, o: SiteStats) -> SiteStats {
+        SiteStats {
+            sent: self.sent + o.sent,
+            delivered: self.delivered + o.delivered,
+            dropped_loss: self.dropped_loss + o.dropped_loss,
+            dropped_crash: self.dropped_crash + o.dropped_crash,
+            dropped_partition: self.dropped_partition + o.dropped_partition,
+            duplicated: self.duplicated + o.duplicated,
+            corrupted: self.corrupted + o.corrupted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = SiteCounters::default();
+        c.note_sent();
+        c.note_sent();
+        c.note_delivered();
+        c.note_dropped_loss();
+        c.note_dropped_crash();
+        c.note_dropped_partition();
+        let s = c.snapshot();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.dropped(), 3);
+    }
+
+    #[test]
+    fn stats_add() {
+        let a = SiteStats {
+            sent: 1,
+            delivered: 2,
+            dropped_loss: 3,
+            dropped_crash: 0,
+            dropped_partition: 1,
+            duplicated: 2,
+            corrupted: 1,
+        };
+        let b = a + a;
+        assert_eq!(b.sent, 2);
+        assert_eq!(b.dropped(), 8);
+    }
+}

@@ -1,0 +1,54 @@
+//! Transport abstraction so protocol stacks are not tied to
+//! [`SimNet`](crate::sim::SimNet).
+
+use bytes::Bytes;
+
+use crate::sim::{NetHandle, SiteId};
+
+/// Anything that can carry datagrams between sites. The group-communication
+/// stack in `samoa-proto` is written against this trait; [`SimNet`] is the
+/// default implementation, and tests can substitute an instrumented one.
+///
+/// [`SimNet`]: crate::sim::SimNet
+pub trait Transport: Send + Sync + 'static {
+    /// Fire-and-forget datagram send (UDP semantics: may be lost,
+    /// duplicated never, reordered possibly).
+    fn send(&self, from: SiteId, to: SiteId, payload: Bytes);
+
+    /// Number of sites addressable on this transport.
+    fn site_count(&self) -> usize;
+}
+
+impl Transport for NetHandle {
+    fn send(&self, from: SiteId, to: SiteId, payload: Bytes) {
+        NetHandle::send(self, from, to, payload)
+    }
+
+    fn site_count(&self) -> usize {
+        NetHandle::site_count(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use crate::sim::SimNet;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn nethandle_implements_transport() {
+        let net = SimNet::new(2, NetConfig::fast(1));
+        let got: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let got = Arc::clone(&got);
+            net.register(SiteId(1), move |dg| got.lock().push(dg.payload[0]));
+        }
+        let t: Arc<dyn Transport> = Arc::new(net.handle());
+        t.send(SiteId(0), SiteId(1), Bytes::copy_from_slice(&[5]));
+        net.quiesce();
+        assert_eq!(*got.lock(), vec![5]);
+        assert_eq!(t.site_count(), 2);
+    }
+}

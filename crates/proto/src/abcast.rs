@@ -1,0 +1,379 @@
+//! Atomic broadcast — total-order broadcast via repeated consensus on
+//! message batches (the classic Chandra–Toueg reduction; this is the
+//! protocol the paper's §7 evaluation exercises).
+//!
+//! Requests are disseminated with RelCast; each site accumulates undelivered
+//! requests in `pending` and proposes the pending set for the next undecided
+//! consensus instance. Decisions arrive as RelCast floods
+//! (`CastData::Decide`), are buffered per instance, and are delivered in
+//! instance order — messages within a batch in `uid` order — yielding the
+//! same total order at every site.
+
+use std::collections::{BTreeMap, HashSet};
+
+use samoa_core::prelude::*;
+use samoa_net::SiteId;
+
+use crate::events::Events;
+use crate::msgs::{AbMsg, AbPayload, CastData, CastMsg, MsgUid, Payload, SyncMsg};
+use crate::relcomm::RDeliver;
+use crate::view::GroupView;
+
+/// The local state of the atomic-broadcast microprotocol.
+pub struct AbcastState {
+    site: SiteId,
+    view: GroupView,
+    next_seq: u64,
+    /// Disseminated but not yet delivered requests.
+    pending: BTreeMap<MsgUid, AbMsg>,
+    /// Uids already delivered (for duplicate suppression).
+    delivered: HashSet<MsgUid>,
+    /// Next undecided consensus instance.
+    next_inst: u64,
+    /// Out-of-order decisions buffered until their turn.
+    decides: BTreeMap<u64, Vec<AbMsg>>,
+    /// The instance we have already proposed for (avoid re-proposing).
+    proposed_for: Option<u64>,
+    /// Total messages delivered (diagnostics).
+    pub delivered_count: u64,
+}
+
+impl AbcastState {
+    /// Fresh state for `site` with the given initial view.
+    pub fn new(site: SiteId, view: GroupView) -> Self {
+        AbcastState {
+            site,
+            view,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            delivered: HashSet::new(),
+            next_inst: 0,
+            decides: BTreeMap::new(),
+            proposed_for: None,
+            delivered_count: 0,
+        }
+    }
+
+    /// Number of requests awaiting ordering.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Next undecided instance number.
+    pub fn next_instance(&self) -> u64 {
+        self.next_inst
+    }
+
+    /// Create a new request from this site.
+    fn new_request(&mut self, payload: AbPayload) -> AbMsg {
+        self.next_seq += 1;
+        AbMsg {
+            uid: MsgUid {
+                origin: self.site,
+                seq: self.next_seq,
+            },
+            payload,
+        }
+    }
+
+    /// Record a disseminated request; returns true if it is new and
+    /// undelivered.
+    fn note_request(&mut self, m: &AbMsg) -> bool {
+        if self.delivered.contains(&m.uid) || self.pending.contains_key(&m.uid) {
+            return false;
+        }
+        self.pending.insert(m.uid, m.clone());
+        true
+    }
+
+    /// Should we propose now? Returns the instance and value if so.
+    fn proposal(&mut self) -> Option<(u64, Vec<AbMsg>)> {
+        if self.pending.is_empty() || self.proposed_for == Some(self.next_inst) {
+            return None;
+        }
+        self.proposed_for = Some(self.next_inst);
+        Some((self.next_inst, self.pending.values().cloned().collect()))
+    }
+
+    /// Build the state-transfer snapshot for a joiner.
+    fn snapshot(&self) -> SyncMsg {
+        SyncMsg {
+            next_inst: self.next_inst,
+            delivered: self.delivered.iter().copied().collect(),
+            view_id: self.view.id,
+            members: self.view.members().to_vec(),
+        }
+    }
+
+    /// Adopt a state-transfer snapshot if it is ahead of us; returns true
+    /// when adopted.
+    fn apply_sync(&mut self, sync: &SyncMsg) -> bool {
+        if sync.next_inst <= self.next_inst {
+            return false;
+        }
+        self.next_inst = sync.next_inst;
+        self.delivered.extend(sync.delivered.iter().copied());
+        let lim = self.next_inst;
+        self.decides.retain(|&k, _| k >= lim);
+        let delivered = &self.delivered;
+        self.pending.retain(|uid, _| !delivered.contains(uid));
+        self.proposed_for = None;
+        true
+    }
+
+    /// Buffer a decision; returns batches now deliverable, in order.
+    fn note_decide(&mut self, inst: u64, batch: Vec<AbMsg>) -> Vec<AbMsg> {
+        if inst >= self.next_inst {
+            self.decides.entry(inst).or_insert(batch);
+        }
+        let mut out = Vec::new();
+        while let Some(batch) = self.decides.remove(&self.next_inst) {
+            self.next_inst += 1;
+            let mut batch = batch;
+            batch.sort_by_key(|m| m.uid);
+            for m in batch {
+                if self.delivered.insert(m.uid) {
+                    self.pending.remove(&m.uid);
+                    self.delivered_count += 1;
+                    out.push(m);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Handler ids of the registered atomic-broadcast microprotocol.
+#[derive(Debug, Clone, Copy)]
+pub struct AbcastHandlers {
+    /// `request` (bound to `ABcast`).
+    pub request: HandlerId,
+    /// `on_deliver` (bound to `DeliverOut`).
+    pub on_deliver: HandlerId,
+    /// `on_sync` (bound to `FromRComm`): join-time state transfer.
+    pub on_sync: HandlerId,
+    /// `view_change` (bound to `ViewChange`).
+    pub view_change: HandlerId,
+}
+
+/// Register the atomic-broadcast microprotocol on the builder.
+pub fn register(
+    b: &mut StackBuilder,
+    pid: ProtocolId,
+    ev: &Events,
+    state: ProtocolState<AbcastState>,
+) -> AbcastHandlers {
+    let events = *ev;
+
+    let request = {
+        let state = state.clone();
+        let e = ev.abcast;
+        b.bind(e, pid, "abcast.request", move |ctx, data| {
+            let payload: &AbPayload = data.expect(e)?;
+            let m = state.with(ctx, |s| s.new_request(payload.clone()));
+            // Disseminate; our own copy comes back via local DeliverOut.
+            ctx.trigger(events.bcast, EventData::new(CastData::AbRequest(m)))
+        })
+    };
+
+    let on_deliver = {
+        let state = state.clone();
+        let e = ev.deliver_out;
+        b.bind(e, pid, "abcast.on_deliver", move |ctx, data| {
+            let msg: &CastMsg = data.expect(e)?;
+            match &msg.data {
+                CastData::User(_) => Ok(()), // plain reliable broadcast; not ours
+                CastData::AbRequest(m) => {
+                    let proposal = state.with(ctx, |s| {
+                        s.note_request(m);
+                        s.proposal()
+                    });
+                    if let Some((inst, value)) = proposal {
+                        ctx.trigger(events.cons_propose, EventData::new((inst, value)))?;
+                    }
+                    Ok(())
+                }
+                CastData::Decide { inst, batch } => {
+                    let (deliverable, gc_below, proposal) = state.with(ctx, |s| {
+                        let out = s.note_decide(*inst, batch.clone());
+                        (out, s.next_inst, s.proposal())
+                    });
+                    // Deliver in total order — synchronously, so the order
+                    // is preserved end to end.
+                    for m in deliverable {
+                        ctx.trigger_all(events.adeliver, EventData::new(m))?;
+                    }
+                    ctx.trigger(events.cons_gc, EventData::new(gc_below))?;
+                    if let Some((inst, value)) = proposal {
+                        ctx.trigger(events.cons_propose, EventData::new((inst, value)))?;
+                    }
+                    Ok(())
+                }
+            }
+        })
+    };
+
+    let on_sync = {
+        let state = state.clone();
+        let e = ev.from_rcomm;
+        b.bind(e, pid, "abcast.on_sync", move |ctx, data| {
+            let d: &RDeliver = data.expect(e)?;
+            let Payload::Sync(sync) = &d.payload else {
+                return Ok(()); // not state transfer; not ours
+            };
+            let (adopted, proposal) = state.with(ctx, |s| {
+                let adopted = s.apply_sync(sync);
+                (adopted, s.proposal())
+            });
+            if adopted {
+                // The joiner cannot learn the view through ADeliver (it
+                // missed the prefix); membership installs it directly.
+                ctx.trigger(events.view_sync, EventData::new(sync.clone()))?;
+                ctx.trigger(events.cons_gc, EventData::new(sync.next_inst))?;
+            }
+            if let Some((inst, value)) = proposal {
+                ctx.trigger(events.cons_propose, EventData::new((inst, value)))?;
+            }
+            Ok(())
+        })
+    };
+
+    let view_change = {
+        let state = state.clone();
+        let e = ev.view_change;
+        b.bind(e, pid, "abcast.view_change", move |ctx, data| {
+            let v: &GroupView = data.expect(e)?;
+            // Detect joiners: members of the new view absent from the old.
+            let (me, joiners, snapshot) = state.with(ctx, |s| {
+                let joiners: Vec<_> = v
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|m| !s.view.contains(*m))
+                    .collect();
+                s.view = v.clone();
+                let snap = s.snapshot();
+                (s.site, joiners, snap)
+            });
+            // Every incumbent sends the joiner the ordering state —
+            // redundant but loss-tolerant; adoption is idempotent.
+            for j in joiners {
+                if j != me {
+                    ctx.trigger(
+                        events.send_out,
+                        EventData::new((Payload::Sync(snapshot.clone()), j)),
+                    )?;
+                }
+            }
+            Ok(())
+        })
+    };
+
+    AbcastHandlers {
+        request,
+        on_deliver,
+        on_sync,
+        view_change,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn st() -> AbcastState {
+        AbcastState::new(SiteId(0), GroupView::of_first(3))
+    }
+
+    fn m(origin: u16, seq: u64) -> AbMsg {
+        AbMsg {
+            uid: MsgUid {
+                origin: SiteId(origin),
+                seq,
+            },
+            payload: AbPayload::User(Bytes::from_static(b"x")),
+        }
+    }
+
+    #[test]
+    fn requests_accumulate_and_propose_once() {
+        let mut s = st();
+        assert!(s.note_request(&m(1, 1)));
+        assert!(!s.note_request(&m(1, 1)), "duplicate accepted");
+        assert!(s.note_request(&m(2, 1)));
+        let (inst, v) = s.proposal().unwrap();
+        assert_eq!(inst, 0);
+        assert_eq!(v.len(), 2);
+        assert!(s.proposal().is_none(), "re-proposed same instance");
+    }
+
+    #[test]
+    fn decide_delivers_in_uid_order_and_unblocks_next() {
+        let mut s = st();
+        s.note_request(&m(2, 1));
+        s.note_request(&m(1, 1));
+        let out = s.note_decide(0, vec![m(2, 1), m(1, 1)]);
+        assert_eq!(
+            out.iter().map(|x| x.uid).collect::<Vec<_>>(),
+            vec![m(1, 1).uid, m(2, 1).uid]
+        );
+        assert_eq!(s.pending_count(), 0);
+        assert_eq!(s.next_instance(), 1);
+    }
+
+    #[test]
+    fn out_of_order_decides_buffered() {
+        let mut s = st();
+        let out = s.note_decide(1, vec![m(1, 2)]);
+        assert!(out.is_empty(), "delivered instance 1 before 0");
+        let out = s.note_decide(0, vec![m(1, 1)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].uid, m(1, 1).uid);
+        assert_eq!(out[1].uid, m(1, 2).uid);
+        assert_eq!(s.next_instance(), 2);
+    }
+
+    #[test]
+    fn duplicate_decide_ignored() {
+        let mut s = st();
+        let out = s.note_decide(0, vec![m(1, 1)]);
+        assert_eq!(out.len(), 1);
+        let out = s.note_decide(0, vec![m(1, 1)]);
+        assert!(out.is_empty());
+        assert_eq!(s.delivered_count, 1);
+    }
+
+    #[test]
+    fn message_in_two_batches_delivered_once() {
+        let mut s = st();
+        let out = s.note_decide(0, vec![m(1, 1), m(2, 1)]);
+        assert_eq!(out.len(), 2);
+        let out = s.note_decide(1, vec![m(1, 1), m(3, 1)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].uid.origin, SiteId(3));
+    }
+
+    #[test]
+    fn proposal_resumes_after_decide_with_leftovers() {
+        let mut s = st();
+        s.note_request(&m(1, 1));
+        s.note_request(&m(2, 1));
+        let _ = s.proposal().unwrap();
+        // Only m(1,1) got ordered in instance 0.
+        let _ = s.note_decide(0, vec![m(1, 1)]);
+        let (inst, v) = s.proposal().unwrap();
+        assert_eq!(inst, 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].uid.origin, SiteId(2));
+    }
+
+    #[test]
+    fn new_request_uids_are_unique_and_ordered() {
+        let mut s = st();
+        let a = s.new_request(AbPayload::User(Bytes::new()));
+        let b = s.new_request(AbPayload::User(Bytes::new()));
+        assert!(a.uid < b.uid);
+        assert_eq!(a.uid.origin, SiteId(0));
+    }
+}

@@ -1,0 +1,99 @@
+//! The Application Module sink: a microprotocol that records what the stack
+//! delivered, so tests, examples, and benches can observe protocol-level
+//! outcomes (reliable-broadcast deliveries, the atomic-broadcast total
+//! order, and installed views).
+
+use bytes::Bytes;
+use samoa_core::prelude::*;
+use samoa_net::SiteId;
+
+use crate::events::Events;
+use crate::msgs::{AbPayload, CastData, CastMsg};
+use crate::view::GroupView;
+
+/// Everything the application observed, in arrival order.
+#[derive(Debug, Default)]
+pub struct AppState {
+    /// Reliable-broadcast deliveries `(origin, payload)`; unordered across
+    /// sites (RelCast gives reliability, not order).
+    pub rb_delivered: Vec<(SiteId, Bytes)>,
+    /// Atomic-broadcast deliveries `(origin, payload)`; the same sequence
+    /// on every correct site.
+    pub ab_delivered: Vec<(SiteId, Bytes)>,
+    /// Views installed, in order.
+    pub views: Vec<GroupView>,
+}
+
+/// Handler ids of the registered application sink.
+#[derive(Debug, Clone, Copy)]
+pub struct AppHandlers {
+    /// `on_deliver` (bound to `DeliverOut`).
+    pub on_deliver: HandlerId,
+    /// `on_adeliver` (bound to `ADeliver`).
+    pub on_adeliver: HandlerId,
+    /// `on_view` (bound to `ViewChange`).
+    pub on_view: HandlerId,
+}
+
+/// Register the application sink on the builder.
+pub fn register(
+    b: &mut StackBuilder,
+    pid: ProtocolId,
+    ev: &Events,
+    state: ProtocolState<AppState>,
+) -> AppHandlers {
+    let on_deliver = {
+        let state = state.clone();
+        let e = ev.deliver_out;
+        b.bind(e, pid, "app.on_deliver", move |ctx, data| {
+            let msg: &CastMsg = data.expect(e)?;
+            if let CastData::User(bytes) = &msg.data {
+                let (origin, bytes) = (msg.uid.origin, bytes.clone());
+                state.with(ctx, |s| s.rb_delivered.push((origin, bytes)));
+            }
+            Ok(())
+        })
+    };
+
+    let on_adeliver = {
+        let state = state.clone();
+        let e = ev.adeliver;
+        b.bind(e, pid, "app.on_adeliver", move |ctx, data| {
+            let m: &crate::msgs::AbMsg = data.expect(e)?;
+            if let AbPayload::User(bytes) = &m.payload {
+                let (origin, bytes) = (m.uid.origin, bytes.clone());
+                state.with(ctx, |s| s.ab_delivered.push((origin, bytes)));
+            }
+            Ok(())
+        })
+    };
+
+    let on_view = {
+        let state = state.clone();
+        let e = ev.view_change;
+        b.bind(e, pid, "app.on_view", move |ctx, data| {
+            let v: &GroupView = data.expect(e)?;
+            state.with(ctx, |s| s.views.push(v.clone()));
+            Ok(())
+        })
+    };
+
+    AppHandlers {
+        on_deliver,
+        on_adeliver,
+        on_view,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_state_is_empty() {
+        let s = AppState::default();
+        assert!(s.rb_delivered.is_empty());
+        assert!(s.ab_delivered.is_empty());
+        assert!(s.views.is_empty());
+    }
+}

@@ -1,0 +1,827 @@
+//! Distributed consensus — the microprotocol the paper's atomic broadcast
+//! depends on (§3).
+//!
+//! Rotating-coordinator consensus in the Chandra–Toueg style with a
+//! Paxos-like read phase for safety across coordinator changes:
+//!
+//! 1. Round `r`'s coordinator (member `r mod n` of the view) broadcasts
+//!    `Collect(r)`.
+//! 2. Participants that have promised nothing higher reply `Estimate`
+//!    with their current estimate and the round in which it was adopted.
+//! 3. With a majority of estimates, the coordinator picks the estimate
+//!    adopted in the highest round (or, if none was ever adopted, the
+//!    deduplicated union of all collected initial estimates) and broadcasts
+//!    `Propose(r, v)`.
+//! 4. Participants adopt and `Ack`; a majority of acks decides, and the
+//!    decision is flooded via RelCast (`CastData::Decide`) so every site
+//!    learns it even if the coordinator crashes mid-broadcast.
+//!
+//! Suspicion of the current coordinator (from the failure detector) bumps
+//! the round; the new coordinator is kicked into action with the kicker's
+//! estimate riding along.
+//!
+//! The core logic is a pure state machine ([`ConsensusState`]) that maps
+//! inputs to [`Actions`], so it is unit-testable without the runtime; the
+//! SAMOA handlers are a thin shell around it.
+
+use std::collections::{HashMap, HashSet};
+
+use samoa_core::prelude::*;
+use samoa_net::SiteId;
+
+use crate::events::Events;
+use crate::msgs::{AbMsg, CastData, ConsMsg, MsgUid, Payload};
+use crate::relcomm::RDeliver;
+use crate::view::GroupView;
+
+/// What a state transition wants the shell to do.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Actions {
+    /// Point-to-point consensus messages to send via RelComm.
+    pub out: Vec<(SiteId, ConsMsg)>,
+    /// A decision to flood via RelCast.
+    pub decide: Option<(u64, Vec<AbMsg>)>,
+}
+
+impl Actions {
+    fn none() -> Actions {
+        Actions::default()
+    }
+
+    fn merge(&mut self, other: Actions) {
+        self.out.extend(other.out);
+        if self.decide.is_none() {
+            self.decide = other.decide;
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Collecting,
+    Proposing(Vec<AbMsg>),
+}
+
+#[derive(Debug)]
+struct CoordState {
+    round: u64,
+    phase: Phase,
+    /// Collected (estimate, est_round) pairs, including our own.
+    ests: Vec<(Vec<AbMsg>, u64)>,
+    est_from: HashSet<SiteId>,
+    acks: HashSet<SiteId>,
+}
+
+#[derive(Debug, Default)]
+struct Inst {
+    est: Vec<AbMsg>,
+    /// Adoption marker: 0 = the estimate is initial (never adopted via a
+    /// `Propose`); `r + 1` = adopted in round `r`. The +1 offset keeps
+    /// round-0 adoptions distinguishable from "never adopted".
+    est_round: u64,
+    /// Highest round promised (Paxos promise).
+    max_round: u64,
+    /// Round this site currently believes in.
+    round: u64,
+    coord: Option<CoordState>,
+    decided: bool,
+}
+
+/// The local state of the consensus microprotocol.
+pub struct ConsensusState {
+    site: SiteId,
+    view: GroupView,
+    gc_below: u64,
+    insts: HashMap<u64, Inst>,
+}
+
+impl ConsensusState {
+    /// Fresh state for `site` with the given initial view.
+    pub fn new(site: SiteId, view: GroupView) -> Self {
+        ConsensusState {
+            site,
+            view,
+            gc_below: 0,
+            insts: HashMap::new(),
+        }
+    }
+
+    /// Number of live (non-GCed) instances — for tests and diagnostics.
+    pub fn live_instances(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Propose `value` for instance `inst` (idempotent; the first proposal
+    /// fixes this site's initial estimate).
+    pub fn propose(&mut self, inst: u64, value: Vec<AbMsg>) -> Actions {
+        if inst < self.gc_below {
+            return Actions::none();
+        }
+        let me = self.site;
+        let i = self.insts.entry(inst).or_default();
+        if i.decided {
+            return Actions::none();
+        }
+        if i.est.is_empty() {
+            i.est = value;
+        }
+        let round = i.round;
+        match self.view.coordinator(round) {
+            Some(c) if c == me => self.start_collect(inst, round),
+            Some(c) => {
+                let i = self.insts.get(&inst).expect("just inserted");
+                Actions {
+                    out: vec![(
+                        c,
+                        ConsMsg::Kick {
+                            inst,
+                            round,
+                            est: i.est.clone(),
+                            est_round: i.est_round,
+                        },
+                    )],
+                    decide: None,
+                }
+            }
+            None => Actions::none(),
+        }
+    }
+
+    /// Handle a consensus message from `from`.
+    pub fn on_msg(&mut self, from: SiteId, msg: ConsMsg) -> Actions {
+        match msg {
+            ConsMsg::Kick {
+                inst,
+                round,
+                est,
+                est_round,
+            } => self.on_kick(from, inst, round, est, est_round),
+            ConsMsg::Collect { inst, round } => self.on_collect(from, inst, round),
+            ConsMsg::Estimate {
+                inst,
+                round,
+                est,
+                est_round,
+            } => self.on_estimate(from, inst, round, est, est_round),
+            ConsMsg::Propose { inst, round, value } => self.on_propose(from, inst, round, value),
+            ConsMsg::Ack { inst, round } => self.on_ack(from, inst, round),
+        }
+    }
+
+    /// The failure detector suspects `site`: advance the round of every
+    /// undecided instance whose current coordinator is that site.
+    pub fn on_suspect(&mut self, site: SiteId) -> Actions {
+        let insts: Vec<u64> = self
+            .insts
+            .iter()
+            .filter(|(_, i)| !i.decided && !i.est.is_empty())
+            .map(|(&k, _)| k)
+            .collect();
+        let mut acts = Actions::none();
+        for inst in insts {
+            let i = self.insts.get_mut(&inst).expect("listed");
+            if self.view.coordinator(i.round) == Some(site) {
+                i.round += 1;
+                acts.merge(self.restart(inst));
+            }
+        }
+        acts
+    }
+
+    /// A new view was installed: re-kick undecided instances so they keep
+    /// making progress under the new coordinator mapping.
+    pub fn set_view(&mut self, view: GroupView) -> Actions {
+        self.view = view;
+        let insts: Vec<u64> = self
+            .insts
+            .iter()
+            .filter(|(_, i)| !i.decided && !i.est.is_empty())
+            .map(|(&k, _)| k)
+            .collect();
+        let mut acts = Actions::none();
+        for inst in insts {
+            acts.merge(self.restart(inst));
+        }
+        acts
+    }
+
+    /// Instances below `below` are decided everywhere; drop their state.
+    pub fn gc(&mut self, below: u64) {
+        self.gc_below = self.gc_below.max(below);
+        let lim = self.gc_below;
+        self.insts.retain(|&k, _| k >= lim);
+    }
+
+    /// Start (or restart) coordination for the instance's current round.
+    fn restart(&mut self, inst: u64) -> Actions {
+        let me = self.site;
+        let i = self.insts.get_mut(&inst).expect("instance exists");
+        let round = i.round;
+        match self.view.coordinator(round) {
+            Some(c) if c == me => self.start_collect(inst, round),
+            Some(c) => {
+                let i = self.insts.get(&inst).expect("instance exists");
+                Actions {
+                    out: vec![(
+                        c,
+                        ConsMsg::Kick {
+                            inst,
+                            round,
+                            est: i.est.clone(),
+                            est_round: i.est_round,
+                        },
+                    )],
+                    decide: None,
+                }
+            }
+            None => Actions::none(),
+        }
+    }
+
+    /// Begin the read phase for `round` of `inst` (we are its coordinator).
+    fn start_collect(&mut self, inst: u64, round: u64) -> Actions {
+        let me = self.site;
+        let peers: Vec<SiteId> = self
+            .view
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != me)
+            .collect();
+        let i = self.insts.entry(inst).or_default();
+        if i.decided {
+            return Actions::none();
+        }
+        if let Some(c) = &i.coord {
+            if c.round >= round {
+                return Actions::none(); // already coordinating this round
+            }
+        }
+        i.max_round = i.max_round.max(round);
+        i.round = i.round.max(round);
+        let mut est_from = HashSet::new();
+        est_from.insert(me);
+        i.coord = Some(CoordState {
+            round,
+            phase: Phase::Collecting,
+            ests: vec![(i.est.clone(), i.est_round)],
+            est_from,
+            acks: HashSet::new(),
+        });
+        let mut acts = Actions {
+            out: peers
+                .into_iter()
+                .map(|p| (p, ConsMsg::Collect { inst, round }))
+                .collect(),
+            decide: None,
+        };
+        // Single-member view: our own estimate is already a majority.
+        acts.merge(self.try_choose(inst));
+        acts
+    }
+
+    fn on_kick(
+        &mut self,
+        from: SiteId,
+        inst: u64,
+        round: u64,
+        est: Vec<AbMsg>,
+        est_round: u64,
+    ) -> Actions {
+        if inst < self.gc_below {
+            return Actions::none();
+        }
+        let me = self.site;
+        if self.view.coordinator(round) != Some(me) {
+            return Actions::none();
+        }
+        {
+            let i = self.insts.entry(inst).or_default();
+            if i.decided {
+                return Actions::none();
+            }
+            // Adopt the kicker's estimate as ours if we have none.
+            if i.est.is_empty() {
+                i.est = est.clone();
+                i.est_round = est_round;
+            }
+            i.round = i.round.max(round);
+        }
+        let mut acts = self.start_collect(inst, round);
+        // Record the kicker's estimate as if it were an Estimate reply.
+        acts.merge(self.record_estimate(from, inst, round, est, est_round));
+        acts
+    }
+
+    fn on_collect(&mut self, from: SiteId, inst: u64, round: u64) -> Actions {
+        if inst < self.gc_below {
+            return Actions::none();
+        }
+        let i = self.insts.entry(inst).or_default();
+        if i.decided || round < i.max_round {
+            return Actions::none();
+        }
+        i.max_round = round;
+        i.round = i.round.max(round);
+        Actions {
+            out: vec![(
+                from,
+                ConsMsg::Estimate {
+                    inst,
+                    round,
+                    est: i.est.clone(),
+                    est_round: i.est_round,
+                },
+            )],
+            decide: None,
+        }
+    }
+
+    fn on_estimate(
+        &mut self,
+        from: SiteId,
+        inst: u64,
+        round: u64,
+        est: Vec<AbMsg>,
+        est_round: u64,
+    ) -> Actions {
+        if inst < self.gc_below {
+            return Actions::none();
+        }
+        self.record_estimate(from, inst, round, est, est_round)
+    }
+
+    fn record_estimate(
+        &mut self,
+        from: SiteId,
+        inst: u64,
+        round: u64,
+        est: Vec<AbMsg>,
+        est_round: u64,
+    ) -> Actions {
+        let Some(i) = self.insts.get_mut(&inst) else {
+            return Actions::none();
+        };
+        let Some(c) = &mut i.coord else {
+            return Actions::none();
+        };
+        if c.round != round || !matches!(c.phase, Phase::Collecting) {
+            return Actions::none();
+        }
+        if !c.est_from.insert(from) {
+            return Actions::none();
+        }
+        c.ests.push((est, est_round));
+        self.try_choose(inst)
+    }
+
+    /// If the read phase has a majority and a non-empty candidate, move to
+    /// the write phase.
+    fn try_choose(&mut self, inst: u64) -> Actions {
+        let me = self.site;
+        let majority = self.view.majority();
+        let peers: Vec<SiteId> = self
+            .view
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != me)
+            .collect();
+        let Some(i) = self.insts.get_mut(&inst) else {
+            return Actions::none();
+        };
+        if i.decided {
+            return Actions::none();
+        }
+        let Some(c) = &mut i.coord else {
+            return Actions::none();
+        };
+        if !matches!(c.phase, Phase::Collecting) || c.est_from.len() < majority {
+            return Actions::none();
+        }
+        let max_adopted = c.ests.iter().map(|&(_, r)| r).max().unwrap_or(0);
+        let value: Vec<AbMsg> = if max_adopted > 0 {
+            c.ests
+                .iter()
+                .find(|&&(_, r)| r == max_adopted)
+                .expect("max exists")
+                .0
+                .clone()
+        } else {
+            // Nothing adopted anywhere: any proposal is safe; take the
+            // deduplicated union, sorted by uid for determinism.
+            let mut seen: HashSet<MsgUid> = HashSet::new();
+            let mut v: Vec<AbMsg> = c
+                .ests
+                .iter()
+                .flat_map(|(e, _)| e.iter().cloned())
+                .filter(|m| seen.insert(m.uid))
+                .collect();
+            v.sort_by_key(|m| m.uid);
+            v
+        };
+        if value.is_empty() {
+            // No estimate anywhere yet; stay in the read phase and wait for
+            // further estimates (a kicker's estimate will arrive).
+            return Actions::none();
+        }
+        let round = c.round;
+        c.phase = Phase::Proposing(value.clone());
+        c.acks.clear();
+        c.acks.insert(me);
+        // Adopt our own proposal (est_round carries the +1 offset).
+        i.est = value.clone();
+        i.est_round = round + 1;
+        i.max_round = i.max_round.max(round);
+        let mut acts = Actions {
+            out: peers
+                .into_iter()
+                .map(|p| {
+                    (
+                        p,
+                        ConsMsg::Propose {
+                            inst,
+                            round,
+                            value: value.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            decide: None,
+        };
+        acts.merge(self.try_decide(inst));
+        acts
+    }
+
+    fn on_propose(&mut self, from: SiteId, inst: u64, round: u64, value: Vec<AbMsg>) -> Actions {
+        if inst < self.gc_below {
+            return Actions::none();
+        }
+        let i = self.insts.entry(inst).or_default();
+        if i.decided || round < i.max_round {
+            return Actions::none();
+        }
+        i.max_round = round;
+        i.round = i.round.max(round);
+        i.est = value;
+        i.est_round = round + 1;
+        Actions {
+            out: vec![(from, ConsMsg::Ack { inst, round })],
+            decide: None,
+        }
+    }
+
+    fn on_ack(&mut self, from: SiteId, inst: u64, round: u64) -> Actions {
+        if inst < self.gc_below {
+            return Actions::none();
+        }
+        let Some(i) = self.insts.get_mut(&inst) else {
+            return Actions::none();
+        };
+        let Some(c) = &mut i.coord else {
+            return Actions::none();
+        };
+        if c.round != round || !matches!(c.phase, Phase::Proposing(_)) {
+            return Actions::none();
+        }
+        c.acks.insert(from);
+        self.try_decide(inst)
+    }
+
+    fn try_decide(&mut self, inst: u64) -> Actions {
+        let majority = self.view.majority();
+        let Some(i) = self.insts.get_mut(&inst) else {
+            return Actions::none();
+        };
+        if i.decided {
+            return Actions::none();
+        }
+        let Some(c) = &i.coord else {
+            return Actions::none();
+        };
+        let Phase::Proposing(v) = &c.phase else {
+            return Actions::none();
+        };
+        if c.acks.len() < majority {
+            return Actions::none();
+        }
+        let value = v.clone();
+        i.decided = true;
+        i.coord = None;
+        Actions {
+            out: Vec::new(),
+            decide: Some((inst, value)),
+        }
+    }
+}
+
+/// Handler ids of the registered consensus microprotocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsensusHandlers {
+    /// `propose` (bound to `ConsPropose`).
+    pub propose: HandlerId,
+    /// `on_msg` (bound to `FromRComm`).
+    pub on_msg: HandlerId,
+    /// `on_suspect` (bound to `Suspect`).
+    pub on_suspect: HandlerId,
+    /// `gc` (bound to `ConsGc`).
+    pub gc: HandlerId,
+    /// `view_change` (bound to `ViewChange`).
+    pub view_change: HandlerId,
+}
+
+/// Emit a transition's actions as events: point-to-point sends via
+/// `SendOut`, decisions as a RelCast flood.
+fn emit(ctx: &Ctx, ev: &Events, acts: Actions) -> Result<()> {
+    for (target, msg) in acts.out {
+        ctx.trigger(ev.send_out, EventData::new((Payload::Cons(msg), target)))?;
+    }
+    if let Some((inst, batch)) = acts.decide {
+        ctx.trigger(ev.bcast, EventData::new(CastData::Decide { inst, batch }))?;
+    }
+    Ok(())
+}
+
+/// Register the consensus microprotocol on the builder.
+pub fn register(
+    b: &mut StackBuilder,
+    pid: ProtocolId,
+    ev: &Events,
+    state: ProtocolState<ConsensusState>,
+) -> ConsensusHandlers {
+    let events = *ev;
+
+    let propose = {
+        let state = state.clone();
+        let e = ev.cons_propose;
+        b.bind(e, pid, "consensus.propose", move |ctx, data| {
+            let (inst, value): &(u64, Vec<AbMsg>) = data.expect(e)?;
+            let acts = state.with(ctx, |s| s.propose(*inst, value.clone()));
+            emit(ctx, &events, acts)
+        })
+    };
+
+    let on_msg = {
+        let state = state.clone();
+        let e = ev.from_rcomm;
+        b.bind(e, pid, "consensus.on_msg", move |ctx, data| {
+            let d: &RDeliver = data.expect(e)?;
+            let Payload::Cons(msg) = &d.payload else {
+                return Ok(()); // RelCast traffic; not ours
+            };
+            let acts = state.with(ctx, |s| s.on_msg(d.sender, msg.clone()));
+            emit(ctx, &events, acts)
+        })
+    };
+
+    let on_suspect = {
+        let state = state.clone();
+        let e = ev.suspect;
+        b.bind(e, pid, "consensus.on_suspect", move |ctx, data| {
+            let site: &SiteId = data.expect(e)?;
+            let acts = state.with(ctx, |s| s.on_suspect(*site));
+            emit(ctx, &events, acts)
+        })
+    };
+
+    let gc = {
+        let state = state.clone();
+        let e = ev.cons_gc;
+        b.bind(e, pid, "consensus.gc", move |ctx, data| {
+            let below: &u64 = data.expect(e)?;
+            state.with(ctx, |s| s.gc(*below));
+            Ok(())
+        })
+    };
+
+    let view_change = {
+        let state = state.clone();
+        let e = ev.view_change;
+        b.bind(e, pid, "consensus.view_change", move |ctx, data| {
+            let v: &GroupView = data.expect(e)?;
+            let acts = state.with(ctx, |s| s.set_view(v.clone()));
+            emit(ctx, &events, acts)
+        })
+    };
+
+    ConsensusHandlers {
+        propose,
+        on_msg,
+        on_suspect,
+        gc,
+        view_change,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msgs::AbPayload;
+    use bytes::Bytes;
+
+    fn s(i: u16) -> SiteId {
+        SiteId(i)
+    }
+
+    fn msg(origin: u16, seq: u64) -> AbMsg {
+        AbMsg {
+            uid: MsgUid {
+                origin: s(origin),
+                seq,
+            },
+            payload: AbPayload::User(Bytes::from_static(b"m")),
+        }
+    }
+
+    /// A tiny message bus driving several ConsensusState instances to
+    /// completion — pure state-machine testing without the runtime.
+    struct Bus {
+        sites: Vec<ConsensusState>,
+        decided: Vec<Option<(u64, Vec<AbMsg>)>>,
+    }
+
+    impl Bus {
+        fn new(n: u16) -> Bus {
+            let view = GroupView::of_first(n as usize);
+            Bus {
+                sites: (0..n).map(|i| ConsensusState::new(s(i), view.clone())).collect(),
+                decided: (0..n).map(|_| None).collect(),
+            }
+        }
+
+        /// Apply actions originating at `from`, delivering messages
+        /// immediately (depth-first), skipping sites in `down`.
+        fn run(&mut self, from: usize, acts: Actions, down: &[usize]) {
+            if let Some(d) = acts.decide {
+                // Decide floods via RelCast: all live sites learn it.
+                for (i, slot) in self.decided.iter_mut().enumerate() {
+                    if !down.contains(&i) && slot.is_none() {
+                        *slot = Some(d.clone());
+                    }
+                }
+            }
+            let _ = from;
+            for (target, m) in acts.out {
+                let t = target.index();
+                if down.contains(&t) {
+                    continue;
+                }
+                let reply = self.sites[t].on_msg(s(from as u16), m);
+                self.run(t, reply, down);
+            }
+        }
+    }
+
+    #[test]
+    fn three_sites_decide_proposers_value() {
+        let mut bus = Bus::new(3);
+        let v = vec![msg(0, 1)];
+        // Site 0 is coordinator of round 0 and proposes.
+        let acts = bus.sites[0].propose(0, v.clone());
+        bus.run(0, acts, &[]);
+        for d in &bus.decided {
+            assert_eq!(d.as_ref().unwrap(), &(0, v.clone()));
+        }
+    }
+
+    #[test]
+    fn non_coordinator_kicks_coordinator() {
+        let mut bus = Bus::new(3);
+        let v = vec![msg(1, 1)];
+        // Site 1 proposes; coordinator of round 0 is site 0.
+        let acts = bus.sites[1].propose(0, v.clone());
+        assert!(matches!(acts.out.as_slice(), [(t, ConsMsg::Kick { .. })] if *t == s(0)));
+        bus.run(1, acts, &[]);
+        assert_eq!(bus.decided[2].as_ref().unwrap(), &(0, v));
+    }
+
+    #[test]
+    fn union_used_when_nothing_adopted() {
+        let mut bus = Bus::new(3);
+        // Sites 1 and 2 both kick coordinator 0 with different estimates.
+        let a1 = bus.sites[1].propose(0, vec![msg(1, 1)]);
+        bus.run(1, a1, &[]);
+        // After the first kick the coordinator may already have decided
+        // (majority = 2 and it had the kicker's estimate). The decided
+        // value must contain site 1's message.
+        let d = bus.decided[0].clone().unwrap();
+        assert!(d.1.iter().any(|m| m.uid.origin == s(1)));
+    }
+
+    #[test]
+    fn coordinator_crash_second_round_decides() {
+        let mut bus = Bus::new(3);
+        let v = vec![msg(1, 7)];
+        // Coordinator 0 is down; site 1 proposes into the void.
+        let acts = bus.sites[1].propose(0, v.clone());
+        bus.run(1, acts, &[0]); // kick lost on crashed site
+        assert!(bus.decided[1].is_none());
+        // FD on sites 1 and 2 suspects site 0; round advances to 1 whose
+        // coordinator is site 1.
+        let acts = bus.sites[1].on_suspect(s(0));
+        bus.run(1, acts, &[0]);
+        assert_eq!(bus.decided[1].as_ref().unwrap(), &(0, v.clone()));
+        assert_eq!(bus.decided[2].as_ref().unwrap(), &(0, v));
+    }
+
+    #[test]
+    fn single_member_view_decides_alone() {
+        let view = GroupView::of_first(1);
+        let mut c = ConsensusState::new(s(0), view);
+        let v = vec![msg(0, 1)];
+        let acts = c.propose(0, v.clone());
+        assert_eq!(acts.decide, Some((0, v)));
+        assert!(acts.out.is_empty());
+    }
+
+    #[test]
+    fn stale_rounds_are_rejected() {
+        let view = GroupView::of_first(3);
+        let mut c = ConsensusState::new(s(2), view);
+        // Promise round 5.
+        let a = c.on_msg(s(1), ConsMsg::Collect { inst: 0, round: 5 });
+        assert_eq!(a.out.len(), 1);
+        // An older propose must be ignored.
+        let a = c.on_msg(
+            s(0),
+            ConsMsg::Propose {
+                inst: 0,
+                round: 3,
+                value: vec![msg(0, 1)],
+            },
+        );
+        assert!(a.out.is_empty());
+    }
+
+    #[test]
+    fn adopted_value_survives_coordinator_change() {
+        // Site 0 (coordinator r0) gets majority acks from itself+site1 for
+        // value A but crashes before flooding the decision widely... here:
+        // before site 2 learns anything. Round 1's coordinator (site 1)
+        // must re-decide the SAME value A because site 1 adopted it.
+        let view = GroupView::of_first(3);
+        let a_val = vec![msg(0, 1)];
+        let mut c1 = ConsensusState::new(s(1), view.clone());
+        let mut c2 = ConsensusState::new(s(2), view);
+        // Site 1 adopted A in round 0 (received Propose from site 0).
+        let acts = c1.on_msg(
+            s(0),
+            ConsMsg::Propose {
+                inst: 0,
+                round: 0,
+                value: a_val.clone(),
+            },
+        );
+        assert_eq!(acts.out.len(), 1); // ack to site 0 (lost, site 0 dead)
+        // Site 2 has a different initial estimate.
+        let _ = c2.propose(0, vec![msg(2, 9)]);
+        // Both suspect site 0; round -> 1, coordinator site 1.
+        let kick2 = c2.on_suspect(s(0));
+        let start1 = c1.on_suspect(s(0));
+        // Site 1 starts collecting; feed it site 2's kick and its Estimate.
+        let mut pending = Vec::new();
+        pending.extend(start1.out);
+        for (t, m) in kick2.out {
+            assert_eq!(t, s(1));
+            let a = c1.on_msg(s(2), m);
+            pending.extend(a.out);
+        }
+        // Deliver Collect to site 2, Estimate back to 1, Propose to 2, Ack
+        // back to 1.
+        let mut decided = None;
+        let mut queue: Vec<(SiteId, SiteId, ConsMsg)> =
+            pending.into_iter().map(|(t, m)| (s(1), t, m)).collect();
+        while let Some((from, to, m)) = queue.pop() {
+            let acts = if to == s(1) {
+                c1.on_msg(from, m)
+            } else if to == s(2) {
+                c2.on_msg(from, m)
+            } else {
+                continue; // site 0 is dead
+            };
+            if let Some(d) = acts.decide {
+                decided = Some(d);
+            }
+            for (t, m) in acts.out {
+                queue.push((to, t, m));
+            }
+        }
+        // Safety: the decided value is A, not site 2's estimate.
+        assert_eq!(decided, Some((0, a_val)));
+    }
+
+    #[test]
+    fn gc_drops_instances_and_ignores_stale_messages() {
+        let view = GroupView::of_first(3);
+        let mut c = ConsensusState::new(s(0), view);
+        let _ = c.propose(0, vec![msg(0, 1)]);
+        assert_eq!(c.live_instances(), 1);
+        c.gc(1);
+        assert_eq!(c.live_instances(), 0);
+        let a = c.on_msg(s(1), ConsMsg::Collect { inst: 0, round: 9 });
+        assert!(a.out.is_empty());
+        // New instances still work.
+        let a = c.propose(1, vec![msg(0, 2)]);
+        assert!(!a.out.is_empty() || a.decide.is_some());
+    }
+}

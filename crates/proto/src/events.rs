@@ -1,0 +1,88 @@
+//! The event types shared by the group-communication stack.
+//!
+//! These mirror the paper's §3 event names (`SendOut`, `FromRComm`,
+//! `Bcast`, `DeliverOut`, `ABcast`, `ViewChange`, …) plus the external
+//! events injected by the Network Module and the timer module.
+
+use samoa_core::prelude::*;
+
+/// All event types of one site's stack, declared once at startup.
+#[derive(Debug, Clone, Copy)]
+pub struct Events {
+    /// Raw RelComm data frame arrived from the network (external).
+    pub rc_data: EventType,
+    /// Raw RelComm ack arrived from the network (external).
+    pub rc_ack: EventType,
+    /// Reliable point-to-point send request: `(Payload, target)`.
+    pub send_out: EventType,
+    /// RelComm delivered a payload reliably: [`RDeliver`](crate::relcomm::RDeliver).
+    pub from_rcomm: EventType,
+    /// Reliable-broadcast request: payload [`CastData`](crate::msgs::CastData).
+    pub bcast: EventType,
+    /// Reliable-broadcast delivery: payload [`CastMsg`](crate::msgs::CastMsg).
+    pub deliver_out: EventType,
+    /// Atomic-broadcast request: payload [`AbPayload`](crate::msgs::AbPayload).
+    pub abcast: EventType,
+    /// Atomic-broadcast delivery (totally ordered): payload [`AbMsg`](crate::msgs::AbMsg).
+    pub adeliver: EventType,
+    /// A new view is installed: payload [`GroupView`](crate::view::GroupView).
+    pub view_change: EventType,
+    /// Join/leave request: payload `(ViewOp, SiteId)` (external).
+    pub join_leave: EventType,
+    /// Failure-detector timer tick (external).
+    pub fd_tick: EventType,
+    /// A heartbeat arrived: payload `SiteId` (external).
+    pub fd_beat: EventType,
+    /// Retransmission timer tick (external).
+    pub retransmit_tick: EventType,
+    /// The failure detector suspects a site: payload `SiteId`.
+    pub suspect: EventType,
+    /// Ask consensus to propose: payload `(u64 instance, Vec<AbMsg>)`.
+    pub cons_propose: EventType,
+    /// Instances below the payload `u64` are decided; consensus may GC.
+    pub cons_gc: EventType,
+    /// Join-time state transfer carried a view: payload
+    /// [`SyncMsg`](crate::msgs::SyncMsg); membership installs it directly.
+    pub view_sync: EventType,
+}
+
+impl Events {
+    /// Declare every event type on the builder.
+    pub fn declare(b: &mut StackBuilder) -> Events {
+        Events {
+            rc_data: b.event("RcData"),
+            rc_ack: b.event("RcAck"),
+            send_out: b.event("SendOut"),
+            from_rcomm: b.event("FromRComm"),
+            bcast: b.event("Bcast"),
+            deliver_out: b.event("DeliverOut"),
+            abcast: b.event("ABcast"),
+            adeliver: b.event("ADeliver"),
+            view_change: b.event("ViewChange"),
+            join_leave: b.event("JoinLeave"),
+            fd_tick: b.event("FdTick"),
+            fd_beat: b.event("FdBeat"),
+            retransmit_tick: b.event("RetransmitTick"),
+            suspect: b.event("Suspect"),
+            cons_propose: b.event("ConsPropose"),
+            cons_gc: b.event("ConsGc"),
+            view_sync: b.event("ViewSync"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_registers_distinct_events() {
+        let mut b = StackBuilder::new();
+        let ev = Events::declare(&mut b);
+        let s = b.build();
+        assert_eq!(s.event_count(), 17);
+        assert_eq!(s.event_name(ev.send_out), "SendOut");
+        assert_eq!(s.event_name(ev.view_change), "ViewChange");
+        assert_ne!(ev.rc_data, ev.rc_ack);
+    }
+}

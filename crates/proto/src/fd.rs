@@ -1,0 +1,167 @@
+//! Heartbeat failure detector (◇S-style substrate for consensus and
+//! membership).
+//!
+//! On each `FdTick` the detector sends raw heartbeats to every other member
+//! and suspects members not heard from within the timeout. Suspicions are
+//! announced once per site via the `Suspect` event; a heartbeat from a
+//! suspected site rescinds the suspicion (eventual accuracy under the
+//! simulator's fault model).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use samoa_core::prelude::*;
+use samoa_net::{SiteId, Transport};
+
+use crate::events::Events;
+use crate::msgs::Wire;
+use crate::view::GroupView;
+
+/// The local state of the failure-detector microprotocol.
+pub struct FdState {
+    site: SiteId,
+    view: GroupView,
+    last_heard: HashMap<SiteId, Instant>,
+    suspected: HashSet<SiteId>,
+    timeout: Duration,
+    started: Instant,
+}
+
+impl FdState {
+    /// Fresh state; every member gets a grace period of `timeout` from now.
+    pub fn new(site: SiteId, view: GroupView, timeout: Duration) -> Self {
+        FdState {
+            site,
+            view,
+            last_heard: HashMap::new(),
+            suspected: HashSet::new(),
+            timeout,
+            started: Instant::now(),
+        }
+    }
+
+    /// Currently suspected sites.
+    pub fn suspects(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.suspected.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Handler ids of the registered failure detector.
+#[derive(Debug, Clone, Copy)]
+pub struct FdHandlers {
+    /// `tick` (bound to `FdTick`).
+    pub tick: HandlerId,
+    /// `beat` (bound to `FdBeat`).
+    pub beat: HandlerId,
+    /// `view_change` (bound to `ViewChange`).
+    pub view_change: HandlerId,
+}
+
+/// Register the failure detector on the builder.
+pub fn register(
+    b: &mut StackBuilder,
+    pid: ProtocolId,
+    ev: &Events,
+    state: ProtocolState<FdState>,
+    net: Arc<dyn Transport>,
+) -> FdHandlers {
+    let tick = {
+        let state = state.clone();
+        let net = Arc::clone(&net);
+        let e = ev.fd_tick;
+        let suspect_ev = ev.suspect;
+        b.bind(e, pid, "fd.tick", move |ctx, _| {
+            let (me, peers, suspects) = state.with(ctx, |s| {
+                let now = Instant::now();
+                let peers: Vec<SiteId> = s
+                    .view
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != s.site)
+                    .collect();
+                for &m in &peers {
+                    let heard = *s.last_heard.get(&m).unwrap_or(&s.started);
+                    if now.duration_since(heard) > s.timeout {
+                        s.suspected.insert(m);
+                    }
+                }
+                // Announce *standing* suspicions every tick (◇S exposes its
+                // suspect list continuously): consensus instances created
+                // after the first announcement still learn that their
+                // round's coordinator is suspected.
+                (s.site, peers, s.suspects())
+            });
+            for &m in &peers {
+                net.send(me, m, Wire::Heartbeat.encode());
+            }
+            for m in suspects {
+                ctx.trigger_all(suspect_ev, EventData::new(m))?;
+            }
+            Ok(())
+        })
+    };
+
+    let beat = {
+        let state = state.clone();
+        let e = ev.fd_beat;
+        b.bind(e, pid, "fd.beat", move |ctx, data| {
+            let sender: &SiteId = data.expect(e)?;
+            state.with(ctx, |s| {
+                s.last_heard.insert(*sender, Instant::now());
+                s.suspected.remove(sender);
+            });
+            Ok(())
+        })
+    };
+
+    let view_change = {
+        let state = state.clone();
+        let e = ev.view_change;
+        b.bind(e, pid, "fd.view_change", move |ctx, data| {
+            let v: &GroupView = data.expect(e)?;
+            state.with(ctx, |s| {
+                s.view = v.clone();
+                let view = s.view.clone();
+                s.suspected.retain(|m| view.contains(*m));
+            });
+            Ok(())
+        })
+    };
+
+    FdHandlers {
+        tick,
+        beat,
+        view_change,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_suspects_nobody() {
+        let s = FdState::new(
+            SiteId(0),
+            GroupView::of_first(3),
+            Duration::from_millis(100),
+        );
+        assert!(s.suspects().is_empty());
+    }
+
+    #[test]
+    fn suspects_sorted() {
+        let mut s = FdState::new(
+            SiteId(0),
+            GroupView::of_first(4),
+            Duration::from_millis(100),
+        );
+        s.suspected.insert(SiteId(3));
+        s.suspected.insert(SiteId(1));
+        assert_eq!(s.suspects(), vec![SiteId(1), SiteId(3)]);
+    }
+}

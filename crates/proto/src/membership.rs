@@ -1,0 +1,158 @@
+//! `Membership` — consistent group views (paper §3).
+//!
+//! Join/leave requests are funnelled through atomic broadcast, so every site
+//! applies the same view operations in the same order; upon delivery the new
+//! view is propagated locally to all interested microprotocols with a
+//! *synchronous* `triggerAll ViewChange` ("to deliver views to all in a
+//! sequential order"), exactly as the paper's `deliverView` does.
+//!
+//! The failure detector's `Suspect` events are converted into leave
+//! requests, closing the loop: crashed sites are eventually excluded.
+
+use samoa_core::prelude::*;
+use samoa_net::SiteId;
+
+use crate::events::Events;
+use crate::msgs::{AbMsg, AbPayload, SyncMsg};
+use crate::view::{GroupView, ViewOp};
+
+/// The local state of the membership microprotocol.
+pub struct MembershipState {
+    view: GroupView,
+    /// All views installed so far (diagnostics; the paper's view history).
+    pub history: Vec<GroupView>,
+    /// Sites whose removal this node has already requested, so repeated
+    /// failure-detector announcements do not flood atomic broadcast with
+    /// duplicate leave operations.
+    leave_requested: std::collections::HashSet<SiteId>,
+}
+
+impl MembershipState {
+    /// Fresh state with the initial view.
+    pub fn new(view: GroupView) -> Self {
+        MembershipState {
+            history: vec![view.clone()],
+            view,
+            leave_requested: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &GroupView {
+        &self.view
+    }
+}
+
+/// Handler ids of the registered membership microprotocol.
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipHandlers {
+    /// `joinleave` (bound to `JoinLeave`).
+    pub joinleave: HandlerId,
+    /// `deliver_view` (bound to `ADeliver`).
+    pub deliver_view: HandlerId,
+    /// `on_suspect` (bound to `Suspect`).
+    pub on_suspect: HandlerId,
+    /// `adopt_view` (bound to `ViewSync`): install a state-transferred view.
+    pub adopt_view: HandlerId,
+}
+
+/// Register the membership microprotocol on the builder.
+pub fn register(
+    b: &mut StackBuilder,
+    pid: ProtocolId,
+    ev: &Events,
+    state: ProtocolState<MembershipState>,
+) -> MembershipHandlers {
+    let events = *ev;
+
+    let joinleave = {
+        let e = ev.join_leave;
+        b.bind(e, pid, "membership.joinleave", move |ctx, data| {
+            let (op, site): &(ViewOp, SiteId) = data.expect(e)?;
+            // `trigger ABcast [op site]` — the paper's joinleave body.
+            ctx.trigger(events.abcast, EventData::new(AbPayload::ViewOp(*op, *site)))
+        })
+    };
+
+    let deliver_view = {
+        let state = state.clone();
+        let e = ev.adeliver;
+        b.bind(e, pid, "membership.deliver_view", move |ctx, data| {
+            let m: &AbMsg = data.expect(e)?;
+            let AbPayload::ViewOp(op, site) = &m.payload else {
+                return Ok(()); // user payload; not ours
+            };
+            let new_view = state.with(ctx, |s| {
+                s.view = s.view.apply(*op, *site);
+                s.history.push(s.view.clone());
+                // Once a site is actually out, a future re-join may be
+                // suspected (and removed) again.
+                let view = s.view.clone();
+                s.leave_requested.retain(|m| view.contains(*m));
+                s.view.clone()
+            });
+            // `triggerAll ViewChange view` — synchronous propagation.
+            ctx.trigger_all(events.view_change, EventData::new(new_view))
+        })
+    };
+
+    let on_suspect = {
+        let state = state.clone();
+        let e = ev.suspect;
+        b.bind(e, pid, "membership.on_suspect", move |ctx, data| {
+            let site: &SiteId = data.expect(e)?;
+            let should_request =
+                state.with(ctx, |s| s.view.contains(*site) && s.leave_requested.insert(*site));
+            if should_request {
+                ctx.trigger(
+                    events.abcast,
+                    EventData::new(AbPayload::ViewOp(ViewOp::Leave, *site)),
+                )?;
+            }
+            Ok(())
+        })
+    };
+
+    let adopt_view = {
+        let state = state.clone();
+        let e = ev.view_sync;
+        b.bind(e, pid, "membership.adopt_view", move |ctx, data| {
+            let sync: &SyncMsg = data.expect(e)?;
+            let installed = state.with(ctx, |s| {
+                if sync.view_id > s.view.id {
+                    s.view = GroupView::from_parts(sync.view_id, sync.members.iter().copied());
+                    s.history.push(s.view.clone());
+                    Some(s.view.clone())
+                } else {
+                    None
+                }
+            });
+            if let Some(view) = installed {
+                ctx.trigger_all(events.view_change, EventData::new(view))?;
+            }
+            Ok(())
+        })
+    };
+
+    MembershipHandlers {
+        joinleave,
+        deliver_view,
+        on_suspect,
+        adopt_view,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_records_history() {
+        let mut s = MembershipState::new(GroupView::of_first(2));
+        assert_eq!(s.history.len(), 1);
+        s.view = s.view.apply(ViewOp::Join, SiteId(5));
+        s.history.push(s.view.clone());
+        assert_eq!(s.history.len(), 2);
+        assert!(s.view().contains(SiteId(5)));
+    }
+}

@@ -1,0 +1,670 @@
+//! Wire messages of the group-communication stack, with a hand-rolled
+//! binary codec (no external serialisation dependency; see DESIGN.md).
+//!
+//! Layering, bottom-up:
+//!
+//! * [`Wire`] — what actually crosses the simulated network: RelComm data
+//!   frames and acks, plus raw failure-detector heartbeats.
+//! * [`Payload`] — what RelComm delivers reliably: RelCast traffic
+//!   ([`CastMsg`]) or consensus point-to-point messages ([`ConsMsg`]).
+//! * [`CastMsg`] — what RelCast floods: user broadcasts, atomic-broadcast
+//!   requests, or consensus decisions (decisions ride RelCast so every site
+//!   learns them even if the coordinator crashes mid-broadcast).
+//! * [`AbMsg`] — what atomic broadcast orders: user payloads or membership
+//!   view operations.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use samoa_net::SiteId;
+
+use crate::view::ViewOp;
+
+/// Unique id of a broadcast message: originating site plus a per-origin
+/// sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgUid {
+    /// The site that created the message.
+    pub origin: SiteId,
+    /// The origin's sequence number.
+    pub seq: u64,
+}
+
+/// A payload ordered by atomic broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbPayload {
+    /// Application data.
+    User(Bytes),
+    /// A membership view operation.
+    ViewOp(ViewOp, SiteId),
+}
+
+/// One atomic-broadcast message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbMsg {
+    /// Unique id (also the tie-breaker for in-batch delivery order).
+    pub uid: MsgUid,
+    /// The payload to order.
+    pub payload: AbPayload,
+}
+
+/// The payload of a RelCast message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CastData {
+    /// Application-level reliable broadcast.
+    User(Bytes),
+    /// Dissemination of an atomic-broadcast request.
+    AbRequest(AbMsg),
+    /// A consensus decision: instance number plus the decided batch.
+    Decide {
+        /// Consensus instance.
+        inst: u64,
+        /// The decided batch of messages, to deliver in `uid` order.
+        batch: Vec<AbMsg>,
+    },
+}
+
+/// One RelCast message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CastMsg {
+    /// Unique id used for duplicate suppression across rebroadcasts.
+    pub uid: MsgUid,
+    /// The flooded payload.
+    pub data: CastData,
+}
+
+/// A consensus point-to-point message (rotating-coordinator consensus with
+/// a Paxos-style read phase; see `consensus.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsMsg {
+    /// Ask `round`'s coordinator to start (sent by participants that
+    /// suspect the previous coordinator or hold undecided proposals). The
+    /// kicker's estimate rides along so the coordinator always has a
+    /// non-empty value to work with.
+    Kick {
+        /// Consensus instance.
+        inst: u64,
+        /// Round to start.
+        round: u64,
+        /// The kicker's current estimate.
+        est: Vec<AbMsg>,
+        /// Round in which `est` was adopted (0 = never).
+        est_round: u64,
+    },
+    /// Coordinator's read phase: collect estimates.
+    Collect {
+        /// Consensus instance.
+        inst: u64,
+        /// Round being read.
+        round: u64,
+    },
+    /// Participant's reply to `Collect`: its current estimate and the round
+    /// in which that estimate was adopted (0 = never adopted).
+    Estimate {
+        /// Consensus instance.
+        inst: u64,
+        /// Round being replied to.
+        round: u64,
+        /// The participant's estimate.
+        est: Vec<AbMsg>,
+        /// Round in which `est` was adopted.
+        est_round: u64,
+    },
+    /// Coordinator's write phase: adopt this value.
+    Propose {
+        /// Consensus instance.
+        inst: u64,
+        /// Round of the proposal.
+        round: u64,
+        /// Proposed value.
+        value: Vec<AbMsg>,
+    },
+    /// Participant's acknowledgement of a proposal.
+    Ack {
+        /// Consensus instance.
+        inst: u64,
+        /// Acknowledged round.
+        round: u64,
+    },
+}
+
+/// Ordering-state snapshot sent to a freshly joined site so it can
+/// participate in atomic broadcast from the current instance onward
+/// (simplified view-synchronous state transfer: the joiner receives the
+/// *ordering* state, not the past message history).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncMsg {
+    /// The next undecided consensus instance.
+    pub next_inst: u64,
+    /// Uids already delivered (so re-flooded requests are not re-ordered).
+    pub delivered: Vec<MsgUid>,
+    /// The sender's current view (the joiner installs it directly — it
+    /// cannot learn it through ADeliver, whose prefix it missed).
+    pub view_id: u64,
+    /// Members of that view.
+    pub members: Vec<SiteId>,
+}
+
+/// What RelComm delivers to upper microprotocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// RelCast traffic.
+    Cast(CastMsg),
+    /// Consensus point-to-point traffic.
+    Cons(ConsMsg),
+    /// Join-time state transfer.
+    Sync(SyncMsg),
+}
+
+/// A datagram on the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Wire {
+    /// RelComm data frame: per-destination sequence number plus payload.
+    Data {
+        /// RelComm sequence number (per sender→receiver channel).
+        seq: u64,
+        /// The reliable payload.
+        payload: Payload,
+    },
+    /// RelComm acknowledgement of `seq`.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+    /// Raw failure-detector heartbeat (bypasses RelComm).
+    Heartbeat,
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+/// Encoding/decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of bytes.
+    Truncated,
+    /// Unknown enum tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated message"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type DecResult<T> = Result<T, CodecError>;
+
+fn need(buf: &impl Buf, n: usize) -> DecResult<()> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_bytes(out: &mut BytesMut, b: &Bytes) {
+    out.put_u32_le(b.len() as u32);
+    out.put_slice(b);
+}
+
+fn get_bytes(buf: &mut Bytes) -> DecResult<Bytes> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len)?;
+    Ok(buf.split_to(len))
+}
+
+fn put_uid(out: &mut BytesMut, uid: MsgUid) {
+    out.put_u16_le(uid.origin.0);
+    out.put_u64_le(uid.seq);
+}
+
+fn get_uid(buf: &mut Bytes) -> DecResult<MsgUid> {
+    need(buf, 10)?;
+    Ok(MsgUid {
+        origin: SiteId(buf.get_u16_le()),
+        seq: buf.get_u64_le(),
+    })
+}
+
+fn put_ab(out: &mut BytesMut, m: &AbMsg) {
+    put_uid(out, m.uid);
+    match &m.payload {
+        AbPayload::User(b) => {
+            out.put_u8(0);
+            put_bytes(out, b);
+        }
+        AbPayload::ViewOp(op, site) => {
+            out.put_u8(1);
+            out.put_u8(match op {
+                ViewOp::Join => 0,
+                ViewOp::Leave => 1,
+            });
+            out.put_u16_le(site.0);
+        }
+    }
+}
+
+fn get_ab(buf: &mut Bytes) -> DecResult<AbMsg> {
+    let uid = get_uid(buf)?;
+    need(buf, 1)?;
+    let payload = match buf.get_u8() {
+        0 => AbPayload::User(get_bytes(buf)?),
+        1 => {
+            need(buf, 3)?;
+            let op = match buf.get_u8() {
+                0 => ViewOp::Join,
+                1 => ViewOp::Leave,
+                t => return Err(CodecError::BadTag(t)),
+            };
+            AbPayload::ViewOp(op, SiteId(buf.get_u16_le()))
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok(AbMsg { uid, payload })
+}
+
+fn put_batch(out: &mut BytesMut, batch: &[AbMsg]) {
+    out.put_u32_le(batch.len() as u32);
+    for m in batch {
+        put_ab(out, m);
+    }
+}
+
+fn get_batch(buf: &mut Bytes) -> DecResult<Vec<AbMsg>> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    // Sanity bound: each AbMsg is at least 11 bytes.
+    if n > buf.remaining() / 11 + 1 {
+        return Err(CodecError::Truncated);
+    }
+    (0..n).map(|_| get_ab(buf)).collect()
+}
+
+fn put_cast(out: &mut BytesMut, m: &CastMsg) {
+    put_uid(out, m.uid);
+    match &m.data {
+        CastData::User(b) => {
+            out.put_u8(0);
+            put_bytes(out, b);
+        }
+        CastData::AbRequest(ab) => {
+            out.put_u8(1);
+            put_ab(out, ab);
+        }
+        CastData::Decide { inst, batch } => {
+            out.put_u8(2);
+            out.put_u64_le(*inst);
+            put_batch(out, batch);
+        }
+    }
+}
+
+fn get_cast(buf: &mut Bytes) -> DecResult<CastMsg> {
+    let uid = get_uid(buf)?;
+    need(buf, 1)?;
+    let data = match buf.get_u8() {
+        0 => CastData::User(get_bytes(buf)?),
+        1 => CastData::AbRequest(get_ab(buf)?),
+        2 => {
+            need(buf, 8)?;
+            let inst = buf.get_u64_le();
+            CastData::Decide {
+                inst,
+                batch: get_batch(buf)?,
+            }
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok(CastMsg { uid, data })
+}
+
+fn put_cons(out: &mut BytesMut, m: &ConsMsg) {
+    match m {
+        ConsMsg::Kick {
+            inst,
+            round,
+            est,
+            est_round,
+        } => {
+            out.put_u8(0);
+            out.put_u64_le(*inst);
+            out.put_u64_le(*round);
+            out.put_u64_le(*est_round);
+            put_batch(out, est);
+        }
+        ConsMsg::Collect { inst, round } => {
+            out.put_u8(1);
+            out.put_u64_le(*inst);
+            out.put_u64_le(*round);
+        }
+        ConsMsg::Estimate {
+            inst,
+            round,
+            est,
+            est_round,
+        } => {
+            out.put_u8(2);
+            out.put_u64_le(*inst);
+            out.put_u64_le(*round);
+            out.put_u64_le(*est_round);
+            put_batch(out, est);
+        }
+        ConsMsg::Propose { inst, round, value } => {
+            out.put_u8(3);
+            out.put_u64_le(*inst);
+            out.put_u64_le(*round);
+            put_batch(out, value);
+        }
+        ConsMsg::Ack { inst, round } => {
+            out.put_u8(4);
+            out.put_u64_le(*inst);
+            out.put_u64_le(*round);
+        }
+    }
+}
+
+fn get_cons(buf: &mut Bytes) -> DecResult<ConsMsg> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    need(buf, 16)?;
+    let inst = buf.get_u64_le();
+    let round = buf.get_u64_le();
+    Ok(match tag {
+        0 => {
+            need(buf, 8)?;
+            let est_round = buf.get_u64_le();
+            ConsMsg::Kick {
+                inst,
+                round,
+                est: get_batch(buf)?,
+                est_round,
+            }
+        }
+        1 => ConsMsg::Collect { inst, round },
+        2 => {
+            need(buf, 8)?;
+            let est_round = buf.get_u64_le();
+            ConsMsg::Estimate {
+                inst,
+                round,
+                est: get_batch(buf)?,
+                est_round,
+            }
+        }
+        3 => ConsMsg::Propose {
+            inst,
+            round,
+            value: get_batch(buf)?,
+        },
+        4 => ConsMsg::Ack { inst, round },
+        t => return Err(CodecError::BadTag(t)),
+    })
+}
+
+fn put_sync(out: &mut BytesMut, s: &SyncMsg) {
+    out.put_u64_le(s.next_inst);
+    out.put_u64_le(s.view_id);
+    out.put_u32_le(s.members.len() as u32);
+    for m in &s.members {
+        out.put_u16_le(m.0);
+    }
+    out.put_u32_le(s.delivered.len() as u32);
+    for uid in &s.delivered {
+        put_uid(out, *uid);
+    }
+}
+
+fn get_sync(buf: &mut Bytes) -> DecResult<SyncMsg> {
+    need(buf, 20)?;
+    let next_inst = buf.get_u64_le();
+    let view_id = buf.get_u64_le();
+    let n_members = buf.get_u32_le() as usize;
+    if n_members > buf.remaining() / 2 + 1 {
+        return Err(CodecError::Truncated);
+    }
+    let members = (0..n_members)
+        .map(|_| {
+            need(buf, 2)?;
+            Ok(SiteId(buf.get_u16_le()))
+        })
+        .collect::<DecResult<Vec<_>>>()?;
+    need(buf, 4)?;
+    let n_uids = buf.get_u32_le() as usize;
+    if n_uids > buf.remaining() / 10 + 1 {
+        return Err(CodecError::Truncated);
+    }
+    let delivered = (0..n_uids).map(|_| get_uid(buf)).collect::<DecResult<Vec<_>>>()?;
+    Ok(SyncMsg {
+        next_inst,
+        delivered,
+        view_id,
+        members,
+    })
+}
+
+impl Wire {
+    /// Serialise to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(64);
+        match self {
+            Wire::Data { seq, payload } => {
+                out.put_u8(0);
+                out.put_u64_le(*seq);
+                match payload {
+                    Payload::Cast(c) => {
+                        out.put_u8(0);
+                        put_cast(&mut out, c);
+                    }
+                    Payload::Cons(c) => {
+                        out.put_u8(1);
+                        put_cons(&mut out, c);
+                    }
+                    Payload::Sync(s) => {
+                        out.put_u8(2);
+                        put_sync(&mut out, s);
+                    }
+                }
+            }
+            Wire::Ack { seq } => {
+                out.put_u8(1);
+                out.put_u64_le(*seq);
+            }
+            Wire::Heartbeat => {
+                out.put_u8(2);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Deserialise from bytes.
+    pub fn decode(mut buf: Bytes) -> DecResult<Wire> {
+        need(&buf, 1)?;
+        match buf.get_u8() {
+            0 => {
+                need(&buf, 9)?;
+                let seq = buf.get_u64_le();
+                let payload = match buf.get_u8() {
+                    0 => Payload::Cast(get_cast(&mut buf)?),
+                    1 => Payload::Cons(get_cons(&mut buf)?),
+                    2 => Payload::Sync(get_sync(&mut buf)?),
+                    t => return Err(CodecError::BadTag(t)),
+                };
+                Ok(Wire::Data { seq, payload })
+            }
+            1 => {
+                need(&buf, 8)?;
+                Ok(Wire::Ack {
+                    seq: buf.get_u64_le(),
+                })
+            }
+            2 => Ok(Wire::Heartbeat),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(o: u16, s: u64) -> MsgUid {
+        MsgUid {
+            origin: SiteId(o),
+            seq: s,
+        }
+    }
+
+    fn roundtrip(w: Wire) {
+        let enc = w.encode();
+        let dec = Wire::decode(enc).expect("decode");
+        assert_eq!(dec, w);
+    }
+
+    #[test]
+    fn roundtrip_ack_and_heartbeat() {
+        roundtrip(Wire::Ack { seq: 0 });
+        roundtrip(Wire::Ack { seq: u64::MAX });
+        roundtrip(Wire::Heartbeat);
+    }
+
+    #[test]
+    fn roundtrip_user_cast() {
+        roundtrip(Wire::Data {
+            seq: 7,
+            payload: Payload::Cast(CastMsg {
+                uid: uid(3, 9),
+                data: CastData::User(Bytes::from_static(b"payload")),
+            }),
+        });
+    }
+
+    #[test]
+    fn roundtrip_empty_user_payload() {
+        roundtrip(Wire::Data {
+            seq: 0,
+            payload: Payload::Cast(CastMsg {
+                uid: uid(0, 0),
+                data: CastData::User(Bytes::new()),
+            }),
+        });
+    }
+
+    #[test]
+    fn roundtrip_ab_request_and_view_op() {
+        roundtrip(Wire::Data {
+            seq: 1,
+            payload: Payload::Cast(CastMsg {
+                uid: uid(1, 2),
+                data: CastData::AbRequest(AbMsg {
+                    uid: uid(1, 5),
+                    payload: AbPayload::ViewOp(ViewOp::Leave, SiteId(4)),
+                }),
+            }),
+        });
+        roundtrip(Wire::Data {
+            seq: 1,
+            payload: Payload::Cast(CastMsg {
+                uid: uid(1, 3),
+                data: CastData::AbRequest(AbMsg {
+                    uid: uid(1, 6),
+                    payload: AbPayload::User(Bytes::from_static(b"x")),
+                }),
+            }),
+        });
+    }
+
+    #[test]
+    fn roundtrip_decide_with_batch() {
+        let batch = vec![
+            AbMsg {
+                uid: uid(0, 1),
+                payload: AbPayload::User(Bytes::from_static(b"a")),
+            },
+            AbMsg {
+                uid: uid(2, 1),
+                payload: AbPayload::ViewOp(ViewOp::Join, SiteId(9)),
+            },
+        ];
+        roundtrip(Wire::Data {
+            seq: 2,
+            payload: Payload::Cast(CastMsg {
+                uid: uid(0, 4),
+                data: CastData::Decide { inst: 11, batch },
+            }),
+        });
+    }
+
+    #[test]
+    fn roundtrip_all_consensus_messages() {
+        let batch = vec![AbMsg {
+            uid: uid(1, 1),
+            payload: AbPayload::User(Bytes::from_static(b"v")),
+        }];
+        for m in [
+            ConsMsg::Kick {
+                inst: 1,
+                round: 2,
+                est: batch.clone(),
+                est_round: 0,
+            },
+            ConsMsg::Collect { inst: 1, round: 2 },
+            ConsMsg::Estimate {
+                inst: 1,
+                round: 2,
+                est: batch.clone(),
+                est_round: 1,
+            },
+            ConsMsg::Propose {
+                inst: 1,
+                round: 2,
+                value: batch.clone(),
+            },
+            ConsMsg::Ack { inst: 3, round: 4 },
+        ] {
+            roundtrip(Wire::Data {
+                seq: 5,
+                payload: Payload::Cons(m),
+            });
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Wire::decode(Bytes::new()), Err(CodecError::Truncated));
+        assert_eq!(
+            Wire::decode(Bytes::from_static(&[9])),
+            Err(CodecError::BadTag(9))
+        );
+        assert_eq!(
+            Wire::decode(Bytes::from_static(&[0, 1, 2])),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_oversized_batch_count() {
+        // Data frame claiming a huge batch but providing no bytes.
+        let mut out = BytesMut::new();
+        out.put_u8(0); // Wire::Data
+        out.put_u64_le(1); // seq
+        out.put_u8(0); // Payload::Cast
+        out.put_u16_le(0); // uid.origin
+        out.put_u64_le(0); // uid.seq
+        out.put_u8(2); // CastData::Decide
+        out.put_u64_le(0); // inst
+        out.put_u32_le(u32::MAX); // absurd batch length
+        assert_eq!(Wire::decode(out.freeze()), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn uid_ordering_is_origin_then_seq() {
+        assert!(uid(0, 5) < uid(1, 0));
+        assert!(uid(1, 1) < uid(1, 2));
+    }
+}

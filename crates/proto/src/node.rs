@@ -1,0 +1,693 @@
+//! One site of the group-communication system: a SAMOA runtime running the
+//! full stack (RelComm, RelCast, failure detector, consensus, atomic
+//! broadcast, membership, application sink) over the simulated network —
+//! plus [`Cluster`], a convenience bundle of `n` such sites.
+//!
+//! ## External events and their isolation declarations
+//!
+//! Every external event spawns a computation (paper §4). What the
+//! computation declares depends on the node's [`StackPolicy`]:
+//!
+//! * [`StackPolicy::Basic`] — `isolated M e` with `M` = the microprotocols
+//!   the event's cascade can reach (e.g. an inbound ack only touches
+//!   RelComm; an inbound consensus message may reach everything). This is
+//!   exactly the paper's `isolated [relComm relCast ...] {trigger FromNet m}`.
+//! * [`StackPolicy::Bound`] — `isolated bound`, with generous visit bounds
+//!   derived from the view size (the paper notes that tight bounds are hard
+//!   to state for recursive protocols; ours are safe over-approximations).
+//! * [`StackPolicy::Route`] — `isolated route`, with the routing pattern cut
+//!   from the stack's static call graph, rooted at the event's handler.
+//! * [`StackPolicy::Serial`] — the Appia baseline: every computation
+//!   declares every microprotocol.
+//! * [`StackPolicy::Unsync`] — the Cactus-without-locks baseline: no
+//!   isolation. The §3 "Problem" race is observable under this policy.
+//! * [`StackPolicy::TwoPhase`] — conservative 2PL over the same sets as
+//!   `Basic`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use samoa_core::prelude::*;
+use samoa_net::{NetConfig, NetHandle, SimNet, SiteId, Transport};
+
+use crate::abcast::{self, AbcastState};
+use crate::app::{self, AppState};
+use crate::consensus::{self, ConsensusState};
+use crate::events::Events;
+use crate::fd::{self, FdState};
+use crate::membership::{self, MembershipState};
+use crate::msgs::{AbPayload, CastData, Payload, Wire};
+use crate::relcast::{self, RelCastState};
+use crate::relcomm::{self, RcAckIn, RcDataIn, RelCommState};
+use crate::view::{GroupView, ViewOp};
+
+/// Which isolation policy the node's external events run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackPolicy {
+    /// No isolation (Cactus-without-locks baseline).
+    Unsync,
+    /// Fully serial computations (Appia baseline).
+    Serial,
+    /// `isolated M e` — VCAbasic.
+    Basic,
+    /// `isolated bound M e` — VCAbound.
+    Bound,
+    /// `isolated route M e` — VCAroute.
+    Route,
+    /// Conservative two-phase locking.
+    TwoPhase,
+}
+
+/// Node tunables.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Isolation policy for external events.
+    pub policy: StackPolicy,
+    /// RelComm retransmission timeout.
+    pub rto: Duration,
+    /// Timer period (retransmission + failure detection).
+    pub tick_interval: Duration,
+    /// Failure-detector suspicion timeout.
+    pub fd_timeout: Duration,
+    /// Run the failure detector (off by default so fault-free workloads can
+    /// fully quiesce).
+    pub enable_fd: bool,
+    /// Run the retransmission timer (on by default).
+    pub enable_timers: bool,
+    /// Initial group view (defaults to all sites of the network).
+    pub initial_members: Option<Vec<SiteId>>,
+    /// Worker threads per computation (1 keeps intra-computation event
+    /// processing FIFO, which the delivery-order assertions rely on).
+    pub intra_threads: usize,
+    /// Record history for the isolation checker.
+    pub record_history: bool,
+    /// Artificial delay in RelComm's `view_change` handler (experiment E5's
+    /// race-window widener; zero in normal operation).
+    pub view_change_delay: Duration,
+    /// Ablation knob (experiment E8): declare *every* microprotocol for
+    /// every external event instead of the event-kind-specific tight sets.
+    /// The paper notes that `M` "could be inferred statically" — this knob
+    /// measures what that inference buys.
+    pub declare_all: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            policy: StackPolicy::Basic,
+            rto: Duration::from_millis(25),
+            tick_interval: Duration::from_millis(10),
+            fd_timeout: Duration::from_millis(200),
+            enable_fd: false,
+            enable_timers: true,
+            initial_members: None,
+            intra_threads: 1,
+            record_history: false,
+            view_change_delay: Duration::ZERO,
+            declare_all: false,
+        }
+    }
+}
+
+impl NodeConfig {
+    /// Default config with the given policy.
+    pub fn with_policy(policy: StackPolicy) -> Self {
+        NodeConfig {
+            policy,
+            ..NodeConfig::default()
+        }
+    }
+}
+
+/// The kind of external event (selects the isolation declaration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExtKind {
+    /// Inbound data frame whose cascade may reach the whole stack.
+    DataFull,
+    /// Inbound data frame carrying a plain user broadcast.
+    DataUser,
+    /// Inbound RelComm ack.
+    Ack,
+    /// Inbound heartbeat.
+    Beat,
+    /// Application reliable-broadcast request.
+    RbRequest,
+    /// Application atomic-broadcast request.
+    AbRequest,
+    /// Join/leave request.
+    JoinLeave,
+    /// Retransmission tick.
+    RetrTick,
+    /// Failure-detector tick.
+    FdTick,
+}
+
+/// Precomputed declarations for each external-event kind.
+struct DeclSets {
+    all: Vec<ProtocolId>,
+    relcomm_only: Vec<ProtocolId>,
+    fd_only: Vec<ProtocolId>,
+    user_cast: Vec<ProtocolId>,
+    bounds_all: Vec<(ProtocolId, u64)>,
+    bounds_relcomm: Vec<(ProtocolId, u64)>,
+    bounds_fd: Vec<(ProtocolId, u64)>,
+    bounds_user_cast: Vec<(ProtocolId, u64)>,
+    routes: RouteTable,
+}
+
+struct RouteTable {
+    data: RoutePattern,
+    ack: RoutePattern,
+    beat: RoutePattern,
+    rb: RoutePattern,
+    ab: RoutePattern,
+    joinleave: RoutePattern,
+    retr: RoutePattern,
+    fd_tick: RoutePattern,
+}
+
+/// One site of the group-communication system.
+pub struct Node {
+    /// This node's site id.
+    pub site: SiteId,
+    rt: Runtime,
+    ev: Events,
+    net: NetHandle,
+    cfg: NodeConfig,
+    decls: DeclSets,
+    app: ProtocolState<AppState>,
+    membership: ProtocolState<MembershipState>,
+    relcomm: ProtocolState<RelCommState>,
+    relcast: ProtocolState<RelCastState>,
+    abcast: ProtocolState<AbcastState>,
+    fd: ProtocolState<FdState>,
+    consensus: ProtocolState<ConsensusState>,
+    stop: Arc<AtomicBool>,
+    timer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Node {
+    /// Build the node, wire its stack, register it on the network, and (if
+    /// enabled) start its timers.
+    #[allow(clippy::vec_init_then_push)] // the edge list reads best as a script
+    pub fn new(net: NetHandle, site: SiteId, cfg: NodeConfig) -> Arc<Node> {
+        let view = match &cfg.initial_members {
+            Some(m) => GroupView::initial(m.iter().copied()),
+            None => GroupView::initial(net.sites()),
+        };
+        let n_sites = net.site_count() as u64;
+
+        let mut b = StackBuilder::new();
+        let p_relcomm = b.protocol("RelComm");
+        let p_relcast = b.protocol("RelCast");
+        let p_fd = b.protocol("FD");
+        let p_consensus = b.protocol("Consensus");
+        let p_abcast = b.protocol("ABcast");
+        let p_membership = b.protocol("Membership");
+        let p_app = b.protocol("App");
+        let ev = Events::declare(&mut b);
+
+        let relcomm_st = ProtocolState::new(p_relcomm, RelCommState::new(site, view.clone(), cfg.rto));
+        let relcast_st = ProtocolState::new(p_relcast, RelCastState::new(site, view.clone()));
+        let fd_st = ProtocolState::new(p_fd, FdState::new(site, view.clone(), cfg.fd_timeout));
+        let consensus_st = ProtocolState::new(p_consensus, ConsensusState::new(site, view.clone()));
+        let abcast_st = ProtocolState::new(p_abcast, AbcastState::new(site, view.clone()));
+        let membership_st = ProtocolState::new(p_membership, MembershipState::new(view));
+        let app_st = ProtocolState::new(p_app, AppState::default());
+
+        if !cfg.view_change_delay.is_zero() {
+            relcomm_st.write(|s| s.view_change_delay = cfg.view_change_delay);
+        }
+
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        // RelCast registers before RelComm so that `triggerAll ViewChange`
+        // updates the upper layer first — the §3 race window: RelCast fans
+        // out using the new view while RelComm still holds the old one.
+        let h_cast = relcast::register(&mut b, p_relcast, &ev, relcast_st.clone());
+        let h_rc = relcomm::register(&mut b, p_relcomm, &ev, relcomm_st.clone(), Arc::clone(&transport));
+        let h_fd = fd::register(&mut b, p_fd, &ev, fd_st.clone(), transport);
+        let h_cons = consensus::register(&mut b, p_consensus, &ev, consensus_st.clone());
+        let h_ab = abcast::register(&mut b, p_abcast, &ev, abcast_st.clone());
+        let h_mem = membership::register(&mut b, p_membership, &ev, membership_st.clone());
+        let h_app = app::register(&mut b, p_app, &ev, app_st.clone());
+
+        // ---- static call graph for `isolated route` patterns ----
+        let view_change_targets = [
+            h_rc.view_change,
+            h_cast.view_change,
+            h_fd.view_change,
+            h_cons.view_change,
+            h_ab.view_change,
+            h_app.on_view,
+        ];
+        let deliver_out_targets = [h_ab.on_deliver, h_app.on_deliver];
+        let mut edges: Vec<(HandlerId, HandlerId)> = Vec::new();
+        // relcomm.recv_data -> FromRComm handlers
+        edges.push((h_rc.recv_data, h_cast.recv));
+        edges.push((h_rc.recv_data, h_cons.on_msg));
+        edges.push((h_rc.recv_data, h_ab.on_sync));
+        // join-time state transfer
+        edges.push((h_ab.on_sync, h_mem.adopt_view));
+        edges.push((h_ab.on_sync, h_cons.gc));
+        edges.push((h_ab.on_sync, h_cons.propose));
+        // relcast.{bcast,recv} -> relcomm.send + DeliverOut handlers
+        for src in [h_cast.bcast, h_cast.recv] {
+            edges.push((src, h_rc.send));
+            for &t in &deliver_out_targets {
+                edges.push((src, t));
+            }
+        }
+        // abcast.request -> relcast.bcast
+        edges.push((h_ab.request, h_cast.bcast));
+        // abcast.on_deliver -> consensus.propose/gc + ADeliver handlers
+        edges.push((h_ab.on_deliver, h_cons.propose));
+        edges.push((h_ab.on_deliver, h_cons.gc));
+        edges.push((h_ab.on_deliver, h_mem.deliver_view));
+        edges.push((h_ab.on_deliver, h_app.on_adeliver));
+        // consensus emits point-to-point sends and decide floods
+        for src in [h_cons.propose, h_cons.on_msg, h_cons.on_suspect, h_cons.view_change] {
+            edges.push((src, h_rc.send));
+            edges.push((src, h_cast.bcast));
+        }
+        // membership
+        edges.push((h_mem.joinleave, h_ab.request));
+        edges.push((h_mem.on_suspect, h_ab.request));
+        for &t in &view_change_targets {
+            edges.push((h_mem.deliver_view, t));
+            edges.push((h_mem.adopt_view, t));
+        }
+        // abcast.view_change sends Sync snapshots to joiners
+        edges.push((h_ab.view_change, h_rc.send));
+        // failure detector
+        edges.push((h_fd.tick, h_cons.on_suspect));
+        edges.push((h_fd.tick, h_mem.on_suspect));
+
+        let pattern_for = |root: HandlerId| -> RoutePattern {
+            // Keep only edges reachable from the root.
+            let mut keep = vec![root];
+            let mut pat = RoutePattern::new().root(root);
+            let mut i = 0;
+            while i < keep.len() {
+                let from = keep[i];
+                i += 1;
+                for &(a, bto) in &edges {
+                    if a == from {
+                        pat = pat.edge(a, bto);
+                        if !keep.contains(&bto) {
+                            keep.push(bto);
+                        }
+                    }
+                }
+            }
+            pat
+        };
+
+        let routes = RouteTable {
+            data: pattern_for(h_rc.recv_data),
+            ack: pattern_for(h_rc.recv_ack),
+            beat: pattern_for(h_fd.beat),
+            rb: pattern_for(h_cast.bcast),
+            ab: pattern_for(h_ab.request),
+            joinleave: pattern_for(h_mem.joinleave),
+            retr: pattern_for(h_rc.retransmit),
+            fd_tick: pattern_for(h_fd.tick),
+        };
+
+        let all = vec![
+            p_relcomm,
+            p_relcast,
+            p_fd,
+            p_consensus,
+            p_abcast,
+            p_membership,
+            p_app,
+        ];
+        let user_cast = vec![p_relcomm, p_relcast, p_abcast, p_app];
+        let generous = 8 * n_sites + 16;
+        let bounds = |pids: &[ProtocolId]| -> Vec<(ProtocolId, u64)> {
+            pids.iter().map(|&p| (p, generous)).collect()
+        };
+        let decls = DeclSets {
+            bounds_all: bounds(&all),
+            bounds_relcomm: bounds(&[p_relcomm]),
+            bounds_fd: bounds(&[p_fd]),
+            bounds_user_cast: bounds(&user_cast),
+            all,
+            relcomm_only: vec![p_relcomm],
+            fd_only: vec![p_fd],
+            user_cast,
+            routes,
+        };
+
+        let rt = Runtime::with_config(
+            b.build(),
+            RuntimeConfig {
+                record_history: cfg.record_history,
+                max_threads_per_computation: cfg.intra_threads.max(1),
+            },
+        );
+
+        let node = Arc::new(Node {
+            site,
+            rt,
+            ev,
+            net: net.clone(),
+            cfg,
+            decls,
+            app: app_st,
+            membership: membership_st,
+            relcomm: relcomm_st,
+            relcast: relcast_st,
+            abcast: abcast_st,
+            fd: fd_st,
+            consensus: consensus_st,
+            stop: Arc::new(AtomicBool::new(false)),
+            timer: Mutex::new(None),
+        });
+
+        // Network Module: decode, classify, spawn an isolated computation.
+        {
+            let weak = Arc::downgrade(&node);
+            net.register(site, move |dg| {
+                if let Some(node) = weak.upgrade() {
+                    node.on_datagram(dg.from, dg.payload);
+                }
+            });
+        }
+
+        // Timer Module.
+        if node.cfg.enable_timers {
+            let weak: Weak<Node> = Arc::downgrade(&node);
+            let stop = Arc::clone(&node.stop);
+            let interval = node.cfg.tick_interval;
+            let fd_enabled = node.cfg.enable_fd;
+            let t = std::thread::Builder::new()
+                .name(format!("node-{}-timer", site.0))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(interval);
+                        let Some(node) = weak.upgrade() else { break };
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        node.spawn_external(ExtKind::RetrTick, node.ev.retransmit_tick, EventData::empty());
+                        if fd_enabled {
+                            node.spawn_external(ExtKind::FdTick, node.ev.fd_tick, EventData::empty());
+                        }
+                    }
+                })
+                .expect("spawn timer thread");
+            *node.timer.lock() = Some(t);
+        }
+
+        node
+    }
+
+    /// Handle one inbound datagram (the Network Module).
+    fn on_datagram(&self, from: SiteId, payload: Bytes) {
+        match Wire::decode(payload) {
+            Ok(Wire::Data { seq, payload }) => {
+                let kind = match &payload {
+                    Payload::Cast(c) if matches!(c.data, CastData::User(_)) => ExtKind::DataUser,
+                    _ => ExtKind::DataFull,
+                };
+                self.spawn_external(
+                    kind,
+                    self.ev.rc_data,
+                    EventData::new(RcDataIn {
+                        sender: from,
+                        seq,
+                        payload,
+                    }),
+                );
+            }
+            Ok(Wire::Ack { seq }) => {
+                self.spawn_external(
+                    ExtKind::Ack,
+                    self.ev.rc_ack,
+                    EventData::new(RcAckIn { sender: from, seq }),
+                );
+            }
+            Ok(Wire::Heartbeat) => {
+                self.spawn_external(ExtKind::Beat, self.ev.fd_beat, EventData::new(from));
+            }
+            Err(_) => { /* malformed datagram: drop, like a real UDP stack */ }
+        }
+    }
+
+    /// Spawn the isolated computation for an external event, declaring
+    /// according to the node's policy (see module docs).
+    fn spawn_external(&self, kind: ExtKind, event: EventType, data: EventData) {
+        let d = &self.decls;
+        let (basic, bound, route): (&[ProtocolId], &[(ProtocolId, u64)], &RoutePattern) = match kind
+        {
+            ExtKind::DataFull | ExtKind::AbRequest | ExtKind::JoinLeave => {
+                let route = match kind {
+                    ExtKind::DataFull => &d.routes.data,
+                    ExtKind::AbRequest => &d.routes.ab,
+                    _ => &d.routes.joinleave,
+                };
+                (&d.all, &d.bounds_all, route)
+            }
+            ExtKind::DataUser => (&d.user_cast, &d.bounds_user_cast, &d.routes.data),
+            ExtKind::RbRequest => (&d.user_cast, &d.bounds_user_cast, &d.routes.rb),
+            ExtKind::Ack => (&d.relcomm_only, &d.bounds_relcomm, &d.routes.ack),
+            ExtKind::RetrTick => (&d.relcomm_only, &d.bounds_relcomm, &d.routes.retr),
+            ExtKind::Beat => (&d.fd_only, &d.bounds_fd, &d.routes.beat),
+            ExtKind::FdTick => (&d.all, &d.bounds_all, &d.routes.fd_tick),
+        };
+        // E8 ablation: coarse declarations serialise unrelated event kinds.
+        let (basic, bound) = if self.cfg.declare_all {
+            (&d.all[..], &d.bounds_all[..])
+        } else {
+            (basic, bound)
+        };
+        let body = move |ctx: &Ctx| ctx.trigger(event, data);
+        match self.cfg.policy {
+            StackPolicy::Unsync => self.rt.spawn(Decl::Unsync, body),
+            StackPolicy::Serial => self.rt.spawn(Decl::Serial, body),
+            StackPolicy::Basic => self.rt.spawn(Decl::Basic(basic), body),
+            StackPolicy::Bound => self.rt.spawn(Decl::Bound(bound), body),
+            StackPolicy::Route => self.rt.spawn(Decl::Route(route), body),
+            StackPolicy::TwoPhase => self.rt.spawn(Decl::TwoPhase(basic), body),
+        };
+    }
+
+    /// Application request: reliable broadcast (RelCast).
+    pub fn rbcast(&self, data: impl Into<Bytes>) {
+        self.spawn_external(
+            ExtKind::RbRequest,
+            self.ev.bcast,
+            EventData::new(CastData::User(data.into())),
+        );
+    }
+
+    /// Application request: atomic broadcast.
+    pub fn abcast(&self, data: impl Into<Bytes>) {
+        self.spawn_external(
+            ExtKind::AbRequest,
+            self.ev.abcast,
+            EventData::new(AbPayload::User(data.into())),
+        );
+    }
+
+    /// Request that `site` join the group.
+    pub fn request_join(&self, site: SiteId) {
+        self.spawn_external(
+            ExtKind::JoinLeave,
+            self.ev.join_leave,
+            EventData::new((ViewOp::Join, site)),
+        );
+    }
+
+    /// Request that `site` leave the group.
+    pub fn request_leave(&self, site: SiteId) {
+        self.spawn_external(
+            ExtKind::JoinLeave,
+            self.ev.join_leave,
+            EventData::new((ViewOp::Leave, site)),
+        );
+    }
+
+    /// Reliable-broadcast deliveries observed by the application.
+    pub fn rb_delivered(&self) -> Vec<(SiteId, Bytes)> {
+        self.app.read(|s| s.rb_delivered.clone())
+    }
+
+    /// Atomic-broadcast deliveries observed by the application (the total
+    /// order).
+    pub fn ab_delivered(&self) -> Vec<(SiteId, Bytes)> {
+        self.app.read(|s| s.ab_delivered.clone())
+    }
+
+    /// Views the application saw installed.
+    pub fn observed_views(&self) -> Vec<GroupView> {
+        self.app.read(|s| s.views.clone())
+    }
+
+    /// Membership's current view.
+    pub fn current_view(&self) -> GroupView {
+        self.membership.read(|s| s.view().clone())
+    }
+
+    /// RelComm retransmission count (diagnostics).
+    pub fn retransmissions(&self) -> u64 {
+        self.relcomm.read(|s| s.retransmissions)
+    }
+
+    /// RelComm messages sent but not yet acknowledged (diagnostics).
+    pub fn relcomm_pending(&self) -> usize {
+        self.relcomm.read(|s| s.pending_count())
+    }
+
+    /// Sends RelComm discarded because the target was outside its view
+    /// (the §3 race indicator under `Unsync`; see EXPERIMENTS.md E5).
+    pub fn relcomm_discards(&self) -> u64 {
+        self.relcomm.read(|s| s.discarded)
+    }
+
+    /// Distinct RelCast messages seen (diagnostics).
+    pub fn cast_seen(&self) -> usize {
+        self.relcast.read(|s| s.seen_count())
+    }
+
+    /// Undelivered atomic-broadcast requests (diagnostics).
+    pub fn ab_pending(&self) -> usize {
+        self.abcast.read(|s| s.pending_count())
+    }
+
+    /// Sites this node's failure detector currently suspects.
+    pub fn suspects(&self) -> Vec<SiteId> {
+        self.fd.read(|s| s.suspects())
+    }
+
+    /// Live consensus instances (diagnostics).
+    pub fn consensus_instances(&self) -> usize {
+        self.consensus.read(|s| s.live_instances())
+    }
+
+    /// The node's SAMOA runtime (for quiescing and isolation checks).
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// The network this node is attached to.
+    pub fn net(&self) -> &NetHandle {
+        &self.net
+    }
+
+    /// Stop the timer thread. Idempotent.
+    pub fn stop_timers(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.timer.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The timer thread holds only a Weak reference and wakes every
+        // tick_interval, so it exits on its own; join if still present.
+        if let Some(t) = self.timer.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("site", &self.site)
+            .field("policy", &self.cfg.policy)
+            .finish()
+    }
+}
+
+/// A bundle of `n` nodes over one simulated network.
+pub struct Cluster {
+    net: SimNet,
+    nodes: Vec<Arc<Node>>,
+}
+
+impl Cluster {
+    /// Build `n` nodes over a fresh network.
+    pub fn new(n: usize, net_cfg: NetConfig, node_cfg: NodeConfig) -> Cluster {
+        let net = SimNet::new(n, net_cfg);
+        let nodes = (0..n as u16)
+            .map(|i| Node::new(net.handle(), SiteId(i), node_cfg.clone()))
+            .collect();
+        Cluster { net, nodes }
+    }
+
+    /// Node `i`.
+    pub fn node(&self, i: usize) -> &Arc<Node> {
+        &self.nodes[i]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Arc<Node>] {
+        &self.nodes
+    }
+
+    /// The network handle (for fault injection and stats).
+    pub fn net(&self) -> NetHandle {
+        self.net.handle()
+    }
+
+    /// Drain the whole system to a fixed point: no datagrams in flight and
+    /// no computation running anywhere, stable across one full round.
+    ///
+    /// Only terminates for workloads that stop generating traffic (the
+    /// failure detector's heartbeats never stop; use sleeps and polling for
+    /// FD scenarios instead).
+    pub fn settle(&self) {
+        loop {
+            let before = self.net.total_stats().sent;
+            self.net.quiesce();
+            for n in &self.nodes {
+                n.runtime().quiesce();
+            }
+            self.net.quiesce();
+            let after = self.net.total_stats().sent;
+            if before == after {
+                // One more confirmation round: runtimes idle and no new
+                // sends appeared while we checked.
+                let confirm = self.net.total_stats().sent;
+                for n in &self.nodes {
+                    n.runtime().quiesce();
+                }
+                if self.net.total_stats().sent == confirm {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Stop all timers and shut the network down.
+    pub fn shutdown(&mut self) {
+        for n in &self.nodes {
+            n.stop_timers();
+        }
+        self.net.shutdown();
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}

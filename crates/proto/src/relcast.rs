@@ -1,0 +1,161 @@
+//! `RelCast` — reliable broadcast (paper §3).
+//!
+//! `bcast` sends a message to every site in the current view via RelComm;
+//! on the *first* receipt of a message each site rebroadcasts it before
+//! delivering, so the message reaches all sites of the view even if the
+//! original sender crashes mid-broadcast.
+
+use samoa_core::prelude::*;
+use samoa_net::SiteId;
+
+use crate::events::Events;
+use crate::msgs::{CastData, CastMsg, MsgUid, Payload};
+use crate::relcomm::RDeliver;
+use crate::view::GroupView;
+
+use std::collections::HashSet;
+
+/// The local state of the RelCast microprotocol.
+pub struct RelCastState {
+    site: SiteId,
+    view: GroupView,
+    next_seq: u64,
+    seen: HashSet<MsgUid>,
+}
+
+impl RelCastState {
+    /// Fresh state for `site` with the given initial view.
+    pub fn new(site: SiteId, view: GroupView) -> Self {
+        RelCastState {
+            site,
+            view,
+            next_seq: 0,
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Number of distinct messages seen so far.
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// The view RelCast currently believes in.
+    pub fn view(&self) -> &GroupView {
+        &self.view
+    }
+}
+
+/// Handler ids of the registered RelCast microprotocol.
+#[derive(Debug, Clone, Copy)]
+pub struct RelCastHandlers {
+    /// `bcast` (bound to `Bcast`).
+    pub bcast: HandlerId,
+    /// `recv` (bound to `FromRComm`).
+    pub recv: HandlerId,
+    /// `view_change` (bound to `ViewChange`).
+    pub view_change: HandlerId,
+}
+
+/// Send `msg` to every other member of `view` through RelComm.
+fn fan_out(ctx: &Ctx, ev: &Events, me: SiteId, view: &GroupView, msg: &CastMsg) -> Result<()> {
+    for &target in view.members() {
+        if target != me {
+            ctx.trigger(
+                ev.send_out,
+                EventData::new((Payload::Cast(msg.clone()), target)),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Register RelCast on the builder. Returns its handler ids.
+pub fn register(
+    b: &mut StackBuilder,
+    pid: ProtocolId,
+    ev: &Events,
+    state: ProtocolState<RelCastState>,
+) -> RelCastHandlers {
+    let events = *ev;
+
+    let bcast = {
+        let state = state.clone();
+        let e = ev.bcast;
+        b.bind(e, pid, "relcast.bcast", move |ctx, data| {
+            let cast_data: &CastData = data.expect(e)?;
+            let (me, view, msg) = state.with(ctx, |s| {
+                s.next_seq += 1;
+                let msg = CastMsg {
+                    uid: MsgUid {
+                        origin: s.site,
+                        seq: s.next_seq,
+                    },
+                    data: cast_data.clone(),
+                };
+                s.seen.insert(msg.uid);
+                (s.site, s.view.clone(), msg)
+            });
+            fan_out(ctx, &events, me, &view, &msg)?;
+            // Deliver locally too — the sender is part of the group.
+            ctx.async_trigger_all(events.deliver_out, EventData::new(msg))?;
+            Ok(())
+        })
+    };
+
+    let recv = {
+        let state = state.clone();
+        let e = ev.from_rcomm;
+        b.bind(e, pid, "relcast.recv", move |ctx, data| {
+            let d: &RDeliver = data.expect(e)?;
+            let Payload::Cast(msg) = &d.payload else {
+                return Ok(()); // consensus traffic; not ours
+            };
+            let rebroadcast = state.with(ctx, |s| {
+                if s.seen.insert(msg.uid) {
+                    Some((s.site, s.view.clone()))
+                } else {
+                    None
+                }
+            });
+            if let Some((me, view)) = rebroadcast {
+                // First receipt: rebroadcast, then deliver (paper's recv).
+                fan_out(ctx, &events, me, &view, msg)?;
+                ctx.async_trigger_all(events.deliver_out, EventData::new(msg.clone()))?;
+            }
+            Ok(())
+        })
+    };
+
+    let view_change = {
+        let state = state.clone();
+        let e = ev.view_change;
+        b.bind(e, pid, "relcast.view_change", move |ctx, data| {
+            let v: &GroupView = data.expect(e)?;
+            state.with(ctx, |s| s.view = v.clone());
+            Ok(())
+        })
+    };
+
+    RelCastHandlers {
+        bcast,
+        recv,
+        view_change,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_tracks_seen() {
+        let mut s = RelCastState::new(SiteId(1), GroupView::of_first(2));
+        assert_eq!(s.seen_count(), 0);
+        s.seen.insert(MsgUid {
+            origin: SiteId(0),
+            seq: 1,
+        });
+        assert_eq!(s.seen_count(), 1);
+        assert_eq!(s.view().len(), 2);
+    }
+}

@@ -1,0 +1,317 @@
+//! `RelComm` — reliable point-to-point communication (paper §3).
+//!
+//! Sends datagrams with per-channel sequence numbers, acknowledges and
+//! deduplicates on receipt, and retransmits unacknowledged messages on the
+//! retransmission timer. Messages are only sent to — and only delivered
+//! from — sites in the current view ("this requirement is necessary to
+//! implement finite buffers"); pending messages to sites that leave the
+//! view are discarded.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use samoa_core::prelude::*;
+use samoa_net::{SiteId, Transport};
+
+use crate::events::Events;
+use crate::msgs::{Payload, Wire};
+use crate::view::GroupView;
+
+/// A reliably delivered payload handed to upper microprotocols via the
+/// `FromRComm` event.
+#[derive(Debug, Clone)]
+pub struct RDeliver {
+    /// The sending site.
+    pub sender: SiteId,
+    /// The delivered payload.
+    pub payload: Payload,
+}
+
+/// An inbound data frame (the decoded `Wire::Data`), payload of `RcData`.
+#[derive(Debug, Clone)]
+pub struct RcDataIn {
+    /// The sending site.
+    pub sender: SiteId,
+    /// RelComm channel sequence number.
+    pub seq: u64,
+    /// The carried payload.
+    pub payload: Payload,
+}
+
+/// An inbound ack, payload of `RcAck`.
+#[derive(Debug, Clone, Copy)]
+pub struct RcAckIn {
+    /// The acknowledging site.
+    pub sender: SiteId,
+    /// The acknowledged sequence number.
+    pub seq: u64,
+}
+
+/// Duplicate-suppression state for one inbound channel.
+#[derive(Debug, Default)]
+struct Dedup {
+    /// All sequence numbers `<= low` have been received.
+    low: u64,
+    /// Received sequence numbers above `low`.
+    extra: BTreeSet<u64>,
+}
+
+impl Dedup {
+    /// Record `seq`; returns true when it is fresh.
+    fn fresh(&mut self, seq: u64) -> bool {
+        if seq <= self.low || self.extra.contains(&seq) {
+            return false;
+        }
+        self.extra.insert(seq);
+        while self.extra.remove(&(self.low + 1)) {
+            self.low += 1;
+        }
+        true
+    }
+}
+
+/// The local state of the RelComm microprotocol.
+pub struct RelCommState {
+    site: SiteId,
+    view: GroupView,
+    next_seq: HashMap<SiteId, u64>,
+    pending: HashMap<(SiteId, u64), (Payload, Instant)>,
+    inbound: HashMap<SiteId, Dedup>,
+    rto: Duration,
+    /// Retransmissions performed (observable for tests/benches).
+    pub retransmissions: u64,
+    /// Sends discarded because the target was not in RelComm's view. Under
+    /// an isolating policy this only happens for genuinely departed sites;
+    /// under `Unsync` it also counts the paper's §3 race (an upper layer
+    /// fanned out using a view RelComm has not installed yet).
+    pub discarded: u64,
+    /// Artificial processing delay at the start of `view_change`, used by
+    /// experiment E5 to widen the §3 race window (simulating the "time
+    /// consuming" view installation work the paper's motivation cites).
+    pub view_change_delay: Duration,
+}
+
+impl RelCommState {
+    /// Fresh state for `site` with the given initial view and
+    /// retransmission timeout.
+    pub fn new(site: SiteId, view: GroupView, rto: Duration) -> Self {
+        RelCommState {
+            site,
+            view,
+            next_seq: HashMap::new(),
+            pending: HashMap::new(),
+            inbound: HashMap::new(),
+            rto,
+            retransmissions: 0,
+            discarded: 0,
+            view_change_delay: Duration::ZERO,
+        }
+    }
+
+    /// Messages sent but not yet acknowledged.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The view RelComm currently believes in.
+    pub fn view(&self) -> &GroupView {
+        &self.view
+    }
+}
+
+/// Handler ids of the registered RelComm microprotocol.
+#[derive(Debug, Clone, Copy)]
+pub struct RelCommHandlers {
+    /// `send` (bound to `SendOut`).
+    pub send: HandlerId,
+    /// `recv_data` (bound to `RcData`).
+    pub recv_data: HandlerId,
+    /// `recv_ack` (bound to `RcAck`).
+    pub recv_ack: HandlerId,
+    /// `retransmit` (bound to `RetransmitTick`).
+    pub retransmit: HandlerId,
+    /// `view_change` (bound to `ViewChange`).
+    pub view_change: HandlerId,
+}
+
+/// Register RelComm on the builder. Returns its handler ids.
+pub fn register(
+    b: &mut StackBuilder,
+    pid: ProtocolId,
+    ev: &Events,
+    state: ProtocolState<RelCommState>,
+    net: Arc<dyn Transport>,
+) -> RelCommHandlers {
+    let send = {
+        let state = state.clone();
+        let net = Arc::clone(&net);
+        let e = ev.send_out;
+        b.bind(e, pid, "relcomm.send", move |ctx, data| {
+            let (payload, target): &(Payload, SiteId) = data.expect(e)?;
+            let frame = state.with(ctx, |s| {
+                if !s.view.contains(*target) || *target == s.site {
+                    if *target != s.site {
+                        s.discarded += 1;
+                    }
+                    return None; // discard, as the paper prescribes
+                }
+                let seq = s.next_seq.entry(*target).or_insert(0);
+                *seq += 1;
+                let seq = *seq;
+                s.pending
+                    .insert((*target, seq), (payload.clone(), Instant::now()));
+                Some((s.site, seq))
+            });
+            if let Some((site, seq)) = frame {
+                net.send(
+                    site,
+                    *target,
+                    Wire::Data {
+                        seq,
+                        payload: payload.clone(),
+                    }
+                    .encode(),
+                );
+            }
+            Ok(())
+        })
+    };
+
+    let recv_data = {
+        let state = state.clone();
+        let net = Arc::clone(&net);
+        let e = ev.rc_data;
+        let from_rcomm = ev.from_rcomm;
+        b.bind(e, pid, "relcomm.recv_data", move |ctx, data| {
+            let m: &RcDataIn = data.expect(e)?;
+            let (me, deliver) = state.with(ctx, |s| {
+                let fresh = s.inbound.entry(m.sender).or_default().fresh(m.seq);
+                // Deliver only from in-view senders (paper's recv).
+                (s.site, fresh && s.view.contains(m.sender))
+            });
+            // Always ack — even duplicates (the original ack may be lost).
+            net.send(me, m.sender, Wire::Ack { seq: m.seq }.encode());
+            if deliver {
+                ctx.async_trigger_all(
+                    from_rcomm,
+                    EventData::new(RDeliver {
+                        sender: m.sender,
+                        payload: m.payload.clone(),
+                    }),
+                )?;
+            }
+            Ok(())
+        })
+    };
+
+    let recv_ack = {
+        let state = state.clone();
+        let e = ev.rc_ack;
+        b.bind(e, pid, "relcomm.recv_ack", move |ctx, data| {
+            let a: &RcAckIn = data.expect(e)?;
+            state.with(ctx, |s| {
+                s.pending.remove(&(a.sender, a.seq));
+            });
+            Ok(())
+        })
+    };
+
+    let retransmit = {
+        let state = state.clone();
+        let net = Arc::clone(&net);
+        let e = ev.retransmit_tick;
+        b.bind(e, pid, "relcomm.retransmit", move |ctx, _| {
+            let (me, resend) = state.with(ctx, |s| {
+                let now = Instant::now();
+                let rto = s.rto;
+                // Purge pending messages to departed sites.
+                let view = s.view.clone();
+                s.pending.retain(|(target, _), _| view.contains(*target));
+                let mut resend = Vec::new();
+                for ((target, seq), (payload, last)) in s.pending.iter_mut() {
+                    if now.duration_since(*last) >= rto {
+                        *last = now;
+                        s.retransmissions += 1;
+                        resend.push((*target, *seq, payload.clone()));
+                    }
+                }
+                (s.site, resend)
+            });
+            for (target, seq, payload) in resend {
+                net.send(me, target, Wire::Data { seq, payload }.encode());
+            }
+            Ok(())
+        })
+    };
+
+    let view_change = {
+        let state = state.clone();
+        let e = ev.view_change;
+        b.bind(e, pid, "relcomm.view_change", move |ctx, data| {
+            let v: &GroupView = data.expect(e)?;
+            let delay = state.with(ctx, |s| s.view_change_delay);
+            if !delay.is_zero() {
+                // E5's race-window widener: RelComm is still on the old
+                // view while upper layers already installed the new one.
+                std::thread::sleep(delay);
+            }
+            state.with(ctx, |s| {
+                s.view = v.clone();
+                let view = s.view.clone();
+                s.pending.retain(|(target, _), _| view.contains(*target));
+            });
+            Ok(())
+        })
+    };
+
+    RelCommHandlers {
+        send,
+        recv_data,
+        recv_ack,
+        retransmit,
+        view_change,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_accepts_fresh_rejects_dup() {
+        let mut d = Dedup::default();
+        assert!(d.fresh(1));
+        assert!(!d.fresh(1));
+        assert!(d.fresh(3));
+        assert!(!d.fresh(3));
+        assert!(d.fresh(2));
+        assert!(!d.fresh(2));
+        // Compaction: low advanced past 3, extras drained.
+        assert_eq!(d.low, 3);
+        assert!(d.extra.is_empty());
+        assert!(!d.fresh(0));
+    }
+
+    #[test]
+    fn dedup_handles_large_gaps() {
+        let mut d = Dedup::default();
+        assert!(d.fresh(100));
+        assert_eq!(d.low, 0);
+        assert!(d.fresh(1));
+        assert_eq!(d.low, 1);
+        assert!(!d.fresh(100));
+    }
+
+    #[test]
+    fn state_counters_start_clean() {
+        let s = RelCommState::new(
+            SiteId(0),
+            GroupView::of_first(3),
+            Duration::from_millis(20),
+        );
+        assert_eq!(s.pending_count(), 0);
+        assert_eq!(s.retransmissions, 0);
+        assert_eq!(s.view().len(), 3);
+    }
+}

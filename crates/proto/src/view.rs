@@ -1,0 +1,184 @@
+//! Group views (paper §3: the `Membership` microprotocol maintains a view —
+//! the current set of sites considered nonfaulty — kept consistent across
+//! all sites by funnelling view changes through atomic broadcast).
+
+use std::fmt;
+
+use samoa_net::SiteId;
+
+/// A join or leave operation (the paper's `op: {+,-}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewOp {
+    /// `+ site`
+    Join,
+    /// `- site`
+    Leave,
+}
+
+/// A numbered group view: the set of member sites, kept sorted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupView {
+    /// Monotonically increasing view number.
+    pub id: u64,
+    members: Vec<SiteId>,
+}
+
+impl GroupView {
+    /// The initial view over the given members.
+    pub fn initial(members: impl IntoIterator<Item = SiteId>) -> Self {
+        let mut members: Vec<SiteId> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        GroupView { id: 0, members }
+    }
+
+    /// The initial view of sites `0..n`.
+    pub fn of_first(n: usize) -> Self {
+        GroupView::initial((0..n as u16).map(SiteId))
+    }
+
+    /// Reconstruct a view from its wire representation (id + members). Used
+    /// by join-time state transfer.
+    pub fn from_parts(id: u64, members: impl IntoIterator<Item = SiteId>) -> Self {
+        let mut v = GroupView::initial(members);
+        v.id = id;
+        v
+    }
+
+    /// The member list, sorted ascending.
+    pub fn members(&self) -> &[SiteId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Is `site` a member?
+    pub fn contains(&self, site: SiteId) -> bool {
+        self.members.binary_search(&site).is_ok()
+    }
+
+    /// Apply a view operation, producing the next view. Joining a present
+    /// member or removing an absent one still advances the view number
+    /// (every delivered view op produces a new view, as the paper's
+    /// `view = view op site` does).
+    pub fn apply(&self, op: ViewOp, site: SiteId) -> GroupView {
+        let mut members = self.members.clone();
+        match op {
+            ViewOp::Join => {
+                if let Err(i) = members.binary_search(&site) {
+                    members.insert(i, site);
+                }
+            }
+            ViewOp::Leave => {
+                if let Ok(i) = members.binary_search(&site) {
+                    members.remove(i);
+                }
+            }
+        }
+        GroupView {
+            id: self.id + 1,
+            members,
+        }
+    }
+
+    /// Size of a majority quorum of this view.
+    pub fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// The rotating coordinator for consensus round `round`.
+    pub fn coordinator(&self, round: u64) -> Option<SiteId> {
+        if self.members.is_empty() {
+            None
+        } else {
+            Some(self.members[(round as usize) % self.members.len()])
+        }
+    }
+}
+
+impl fmt::Display for GroupView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}{{", self.id)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u16) -> SiteId {
+        SiteId(i)
+    }
+
+    #[test]
+    fn initial_sorts_and_dedups() {
+        let v = GroupView::initial([s(3), s(1), s(3), s(0)]);
+        assert_eq!(v.members(), &[s(0), s(1), s(3)]);
+        assert_eq!(v.id, 0);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn apply_join_and_leave() {
+        let v = GroupView::of_first(2);
+        let v1 = v.apply(ViewOp::Join, s(5));
+        assert_eq!(v1.id, 1);
+        assert!(v1.contains(s(5)));
+        let v2 = v1.apply(ViewOp::Leave, s(0));
+        assert_eq!(v2.id, 2);
+        assert!(!v2.contains(s(0)));
+        assert_eq!(v2.members(), &[s(1), s(5)]);
+    }
+
+    #[test]
+    fn idempotent_ops_still_advance_view_id() {
+        let v = GroupView::of_first(2);
+        let v1 = v.apply(ViewOp::Join, s(0));
+        assert_eq!(v1.id, 1);
+        assert_eq!(v1.members(), v.members());
+        let v2 = v.apply(ViewOp::Leave, s(9));
+        assert_eq!(v2.id, 1);
+        assert_eq!(v2.members(), v.members());
+    }
+
+    #[test]
+    fn majority_sizes() {
+        assert_eq!(GroupView::of_first(1).majority(), 1);
+        assert_eq!(GroupView::of_first(2).majority(), 2);
+        assert_eq!(GroupView::of_first(3).majority(), 2);
+        assert_eq!(GroupView::of_first(4).majority(), 3);
+        assert_eq!(GroupView::of_first(5).majority(), 3);
+    }
+
+    #[test]
+    fn coordinator_rotates() {
+        let v = GroupView::of_first(3);
+        assert_eq!(v.coordinator(0), Some(s(0)));
+        assert_eq!(v.coordinator(1), Some(s(1)));
+        assert_eq!(v.coordinator(3), Some(s(0)));
+        let empty = GroupView::initial([]);
+        assert_eq!(empty.coordinator(0), None);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let v = GroupView::of_first(2);
+        assert_eq!(v.to_string(), "v0{s0,s1}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the protocol substrate: wire-codec round-trips
+//! over arbitrary messages, group-view algebra, and atomic-broadcast
+//! delivery invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use samoa_net::SiteId;
+use samoa_proto::{
+    AbMsg, AbPayload, CastData, CastMsg, ConsMsg, GroupView, MsgUid, Payload, SyncMsg, ViewOp,
+    Wire,
+};
+
+fn arb_uid() -> impl Strategy<Value = MsgUid> {
+    (any::<u16>(), any::<u64>()).prop_map(|(o, s)| MsgUid {
+        origin: SiteId(o),
+        seq: s,
+    })
+}
+
+fn arb_ab_payload() -> impl Strategy<Value = AbPayload> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|v| AbPayload::User(Bytes::from(v))),
+        (any::<bool>(), any::<u16>()).prop_map(|(j, s)| AbPayload::ViewOp(
+            if j { ViewOp::Join } else { ViewOp::Leave },
+            SiteId(s)
+        )),
+    ]
+}
+
+fn arb_ab() -> impl Strategy<Value = AbMsg> {
+    (arb_uid(), arb_ab_payload()).prop_map(|(uid, payload)| AbMsg { uid, payload })
+}
+
+fn arb_batch() -> impl Strategy<Value = Vec<AbMsg>> {
+    proptest::collection::vec(arb_ab(), 0..8)
+}
+
+fn arb_cast() -> impl Strategy<Value = CastMsg> {
+    (
+        arb_uid(),
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..64)
+                .prop_map(|v| CastData::User(Bytes::from(v))),
+            arb_ab().prop_map(CastData::AbRequest),
+            (any::<u64>(), arb_batch()).prop_map(|(inst, batch)| CastData::Decide { inst, batch }),
+        ],
+    )
+        .prop_map(|(uid, data)| CastMsg { uid, data })
+}
+
+fn arb_cons() -> impl Strategy<Value = ConsMsg> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), arb_batch(), any::<u64>()).prop_map(
+            |(inst, round, est, est_round)| ConsMsg::Kick {
+                inst,
+                round,
+                est,
+                est_round
+            }
+        ),
+        (any::<u64>(), any::<u64>()).prop_map(|(inst, round)| ConsMsg::Collect { inst, round }),
+        (any::<u64>(), any::<u64>(), arb_batch(), any::<u64>()).prop_map(
+            |(inst, round, est, est_round)| ConsMsg::Estimate {
+                inst,
+                round,
+                est,
+                est_round
+            }
+        ),
+        (any::<u64>(), any::<u64>(), arb_batch())
+            .prop_map(|(inst, round, value)| ConsMsg::Propose { inst, round, value }),
+        (any::<u64>(), any::<u64>()).prop_map(|(inst, round)| ConsMsg::Ack { inst, round }),
+    ]
+}
+
+fn arb_sync() -> impl Strategy<Value = SyncMsg> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u16>(), 0..6),
+        proptest::collection::vec(arb_uid(), 0..12),
+    )
+        .prop_map(|(next_inst, view_id, members, delivered)| SyncMsg {
+            next_inst,
+            view_id,
+            members: members.into_iter().map(SiteId).collect(),
+            delivered,
+        })
+}
+
+fn arb_wire() -> impl Strategy<Value = Wire> {
+    prop_oneof![
+        (any::<u64>(), arb_cast())
+            .prop_map(|(seq, c)| Wire::Data {
+                seq,
+                payload: Payload::Cast(c)
+            }),
+        (any::<u64>(), arb_cons())
+            .prop_map(|(seq, c)| Wire::Data {
+                seq,
+                payload: Payload::Cons(c)
+            }),
+        (any::<u64>(), arb_sync())
+            .prop_map(|(seq, s)| Wire::Data {
+                seq,
+                payload: Payload::Sync(s)
+            }),
+        any::<u64>().prop_map(|seq| Wire::Ack { seq }),
+        Just(Wire::Heartbeat),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode ∘ decode = identity for every wire message.
+    #[test]
+    fn codec_roundtrip(w in arb_wire()) {
+        let encoded = w.encode();
+        let decoded = Wire::decode(encoded).expect("decode failed");
+        prop_assert_eq!(decoded, w);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it returns an error or
+    /// a message, and any successfully decoded message re-encodes.
+    #[test]
+    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok(w) = Wire::decode(Bytes::from(bytes)) {
+            let _ = w.encode();
+        }
+    }
+
+    /// Truncating a valid encoding never panics and (except for zero-length
+    /// suffix removal on variable payloads) fails cleanly.
+    #[test]
+    fn decoder_total_on_truncations(w in arb_wire(), cut in 0usize..64) {
+        let enc = w.encode();
+        if cut < enc.len() {
+            let truncated = enc.slice(0..enc.len() - 1 - cut % enc.len().max(1));
+            let _ = Wire::decode(truncated);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// View algebra: applying any op sequence keeps members sorted and
+    /// deduplicated, and the view id equals the number of ops applied.
+    #[test]
+    fn view_ops_preserve_invariants(
+        n in 1usize..6,
+        ops in proptest::collection::vec((any::<bool>(), 0u16..12), 0..20),
+    ) {
+        let mut v = GroupView::of_first(n);
+        for (i, &(join, site)) in ops.iter().enumerate() {
+            let op = if join { ViewOp::Join } else { ViewOp::Leave };
+            v = v.apply(op, SiteId(site));
+            prop_assert_eq!(v.id, (i + 1) as u64);
+            let members = v.members();
+            for w in members.windows(2) {
+                prop_assert!(w[0] < w[1], "members must stay sorted+deduped");
+            }
+            if join {
+                prop_assert!(v.contains(SiteId(site)));
+            } else {
+                prop_assert!(!v.contains(SiteId(site)));
+            }
+        }
+        // Majority is always more than half.
+        if !v.is_empty() {
+            prop_assert!(2 * v.majority() > v.len());
+        }
+    }
+
+    /// View application is deterministic and order-sensitive in exactly the
+    /// right way: the same op sequence yields identical views (total-order
+    /// delivery is what makes membership consistent).
+    #[test]
+    fn same_op_sequence_same_view(
+        ops in proptest::collection::vec((any::<bool>(), 0u16..8), 0..12),
+    ) {
+        let run = || {
+            let mut v = GroupView::of_first(3);
+            for &(join, site) in &ops {
+                let op = if join { ViewOp::Join } else { ViewOp::Leave };
+                v = v.apply(op, SiteId(site));
+            }
+            v
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

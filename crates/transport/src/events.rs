@@ -1,0 +1,54 @@
+//! Event types of the transport stack.
+
+use samoa_core::prelude::*;
+
+/// All event types of one endpoint's transport stack.
+#[derive(Debug, Clone, Copy)]
+pub struct Events {
+    /// Application send request: `(SiteId, Bytes)` (external).
+    pub send_msg: EventType,
+    /// Chunker emits a fragment for sending: `(SiteId, Frame)`.
+    pub win_out: EventType,
+    /// A frame should be encoded and put on the wire: `(SiteId, Frame)`.
+    pub csum_out: EventType,
+    /// Raw bytes arrived from the network: `(SiteId, Bytes)` (external).
+    pub csum_in: EventType,
+    /// A verified frame for the window layer: `(SiteId, Frame)`.
+    pub win_in: EventType,
+    /// An in-order data fragment for reassembly: `(SiteId, Frame)`.
+    pub chunk_in: EventType,
+    /// A complete message for the application: `(SiteId, Bytes)`.
+    pub msg_deliver: EventType,
+    /// Retransmission timer tick (external).
+    pub tick: EventType,
+}
+
+impl Events {
+    /// Declare all event types on the builder.
+    pub fn declare(b: &mut StackBuilder) -> Events {
+        Events {
+            send_msg: b.event("TSend"),
+            win_out: b.event("WinOut"),
+            csum_out: b.event("CsumOut"),
+            csum_in: b.event("CsumIn"),
+            win_in: b.event("WinIn"),
+            chunk_in: b.event("ChunkIn"),
+            msg_deliver: b.event("MsgDeliver"),
+            tick: b.event("TTick"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_registers_all() {
+        let mut b = StackBuilder::new();
+        let ev = Events::declare(&mut b);
+        let s = b.build();
+        assert_eq!(s.event_count(), 8);
+        assert_eq!(s.event_name(ev.send_msg), "TSend");
+    }
+}

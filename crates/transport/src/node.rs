@@ -1,0 +1,322 @@
+//! One transport endpoint: a SAMOA runtime running Chunker / Window /
+//! Checksum over the simulated network, plus [`TransportNet`] bundling `n`
+//! endpoints.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use samoa_core::prelude::*;
+use samoa_net::{NetConfig, NetHandle, SimNet, SiteId, Transport};
+
+use crate::checksum::{self, ChecksumState};
+use crate::chunker::{self, ChunkerState};
+use crate::events::Events;
+use crate::frames::{Frame, FrameKind};
+use crate::window::{self, WindowState};
+
+/// Isolation policy of a transport endpoint's external events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportPolicy {
+    /// No isolation (demonstration/baseline only).
+    Unsync,
+    /// Fully serial computations.
+    Serial,
+    /// `isolated M e` with tight per-event declarations (default).
+    Basic,
+}
+
+/// Endpoint tunables.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Isolation policy.
+    pub policy: TransportPolicy,
+    /// Fragment payload size.
+    pub mtu: usize,
+    /// Sliding-window size (frames in flight per peer).
+    pub window: usize,
+    /// Retransmission timeout.
+    pub rto: Duration,
+    /// Timer period.
+    pub tick_interval: Duration,
+    /// Run the retransmission timer.
+    pub enable_timers: bool,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            policy: TransportPolicy::Basic,
+            mtu: 64,
+            window: 8,
+            rto: Duration::from_millis(20),
+            tick_interval: Duration::from_millis(8),
+            enable_timers: true,
+        }
+    }
+}
+
+/// One transport endpoint.
+pub struct Endpoint {
+    /// This endpoint's site id.
+    pub site: SiteId,
+    rt: Runtime,
+    ev: Events,
+    cfg: TransportConfig,
+    p_chunker: ProtocolId,
+    p_window: ProtocolId,
+    p_checksum: ProtocolId,
+    p_app: ProtocolId,
+    chunker: ProtocolState<ChunkerState>,
+    window: ProtocolState<WindowState>,
+    checksum: ProtocolState<ChecksumState>,
+    delivered: ProtocolState<Vec<(SiteId, Bytes)>>,
+    stop: Arc<AtomicBool>,
+    timer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Endpoint {
+    /// Build the endpoint, wire its stack, and register it on the network.
+    pub fn new(net: NetHandle, site: SiteId, cfg: TransportConfig) -> Arc<Endpoint> {
+        let mut b = StackBuilder::new();
+        let p_chunker = b.protocol("Chunker");
+        let p_window = b.protocol("Window");
+        let p_checksum = b.protocol("Checksum");
+        let p_app = b.protocol("TApp");
+        let ev = Events::declare(&mut b);
+
+        let chunker_st = ProtocolState::new(p_chunker, ChunkerState::new(cfg.mtu));
+        let window_st = ProtocolState::new(p_window, WindowState::new(cfg.window, cfg.rto));
+        let checksum_st = ProtocolState::new(p_checksum, ChecksumState::default());
+        let delivered = ProtocolState::new(p_app, Vec::new());
+
+        chunker::register(&mut b, p_chunker, &ev, chunker_st.clone());
+        window::register(&mut b, p_window, &ev, window_st.clone());
+        let transport: Arc<dyn Transport> = Arc::new(net.clone());
+        checksum::register(&mut b, p_checksum, &ev, checksum_st.clone(), site, transport);
+        {
+            let delivered = delivered.clone();
+            let e = ev.msg_deliver;
+            b.bind(e, p_app, "tapp.deliver", move |ctx, data| {
+                let (from, bytes): &(SiteId, Bytes) = data.expect(e)?;
+                let item = (*from, bytes.clone());
+                delivered.with(ctx, |d| d.push(item));
+                Ok(())
+            });
+        }
+
+        let rt = Runtime::new(b.build());
+        let node = Arc::new(Endpoint {
+            site,
+            rt,
+            ev,
+            cfg,
+            p_chunker,
+            p_window,
+            p_checksum,
+            p_app,
+            chunker: chunker_st,
+            window: window_st,
+            checksum: checksum_st,
+            delivered,
+            stop: Arc::new(AtomicBool::new(false)),
+            timer: Mutex::new(None),
+        });
+
+        {
+            let weak = Arc::downgrade(&node);
+            net.register(site, move |dg| {
+                if let Some(node) = weak.upgrade() {
+                    node.on_datagram(dg.from, dg.payload);
+                }
+            });
+        }
+
+        if node.cfg.enable_timers {
+            let weak: Weak<Endpoint> = Arc::downgrade(&node);
+            let stop = Arc::clone(&node.stop);
+            let interval = node.cfg.tick_interval;
+            let t = std::thread::Builder::new()
+                .name(format!("tnode-{}-timer", site.0))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(interval);
+                        let Some(node) = weak.upgrade() else { break };
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let decl = [node.p_window, node.p_checksum];
+                        let tick = node.ev.tick;
+                        node.spawn(&decl, tick, EventData::empty());
+                    }
+                })
+                .expect("spawn timer");
+            *node.timer.lock() = Some(t);
+        }
+        node
+    }
+
+    fn spawn(&self, decl: &[ProtocolId], event: EventType, data: EventData) {
+        let body = move |ctx: &Ctx| ctx.trigger(event, data);
+        match self.cfg.policy {
+            TransportPolicy::Unsync => self.rt.spawn(Decl::Unsync, body),
+            TransportPolicy::Serial => self.rt.spawn(Decl::Serial, body),
+            TransportPolicy::Basic => self.rt.spawn(Decl::Basic(decl), body),
+        };
+    }
+
+    fn on_datagram(&self, from: SiteId, payload: Bytes) {
+        // Classify on the header (like a real stack) to declare tightly:
+        // acks never reach the Chunker or the application.
+        let decl: &[ProtocolId] = match Frame::peek_kind(&payload) {
+            Some(FrameKind::Ack) => &[self.p_checksum, self.p_window],
+            _ => &[self.p_checksum, self.p_window, self.p_chunker, self.p_app],
+        };
+        self.spawn(
+            decl,
+            self.ev.csum_in,
+            EventData::new((from, payload)),
+        );
+    }
+
+    /// Send `data` reliably and in order to `peer`.
+    pub fn send(&self, peer: SiteId, data: impl Into<Bytes>) {
+        let decl = [self.p_chunker, self.p_window, self.p_checksum];
+        self.spawn(
+            &decl,
+            self.ev.send_msg,
+            EventData::new((peer, data.into())),
+        );
+    }
+
+    /// Messages delivered to the application, in arrival order.
+    pub fn delivered(&self) -> Vec<(SiteId, Bytes)> {
+        self.delivered.snapshot()
+    }
+
+    /// Frames in flight to `peer` (diagnostics).
+    pub fn in_flight(&self, peer: SiteId) -> usize {
+        self.window.read(|w| w.in_flight(peer))
+    }
+
+    /// Total retransmissions (diagnostics).
+    pub fn retransmissions(&self) -> u64 {
+        self.window.read(|w| w.retransmissions)
+    }
+
+    /// Duplicate frames suppressed (diagnostics).
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.window.read(|w| w.duplicates)
+    }
+
+    /// Frames dropped for checksum mismatch (diagnostics).
+    pub fn corrupt_dropped(&self) -> u64 {
+        self.checksum.read(|c| c.corrupt_dropped)
+    }
+
+    /// Messages reassembled (diagnostics).
+    pub fn reassembled(&self) -> u64 {
+        self.chunker.read(|c| c.reassembled)
+    }
+
+    /// This endpoint's SAMOA runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Stop the timer thread. Idempotent.
+    pub fn stop_timers(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.timer.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.timer.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint").field("site", &self.site).finish()
+    }
+}
+
+/// `n` transport endpoints over one simulated network.
+pub struct TransportNet {
+    net: SimNet,
+    endpoints: Vec<Arc<Endpoint>>,
+}
+
+impl TransportNet {
+    /// Build `n` endpoints over a fresh network.
+    pub fn new(n: usize, net_cfg: NetConfig, cfg: TransportConfig) -> TransportNet {
+        let net = SimNet::new(n, net_cfg);
+        let endpoints = (0..n as u16)
+            .map(|i| Endpoint::new(net.handle(), SiteId(i), cfg.clone()))
+            .collect();
+        TransportNet { net, endpoints }
+    }
+
+    /// Endpoint `i`.
+    pub fn endpoint(&self, i: usize) -> &Arc<Endpoint> {
+        &self.endpoints[i]
+    }
+
+    /// The network handle (fault injection, stats).
+    pub fn net(&self) -> NetHandle {
+        self.net.handle()
+    }
+
+    /// Drain in-flight traffic and runtimes to a fixed point (see
+    /// `Cluster::settle` in `samoa-proto` for the caveats).
+    pub fn settle(&self) {
+        loop {
+            let before = self.net.total_stats().sent;
+            self.net.quiesce();
+            for e in &self.endpoints {
+                e.runtime().quiesce();
+            }
+            self.net.quiesce();
+            if self.net.total_stats().sent == before {
+                let confirm = self.net.total_stats().sent;
+                for e in &self.endpoints {
+                    e.runtime().quiesce();
+                }
+                if self.net.total_stats().sent == confirm {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Stop all timers and shut the network down.
+    pub fn shutdown(&mut self) {
+        for e in &self.endpoints {
+            e.stop_timers();
+        }
+        self.net.shutdown();
+    }
+}
+
+impl Drop for TransportNet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for TransportNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransportNet")
+            .field("endpoints", &self.endpoints.len())
+            .finish()
+    }
+}

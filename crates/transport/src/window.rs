@@ -1,0 +1,325 @@
+//! The Window microprotocol: sliding-window ARQ.
+//!
+//! Per peer: the sender assigns sequence numbers, keeps at most
+//! `window_size` frames in flight (excess queues in a backlog), and
+//! retransmits unacknowledged frames on the timer. The receiver acks every
+//! data frame, suppresses duplicates, and releases fragments strictly in
+//! order to the Chunker above.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use samoa_core::prelude::*;
+use samoa_net::SiteId;
+
+use crate::events::Events;
+use crate::frames::Frame;
+
+#[derive(Default)]
+struct PeerTx {
+    next_seq: u64,
+    in_flight: BTreeMap<u64, (Frame, Instant)>,
+    backlog: VecDeque<Frame>,
+}
+
+
+#[derive(Default)]
+struct PeerRx {
+    expected: u64,
+    buffered: BTreeMap<u64, Frame>,
+}
+
+/// Local state of the Window microprotocol.
+pub struct WindowState {
+    window_size: usize,
+    rto: Duration,
+    tx: HashMap<SiteId, PeerTx>,
+    rx: HashMap<SiteId, PeerRx>,
+    /// Frames retransmitted (diagnostics).
+    pub retransmissions: u64,
+    /// Duplicate data frames suppressed (diagnostics).
+    pub duplicates: u64,
+}
+
+impl WindowState {
+    /// Fresh state.
+    pub fn new(window_size: usize, rto: Duration) -> Self {
+        assert!(window_size > 0);
+        WindowState {
+            window_size,
+            rto,
+            tx: HashMap::new(),
+            rx: HashMap::new(),
+            retransmissions: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Frames currently in flight to `peer`.
+    pub fn in_flight(&self, peer: SiteId) -> usize {
+        self.tx.get(&peer).map_or(0, |t| t.in_flight.len())
+    }
+
+    /// Frames queued behind the window to `peer`.
+    pub fn backlog(&self, peer: SiteId) -> usize {
+        self.tx.get(&peer).map_or(0, |t| t.backlog.len())
+    }
+
+    /// Enqueue a frame for `peer`; returns the frames to transmit now
+    /// (window permitting), with sequence numbers assigned.
+    fn enqueue(&mut self, peer: SiteId, frame: Frame) -> Vec<Frame> {
+        let t = self.tx.entry(peer).or_default();
+        t.backlog.push_back(frame);
+        Self::drain(t, self.window_size)
+    }
+
+    fn drain(t: &mut PeerTx, window: usize) -> Vec<Frame> {
+        let mut out = Vec::new();
+        while t.in_flight.len() < window {
+            let Some(mut f) = t.backlog.pop_front() else {
+                break;
+            };
+            if let Frame::Data { seq, .. } = &mut f {
+                *seq = t.next_seq;
+            }
+            t.in_flight.insert(t.next_seq, (f.clone(), Instant::now()));
+            t.next_seq += 1;
+            out.push(f);
+        }
+        out
+    }
+
+    /// Handle an ack from `peer`; returns newly transmittable frames.
+    fn on_ack(&mut self, peer: SiteId, seq: u64) -> Vec<Frame> {
+        let t = self.tx.entry(peer).or_default();
+        t.in_flight.remove(&seq);
+        Self::drain(t, self.window_size)
+    }
+
+    /// Handle a data frame from `peer`; returns `(frames released in
+    /// order, is_duplicate)`.
+    fn on_data(&mut self, peer: SiteId, frame: Frame) -> (Vec<Frame>, bool) {
+        let seq = frame.seq();
+        let r = self.rx.entry(peer).or_default();
+        if seq < r.expected || r.buffered.contains_key(&seq) {
+            self.duplicates += 1;
+            return (Vec::new(), true);
+        }
+        r.buffered.insert(seq, frame);
+        let mut released = Vec::new();
+        while let Some(f) = r.buffered.remove(&r.expected) {
+            r.expected += 1;
+            released.push(f);
+        }
+        (released, false)
+    }
+
+    /// Test hook: enqueue a minimal data frame tagged `i`; returns the
+    /// sequence numbers transmitted now.
+    #[doc(hidden)]
+    pub fn enqueue_for_tests(&mut self, peer: SiteId, i: u64) -> Vec<u64> {
+        let f = Frame::Data {
+            msg_id: 1,
+            frag_idx: i as u32,
+            frag_total: u32::MAX,
+            seq: 0,
+            payload: bytes::Bytes::new(),
+        };
+        self.enqueue(peer, f).iter().map(|f| f.seq()).collect()
+    }
+
+    /// Test hook: ack `seq`; returns the sequence numbers transmitted now.
+    #[doc(hidden)]
+    pub fn on_ack_for_tests(&mut self, peer: SiteId, seq: u64) -> Vec<u64> {
+        self.on_ack(peer, seq).iter().map(|f| f.seq()).collect()
+    }
+
+    /// Test hook: receive a data frame with `seq`; returns the released
+    /// sequence numbers and the duplicate flag.
+    #[doc(hidden)]
+    pub fn on_data_for_tests(&mut self, peer: SiteId, seq: u64) -> (Vec<u64>, bool) {
+        let f = Frame::Data {
+            msg_id: 1,
+            frag_idx: 0,
+            frag_total: u32::MAX,
+            seq,
+            payload: bytes::Bytes::new(),
+        };
+        let (rel, dup) = self.on_data(peer, f);
+        (rel.iter().map(|f| f.seq()).collect(), dup)
+    }
+
+    /// Collect frames overdue for retransmission.
+    fn overdue(&mut self) -> Vec<(SiteId, Frame)> {
+        let now = Instant::now();
+        let rto = self.rto;
+        let mut out = Vec::new();
+        for (&peer, t) in self.tx.iter_mut() {
+            for (f, last) in t.in_flight.values_mut() {
+                if now.duration_since(*last) >= rto {
+                    *last = now;
+                    self.retransmissions += 1;
+                    out.push((peer, f.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Handler ids of the registered Window microprotocol.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowHandlers {
+    /// `send` (bound to `WinOut`).
+    pub send: HandlerId,
+    /// `recv` (bound to `WinIn`).
+    pub recv: HandlerId,
+    /// `retransmit` (bound to `TTick`).
+    pub retransmit: HandlerId,
+}
+
+/// Register the Window microprotocol.
+pub fn register(
+    b: &mut StackBuilder,
+    pid: ProtocolId,
+    ev: &Events,
+    state: ProtocolState<WindowState>,
+) -> WindowHandlers {
+    let events = *ev;
+
+    let send = {
+        let state = state.clone();
+        let e = ev.win_out;
+        b.bind(e, pid, "window.send", move |ctx, data| {
+            let (peer, frame): &(SiteId, Frame) = data.expect(e)?;
+            let out = state.with(ctx, |s| s.enqueue(*peer, frame.clone()));
+            for f in out {
+                ctx.trigger(events.csum_out, EventData::new((*peer, f)))?;
+            }
+            Ok(())
+        })
+    };
+
+    let recv = {
+        let state = state.clone();
+        let e = ev.win_in;
+        b.bind(e, pid, "window.recv", move |ctx, data| {
+            let (from, frame): &(SiteId, Frame) = data.expect(e)?;
+            match frame {
+                Frame::Ack { seq } => {
+                    let out = state.with(ctx, |s| s.on_ack(*from, *seq));
+                    for f in out {
+                        ctx.trigger(events.csum_out, EventData::new((*from, f)))?;
+                    }
+                }
+                Frame::Data { seq, .. } => {
+                    // Always ack — the previous ack may have been lost.
+                    ctx.trigger(
+                        events.csum_out,
+                        EventData::new((*from, Frame::Ack { seq: *seq })),
+                    )?;
+                    let (released, _dup) =
+                        state.with(ctx, |s| s.on_data(*from, frame.clone()));
+                    for f in released {
+                        ctx.trigger(events.chunk_in, EventData::new((*from, f)))?;
+                    }
+                }
+            }
+            Ok(())
+        })
+    };
+
+    let retransmit = {
+        let state = state.clone();
+        let e = ev.tick;
+        b.bind(e, pid, "window.retransmit", move |ctx, _| {
+            let overdue = state.with(ctx, |s| s.overdue());
+            for (peer, f) in overdue {
+                ctx.trigger(events.csum_out, EventData::new((peer, f)))?;
+            }
+            Ok(())
+        })
+    };
+
+    WindowHandlers {
+        send,
+        recv,
+        retransmit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn data(i: u64) -> Frame {
+        Frame::Data {
+            msg_id: 1,
+            frag_idx: i as u32,
+            frag_total: 10,
+            seq: 0,
+            payload: Bytes::from(vec![i as u8]),
+        }
+    }
+
+    #[test]
+    fn window_limits_in_flight() {
+        let mut w = WindowState::new(2, Duration::from_millis(10));
+        let peer = SiteId(1);
+        assert_eq!(w.enqueue(peer, data(0)).len(), 1);
+        assert_eq!(w.enqueue(peer, data(1)).len(), 1);
+        assert_eq!(w.enqueue(peer, data(2)).len(), 0, "window full");
+        assert_eq!(w.in_flight(peer), 2);
+        assert_eq!(w.backlog(peer), 1);
+        // Ack of seq 0 releases the backlog.
+        let out = w.on_ack(peer, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq(), 2);
+    }
+
+    #[test]
+    fn sequence_numbers_are_consecutive_per_peer() {
+        let mut w = WindowState::new(10, Duration::from_millis(10));
+        let out1 = w.enqueue(SiteId(1), data(0));
+        let out2 = w.enqueue(SiteId(1), data(1));
+        let other = w.enqueue(SiteId(2), data(0));
+        assert_eq!(out1[0].seq(), 0);
+        assert_eq!(out2[0].seq(), 1);
+        assert_eq!(other[0].seq(), 0, "per-peer numbering");
+    }
+
+    #[test]
+    fn receiver_releases_in_order_and_dedupes() {
+        let mut w = WindowState::new(4, Duration::from_millis(10));
+        let peer = SiteId(0);
+        let mk = |seq: u64| Frame::Data {
+            msg_id: 1,
+            frag_idx: seq as u32,
+            frag_total: 3,
+            seq,
+            payload: Bytes::new(),
+        };
+        let (rel, dup) = w.on_data(peer, mk(1));
+        assert!(rel.is_empty() && !dup, "out-of-order buffered");
+        let (rel, _) = w.on_data(peer, mk(0));
+        assert_eq!(rel.len(), 2, "0 then 1 released together");
+        let (rel, dup) = w.on_data(peer, mk(0));
+        assert!(rel.is_empty() && dup, "duplicate suppressed");
+        assert_eq!(w.duplicates, 1);
+        let (rel, _) = w.on_data(peer, mk(2));
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn overdue_retransmits_and_rearms() {
+        let mut w = WindowState::new(4, Duration::from_millis(1));
+        w.enqueue(SiteId(1), data(0));
+        std::thread::sleep(Duration::from_millis(3));
+        let o = w.overdue();
+        assert_eq!(o.len(), 1);
+        assert_eq!(w.retransmissions, 1);
+        // Immediately after, nothing is overdue (timestamp refreshed).
+        assert!(w.overdue().is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end transport tests: integrity and ordering under loss,
+//! duplication, corruption, and their combination.
+
+#![allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use samoa_net::{NetConfig, SiteId};
+use samoa_transport::{TransportConfig, TransportNet, TransportPolicy};
+
+fn big_message(seed: u8, len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect::<Vec<u8>>())
+}
+
+fn wait_delivered(net: &TransportNet, endpoint: usize, count: usize, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while net.endpoint(endpoint).delivered().len() < count {
+        assert!(
+            Instant::now() < deadline,
+            "timed out: {what} ({}/{count} delivered)",
+            net.endpoint(endpoint).delivered().len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn single_message_roundtrip() {
+    let net = TransportNet::new(2, NetConfig::fast(1), TransportConfig::default());
+    net.endpoint(0).send(SiteId(1), "hello transport");
+    wait_delivered(&net, 1, 1, "single message");
+    let got = net.endpoint(1).delivered();
+    assert_eq!(got[0], (SiteId(0), Bytes::from_static(b"hello transport")));
+}
+
+#[test]
+fn large_message_is_fragmented_and_reassembled() {
+    let mut cfg = TransportConfig::default();
+    cfg.mtu = 16;
+    let net = TransportNet::new(2, NetConfig::fast(2), cfg);
+    let msg = big_message(7, 10_000); // 625 fragments
+    net.endpoint(0).send(SiteId(1), msg.clone());
+    wait_delivered(&net, 1, 1, "large message");
+    assert_eq!(net.endpoint(1).delivered()[0].1, msg);
+    assert_eq!(net.endpoint(1).reassembled(), 1);
+    // Window respected: never more than `window` frames in flight — weakly
+    // checked via retransmissions being zero on a perfect network.
+    assert_eq!(net.endpoint(0).retransmissions(), 0);
+}
+
+#[test]
+fn messages_arrive_in_order_per_peer() {
+    let mut cfg = TransportConfig::default();
+    cfg.mtu = 8;
+    let net = TransportNet::new(2, NetConfig::lan(3), cfg);
+    let msgs: Vec<Bytes> = (0..20).map(|i| big_message(i as u8, 50 + i * 13)).collect();
+    for m in &msgs {
+        net.endpoint(0).send(SiteId(1), m.clone());
+    }
+    wait_delivered(&net, 1, msgs.len(), "ordered stream");
+    let got: Vec<Bytes> = net.endpoint(1).delivered().into_iter().map(|(_, b)| b).collect();
+    assert_eq!(got, msgs, "delivery order differs from send order");
+}
+
+#[test]
+fn loss_is_recovered_by_retransmission() {
+    let mut cfg = TransportConfig::default();
+    cfg.mtu = 32;
+    cfg.rto = Duration::from_millis(15);
+    let net = TransportNet::new(
+        2,
+        NetConfig::fast(4).with_loss(0.15),
+        cfg,
+    );
+    let msg = big_message(9, 4_000);
+    net.endpoint(0).send(SiteId(1), msg.clone());
+    wait_delivered(&net, 1, 1, "lossy transfer");
+    assert_eq!(net.endpoint(1).delivered()[0].1, msg);
+    assert!(
+        net.endpoint(0).retransmissions() > 0,
+        "loss never triggered retransmission — vacuous"
+    );
+}
+
+#[test]
+fn duplicates_are_suppressed() {
+    let mut cfg = TransportConfig::default();
+    cfg.mtu = 32;
+    let net = TransportNet::new(
+        2,
+        NetConfig::fast(5).with_duplicates(0.5),
+        cfg,
+    );
+    let msg = big_message(3, 2_000);
+    net.endpoint(0).send(SiteId(1), msg.clone());
+    wait_delivered(&net, 1, 1, "duplicated transfer");
+    let got = net.endpoint(1).delivered();
+    assert_eq!(got.len(), 1, "duplicate delivery");
+    assert_eq!(got[0].1, msg);
+    assert!(
+        net.endpoint(1).duplicates_suppressed() > 0
+            || net.net().total_stats().duplicated == 0,
+        "duplicates existed but none were suppressed"
+    );
+}
+
+#[test]
+fn corruption_is_detected_and_recovered() {
+    let mut cfg = TransportConfig::default();
+    cfg.mtu = 32;
+    cfg.rto = Duration::from_millis(15);
+    let net = TransportNet::new(
+        2,
+        NetConfig::fast(6).with_corruption(0.10),
+        cfg,
+    );
+    let msg = big_message(5, 4_000);
+    net.endpoint(0).send(SiteId(1), msg.clone());
+    wait_delivered(&net, 1, 1, "corrupted transfer");
+    assert_eq!(
+        net.endpoint(1).delivered()[0].1,
+        msg,
+        "payload corrupted end to end — checksum failed its job"
+    );
+    let dropped: u64 = (0..2).map(|i| net.endpoint(i).corrupt_dropped()).sum();
+    assert!(dropped > 0, "no corruption seen — vacuous");
+}
+
+#[test]
+fn kitchen_sink_loss_dup_corruption_bidirectional() {
+    let mut cfg = TransportConfig::default();
+    cfg.mtu = 24;
+    cfg.rto = Duration::from_millis(12);
+    let net_cfg = NetConfig::fast(7)
+        .with_loss(0.08)
+        .with_duplicates(0.08)
+        .with_corruption(0.05);
+    let net = TransportNet::new(3, net_cfg, cfg);
+    let a = big_message(1, 3_000);
+    let b = big_message(2, 2_000);
+    let c = big_message(3, 1_000);
+    net.endpoint(0).send(SiteId(1), a.clone());
+    net.endpoint(1).send(SiteId(2), b.clone());
+    net.endpoint(2).send(SiteId(0), c.clone());
+    wait_delivered(&net, 1, 1, "0->1");
+    wait_delivered(&net, 2, 1, "1->2");
+    wait_delivered(&net, 0, 1, "2->0");
+    assert_eq!(net.endpoint(1).delivered()[0].1, a);
+    assert_eq!(net.endpoint(2).delivered()[0].1, b);
+    assert_eq!(net.endpoint(0).delivered()[0].1, c);
+}
+
+#[test]
+fn serial_policy_also_works() {
+    let mut cfg = TransportConfig::default();
+    cfg.policy = TransportPolicy::Serial;
+    cfg.mtu = 16;
+    let net = TransportNet::new(2, NetConfig::fast(8), cfg);
+    let msg = big_message(4, 500);
+    net.endpoint(0).send(SiteId(1), msg.clone());
+    wait_delivered(&net, 1, 1, "serial policy");
+    assert_eq!(net.endpoint(1).delivered()[0].1, msg);
+}
+
+#[test]
+fn concurrent_streams_between_many_peers() {
+    let mut cfg = TransportConfig::default();
+    cfg.mtu = 32;
+    let net = TransportNet::new(4, NetConfig::lan(9), cfg);
+    let mut expected = vec![Vec::new(); 4];
+    for i in 0..4usize {
+        for j in 0..4usize {
+            if i != j {
+                let m = big_message((i * 4 + j) as u8, 300);
+                net.endpoint(i).send(SiteId(j as u16), m.clone());
+                expected[j].push(m);
+            }
+        }
+    }
+    for j in 0..4 {
+        wait_delivered(&net, j, 3, "full mesh");
+        let got: std::collections::BTreeSet<Bytes> =
+            net.endpoint(j).delivered().into_iter().map(|(_, b)| b).collect();
+        let want: std::collections::BTreeSet<Bytes> = expected[j].iter().cloned().collect();
+        assert_eq!(got, want, "endpoint {j}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Regression tests for the *shapes* of the reproduced experiments
+//! (EXPERIMENTS.md): who wins, by roughly what factor, and where the
+//! qualitative boundaries fall. Absolute numbers vary with the machine;
+//! these assertions use generous margins.
+
+use std::time::Duration;
+
+use samoa_bench::gc::{abcast_run, view_race_run};
+use samoa_bench::synth::{
+    flat_stack, flat_workload, pipeline_stack, run_flat, run_pipeline, BenchPolicy, WorkKind,
+};
+use samoa_proto::StackPolicy;
+
+/// E2: every isolating policy delivers all messages with agreement, and the
+/// versioning overhead stays within a small factor of unsync.
+#[test]
+fn e2_shape_agreement_and_bounded_overhead() {
+    let msgs = 12;
+    let base = abcast_run(3, msgs, StackPolicy::Unsync, 5);
+    assert_eq!(base.delivered, msgs);
+    for policy in [StackPolicy::Serial, StackPolicy::Basic, StackPolicy::Route] {
+        let o = abcast_run(3, msgs, policy, 5);
+        assert!(o.agreement, "{policy:?} diverged");
+        assert_eq!(o.delivered, msgs, "{policy:?} lost messages");
+        // "Relatively low" overhead: well under an order of magnitude.
+        assert!(
+            o.wall < base.wall * 8 + Duration::from_millis(200),
+            "{policy:?} overhead too high: {:?} vs {:?}",
+            o.wall,
+            base.wall
+        );
+    }
+}
+
+/// E3 shape: with coarse-grained I/O work and zero conflicts, VCAbasic
+/// beats the Appia-style serial baseline clearly.
+#[test]
+fn e3_shape_versioning_beats_serial_on_coarse_grain() {
+    let work = Duration::from_millis(1);
+    let wl = flat_workload(8, 24, 1, 0.0, 3);
+    let serial = {
+        let stack = flat_stack(8, work, WorkKind::Io);
+        run_flat(&stack, &wl, BenchPolicy::Serial, 4)
+    };
+    let basic = {
+        let stack = flat_stack(8, work, WorkKind::Io);
+        run_flat(&stack, &wl, BenchPolicy::Basic, 4)
+    };
+    assert!(
+        basic.as_secs_f64() * 1.5 < serial.as_secs_f64(),
+        "expected ≥1.5x: serial {serial:?}, basic {basic:?}"
+    );
+}
+
+/// E4 shape: on a 4-stage pipeline with asynchronous hand-off, bound and
+/// route clearly beat basic (early release pipelines the computations).
+#[test]
+fn e4_shape_bound_and_route_pipeline() {
+    let stages = 4;
+    let basic = {
+        let stack = pipeline_stack(stages, Duration::from_millis(1), WorkKind::Io);
+        run_pipeline(&stack, 12, BenchPolicy::Basic, 2)
+    };
+    for policy in [BenchPolicy::Bound, BenchPolicy::Route] {
+        let stack = pipeline_stack(stages, Duration::from_millis(1), WorkKind::Io);
+        let t = run_pipeline(&stack, 12, policy, 2);
+        assert!(
+            t.as_secs_f64() * 1.5 < basic.as_secs_f64(),
+            "{policy:?} expected ≥1.5x over basic: {t:?} vs {basic:?}"
+        );
+    }
+}
+
+/// E5 shape: the §3 race is observable without isolation and impossible
+/// with it.
+#[test]
+fn e5_shape_race_only_without_isolation() {
+    let mut unsync_races = 0u64;
+    for seed in 0..5 {
+        unsync_races += view_race_run(StackPolicy::Unsync, seed, 6).stale_discards;
+    }
+    assert!(
+        unsync_races > 0,
+        "unsync never exhibited the §3 race in 5 trials"
+    );
+    for policy in [StackPolicy::Basic, StackPolicy::Serial] {
+        for seed in 0..3 {
+            let o = view_race_run(policy, seed, 6);
+            assert_eq!(
+                o.stale_discards, 0,
+                "{policy:?} exhibited the race (seed {seed})"
+            );
+        }
+    }
+}
+
+/// E6 shape: at zero conflicts versioning approaches unsync (within a small
+/// factor) while serial pays the full sum of work.
+#[test]
+fn e6_shape_versioning_approaches_unsync_without_conflicts() {
+    let work = Duration::from_millis(1);
+    let wl = flat_workload(16, 24, 1, 0.0, 9);
+    let run = |p: BenchPolicy| {
+        let stack = flat_stack(16, work, WorkKind::Io);
+        run_flat(&stack, &wl, p, 4)
+    };
+    let unsync = run(BenchPolicy::Unsync);
+    let basic = run(BenchPolicy::Basic);
+    let serial = run(BenchPolicy::Serial);
+    assert!(
+        basic.as_secs_f64() < unsync.as_secs_f64() * 6.0 + 0.05,
+        "basic too far from unsync: {basic:?} vs {unsync:?}"
+    );
+    assert!(
+        serial.as_secs_f64() > basic.as_secs_f64() * 1.5,
+        "serial should be the floor: {serial:?} vs {basic:?}"
+    );
+}
