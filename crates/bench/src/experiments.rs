@@ -92,9 +92,13 @@ pub fn e1() -> String {
         let stack = rt.stack().clone();
         let p = stack.all_protocols();
         let (pp, qq, rr, ss) = (p[0], p[1], p[2], p[3]);
-        let ka = rt.spawn_isolated(&[pp, rr, ss], move |ctx| ctx.trigger(a0, EventData::empty()));
+        let ka = rt.spawn_isolated(&[pp, rr, ss], move |ctx| {
+            ctx.trigger(a0, EventData::empty())
+        });
         std::thread::sleep(Duration::from_millis(20));
-        let kb = rt.spawn_isolated(&[qq, rr, ss], move |ctx| ctx.trigger(b0, EventData::empty()));
+        let kb = rt.spawn_isolated(&[qq, rr, ss], move |ctx| {
+            ctx.trigger(b0, EventData::empty())
+        });
         std::thread::sleep(Duration::from_millis(20));
         gate.store(true, Ordering::SeqCst);
         rt.quiesce();
@@ -163,7 +167,12 @@ pub fn e2(sites: usize, msgs: usize) -> Table {
 /// policies overlap independent computations.
 pub fn e3() -> Table {
     let mut t = Table::new(&[
-        "work_us", "policy", "wall_ms", "blocked_ms", "comps/s", "vs-serial",
+        "work_us",
+        "policy",
+        "wall_ms",
+        "blocked_ms",
+        "comps/s",
+        "vs-serial",
     ]);
     let n_protocols = 8;
     let n_comps = 48;
@@ -225,12 +234,7 @@ pub fn e4() -> Table {
             let vs = basic_wall
                 .map(|b| ratio(b.as_secs_f64() / wall.as_secs_f64()))
                 .unwrap_or_default();
-            t.row(&[
-                stages.to_string(),
-                policy.label().to_string(),
-                ms(wall),
-                vs,
-            ]);
+            t.row(&[stages.to_string(), policy.label().to_string(), ms(wall), vs]);
         }
     }
     t
@@ -356,11 +360,7 @@ pub fn e8() -> Table {
     };
     let coarse = avg(true);
     let tight = avg(false);
-    t.row(&[
-        "declare-all (coarse)".to_string(),
-        ms(coarse),
-        ratio(1.0),
-    ]);
+    t.row(&["declare-all (coarse)".to_string(), ms(coarse), ratio(1.0)]);
     t.row(&[
         "per-event-kind (tight)".to_string(),
         ms(tight),
@@ -380,11 +380,7 @@ pub fn e6() -> Table {
     for hot in [1.0f64, 0.5, 0.1, 0.0] {
         let wl = flat_workload(n_protocols, n_comps, 1, hot, 11);
         let mut serial_wall = None;
-        for policy in [
-            BenchPolicy::Serial,
-            BenchPolicy::Basic,
-            BenchPolicy::Unsync,
-        ] {
+        for policy in [BenchPolicy::Serial, BenchPolicy::Basic, BenchPolicy::Unsync] {
             let stack = flat_stack(n_protocols, work, WorkKind::Io);
             let wall = run_flat(&stack, &wl, policy, 4);
             if policy == BenchPolicy::Serial {

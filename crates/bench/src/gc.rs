@@ -85,10 +85,18 @@ pub fn view_race_run(policy: StackPolicy, seed: u64, bursts: usize) -> RaceOutco
     c.settle();
 
     let stale_discards: u64 = (0..4).map(|i| c.node(i).relcomm_discards()).sum();
-    let joiner: std::collections::BTreeSet<_> =
-        c.node(3).rb_delivered().into_iter().map(|(_, b)| b).collect();
-    let reference: std::collections::BTreeSet<_> =
-        c.node(0).rb_delivered().into_iter().map(|(_, b)| b).collect();
+    let joiner: std::collections::BTreeSet<_> = c
+        .node(3)
+        .rb_delivered()
+        .into_iter()
+        .map(|(_, b)| b)
+        .collect();
+    let reference: std::collections::BTreeSet<_> = c
+        .node(0)
+        .rb_delivered()
+        .into_iter()
+        .map(|(_, b)| b)
+        .collect();
     let missed_at_joiner = reference.difference(&joiner).count();
     RaceOutcome {
         stale_discards,
@@ -142,10 +150,7 @@ mod tests {
     #[test]
     fn view_race_isolated_has_no_stale_discards() {
         let o = view_race_run(StackPolicy::Basic, 2, 4);
-        assert_eq!(
-            o.stale_discards, 0,
-            "isolating policy produced the §3 race"
-        );
+        assert_eq!(o.stale_discards, 0, "isolating policy produced the §3 race");
         assert_eq!(o.total_after_join, 12);
     }
 }

@@ -109,21 +109,26 @@ pub fn pipeline_stack(stages: usize, work: Duration, kind: WorkKind) -> Pipeline
     for i in 0..stages {
         let c = counters[i].clone();
         let next = events.get(i + 1).copied();
-        handlers.push(b.bind(events[i], protocols[i], &format!("stage{i}"), move |ctx, ev| {
-            match kind {
-                WorkKind::Cpu => spin(work),
-                WorkKind::Io => {
-                    if !work.is_zero() {
-                        std::thread::sleep(work)
+        handlers.push(b.bind(
+            events[i],
+            protocols[i],
+            &format!("stage{i}"),
+            move |ctx, ev| {
+                match kind {
+                    WorkKind::Cpu => spin(work),
+                    WorkKind::Io => {
+                        if !work.is_zero() {
+                            std::thread::sleep(work)
+                        }
                     }
                 }
-            }
-            c.with(ctx, |v| *v += 1);
-            if let Some(next) = next {
-                ctx.async_trigger(next, ev.clone())?;
-            }
-            Ok(())
-        }));
+                c.with(ctx, |v| *v += 1);
+                if let Some(next) = next {
+                    ctx.async_trigger(next, ev.clone())?;
+                }
+                Ok(())
+            },
+        ));
     }
     PipelineStack {
         rt: Runtime::new(b.build()),
@@ -220,7 +225,12 @@ pub fn flat_workload(
 
 /// Run a flat workload under `policy` with `injectors` spawner threads;
 /// returns the wall-clock time from first spawn to full quiescence.
-pub fn run_flat(stack: &FlatStack, wl: &FlatWorkload, policy: BenchPolicy, injectors: usize) -> Duration {
+pub fn run_flat(
+    stack: &FlatStack,
+    wl: &FlatWorkload,
+    policy: BenchPolicy,
+    injectors: usize,
+) -> Duration {
     let rt = stack.rt.clone();
     let events = Arc::new(stack.events.clone());
     let protocols = Arc::new(stack.protocols.clone());
@@ -247,8 +257,7 @@ pub fn run_flat(stack: &FlatStack, wl: &FlatWorkload, policy: BenchPolicy, injec
                         BenchPolicy::TwoPhase => rt.spawn(Decl::TwoPhase(&decl), body),
                         BenchPolicy::Basic => rt.spawn(Decl::Basic(&decl), body),
                         BenchPolicy::Bound => {
-                            let bd: Vec<(ProtocolId, u64)> =
-                                decl.iter().map(|&p| (p, 1)).collect();
+                            let bd: Vec<(ProtocolId, u64)> = decl.iter().map(|&p| (p, 1)).collect();
                             rt.spawn(Decl::Bound(&bd), body)
                         }
                         BenchPolicy::Route => {
@@ -558,7 +567,9 @@ fn split_round_robin<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
 }
 
 fn split_counts(total: usize, n: usize) -> Vec<usize> {
-    (0..n).map(|i| total / n + usize::from(i < total % n)).collect()
+    (0..n)
+        .map(|i| total / n + usize::from(i < total % n))
+        .collect()
 }
 
 #[cfg(test)]

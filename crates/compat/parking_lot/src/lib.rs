@@ -1,0 +1,340 @@
+//! Offline drop-in replacement for the subset of `parking_lot` used by this
+//! workspace, implemented over `std::sync` primitives.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `parking_lot` to this path crate. Semantics match parking_lot's
+//! for the covered API: non-poisoning `Mutex`/`RwLock` (poison is swallowed:
+//! a panicking critical section does not poison the lock for later users),
+//! guards that borrow the lock, a `Condvar` that works with our guards, and
+//! a `ReentrantMutex` keyed on thread id.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------- Mutex ----
+
+/// Non-poisoning mutex with the `parking_lot::Mutex` API subset.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// Create a mutex.
+    pub const fn new(t: T) -> Self {
+        Mutex(std::sync::Mutex::new(t))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard taken during wait")
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Mutex").finish()
+    }
+}
+
+// -------------------------------------------------------------- Condvar ----
+
+/// Result of a timed wait: did it time out?
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the deadline passed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable compatible with [`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the guard while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard taken during wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let inner = guard.0.take().expect("guard taken during wait");
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+// --------------------------------------------------------------- RwLock ----
+
+/// Non-poisoning reader-writer lock with the `parking_lot::RwLock` subset.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a reader-writer lock.
+    pub const fn new(t: T) -> Self {
+        RwLock(std::sync::RwLock::new(t))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+// ------------------------------------------------------- ReentrantMutex ----
+
+/// Recursive mutex: the owning thread may lock again without deadlocking.
+///
+/// Matches `parking_lot::ReentrantMutex`: the guard only grants shared
+/// access (`Deref`), so interior mutability (e.g. `RefCell`) supplies
+/// mutation, exactly as the real crate requires.
+pub struct ReentrantMutex<T: ?Sized> {
+    /// Thread id of the current owner (0 = unowned).
+    owner: AtomicU64,
+    /// Recursion depth of the owner.
+    depth: AtomicUsize,
+    lock: std::sync::Mutex<()>,
+    cv: std::sync::Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialised on the owning thread; `T` crossing
+// threads needs the usual Send bound. No `Sync` requirement on `T` because
+// only one thread at a time can observe `&T` (same contract as parking_lot).
+unsafe impl<T: Send + ?Sized> Send for ReentrantMutex<T> {}
+unsafe impl<T: Send + ?Sized> Sync for ReentrantMutex<T> {}
+
+/// Guard returned by [`ReentrantMutex::lock`].
+pub struct ReentrantMutexGuard<'a, T: ?Sized> {
+    m: &'a ReentrantMutex<T>,
+}
+
+fn thread_id() -> u64 {
+    // Stable `ThreadId::as_u64` is not const-stable to extract; hash the
+    // debug formatting-free route instead: addr_of a thread-local.
+    thread_local! {
+        static MARKER: u8 = const { 0 };
+    }
+    MARKER.with(|m| m as *const u8 as u64)
+}
+
+impl<T> ReentrantMutex<T> {
+    /// Create a reentrant mutex.
+    pub const fn new(t: T) -> Self {
+        ReentrantMutex {
+            owner: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+            lock: std::sync::Mutex::new(()),
+            cv: std::sync::Condvar::new(),
+            data: UnsafeCell::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> ReentrantMutex<T> {
+    /// Acquire the mutex; recursive acquisition by the owner succeeds.
+    pub fn lock(&self) -> ReentrantMutexGuard<'_, T> {
+        let me = thread_id();
+        if self.owner.load(Ordering::Acquire) == me {
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            return ReentrantMutexGuard { m: self };
+        }
+        let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while self.owner.load(Ordering::Acquire) != 0 {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        self.owner.store(me, Ordering::Release);
+        self.depth.store(1, Ordering::Relaxed);
+        ReentrantMutexGuard { m: self }
+    }
+}
+
+impl<T: ?Sized> Deref for ReentrantMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: we hold the lock, so no other thread dereferences.
+        unsafe { &*self.m.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for ReentrantMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.m.depth.fetch_sub(1, Ordering::Relaxed) == 1 {
+            let _g = self.m.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.m.owner.store(0, Ordering::Release);
+            self.m.cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn rwlock_shared_then_exclusive() {
+        let l = RwLock::new(7);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 14);
+        }
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn reentrant_same_thread() {
+        let m = ReentrantMutex::new(std::cell::RefCell::new(0));
+        let a = m.lock();
+        let b = m.lock();
+        *b.borrow_mut() += 1;
+        drop(b);
+        *a.borrow_mut() += 1;
+        drop(a);
+        assert_eq!(*m.lock().borrow(), 2);
+    }
+
+    #[test]
+    fn reentrant_excludes_other_threads() {
+        let m = Arc::new(ReentrantMutex::new(std::cell::RefCell::new(0)));
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let t = std::thread::spawn(move || {
+            let g = m2.lock();
+            *g.borrow_mut() += 10;
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *g.borrow_mut() += 1;
+        drop(g);
+        t.join().unwrap();
+        assert_eq!(*m.lock().borrow(), 11);
+    }
+}

@@ -1,0 +1,93 @@
+//! Exercises the shim through its public macro surface, the same way the
+//! workspace test suites use it.
+
+use proptest::prelude::*;
+
+fn arb_pair() -> impl Strategy<Value = (u8, bool)> {
+    (0u8..16, any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_stay_in_bounds(x in 3u32..17, y in 0u64..=5) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!(y <= 5, "y out of range: {}", y);
+    }
+
+    #[test]
+    fn tuples_and_vec(pair in arb_pair(), v in proptest::collection::vec(any::<u16>(), 2..9)) {
+        prop_assert!(pair.0 < 16);
+        prop_assert!((2..9).contains(&v.len()));
+    }
+
+    #[test]
+    fn mut_binding_and_index(mut v in proptest::collection::vec(0u64..100, 1..20),
+                             pos in any::<proptest::sample::Index>()) {
+        v.push(7);
+        let i = pos.index(v.len());
+        prop_assert!(i < v.len());
+    }
+
+    #[test]
+    fn oneof_and_map(tag in prop_oneof![
+        Just(0u8),
+        (1u8..4).prop_map(|x| x * 10),
+        any::<bool>().prop_map(|b| if b { 100 } else { 200 }),
+    ]) {
+        prop_assert!(
+            tag == 0 || (10..40).contains(&tag) || tag == 100 || tag == 200,
+            "unexpected value {tag}"
+        );
+        prop_assert_eq!(tag, tag);
+    }
+}
+
+mod nested {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn nested_module_block(n in 1usize..5) {
+            prop_assert!(n >= 1);
+        }
+    }
+}
+
+#[test]
+fn failing_case_panics_with_seed() {
+    let caught = std::panic::catch_unwind(|| {
+        let config = proptest::test_runner::ProptestConfig::with_cases(8);
+        let seed0 = proptest::test_runner::seed_for("selftest::doomed");
+        for case in 0..config.cases {
+            let mut rng = proptest::test_runner::TestRng::for_case(seed0, case as u64);
+            let outcome: Result<(), String> = (|| {
+                let x = proptest::strategy::Strategy::sample(&(0u8..10), &mut rng);
+                proptest::prop_assert!(x > 100, "x was {}", x);
+                Ok(())
+            })();
+            if let Err(msg) = outcome {
+                panic!("proptest doomed failed at case {case} (seed {seed0:#x}): {msg}");
+            }
+        }
+    });
+    let msg = *caught
+        .expect_err("property must fail")
+        .downcast::<String>()
+        .unwrap();
+    assert!(msg.contains("seed"), "panic message lacks seed: {msg}");
+    assert!(msg.contains("x was"), "panic message lacks detail: {msg}");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    use proptest::strategy::Strategy;
+    let seed = proptest::test_runner::seed_for("selftest::det");
+    let strat = proptest::collection::vec(0u64..1000, 5..6);
+    let mut a = proptest::test_runner::TestRng::for_case(seed, 3);
+    let mut b = proptest::test_runner::TestRng::for_case(seed, 3);
+    assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+}

@@ -1,0 +1,250 @@
+//! Offline drop-in replacement for the subset of `rand` used by this
+//! workspace: `StdRng::seed_from_u64`, `gen_range` over integer ranges,
+//! `gen_bool`, and `gen::<f64>()`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `rand` to this path crate. The generator is xoshiro256++
+//! seeded via splitmix64 — deterministic for a given seed, which is all the
+//! simulator and tests require (they always seed explicitly).
+
+/// Integer-range abstraction for [`Rng::gen_range`]; implemented for
+/// `Range` and `RangeInclusive` over the integer types the workspace uses.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range using the given generator.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Core entropy source: 64 uniformly random bits per call.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Uniform sampling helpers layered over [`RngCore`] (the `rand::Rng`
+/// extension-trait shape).
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from an integer range (`gen_range(0..n)`,
+    /// `gen_range(0..=n)`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        gen_f64(self) < p
+    }
+
+    /// A uniform sample of type `T` (`f64` in `[0, 1)`, or any full-range
+    /// integer type covered by [`Uniform`]).
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::uniform(self)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Full-range uniform generation for [`Rng::gen`].
+pub trait Uniform {
+    /// Draw one uniform value.
+    fn uniform(rng: &mut impl RngCore) -> Self;
+}
+
+fn gen_f64(rng: &mut impl RngCore) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Uniform for f64 {
+    fn uniform(rng: &mut impl RngCore) -> f64 {
+        gen_f64(rng)
+    }
+}
+
+impl Uniform for bool {
+    fn uniform(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn uniform(rng: &mut impl RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types usable with [`Rng::gen_range`]. One blanket
+/// `SampleRange<T> for Range<T>` impl (like the real crate) keeps literal
+/// inference working: `v[rng.gen_range(0..n)]` unifies the literal with
+/// `usize` instead of defaulting to `i32`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Lossless widening for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrow back after sampling (value is always in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let lo = self.start.to_i128();
+        let span = (self.end.to_i128() - lo) as u128;
+        T::from_i128(lo + uniform_below(rng, span) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty inclusive range in gen_range");
+        let lo = lo.to_i128();
+        let span = (hi.to_i128() - lo + 1) as u128;
+        T::from_i128(lo + uniform_below(rng, span) as i128)
+    }
+}
+
+/// Uniform integer below `span` (`span >= 1`), Lemire-style rejection to
+/// avoid modulo bias.
+fn uniform_below(rng: &mut dyn RngCore, span: u128) -> u64 {
+    debug_assert!(span >= 1);
+    if span == 0 || span > u64::MAX as u128 {
+        return rng.next_u64();
+    }
+    let span = span as u64;
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Deterministic seeding (the only construction the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ seeded via splitmix64 — the workspace's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 expansion, per the xoshiro authors' guidance.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0u64..=2);
+            assert!(w <= 2);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..1000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((300..700).contains(&hits), "suspicious bias: {hits}");
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Static declaration analysis for SAMOA stacks.
+//!
+//! The paper's declarative isolation (`isolated M e`, `isolated bound`,
+//! `isolated route`, §4) puts correctness in the programmer's hands: an
+//! under-declared computation fails at run time, an over-declared one
+//! silently loses parallelism. This module makes declarations checkable
+//! — and inferable — *before* anything runs.
+//!
+//! The input is trigger metadata declared on the stack
+//! ([`StackBuilder::declare_triggers`](crate::stack::StackBuilder::declare_triggers)
+//! / [`bind_with_triggers`](crate::stack::StackBuilder::bind_with_triggers)):
+//! each handler lists the event types its body may trigger, with repetition
+//! encoding per-invocation multiplicity. From it, [`CallGraph`] derives a
+//! conservative handler-level call graph, over which three analyses run:
+//!
+//! * **Linting** ([`lint_stack`]): structural defects of the stack itself —
+//!   unbound events, unreachable handlers, empty microprotocols, duplicate
+//!   bindings, dangling triggers (`SA001`–`SA006`).
+//! * **Validation** ([`validate_decl`]): one declaration against the graph.
+//!   Under-declaration (missing microprotocol, too-small bound, missing
+//!   route) is an Error; over-declaration (resources held but never
+//!   reachable) a Warning (`SA010`–`SA030`).
+//! * **Inference** ([`infer_m`], [`infer_bounds`], [`infer_route`]): the
+//!   minimal declaration each `isolated` variant needs, guaranteed
+//!   sufficient because the graph over-approximates behaviour.
+//!
+//! Findings are [`Diagnostic`]s collected in a [`Report`];
+//! [`RuntimeConfig::strict_analysis`](crate::runtime::RuntimeConfig::strict_analysis)
+//! makes the runtime reject Error-level reports.
+//!
+//! ```
+//! use samoa_core::analysis::{infer_bounds, infer_m, lint_stack};
+//! use samoa_core::prelude::*;
+//!
+//! let mut b = StackBuilder::new();
+//! let lower = b.protocol("Lower");
+//! let upper = b.protocol("Upper");
+//! let request = b.event("Request");
+//! let send = b.event("Send");
+//! b.bind_with_triggers(send, lower, "send", &[], |_, _| Ok(()));
+//! // "deliver" may trigger Send twice per invocation.
+//! b.bind_with_triggers(request, upper, "deliver", &[send, send], |_, _| Ok(()));
+//! let stack = b.build();
+//!
+//! assert!(lint_stack(&stack, &stack.all_events()).is_clean());
+//! assert_eq!(infer_m(&stack, request), vec![lower, upper]);
+//! let (bounds, report) = infer_bounds(&stack, request);
+//! assert!(report.is_clean());
+//! assert_eq!(bounds, vec![(lower, 2), (upper, 1)]);
+//! ```
+
+pub mod callgraph;
+pub mod diagnostics;
+pub mod infer;
+pub mod lint;
+
+pub use callgraph::CallGraph;
+pub use diagnostics::{codes, Diagnostic, Report, Severity};
+pub use infer::{infer_bounds, infer_m, infer_route, CYCLE_FALLBACK_BOUND};
+pub use lint::{lint_stack, validate_decl};

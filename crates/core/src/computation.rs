@@ -351,13 +351,10 @@ impl ComputationInner {
                 }
             }
             CompMode::Basic => {
-                let e = self
-                    .spec
-                    .entry(pid)
-                    .ok_or(SamoaError::UndeclaredProtocol {
-                        comp: self.id,
-                        protocol: pid,
-                    })?;
+                let e = self.spec.entry(pid).ok_or(SamoaError::UndeclaredProtocol {
+                    comp: self.id,
+                    protocol: pid,
+                })?;
                 let pv = e.pv;
                 match e.mode {
                     AccessMode::Write => {
@@ -379,13 +376,10 @@ impl ComputationInner {
                 }
             }
             CompMode::Bound => {
-                let e = self
-                    .spec
-                    .entry(pid)
-                    .ok_or(SamoaError::UndeclaredProtocol {
-                        comp: self.id,
-                        protocol: pid,
-                    })?;
+                let e = self.spec.entry(pid).ok_or(SamoaError::UndeclaredProtocol {
+                    comp: self.id,
+                    protocol: pid,
+                })?;
                 if !e.reserve() {
                     return Err(SamoaError::BoundExhausted {
                         comp: self.id,
@@ -418,9 +412,17 @@ impl ComputationInner {
         self.rt.history.record_call(self.id, event, handler);
         let exec = Arc::new(ExecState::new(PostAction::Handler(handler, pid)));
         let ctx = if self.rt.stack.handler_read_only(handler) {
-            Ctx::new_read_only(Arc::clone(self), Some((handler, pid)), Some(Arc::clone(&exec)))
+            Ctx::new_read_only(
+                Arc::clone(self),
+                Some((handler, pid)),
+                Some(Arc::clone(&exec)),
+            )
         } else {
-            Ctx::new(Arc::clone(self), Some((handler, pid)), Some(Arc::clone(&exec)))
+            Ctx::new(
+                Arc::clone(self),
+                Some((handler, pid)),
+                Some(Arc::clone(&exec)),
+            )
         };
         let func = Arc::clone(&self.rt.stack.entry(handler).func);
         let outcome = catch_unwind(AssertUnwindSafe(|| func(&ctx, data)));
@@ -589,10 +591,7 @@ mod tests {
 
     #[test]
     fn panic_message_extracts_strings() {
-        assert_eq!(
-            panic_message(Box::new("boom")),
-            "boom".to_string()
-        );
+        assert_eq!(panic_message(Box::new("boom")), "boom".to_string());
         assert_eq!(
             panic_message(Box::new(String::from("kaboom"))),
             "kaboom".to_string()

@@ -124,7 +124,8 @@ impl Ctx {
         let handlers: Vec<HandlerId> = self.handlers_for(event).to_vec();
         for h in handlers {
             self.comp.check_issue(self.current, h, false)?;
-            self.comp.call_handler(self.current, event, h, &data, false)?;
+            self.comp
+                .call_handler(self.current, event, h, &data, false)?;
         }
         Ok(())
     }

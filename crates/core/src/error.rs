@@ -99,6 +99,20 @@ pub enum SamoaError {
         /// The offending name.
         name: String,
     },
+    /// A handler name used in a declaration (e.g.
+    /// [`RoutePattern::try_from_names`](crate::graph::RoutePattern::try_from_names))
+    /// is not registered on the stack.
+    UnknownHandlerName {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Static analysis ([`crate::analysis`]) found Error-level diagnostics
+    /// and the runtime was asked to reject them
+    /// ([`RuntimeConfig::strict_analysis`](crate::runtime::RuntimeConfig::strict_analysis)).
+    AnalysisFailed {
+        /// The rendered diagnostic report.
+        report: String,
+    },
     /// An error raised explicitly by user protocol code.
     Protocol {
         /// Human-readable description supplied by the protocol.
@@ -168,6 +182,12 @@ impl fmt::Display for SamoaError {
             }
             SamoaError::DuplicateName { name } => {
                 write!(f, "duplicate registration of name {name:?}")
+            }
+            SamoaError::UnknownHandlerName { name } => {
+                write!(f, "no handler named {name:?} in the stack")
+            }
+            SamoaError::AnalysisFailed { report } => {
+                write!(f, "static analysis rejected the program:\n{report}")
             }
             SamoaError::Protocol { message } => write!(f, "protocol error: {message}"),
         }

@@ -43,14 +43,20 @@ impl RoutePattern {
     }
 
     /// Declare `h` as callable directly from the `isolated` closure body.
+    /// Duplicate roots are deduplicated.
     pub fn root(mut self, h: HandlerId) -> Self {
-        self.roots.push(h);
+        if !self.roots.contains(&h) {
+            self.roots.push(h);
+        }
         self
     }
 
-    /// Declare that the body of `from` may call `to`.
+    /// Declare that the body of `from` may call `to`. Duplicate edges are
+    /// deduplicated.
     pub fn edge(mut self, from: HandlerId, to: HandlerId) -> Self {
-        self.edges.push((from, to));
+        if !self.edges.contains(&(from, to)) {
+            self.edges.push((from, to));
+        }
         self
     }
 
@@ -61,24 +67,40 @@ impl RoutePattern {
     ///
     /// Panics if a name is not registered (a misdeclared pattern is a
     /// programming error the runtime could only report later and worse).
+    /// Use [`RoutePattern::try_from_names`] to get the failure as a value.
     pub fn from_names(
         stack: &crate::stack::Stack,
         roots: &[&str],
         edges: &[(&str, &str)],
     ) -> RoutePattern {
+        RoutePattern::try_from_names(stack, roots, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`RoutePattern::from_names`]: resolve handler names against
+    /// the stack, reporting the first unknown name as
+    /// [`SamoaError::UnknownHandlerName`](crate::error::SamoaError::UnknownHandlerName)
+    /// instead of panicking — the right form when patterns come from
+    /// configuration rather than source code.
+    pub fn try_from_names(
+        stack: &crate::stack::Stack,
+        roots: &[&str],
+        edges: &[(&str, &str)],
+    ) -> crate::error::Result<RoutePattern> {
         let lookup = |name: &str| {
-            stack
-                .handler_by_name(name)
-                .unwrap_or_else(|| panic!("no handler named {name:?} in the stack"))
+            stack.handler_by_name(name).ok_or_else(|| {
+                crate::error::SamoaError::UnknownHandlerName {
+                    name: name.to_string(),
+                }
+            })
         };
         let mut pat = RoutePattern::new();
         for r in roots {
-            pat = pat.root(lookup(r));
+            pat = pat.root(lookup(r)?);
         }
         for (a, b) in edges {
-            pat = pat.edge(lookup(a), lookup(b));
+            pat = pat.edge(lookup(a)?, lookup(b)?);
         }
-        pat
+        Ok(pat)
     }
 
     /// All handlers mentioned by the pattern (roots and edge endpoints).
@@ -344,11 +366,7 @@ impl RouteState {
         self.protocols
             .iter()
             .copied()
-            .filter(|&p| {
-                self.verts
-                    .iter()
-                    .any(|v| v.protocol == p && !v.removed)
-            })
+            .filter(|&p| self.verts.iter().any(|v| v.protocol == p && !v.removed))
             .collect()
     }
 }
@@ -513,8 +531,35 @@ mod tests {
             .root(h(0))
             .edge(h(0), h(1))
             .edge(h(0), h(1));
+        // Deduplicated already in the pattern itself...
+        assert_eq!(pat.roots.len(), 1);
+        assert_eq!(pat.edges.len(), 1);
+        // ...and (defensively) in the runtime state built from it.
         let s = RouteState::new(&pat, |hid| p(hid.0));
         assert_eq!(s.root_succ.len(), 1);
         assert_eq!(s.verts[0].succ.len(), 1);
+    }
+
+    #[test]
+    fn try_from_names_reports_unknown_name() {
+        use crate::error::SamoaError;
+        use crate::stack::StackBuilder;
+
+        let mut b = StackBuilder::new();
+        let pr = b.protocol("P");
+        let e = b.event("E");
+        b.bind(e, pr, "known", |_, _| Ok(()));
+        let stack = b.build();
+
+        let ok = RoutePattern::try_from_names(&stack, &["known"], &[("known", "known")]);
+        assert!(ok.is_ok());
+
+        let err = RoutePattern::try_from_names(&stack, &["known"], &[("known", "ghost")]);
+        assert_eq!(
+            err.unwrap_err(),
+            SamoaError::UnknownHandlerName {
+                name: "ghost".to_string()
+            }
+        );
     }
 }

@@ -121,7 +121,58 @@
 //!   state-only); use it for read-heavy shared caches, never for protocol
 //!   code with network effects.
 //!
-//! ## 5. Pitfalls
+//! ## 5. Static analysis
+//!
+//! Declarations "could be inferred statically" (paper §4) — and with a
+//! little metadata, they are. Declare what each handler triggers (use
+//! [`StackBuilder::bind_with_triggers`], or [`StackBuilder::declare_triggers`]
+//! after binding) and [`crate::analysis`] can lint the stack, validate a
+//! declaration against the static call graph, and infer minimal
+//! declarations for all three isolation algorithms:
+//!
+//! ```
+//! use samoa_core::analysis::{infer_bounds, infer_m, infer_route, lint_stack, validate_decl};
+//! use samoa_core::prelude::*;
+//!
+//! let mut b = StackBuilder::new();
+//! let parser = b.protocol("Parser");
+//! let store = b.protocol("Store");
+//! let ingest = b.event("Ingest");
+//! let put = b.event("Put");
+//! b.bind_with_triggers(ingest, parser, "parse", &[put], move |ctx, ev| {
+//!     ctx.trigger(put, ev.clone())
+//! });
+//! b.bind_with_triggers(put, store, "keep", &[], |_, _| Ok(()));
+//! let stack = b.build();
+//!
+//! // Lint: structural mistakes become SA0xx diagnostics.
+//! assert!(lint_stack(&stack, &[ingest]).is_clean());
+//!
+//! // Infer: the minimal declarations for an Ingest computation.
+//! let m = infer_m(&stack, ingest);
+//! let (bounds, report) = infer_bounds(&stack, ingest);
+//! assert!(report.is_clean()); // acyclic: bounds are exact
+//! assert_eq!(bounds, vec![(parser, 1), (store, 1)]);
+//! let route = infer_route(&stack, ingest);
+//!
+//! // Validate: under-declaring is an error, over-declaring a warning.
+//! assert!(validate_decl(&stack, &Decl::Basic(&m), Some(ingest)).is_clean());
+//! let under = validate_decl(&stack, &Decl::Basic(&[parser]), Some(ingest));
+//! assert!(under.has_errors()); // SA010: Store reachable but undeclared
+//!
+//! // And the inferred declarations run.
+//! let rt = Runtime::new(stack);
+//! rt.isolated_route(&route, |ctx| ctx.trigger(ingest, EventData::empty())).unwrap();
+//! ```
+//!
+//! [`RuntimeConfig::strict_analysis`] wires the analyzer into the runtime:
+//! error-level lints reject the stack at construction, and (in debug
+//! builds) every computation's declaration is checked for closure before it
+//! runs. The `samoa_lint` example (`cargo run --example samoa_lint`) prints
+//! the full report and the inferred declarations for the group-communication
+//! stack; README's "Static analysis" section lists every SA code.
+//!
+//! ## 6. Pitfalls
 //!
 //! * **Don't trigger while holding state.** Keep
 //!   [`ProtocolState::with`] closures short; compute what to send, end the
@@ -152,6 +203,9 @@
 //! [`Runtime::stats`]: crate::runtime::Runtime::stats
 //! [`RuntimeConfig::max_threads_per_computation`]: crate::runtime::RuntimeConfig::max_threads_per_computation
 //! [`StackBuilder::bind_read_only`]: crate::stack::StackBuilder::bind_read_only
+//! [`StackBuilder::bind_with_triggers`]: crate::stack::StackBuilder::bind_with_triggers
+//! [`StackBuilder::declare_triggers`]: crate::stack::StackBuilder::declare_triggers
+//! [`RuntimeConfig::strict_analysis`]: crate::runtime::RuntimeConfig::strict_analysis
 //! [`ProtocolState::with`]: crate::protocol::ProtocolState::with
 //! [`Ctx::spawn`]: crate::ctx::Ctx::spawn
 //! [`AccessMode::Read`]: crate::policy::AccessMode::Read

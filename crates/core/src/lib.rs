@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analysis;
 pub mod computation;
 pub mod ctx;
 pub mod error;
@@ -59,6 +60,7 @@ pub mod runtime;
 pub mod stack;
 pub mod version;
 
+pub use analysis::{Diagnostic, Report, Severity};
 pub use ctx::Ctx;
 pub use error::{CompId, Result, SamoaError};
 pub use event::{EventData, EventType};

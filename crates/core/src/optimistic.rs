@@ -220,9 +220,7 @@ impl OccRuntime {
             // Validate + commit atomically.
             let _commit = self.inner.commit_lock.lock();
             let touched = tx.touched.into_inner();
-            let valid = touched
-                .values()
-                .all(|e| e.cell.version() == e.seen_version);
+            let valid = touched.values().all(|e| e.cell.version() == e.seen_version);
             if valid {
                 for (_, e) in touched {
                     if e.written {
@@ -230,7 +228,9 @@ impl OccRuntime {
                     }
                 }
                 self.inner.total_commits.fetch_add(1, Ordering::Relaxed);
-                self.inner.total_retries.fetch_add(retries, Ordering::Relaxed);
+                self.inner
+                    .total_retries
+                    .fetch_add(retries, Ordering::Relaxed);
                 return Ok((out, OccReport { retries }));
             }
             drop(_commit);

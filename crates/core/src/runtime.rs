@@ -46,6 +46,15 @@ pub struct RuntimeConfig {
     /// always exists; extra workers are spawned on demand for asynchronous
     /// events and `Ctx::spawn` closures.
     pub max_threads_per_computation: usize,
+    /// Reject programs the static analyzer ([`crate::analysis`]) finds
+    /// defective. With this set, [`Runtime::with_config`] panics if linting
+    /// the stack yields Error-level diagnostics, and — in debug builds —
+    /// every [`Runtime::run`]/[`Runtime::spawn`] validates its declaration
+    /// (closure check, [`validate_decl`](crate::analysis::validate_decl)
+    /// with no root) and fails with [`SamoaError::AnalysisFailed`]. Off by
+    /// default: the closure check is conservative and may reject tight
+    /// declarations that are correct for a particular entry event.
+    pub strict_analysis: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -53,6 +62,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             record_history: false,
             max_threads_per_computation: 4,
+            strict_analysis: false,
         }
     }
 }
@@ -63,6 +73,14 @@ impl RuntimeConfig {
     pub fn recording() -> Self {
         RuntimeConfig {
             record_history: true,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// A config with [`RuntimeConfig::strict_analysis`] enabled.
+    pub fn strict() -> Self {
+        RuntimeConfig {
+            strict_analysis: true,
             ..RuntimeConfig::default()
         }
     }
@@ -165,7 +183,39 @@ impl Runtime {
     }
 
     /// Create a runtime with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// With [`RuntimeConfig::strict_analysis`] set, panics if linting the
+    /// stack ([`lint_stack`](crate::analysis::lint_stack), every event
+    /// treated as external) yields Error-level diagnostics. Use
+    /// [`Runtime::new_checked`] to get the failure as a value.
     pub fn with_config(stack: Stack, config: RuntimeConfig) -> Self {
+        if config.strict_analysis {
+            let report = crate::analysis::lint_stack(&stack, &stack.all_events());
+            if report.has_errors() {
+                panic!("strict_analysis rejected the stack:\n{}", report.render());
+            }
+        }
+        Runtime::build(stack, config)
+    }
+
+    /// Create a runtime only if the stack passes the static linter
+    /// ([`lint_stack`](crate::analysis::lint_stack), every event treated as
+    /// external): Error-level diagnostics become
+    /// [`SamoaError::AnalysisFailed`]. Lints unconditionally, whatever
+    /// `config.strict_analysis` says.
+    pub fn new_checked(stack: Stack, config: RuntimeConfig) -> Result<Runtime> {
+        let report = crate::analysis::lint_stack(&stack, &stack.all_events());
+        if report.has_errors() {
+            return Err(SamoaError::AnalysisFailed {
+                report: report.render(),
+            });
+        }
+        Ok(Runtime::build(stack, config))
+    }
+
+    fn build(stack: Stack, config: RuntimeConfig) -> Self {
         let n = stack.protocol_count();
         Runtime {
             inner: Arc::new(RuntimeInner {
@@ -259,9 +309,7 @@ impl Runtime {
                 CompMode::Bound,
                 dedup_max(entries.iter().map(|&(p, b)| (p, b, w))),
             ),
-            Decl::TwoPhase(pids) => {
-                (CompMode::Locked, dedup_max(pids.iter().map(|&p| (p, 0, w))))
-            }
+            Decl::TwoPhase(pids) => (CompMode::Locked, dedup_max(pids.iter().map(|&p| (p, 0, w)))),
             Decl::Route(pattern) => {
                 let rs = RouteState::new(pattern, |h| self.inner.stack.handler_protocol(h));
                 let pairs = dedup_max(rs.protocols().iter().map(|&p| (p, 1, w)));
@@ -295,10 +343,7 @@ impl Runtime {
         pairs
             .iter()
             .map(|&(pid, bound, access)| {
-                assert!(
-                    pid.index() < gv.len(),
-                    "declared unknown protocol {pid:?}"
-                );
+                assert!(pid.index() < gv.len(), "declared unknown protocol {pid:?}");
                 let increment = if mode == CompMode::Locked || access == AccessMode::Read {
                     0
                 } else {
@@ -322,10 +367,27 @@ impl Runtime {
 
     // ---- running computations ----
 
+    /// Under [`RuntimeConfig::strict_analysis`], debug builds validate every
+    /// declaration (closure check — no root event is known here) before
+    /// spawning. Release builds skip the check: it walks the whole call
+    /// graph per computation.
+    fn debug_validate(&self, decl: &Decl<'_>) -> Result<()> {
+        if cfg!(debug_assertions) && self.inner.config.strict_analysis {
+            let report = crate::analysis::validate_decl(&self.inner.stack, decl, None);
+            if report.has_errors() {
+                return Err(SamoaError::AnalysisFailed {
+                    report: report.render(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Run a computation *blocking*: the calling thread executes the closure
     /// body, helps drain the computation's asynchronous work, runs Rule 3,
     /// and returns the closure's value once the computation has completed.
     pub fn run<R>(&self, decl: Decl<'_>, f: impl FnOnce(&Ctx) -> Result<R>) -> Result<R> {
+        self.debug_validate(&decl)?;
         let comp = self.spawn_comp(&decl);
         let mut out: Option<R> = None;
         root_execute(&comp, |ctx| f(ctx).map(|r| out = Some(r)));
@@ -341,11 +403,20 @@ impl Runtime {
     /// Start a computation *detached* and return a handle. Rule 1 executes
     /// synchronously here, so the caller's spawn order fixes the version
     /// (i.e. serialisation) order; the body runs on a new root thread.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds under [`RuntimeConfig::strict_analysis`], panics if
+    /// the declaration fails validation (there is no error channel before
+    /// the handle exists).
     pub fn spawn(
         &self,
         decl: Decl<'_>,
         f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
     ) -> CompHandle {
+        if let Err(e) = self.debug_validate(&decl) {
+            panic!("{e}");
+        }
         let comp = self.spawn_comp(&decl);
         let c2 = Arc::clone(&comp);
         std::thread::spawn(move || {
@@ -359,11 +430,7 @@ impl Runtime {
     // ---- typed conveniences, matching the paper's constructs ----
 
     /// `isolated M e` (VCAbasic, §5.1), blocking.
-    pub fn isolated<R>(
-        &self,
-        m: &[ProtocolId],
-        f: impl FnOnce(&Ctx) -> Result<R>,
-    ) -> Result<R> {
+    pub fn isolated<R>(&self, m: &[ProtocolId], f: impl FnOnce(&Ctx) -> Result<R>) -> Result<R> {
         self.run(Decl::Basic(m), f)
     }
 
@@ -452,11 +519,7 @@ impl Runtime {
     }
 
     /// Conservative two-phase-locking computation (comparator).
-    pub fn two_phase<R>(
-        &self,
-        m: &[ProtocolId],
-        f: impl FnOnce(&Ctx) -> Result<R>,
-    ) -> Result<R> {
+    pub fn two_phase<R>(&self, m: &[ProtocolId], f: impl FnOnce(&Ctx) -> Result<R>) -> Result<R> {
         self.run(Decl::TwoPhase(m), f)
     }
 
@@ -497,18 +560,12 @@ impl Runtime {
     }
 
     /// Detached serial computation.
-    pub fn spawn_serial(
-        &self,
-        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
-    ) -> CompHandle {
+    pub fn spawn_serial(&self, f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static) -> CompHandle {
         self.spawn(Decl::Serial, f)
     }
 
     /// Detached unsynchronised computation.
-    pub fn spawn_unsync(
-        &self,
-        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
-    ) -> CompHandle {
+    pub fn spawn_unsync(&self, f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static) -> CompHandle {
         self.spawn(Decl::Unsync, f)
     }
 
@@ -676,6 +733,78 @@ mod tests {
         let c = RuntimeConfig::default();
         assert!(!c.record_history);
         assert!(c.max_threads_per_computation >= 1);
+        assert!(!c.strict_analysis);
         assert!(RuntimeConfig::recording().record_history);
+        assert!(RuntimeConfig::strict().strict_analysis);
+    }
+
+    /// Stack with a dangling trigger: "a" declares it triggers an event with
+    /// no bound handler (SA005, Error).
+    fn defective_stack() -> Stack {
+        use crate::stack::StackBuilder;
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let root = b.event("root");
+        let ghost = b.event("ghost");
+        b.bind_with_triggers(root, p, "a", &[ghost], |_, _| Ok(()));
+        b.build()
+    }
+
+    #[test]
+    fn new_checked_rejects_defective_stack() {
+        let err = Runtime::new_checked(defective_stack(), RuntimeConfig::default()).unwrap_err();
+        match err {
+            SamoaError::AnalysisFailed { report } => {
+                assert!(report.contains("SA005"), "{report}");
+            }
+            other => panic!("expected AnalysisFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_checked_accepts_clean_stack() {
+        use crate::stack::StackBuilder;
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let root = b.event("root");
+        b.bind_with_triggers(root, p, "a", &[], |_, _| Ok(()));
+        assert!(Runtime::new_checked(b.build(), RuntimeConfig::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "SA005")]
+    fn strict_with_config_panics_on_defective_stack() {
+        let _ = Runtime::with_config(defective_stack(), RuntimeConfig::strict());
+    }
+
+    #[test]
+    fn lenient_with_config_accepts_defective_stack() {
+        let _ = Runtime::with_config(defective_stack(), RuntimeConfig::default());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn strict_run_rejects_unclosed_declaration() {
+        use crate::stack::StackBuilder;
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let root = b.event("root");
+        let eq = b.event("eq");
+        b.bind_with_triggers(eq, q, "b", &[], |_, _| Ok(()));
+        b.bind_with_triggers(root, p, "a", &[eq], |_, _| Ok(()));
+        let rt = Runtime::with_config(b.build(), RuntimeConfig::strict());
+        // {P} is not closed: "a" may call into Q.
+        let err = rt.isolated(&[p], |_| Ok(())).unwrap_err();
+        match err {
+            SamoaError::AnalysisFailed { report } => {
+                assert!(report.contains("SA010"), "{report}");
+            }
+            other => panic!("expected AnalysisFailed, got {other:?}"),
+        }
+        // The closed set is accepted and runs.
+        rt.isolated(&[p, q], |_| Ok(())).unwrap();
+        // Serial declarations are always clean.
+        rt.serial(|_| Ok(())).unwrap();
     }
 }

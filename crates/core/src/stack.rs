@@ -28,6 +28,9 @@ pub struct StackBuilder {
     handlers: Vec<HandlerEntry>,
     /// `bindings[event] = handlers bound to that event, in bind order`.
     bindings: Vec<Vec<HandlerId>>,
+    /// `triggers[handler] = events the handler's body may trigger`, if
+    /// declared (see [`StackBuilder::declare_triggers`]).
+    triggers: Vec<Option<Vec<EventType>>>,
 }
 
 impl StackBuilder {
@@ -108,7 +111,58 @@ impl StackBuilder {
             func,
             read_only,
         });
+        self.triggers.push(None);
         self.bindings[event.index()].push(id);
+        id
+    }
+
+    /// Declare the event types `handler`'s body may trigger — the static
+    /// call-graph metadata consumed by [`crate::analysis`].
+    ///
+    /// The declaration is an upper bound on behaviour: a handler may trigger
+    /// fewer events than declared (or none), but triggering an undeclared
+    /// event makes every analysis result about this stack unreliable. Each
+    /// occurrence in `events` stands for **at most one** trigger of that
+    /// event per handler invocation; a handler that may trigger the same
+    /// event up to `k` times per invocation lists it `k` times (this
+    /// multiplicity is what [`crate::analysis::infer_bounds`] counts).
+    ///
+    /// Calling this again for the same handler *appends* to the declaration.
+    /// Handlers with no declaration at all are treated by the analyses as
+    /// triggering nothing, and reported by the linter (`SA006`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handler` or any event is not registered on this builder.
+    pub fn declare_triggers(&mut self, handler: HandlerId, events: &[EventType]) {
+        assert!(
+            handler.index() < self.handlers.len(),
+            "unknown handler {handler:?}"
+        );
+        for &e in events {
+            assert!(e.index() < self.events.len(), "unknown event {e:?}");
+        }
+        self.triggers[handler.index()]
+            .get_or_insert_with(Vec::new)
+            .extend_from_slice(events);
+    }
+
+    /// [`StackBuilder::bind`] plus [`StackBuilder::declare_triggers`] in one
+    /// call: register and bind the handler, and declare the events its body
+    /// may trigger.
+    pub fn bind_with_triggers<F>(
+        &mut self,
+        event: EventType,
+        protocol: ProtocolId,
+        name: &str,
+        triggers: &[EventType],
+        f: F,
+    ) -> HandlerId
+    where
+        F: Fn(&Ctx, &EventData) -> Result<()> + Send + Sync + 'static,
+    {
+        let id = self.bind(event, protocol, name, f);
+        self.declare_triggers(id, triggers);
         id
     }
 
@@ -137,6 +191,7 @@ impl StackBuilder {
                 events: self.events,
                 handlers: self.handlers,
                 bindings: self.bindings,
+                triggers: self.triggers,
                 handlers_by_name: by_name,
             }),
         }
@@ -148,6 +203,7 @@ pub(crate) struct StackInner {
     pub(crate) events: Vec<String>,
     pub(crate) handlers: Vec<HandlerEntry>,
     pub(crate) bindings: Vec<Vec<HandlerId>>,
+    pub(crate) triggers: Vec<Option<Vec<EventType>>>,
     pub(crate) handlers_by_name: HashMap<String, HandlerId>,
 }
 
@@ -214,6 +270,24 @@ impl Stack {
         (0..self.inner.protocols.len() as u32)
             .map(ProtocolId)
             .collect()
+    }
+
+    /// All event types, in registration order.
+    pub fn all_events(&self) -> Vec<EventType> {
+        (0..self.inner.events.len() as u32).map(EventType).collect()
+    }
+
+    /// The events `h` declared it may trigger
+    /// ([`StackBuilder::declare_triggers`]); `None` if the handler carries
+    /// no metadata. Repeated entries declare per-invocation multiplicity.
+    pub fn handler_triggers(&self, h: HandlerId) -> Option<&[EventType]> {
+        self.inner.triggers[h.index()].as_deref()
+    }
+
+    /// Does *every* handler carry trigger metadata? Only then do the static
+    /// analyses see the full call graph.
+    pub fn has_full_trigger_metadata(&self) -> bool {
+        self.inner.triggers.iter().all(|t| t.is_some())
     }
 
     pub(crate) fn entry(&self, h: HandlerId) -> &HandlerEntry {
@@ -287,6 +361,48 @@ mod tests {
         let mut b = StackBuilder::new();
         let e = b.event("E");
         b.bind(e, ProtocolId(5), "h", noop());
+    }
+
+    #[test]
+    fn trigger_metadata_roundtrip() {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let e1 = b.event("E1");
+        let e2 = b.event("E2");
+        let h1 = b.bind_with_triggers(e1, p, "h1", &[e2, e2], noop());
+        let h2 = b.bind(e2, p, "h2", noop());
+        let h3 = b.bind(e2, p, "h3", noop());
+        b.declare_triggers(h3, &[]);
+        let s = b.build();
+        assert_eq!(s.handler_triggers(h1), Some(&[e2, e2][..]));
+        assert_eq!(s.handler_triggers(h2), None);
+        assert_eq!(s.handler_triggers(h3), Some(&[][..]));
+        assert!(!s.has_full_trigger_metadata());
+        assert_eq!(s.all_events(), vec![e1, e2]);
+    }
+
+    #[test]
+    fn declare_triggers_appends() {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let e1 = b.event("E1");
+        let e2 = b.event("E2");
+        let h = b.bind(e1, p, "h", noop());
+        b.declare_triggers(h, &[e1]);
+        b.declare_triggers(h, &[e2]);
+        let s = b.build();
+        assert_eq!(s.handler_triggers(h), Some(&[e1, e2][..]));
+        assert!(s.has_full_trigger_metadata());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown event")]
+    fn declare_triggers_unknown_event_panics() {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let e = b.event("E");
+        let h = b.bind(e, p, "h", noop());
+        b.declare_triggers(h, &[EventType(9)]);
     }
 
     #[test]

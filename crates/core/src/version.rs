@@ -36,9 +36,7 @@ struct CellState {
 
 impl CellState {
     fn readers_below(&self, epoch: u64) -> bool {
-        self.readers
-            .range(..epoch)
-            .any(|(_, &count)| count > 0)
+        self.readers.range(..epoch).any(|(_, &count)| count > 0)
     }
 }
 
@@ -229,10 +227,13 @@ mod tests {
         let c = Arc::new(VersionCell::new());
         let c2 = Arc::clone(&c);
         let t = std::thread::spawn(move || {
-            c2.wait_then(|v| v == 1, |v| {
-                *v = 10;
-                *v
-            })
+            c2.wait_then(
+                |v| v == 1,
+                |v| {
+                    *v = 10;
+                    *v
+                },
+            )
         });
         std::thread::sleep(Duration::from_millis(2));
         c.bump();
@@ -287,7 +288,7 @@ mod tests {
     fn wait_write_ignores_newer_readers() {
         let c = VersionCell::new();
         c.register_reader(5); // reader spawned after the writer
-        // Writer with pv = 1 must not wait for it.
+                              // Writer with pv = 1 must not wait for it.
         assert_eq!(c.wait_write(|v| v + 1 >= 1, 1), 0);
     }
 

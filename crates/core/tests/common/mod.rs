@@ -63,9 +63,9 @@ pub fn conflict_stack(n: usize) -> ConflictStack {
 impl ConflictStack {
     /// Did every append observe a consistent length (no lost updates)?
     pub fn no_lost_updates(&self) -> bool {
-        self.logs.iter().all(|log| {
-            log.read(|l| l.iter().enumerate().all(|(i, &(_, seen))| seen == i))
-        })
+        self.logs
+            .iter()
+            .all(|log| log.read(|l| l.iter().enumerate().all(|(i, &(_, seen))| seen == i)))
     }
 
     /// Visit order of computations on protocol `i`.

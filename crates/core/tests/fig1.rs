@@ -92,18 +92,14 @@ fn diamond() -> Diamond {
 #[test]
 fn isolated_diamond_always_serializable() {
     let d = diamond();
-    let ka = d
-        .rt
-        .spawn_isolated(&[d.p, d.r, d.s], {
-            let e = d.a0;
-            move |ctx| ctx.trigger(e, EventData::empty())
-        });
-    let kb = d
-        .rt
-        .spawn_isolated(&[d.q, d.r, d.s], {
-            let e = d.b0;
-            move |ctx| ctx.trigger(e, EventData::empty())
-        });
+    let ka = d.rt.spawn_isolated(&[d.p, d.r, d.s], {
+        let e = d.a0;
+        move |ctx| ctx.trigger(e, EventData::empty())
+    });
+    let kb = d.rt.spawn_isolated(&[d.q, d.r, d.s], {
+        let e = d.b0;
+        move |ctx| ctx.trigger(e, EventData::empty())
+    });
     join_within(ka, Duration::from_secs(10)).unwrap();
     join_within(kb, Duration::from_secs(10)).unwrap();
     // Both computations visited R and S in the same (spawn) order.
@@ -256,11 +252,9 @@ fn two_phase_locking_also_isolates_the_diamond() {
         let decl_b = [d.q, d.r, d.s];
         let (ea, eb) = (d.a0, d.b0);
         handles.push(if i % 2 == 0 {
-            d.rt
-                .spawn_two_phase(&decl_a, move |ctx| ctx.trigger(ea, EventData::empty()))
+            d.rt.spawn_two_phase(&decl_a, move |ctx| ctx.trigger(ea, EventData::empty()))
         } else {
-            d.rt
-                .spawn_two_phase(&decl_b, move |ctx| ctx.trigger(eb, EventData::empty()))
+            d.rt.spawn_two_phase(&decl_b, move |ctx| ctx.trigger(eb, EventData::empty()))
         });
     }
     for h in handles {

@@ -116,8 +116,7 @@ fn route_bound_basic_mix_on_chain() {
     let mut b = StackBuilder::new();
     let ps: Vec<ProtocolId> = (0..3).map(|i| b.protocol(&format!("S{i}"))).collect();
     let es: Vec<EventType> = (0..3).map(|i| b.event(&format!("E{i}"))).collect();
-    let states: Vec<ProtocolState<u64>> =
-        ps.iter().map(|&p| ProtocolState::new(p, 0)).collect();
+    let states: Vec<ProtocolState<u64>> = ps.iter().map(|&p| ProtocolState::new(p, 0)).collect();
     let mut hs = Vec::new();
     for i in 0..3 {
         let st = states[i].clone();

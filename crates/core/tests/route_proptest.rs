@@ -36,13 +36,15 @@ fn build_dag(n: usize, edges: &[(usize, usize)]) -> DagStack {
             .map(|&(_, b2)| events[b2])
             .collect();
         let c = counters[i].clone();
-        handlers.push(b.bind(events[i], protocols[i], &format!("h{i}"), move |ctx, ev| {
-            c.with(ctx, |v| *v += 1);
-            for &next in &nexts {
-                ctx.trigger(next, ev.clone())?;
-            }
-            Ok(())
-        }));
+        handlers.push(
+            b.bind(events[i], protocols[i], &format!("h{i}"), move |ctx, ev| {
+                c.with(ctx, |v| *v += 1);
+                for &next in &nexts {
+                    ctx.trigger(next, ev.clone())?;
+                }
+                Ok(())
+            }),
+        );
     }
     let stack = b.build();
     let mut pattern = RoutePattern::new().root(handlers[0]);

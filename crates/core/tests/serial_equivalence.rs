@@ -94,8 +94,7 @@ fn run_concurrent(
     let mut handles = Vec::new();
     for visits in &wl.visits {
         let decl: Vec<ProtocolId> = {
-            let mut v: Vec<ProtocolId> =
-                visits.iter().map(|&(i, _)| built.protocols[i]).collect();
+            let mut v: Vec<ProtocolId> = visits.iter().map(|&(i, _)| built.protocols[i]).collect();
             v.sort_unstable();
             v.dedup();
             v
@@ -123,8 +122,7 @@ fn run_serial(wl: &Workload, order: &[u64]) -> Vec<Vec<(u64, usize)>> {
     for &comp in order {
         let visits = &wl.visits[(comp - 1) as usize];
         let decl: Vec<ProtocolId> = {
-            let mut v: Vec<ProtocolId> =
-                visits.iter().map(|&(i, _)| built.protocols[i]).collect();
+            let mut v: Vec<ProtocolId> = visits.iter().map(|&(i, _)| built.protocols[i]).collect();
             v.sort_unstable();
             v.dedup();
             v
@@ -146,7 +144,11 @@ fn run_serial(wl: &Workload, order: &[u64]) -> Vec<Vec<(u64, usize)>> {
     final_state(&built)
 }
 
-fn assert_equivalent(seed: u64, policy: &str, spawn: impl Fn(&Built, &[ProtocolId], Vec<(EventType, u64)>) -> CompHandle) {
+fn assert_equivalent(
+    seed: u64,
+    policy: &str,
+    spawn: impl Fn(&Built, &[ProtocolId], Vec<(EventType, u64)>) -> CompHandle,
+) {
     let wl = gen_workload(seed, 3, 10);
     let (concurrent, order) = run_concurrent(&wl, spawn);
     assert_eq!(
@@ -181,8 +183,7 @@ fn vca_bound_is_equivalent_to_a_serial_execution() {
     for seed in 10..15 {
         assert_equivalent(seed, "vca-bound", |b, decl, evs| {
             // Exact bounds: count visits per protocol.
-            let mut bounds: Vec<(ProtocolId, u64)> =
-                decl.iter().map(|&p| (p, 0)).collect();
+            let mut bounds: Vec<(ProtocolId, u64)> = decl.iter().map(|&p| (p, 0)).collect();
             for &(e, _) in &evs {
                 // event index == protocol index in this stack
                 let idx = b.events.iter().position(|&x| x == e).unwrap();

@@ -109,8 +109,7 @@ fn stress_mixed_versioning_policies() {
         handles.push(if j % 2 == 0 {
             s.rt.spawn_isolated(&[p], move |ctx| ctx.trigger(e, sleep))
         } else {
-            s.rt
-                .spawn_isolated_bound(&[(p, 1)], move |ctx| ctx.trigger(e, sleep))
+            s.rt.spawn_isolated_bound(&[(p, 1)], move |ctx| ctx.trigger(e, sleep))
         });
     }
     for h in handles {

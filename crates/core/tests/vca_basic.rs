@@ -23,10 +23,9 @@ fn single_computation_runs_and_upgrades_versions() {
 #[test]
 fn undeclared_protocol_is_an_error() {
     let s = conflict_stack(2);
-    let err = s
-        .rt
-        .isolated(&[s.protocols[0]], |ctx| ctx.trigger(s.events[1], 0u64))
-        .unwrap_err();
+    let err =
+        s.rt.isolated(&[s.protocols[0]], |ctx| ctx.trigger(s.events[1], 0u64))
+            .unwrap_err();
     match err {
         SamoaError::UndeclaredProtocol { protocol, .. } => {
             assert_eq!(protocol, s.protocols[1]);
@@ -38,9 +37,8 @@ fn undeclared_protocol_is_an_error() {
 #[test]
 fn undeclared_protocol_error_does_not_wedge_later_computations() {
     let s = conflict_stack(2);
-    let _ = s
-        .rt
-        .isolated(&[s.protocols[0]], |ctx| ctx.trigger(s.events[1], 0u64));
+    let _ =
+        s.rt.isolated(&[s.protocols[0]], |ctx| ctx.trigger(s.events[1], 0u64));
     // The failed computation still released P0 at completion.
     join_within(
         s.rt.spawn_isolated(&[s.protocols[0]], {
@@ -59,10 +57,7 @@ fn conflicting_computations_serialize_in_spawn_order() {
     let e = s.events[0];
     let mut handles = Vec::new();
     for _ in 0..8 {
-        handles.push(
-            s.rt
-                .spawn_isolated(&[s.protocols[0]], move |ctx| ctx.trigger(e, 3u64)),
-        );
+        handles.push(s.rt.spawn_isolated(&[s.protocols[0]], move |ctx| ctx.trigger(e, 3u64)));
     }
     for h in handles {
         join_within(h, Duration::from_secs(20)).unwrap();
@@ -156,9 +151,8 @@ fn async_triggers_run_within_the_computation() {
 fn async_error_reported_on_join() {
     let s = conflict_stack(2);
     let e1 = s.events[1];
-    let err = s
-        .rt
-        .isolated(&[s.protocols[0]], |ctx| {
+    let err =
+        s.rt.isolated(&[s.protocols[0]], |ctx| {
             // Declared at issue time: undeclared protocol error surfaces in
             // the issuing thread.
             ctx.async_trigger(e1, 0u64)
@@ -206,7 +200,9 @@ fn nested_sync_triggers_chain_across_protocols() {
     }
     {
         let e2 = es[2];
-        b.bind(es[1], ps[1], "h1", move |ctx, _| ctx.trigger(e2, EventData::empty()));
+        b.bind(es[1], ps[1], "h1", move |ctx, _| {
+            ctx.trigger(e2, EventData::empty())
+        });
     }
     {
         let t = trace.clone();
@@ -226,8 +222,7 @@ fn quiesce_waits_for_all_spawned_computations() {
     let s = conflict_stack(1);
     let e = s.events[0];
     for _ in 0..4 {
-        s.rt
-            .spawn_isolated(&[s.protocols[0]], move |ctx| ctx.trigger(e, 10u64));
+        s.rt.spawn_isolated(&[s.protocols[0]], move |ctx| ctx.trigger(e, 10u64));
     }
     s.rt.quiesce();
     assert_eq!(s.visit_order(0).len(), 4);

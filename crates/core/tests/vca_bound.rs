@@ -27,9 +27,8 @@ fn bound_allows_declared_number_of_visits() {
 fn exceeding_bound_is_an_error() {
     let s = conflict_stack(1);
     let e = s.events[0];
-    let err = s
-        .rt
-        .isolated_bound(&[(s.protocols[0], 2)], |ctx| {
+    let err =
+        s.rt.isolated_bound(&[(s.protocols[0], 2)], |ctx| {
             for _ in 0..3 {
                 ctx.trigger(e, 0u64)?;
             }
@@ -64,7 +63,7 @@ fn exhausted_bound_releases_protocol_early() {
         let k2_entered_p0 = Arc::clone(&k2_entered_p0);
         s.rt.spawn_isolated_bound(&[(s.protocols[0], 1), (s.protocols[1], 1)], move |ctx| {
             ctx.trigger(e0, 0u64)?; // single visit of P0: budget exhausted
-            // Stay alive on P1 until k2 demonstrates it got into P0.
+                                    // Stay alive on P1 until k2 demonstrates it got into P0.
             assert!(
                 wait_flag(&k2_entered_p0, Duration::from_secs(10)),
                 "k2 was not admitted to P0 while k1 was still running"
@@ -112,9 +111,8 @@ fn fewer_visits_than_declared_is_fine() {
 #[test]
 fn unvisited_bound_protocol_released_at_completion() {
     let s = conflict_stack(2);
-    let h1 = s
-        .rt
-        .spawn_isolated_bound(&[(s.protocols[0], 4)], |_| Ok(()));
+    let h1 =
+        s.rt.spawn_isolated_bound(&[(s.protocols[0], 4)], |_| Ok(()));
     join_within(h1, Duration::from_secs(5)).unwrap();
     assert_eq!(s.rt.local_version(s.protocols[0]), 4);
 }
@@ -153,9 +151,8 @@ fn concurrent_threads_of_one_computation_respect_shared_budget() {
     // of the three must fail with BoundExhausted, whichever loses the race.
     let s = conflict_stack(1);
     let e = s.events[0];
-    let err = s
-        .rt
-        .isolated_bound(&[(s.protocols[0], 2)], |ctx| {
+    let err =
+        s.rt.isolated_bound(&[(s.protocols[0], 2)], |ctx| {
             ctx.async_trigger(e, 1u64)?;
             ctx.async_trigger(e, 1u64)?;
             ctx.trigger(e, 1u64)
@@ -182,8 +179,7 @@ fn basic_and_bound_computations_mix_soundly() {
         handles.push(if i % 2 == 0 {
             s.rt.spawn_isolated(&p, move |ctx| ctx.trigger(e, 2u64))
         } else {
-            s.rt
-                .spawn_isolated_bound(&decl_b, move |ctx| ctx.trigger(e, 2u64))
+            s.rt.spawn_isolated_bound(&decl_b, move |ctx| ctx.trigger(e, 2u64))
         });
     }
     for h in handles {

@@ -94,9 +94,8 @@ fn call_outside_pattern_is_rejected() {
     let pat = RoutePattern::new()
         .root(p.handlers[0])
         .edge(p.handlers[0], p.handlers[1]);
-    let err = p
-        .rt
-        .isolated_route(&pat, |ctx| {
+    let err =
+        p.rt.isolated_route(&pat, |ctx| {
             ctx.trigger(
                 p.events[0],
                 EventData::new(Step {
@@ -120,9 +119,8 @@ fn undeclared_edge_is_rejected() {
         .root(p.handlers[0])
         .root(p.handlers[2])
         .edge(p.handlers[0], p.handlers[1]);
-    let err = p
-        .rt
-        .isolated_route(&pat, |ctx| {
+    let err =
+        p.rt.isolated_route(&pat, |ctx| {
             ctx.trigger(
                 p.events[0],
                 EventData::new(Step {
@@ -147,9 +145,8 @@ fn root_may_only_call_declared_roots() {
     let pat = RoutePattern::new()
         .root(p.handlers[0])
         .edge(p.handlers[0], p.handlers[1]);
-    let err = p
-        .rt
-        .isolated_route(&pat, |ctx| {
+    let err =
+        p.rt.isolated_route(&pat, |ctx| {
             // Direct call of stage1 from the closure body: not a root.
             ctx.trigger(
                 p.events[1],
@@ -288,9 +285,8 @@ fn async_route_admission_checked_at_issue() {
     let pat = RoutePattern::new()
         .root(p.handlers[0])
         .edge(p.handlers[1], p.handlers[0]);
-    let err = p
-        .rt
-        .isolated_route(&pat, |ctx| {
+    let err =
+        p.rt.isolated_route(&pat, |ctx| {
             ctx.async_trigger(
                 p.events[1],
                 EventData::new(Step {

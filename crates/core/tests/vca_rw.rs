@@ -79,10 +79,9 @@ fn readers_share_the_microprotocol() {
     for _ in 0..6 {
         let e = r.lookup;
         handles.push(
-            r.rt
-                .spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |ctx| {
-                    ctx.trigger(e, 20u64)
-                }),
+            r.rt.spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |ctx| {
+                ctx.trigger(e, 20u64)
+            }),
         );
     }
     for h in handles {
@@ -104,9 +103,7 @@ fn write_mode_computations_still_serialize() {
     let mut handles = Vec::new();
     for _ in 0..8 {
         let e = r.update;
-        handles.push(r.rt.spawn_isolated(&[r.registry], move |ctx| {
-            ctx.trigger(e, 1u64)
-        }));
+        handles.push(r.rt.spawn_isolated(&[r.registry], move |ctx| ctx.trigger(e, 1u64)));
     }
     for h in handles {
         join_within(h, Duration::from_secs(10)).unwrap();
@@ -130,23 +127,22 @@ fn writer_waits_for_older_readers() {
             Arc::clone(&writer_done),
         );
         let value = r.value.clone();
-        r.rt
-            .spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |ctx| {
-                ctx.trigger(e, 0u64)?;
-                reader_in.store(true, Ordering::SeqCst);
-                // Keep the computation alive; the reader hold persists to
-                // completion, so the writer must not have run yet.
-                assert!(
-                    wait_flag(&release, Duration::from_secs(10)),
-                    "never released"
-                );
-                assert!(
-                    !writer_done.load(Ordering::SeqCst),
-                    "writer overtook an older reader"
-                );
-                let _ = value.snapshot();
-                Ok(())
-            })
+        r.rt.spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |ctx| {
+            ctx.trigger(e, 0u64)?;
+            reader_in.store(true, Ordering::SeqCst);
+            // Keep the computation alive; the reader hold persists to
+            // completion, so the writer must not have run yet.
+            assert!(
+                wait_flag(&release, Duration::from_secs(10)),
+                "never released"
+            );
+            assert!(
+                !writer_done.load(Ordering::SeqCst),
+                "writer overtook an older reader"
+            );
+            let _ = value.snapshot();
+            Ok(())
+        })
     };
     assert!(wait_flag(&reader_in, Duration::from_secs(10)));
     let h_writer = {
@@ -187,13 +183,12 @@ fn reader_after_writer_sees_the_write() {
     let h_r = {
         let value = r.value.clone();
         let obs = Arc::clone(&b2_observed);
-        r.rt
-            .spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |_ctx| {
-                // State read outside a handler (setup-style) is fine for the
-                // assertion; admission ordering is what we test via trigger.
-                obs.store(value.snapshot() as usize, Ordering::SeqCst);
-                Ok(())
-            })
+        r.rt.spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |_ctx| {
+            // State read outside a handler (setup-style) is fine for the
+            // assertion; admission ordering is what we test via trigger.
+            obs.store(value.snapshot() as usize, Ordering::SeqCst);
+            Ok(())
+        })
     };
     join_within(h_w, Duration::from_secs(10)).unwrap();
     join_within(h_r, Duration::from_secs(10)).unwrap();
@@ -223,9 +218,8 @@ fn reader_after_writer_sees_the_write() {
 #[test]
 fn read_mode_cannot_call_write_handler() {
     let r = registry();
-    let err = r
-        .rt
-        .isolated_rw(&[(r.registry, AccessMode::Read)], |ctx| {
+    let err =
+        r.rt.isolated_rw(&[(r.registry, AccessMode::Read)], |ctx| {
             ctx.trigger(r.update, 1u64)
         })
         .unwrap_err();
@@ -236,8 +230,7 @@ fn read_mode_cannot_call_write_handler() {
     // The failed computation released its reader hold.
     assert_eq!(r.rt.reader_holds(r.registry), 0);
     // The registry still works.
-    r.rt
-        .isolated(&[r.registry], |ctx| ctx.trigger(r.update, 2u64))
+    r.rt.isolated(&[r.registry], |ctx| ctx.trigger(r.update, 2u64))
         .unwrap();
     assert_eq!(r.value.snapshot(), 2);
 }
@@ -245,12 +238,11 @@ fn read_mode_cannot_call_write_handler() {
 #[test]
 fn write_mode_may_call_read_only_handlers() {
     let r = registry();
-    r.rt
-        .isolated(&[r.registry], |ctx| {
-            ctx.trigger(r.lookup, 0u64)?;
-            ctx.trigger(r.update, 3u64)
-        })
-        .unwrap();
+    r.rt.isolated(&[r.registry], |ctx| {
+        ctx.trigger(r.lookup, 0u64)?;
+        ctx.trigger(r.update, 3u64)
+    })
+    .unwrap();
     assert_eq!(r.value.snapshot(), 3);
     r.rt.check_isolation().unwrap();
 }
@@ -262,15 +254,14 @@ fn mixed_readers_and_writers_stay_serializable() {
     for i in 0..20 {
         if i % 4 == 0 {
             let e = r.update;
-            handles.push(r.rt.spawn_isolated(&[r.registry], move |ctx| {
-                ctx.trigger(e, 1u64)
-            }));
+            handles.push(r.rt.spawn_isolated(&[r.registry], move |ctx| ctx.trigger(e, 1u64)));
         } else {
             let e = r.lookup;
-            handles.push(r.rt.spawn_isolated_rw(
-                &[(r.registry, AccessMode::Read)],
-                move |ctx| ctx.trigger(e, 2u64),
-            ));
+            handles.push(
+                r.rt.spawn_isolated_rw(&[(r.registry, AccessMode::Read)], move |ctx| {
+                    ctx.trigger(e, 2u64)
+                }),
+            );
         }
     }
     for h in handles {
@@ -287,15 +278,14 @@ fn dedup_read_and_write_declaration_takes_write() {
     let r = registry();
     // Declaring the same protocol Read and Write: Write wins, so calling
     // the write handler is legal.
-    r.rt
-        .isolated_rw(
-            &[
-                (r.registry, AccessMode::Read),
-                (r.registry, AccessMode::Write),
-            ],
-            |ctx| ctx.trigger(r.update, 4u64),
-        )
-        .unwrap();
+    r.rt.isolated_rw(
+        &[
+            (r.registry, AccessMode::Read),
+            (r.registry, AccessMode::Write),
+        ],
+        |ctx| ctx.trigger(r.update, 4u64),
+    )
+    .unwrap();
     assert_eq!(r.value.snapshot(), 4);
 }
 

@@ -24,13 +24,12 @@ use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::config::NetConfig;
 use crate::stats::{SiteCounters, SiteStats};
 
 /// Identifier of a simulated site (process).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SiteId(pub u16);
 
 impl SiteId {
@@ -377,8 +376,8 @@ fn delivery_loop(net: NetHandle) {
             if st.rng.gen_bool(p) {
                 let mut bytes = item.dg.payload.to_vec();
                 let idx = st.rng.gen_range(0..bytes.len());
-                let bit = st.rng.gen_range(0..8);
-                bytes[idx] ^= 1 << bit;
+                let bit = st.rng.gen_range(0u8..8);
+                bytes[idx] ^= 1u8 << bit;
                 item.dg.payload = Bytes::from(bytes);
                 inner.counters[to.index()].note_corrupted();
             }
@@ -418,7 +417,8 @@ mod tests {
 
     fn collect_net(n: usize, cfg: NetConfig) -> (SimNet, Vec<Arc<Mutex<Vec<u8>>>>) {
         let net = SimNet::new(n, cfg);
-        let logs: Vec<Arc<Mutex<Vec<u8>>>> = (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let logs: Vec<Arc<Mutex<Vec<u8>>>> =
+            (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
         for (i, log) in logs.iter().enumerate() {
             let log = Arc::clone(log);
             net.register(SiteId(i as u16), move |dg| {
@@ -576,7 +576,11 @@ mod tests {
             net.send(SiteId(0), SiteId(1), payload(i));
         }
         net.quiesce();
-        assert_eq!(logs[1].lock().len(), 10, "every datagram should arrive twice");
+        assert_eq!(
+            logs[1].lock().len(),
+            10,
+            "every datagram should arrive twice"
+        );
         assert_eq!(net.stats(SiteId(1)).duplicated, 5);
         let mut got = logs[1].lock().clone();
         got.sort_unstable();
@@ -595,7 +599,11 @@ mod tests {
     #[test]
     fn full_corruption_flips_exactly_one_bit() {
         let (net, logs) = collect_net(2, NetConfig::fast(14).with_corruption(1.0));
-        net.send(SiteId(0), SiteId(1), Bytes::copy_from_slice(&[0u8, 0, 0, 0]));
+        net.send(
+            SiteId(0),
+            SiteId(1),
+            Bytes::copy_from_slice(&[0u8, 0, 0, 0]),
+        );
         net.quiesce();
         let got = logs[1].lock().clone();
         // collect_net's callback stores only the first byte; use stats and

@@ -45,7 +45,11 @@ fn conservation_holds_under_mixed_faults() {
     }
     let n = 1_000u64;
     for i in 0..n {
-        net.send(SiteId((i % 4) as u16), SiteId(((i + 1) % 4) as u16), Bytes::from_static(b"x"));
+        net.send(
+            SiteId((i % 4) as u16),
+            SiteId(((i + 1) % 4) as u16),
+            Bytes::from_static(b"x"),
+        );
     }
     net.quiesce();
     let t = net.total_stats();

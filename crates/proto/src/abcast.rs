@@ -168,7 +168,7 @@ pub fn register(
     let request = {
         let state = state.clone();
         let e = ev.abcast;
-        b.bind(e, pid, "abcast.request", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "abcast.request", &[ev.bcast], move |ctx, data| {
             let payload: &AbPayload = data.expect(e)?;
             let m = state.with(ctx, |s| s.new_request(payload.clone()));
             // Disseminate; our own copy comes back via local DeliverOut.
@@ -179,7 +179,10 @@ pub fn register(
     let on_deliver = {
         let state = state.clone();
         let e = ev.deliver_out;
-        b.bind(e, pid, "abcast.on_deliver", move |ctx, data| {
+        // A `Decide` can release a whole backlog of `ADeliver`s; the static
+        // declaration lists the event once (the count is payload-dependent).
+        let triggers = [ev.adeliver, ev.cons_gc, ev.cons_propose];
+        b.bind_with_triggers(e, pid, "abcast.on_deliver", &triggers, move |ctx, data| {
             let msg: &CastMsg = data.expect(e)?;
             match &msg.data {
                 CastData::User(_) => Ok(()), // plain reliable broadcast; not ours
@@ -216,7 +219,8 @@ pub fn register(
     let on_sync = {
         let state = state.clone();
         let e = ev.from_rcomm;
-        b.bind(e, pid, "abcast.on_sync", move |ctx, data| {
+        let triggers = [ev.view_sync, ev.cons_gc, ev.cons_propose];
+        b.bind_with_triggers(e, pid, "abcast.on_sync", &triggers, move |ctx, data| {
             let d: &RDeliver = data.expect(e)?;
             let Payload::Sync(sync) = &d.payload else {
                 return Ok(()); // not state transfer; not ours
@@ -241,32 +245,38 @@ pub fn register(
     let view_change = {
         let state = state.clone();
         let e = ev.view_change;
-        b.bind(e, pid, "abcast.view_change", move |ctx, data| {
-            let v: &GroupView = data.expect(e)?;
-            // Detect joiners: members of the new view absent from the old.
-            let (me, joiners, snapshot) = state.with(ctx, |s| {
-                let joiners: Vec<_> = v
-                    .members()
-                    .iter()
-                    .copied()
-                    .filter(|m| !s.view.contains(*m))
-                    .collect();
-                s.view = v.clone();
-                let snap = s.snapshot();
-                (s.site, joiners, snap)
-            });
-            // Every incumbent sends the joiner the ordering state —
-            // redundant but loss-tolerant; adoption is idempotent.
-            for j in joiners {
-                if j != me {
-                    ctx.trigger(
-                        events.send_out,
-                        EventData::new((Payload::Sync(snapshot.clone()), j)),
-                    )?;
+        b.bind_with_triggers(
+            e,
+            pid,
+            "abcast.view_change",
+            &[ev.send_out],
+            move |ctx, data| {
+                let v: &GroupView = data.expect(e)?;
+                // Detect joiners: members of the new view absent from the old.
+                let (me, joiners, snapshot) = state.with(ctx, |s| {
+                    let joiners: Vec<_> = v
+                        .members()
+                        .iter()
+                        .copied()
+                        .filter(|m| !s.view.contains(*m))
+                        .collect();
+                    s.view = v.clone();
+                    let snap = s.snapshot();
+                    (s.site, joiners, snap)
+                });
+                // Every incumbent sends the joiner the ordering state —
+                // redundant but loss-tolerant; adoption is idempotent.
+                for j in joiners {
+                    if j != me {
+                        ctx.trigger(
+                            events.send_out,
+                            EventData::new((Payload::Sync(snapshot.clone()), j)),
+                        )?;
+                    }
                 }
-            }
-            Ok(())
-        })
+                Ok(())
+            },
+        )
     };
 
     AbcastHandlers {

@@ -45,7 +45,8 @@ pub fn register(
     let on_deliver = {
         let state = state.clone();
         let e = ev.deliver_out;
-        b.bind(e, pid, "app.on_deliver", move |ctx, data| {
+        // The application is a pure sink: no handler triggers anything.
+        b.bind_with_triggers(e, pid, "app.on_deliver", &[], move |ctx, data| {
             let msg: &CastMsg = data.expect(e)?;
             if let CastData::User(bytes) = &msg.data {
                 let (origin, bytes) = (msg.uid.origin, bytes.clone());
@@ -58,7 +59,7 @@ pub fn register(
     let on_adeliver = {
         let state = state.clone();
         let e = ev.adeliver;
-        b.bind(e, pid, "app.on_adeliver", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "app.on_adeliver", &[], move |ctx, data| {
             let m: &crate::msgs::AbMsg = data.expect(e)?;
             if let AbPayload::User(bytes) = &m.payload {
                 let (origin, bytes) = (m.uid.origin, bytes.clone());
@@ -71,7 +72,7 @@ pub fn register(
     let on_view = {
         let state = state.clone();
         let e = ev.view_change;
-        b.bind(e, pid, "app.on_view", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "app.on_view", &[], move |ctx, data| {
             let v: &GroupView = data.expect(e)?;
             state.with(ctx, |s| s.views.push(v.clone()));
             Ok(())

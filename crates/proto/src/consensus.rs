@@ -550,11 +550,14 @@ pub fn register(
     state: ProtocolState<ConsensusState>,
 ) -> ConsensusHandlers {
     let events = *ev;
+    // Every consensus transition runs through [`emit`]: point-to-point
+    // sends (`SendOut`, up to one per peer) plus a `Bcast` decide flood.
+    let emits = [ev.send_out, ev.bcast];
 
     let propose = {
         let state = state.clone();
         let e = ev.cons_propose;
-        b.bind(e, pid, "consensus.propose", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "consensus.propose", &emits, move |ctx, data| {
             let (inst, value): &(u64, Vec<AbMsg>) = data.expect(e)?;
             let acts = state.with(ctx, |s| s.propose(*inst, value.clone()));
             emit(ctx, &events, acts)
@@ -564,7 +567,7 @@ pub fn register(
     let on_msg = {
         let state = state.clone();
         let e = ev.from_rcomm;
-        b.bind(e, pid, "consensus.on_msg", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "consensus.on_msg", &emits, move |ctx, data| {
             let d: &RDeliver = data.expect(e)?;
             let Payload::Cons(msg) = &d.payload else {
                 return Ok(()); // RelCast traffic; not ours
@@ -577,7 +580,7 @@ pub fn register(
     let on_suspect = {
         let state = state.clone();
         let e = ev.suspect;
-        b.bind(e, pid, "consensus.on_suspect", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "consensus.on_suspect", &emits, move |ctx, data| {
             let site: &SiteId = data.expect(e)?;
             let acts = state.with(ctx, |s| s.on_suspect(*site));
             emit(ctx, &events, acts)
@@ -587,7 +590,7 @@ pub fn register(
     let gc = {
         let state = state.clone();
         let e = ev.cons_gc;
-        b.bind(e, pid, "consensus.gc", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "consensus.gc", &[], move |ctx, data| {
             let below: &u64 = data.expect(e)?;
             state.with(ctx, |s| s.gc(*below));
             Ok(())
@@ -597,7 +600,7 @@ pub fn register(
     let view_change = {
         let state = state.clone();
         let e = ev.view_change;
-        b.bind(e, pid, "consensus.view_change", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "consensus.view_change", &emits, move |ctx, data| {
             let v: &GroupView = data.expect(e)?;
             let acts = state.with(ctx, |s| s.set_view(v.clone()));
             emit(ctx, &events, acts)
@@ -644,7 +647,9 @@ mod tests {
         fn new(n: u16) -> Bus {
             let view = GroupView::of_first(n as usize);
             Bus {
-                sites: (0..n).map(|i| ConsensusState::new(s(i), view.clone())).collect(),
+                sites: (0..n)
+                    .map(|i| ConsensusState::new(s(i), view.clone()))
+                    .collect(),
                 decided: (0..n).map(|_| None).collect(),
             }
         }
@@ -773,7 +778,7 @@ mod tests {
             },
         );
         assert_eq!(acts.out.len(), 1); // ack to site 0 (lost, site 0 dead)
-        // Site 2 has a different initial estimate.
+                                       // Site 2 has a different initial estimate.
         let _ = c2.propose(0, vec![msg(2, 9)]);
         // Both suspect site 0; round -> 1, coordinator site 1.
         let kick2 = c2.on_suspect(s(0));

@@ -73,7 +73,9 @@ pub fn register(
         let net = Arc::clone(&net);
         let e = ev.fd_tick;
         let suspect_ev = ev.suspect;
-        b.bind(e, pid, "fd.tick", move |ctx, _| {
+        // `tick` announces every standing suspicion (up to one `Suspect`
+        // per peer); the static declaration lists the event once.
+        b.bind_with_triggers(e, pid, "fd.tick", &[suspect_ev], move |ctx, _| {
             let (me, peers, suspects) = state.with(ctx, |s| {
                 let now = Instant::now();
                 let peers: Vec<SiteId> = s
@@ -108,7 +110,7 @@ pub fn register(
     let beat = {
         let state = state.clone();
         let e = ev.fd_beat;
-        b.bind(e, pid, "fd.beat", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "fd.beat", &[], move |ctx, data| {
             let sender: &SiteId = data.expect(e)?;
             state.with(ctx, |s| {
                 s.last_heard.insert(*sender, Instant::now());
@@ -121,7 +123,7 @@ pub fn register(
     let view_change = {
         let state = state.clone();
         let e = ev.view_change;
-        b.bind(e, pid, "fd.view_change", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "fd.view_change", &[], move |ctx, data| {
             let v: &GroupView = data.expect(e)?;
             state.with(ctx, |s| {
                 s.view = v.clone();

@@ -67,71 +67,98 @@ pub fn register(
 
     let joinleave = {
         let e = ev.join_leave;
-        b.bind(e, pid, "membership.joinleave", move |ctx, data| {
-            let (op, site): &(ViewOp, SiteId) = data.expect(e)?;
-            // `trigger ABcast [op site]` — the paper's joinleave body.
-            ctx.trigger(events.abcast, EventData::new(AbPayload::ViewOp(*op, *site)))
-        })
+        b.bind_with_triggers(
+            e,
+            pid,
+            "membership.joinleave",
+            &[ev.abcast],
+            move |ctx, data| {
+                let (op, site): &(ViewOp, SiteId) = data.expect(e)?;
+                // `trigger ABcast [op site]` — the paper's joinleave body.
+                ctx.trigger(events.abcast, EventData::new(AbPayload::ViewOp(*op, *site)))
+            },
+        )
     };
 
     let deliver_view = {
         let state = state.clone();
         let e = ev.adeliver;
-        b.bind(e, pid, "membership.deliver_view", move |ctx, data| {
-            let m: &AbMsg = data.expect(e)?;
-            let AbPayload::ViewOp(op, site) = &m.payload else {
-                return Ok(()); // user payload; not ours
-            };
-            let new_view = state.with(ctx, |s| {
-                s.view = s.view.apply(*op, *site);
-                s.history.push(s.view.clone());
-                // Once a site is actually out, a future re-join may be
-                // suspected (and removed) again.
-                let view = s.view.clone();
-                s.leave_requested.retain(|m| view.contains(*m));
-                s.view.clone()
-            });
-            // `triggerAll ViewChange view` — synchronous propagation.
-            ctx.trigger_all(events.view_change, EventData::new(new_view))
-        })
+        let triggers = [ev.view_change];
+        b.bind_with_triggers(
+            e,
+            pid,
+            "membership.deliver_view",
+            &triggers,
+            move |ctx, data| {
+                let m: &AbMsg = data.expect(e)?;
+                let AbPayload::ViewOp(op, site) = &m.payload else {
+                    return Ok(()); // user payload; not ours
+                };
+                let new_view = state.with(ctx, |s| {
+                    s.view = s.view.apply(*op, *site);
+                    s.history.push(s.view.clone());
+                    // Once a site is actually out, a future re-join may be
+                    // suspected (and removed) again.
+                    let view = s.view.clone();
+                    s.leave_requested.retain(|m| view.contains(*m));
+                    s.view.clone()
+                });
+                // `triggerAll ViewChange view` — synchronous propagation.
+                ctx.trigger_all(events.view_change, EventData::new(new_view))
+            },
+        )
     };
 
     let on_suspect = {
         let state = state.clone();
         let e = ev.suspect;
-        b.bind(e, pid, "membership.on_suspect", move |ctx, data| {
-            let site: &SiteId = data.expect(e)?;
-            let should_request =
-                state.with(ctx, |s| s.view.contains(*site) && s.leave_requested.insert(*site));
-            if should_request {
-                ctx.trigger(
-                    events.abcast,
-                    EventData::new(AbPayload::ViewOp(ViewOp::Leave, *site)),
-                )?;
-            }
-            Ok(())
-        })
+        b.bind_with_triggers(
+            e,
+            pid,
+            "membership.on_suspect",
+            &[ev.abcast],
+            move |ctx, data| {
+                let site: &SiteId = data.expect(e)?;
+                let should_request = state.with(ctx, |s| {
+                    s.view.contains(*site) && s.leave_requested.insert(*site)
+                });
+                if should_request {
+                    ctx.trigger(
+                        events.abcast,
+                        EventData::new(AbPayload::ViewOp(ViewOp::Leave, *site)),
+                    )?;
+                }
+                Ok(())
+            },
+        )
     };
 
     let adopt_view = {
         let state = state.clone();
         let e = ev.view_sync;
-        b.bind(e, pid, "membership.adopt_view", move |ctx, data| {
-            let sync: &SyncMsg = data.expect(e)?;
-            let installed = state.with(ctx, |s| {
-                if sync.view_id > s.view.id {
-                    s.view = GroupView::from_parts(sync.view_id, sync.members.iter().copied());
-                    s.history.push(s.view.clone());
-                    Some(s.view.clone())
-                } else {
-                    None
+        let triggers = [ev.view_change];
+        b.bind_with_triggers(
+            e,
+            pid,
+            "membership.adopt_view",
+            &triggers,
+            move |ctx, data| {
+                let sync: &SyncMsg = data.expect(e)?;
+                let installed = state.with(ctx, |s| {
+                    if sync.view_id > s.view.id {
+                        s.view = GroupView::from_parts(sync.view_id, sync.members.iter().copied());
+                        s.history.push(s.view.clone());
+                        Some(s.view.clone())
+                    } else {
+                        None
+                    }
+                });
+                if let Some(view) = installed {
+                    ctx.trigger_all(events.view_change, EventData::new(view))?;
                 }
-            });
-            if let Some(view) = installed {
-                ctx.trigger_all(events.view_change, EventData::new(view))?;
-            }
-            Ok(())
-        })
+                Ok(())
+            },
+        )
     };
 
     MembershipHandlers {

@@ -439,7 +439,9 @@ fn get_sync(buf: &mut Bytes) -> DecResult<SyncMsg> {
     if n_uids > buf.remaining() / 10 + 1 {
         return Err(CodecError::Truncated);
     }
-    let delivered = (0..n_uids).map(|_| get_uid(buf)).collect::<DecResult<Vec<_>>>()?;
+    let delivered = (0..n_uids)
+        .map(|_| get_uid(buf))
+        .collect::<DecResult<Vec<_>>>()?;
     Ok(SyncMsg {
         next_inst,
         delivered,

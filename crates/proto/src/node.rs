@@ -31,6 +31,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use samoa_core::analysis::infer_route;
 use samoa_core::prelude::*;
 use samoa_net::{NetConfig, NetHandle, SimNet, SiteId, Transport};
 
@@ -193,7 +194,6 @@ pub struct Node {
 impl Node {
     /// Build the node, wire its stack, register it on the network, and (if
     /// enabled) start its timers.
-    #[allow(clippy::vec_init_then_push)] // the edge list reads best as a script
     pub fn new(net: NetHandle, site: SiteId, cfg: NodeConfig) -> Arc<Node> {
         let view = match &cfg.initial_members {
             Some(m) => GroupView::initial(m.iter().copied()),
@@ -211,7 +211,8 @@ impl Node {
         let p_app = b.protocol("App");
         let ev = Events::declare(&mut b);
 
-        let relcomm_st = ProtocolState::new(p_relcomm, RelCommState::new(site, view.clone(), cfg.rto));
+        let relcomm_st =
+            ProtocolState::new(p_relcomm, RelCommState::new(site, view.clone(), cfg.rto));
         let relcast_st = ProtocolState::new(p_relcast, RelCastState::new(site, view.clone()));
         let fd_st = ProtocolState::new(p_fd, FdState::new(site, view.clone(), cfg.fd_timeout));
         let consensus_st = ProtocolState::new(p_consensus, ConsensusState::new(site, view.clone()));
@@ -227,94 +228,36 @@ impl Node {
         // RelCast registers before RelComm so that `triggerAll ViewChange`
         // updates the upper layer first — the §3 race window: RelCast fans
         // out using the new view while RelComm still holds the old one.
-        let h_cast = relcast::register(&mut b, p_relcast, &ev, relcast_st.clone());
-        let h_rc = relcomm::register(&mut b, p_relcomm, &ev, relcomm_st.clone(), Arc::clone(&transport));
-        let h_fd = fd::register(&mut b, p_fd, &ev, fd_st.clone(), transport);
-        let h_cons = consensus::register(&mut b, p_consensus, &ev, consensus_st.clone());
-        let h_ab = abcast::register(&mut b, p_abcast, &ev, abcast_st.clone());
-        let h_mem = membership::register(&mut b, p_membership, &ev, membership_st.clone());
-        let h_app = app::register(&mut b, p_app, &ev, app_st.clone());
+        relcast::register(&mut b, p_relcast, &ev, relcast_st.clone());
+        relcomm::register(
+            &mut b,
+            p_relcomm,
+            &ev,
+            relcomm_st.clone(),
+            Arc::clone(&transport),
+        );
+        fd::register(&mut b, p_fd, &ev, fd_st.clone(), transport);
+        consensus::register(&mut b, p_consensus, &ev, consensus_st.clone());
+        abcast::register(&mut b, p_abcast, &ev, abcast_st.clone());
+        membership::register(&mut b, p_membership, &ev, membership_st.clone());
+        app::register(&mut b, p_app, &ev, app_st.clone());
 
-        // ---- static call graph for `isolated route` patterns ----
-        let view_change_targets = [
-            h_rc.view_change,
-            h_cast.view_change,
-            h_fd.view_change,
-            h_cons.view_change,
-            h_ab.view_change,
-            h_app.on_view,
-        ];
-        let deliver_out_targets = [h_ab.on_deliver, h_app.on_deliver];
-        let mut edges: Vec<(HandlerId, HandlerId)> = Vec::new();
-        // relcomm.recv_data -> FromRComm handlers
-        edges.push((h_rc.recv_data, h_cast.recv));
-        edges.push((h_rc.recv_data, h_cons.on_msg));
-        edges.push((h_rc.recv_data, h_ab.on_sync));
-        // join-time state transfer
-        edges.push((h_ab.on_sync, h_mem.adopt_view));
-        edges.push((h_ab.on_sync, h_cons.gc));
-        edges.push((h_ab.on_sync, h_cons.propose));
-        // relcast.{bcast,recv} -> relcomm.send + DeliverOut handlers
-        for src in [h_cast.bcast, h_cast.recv] {
-            edges.push((src, h_rc.send));
-            for &t in &deliver_out_targets {
-                edges.push((src, t));
-            }
-        }
-        // abcast.request -> relcast.bcast
-        edges.push((h_ab.request, h_cast.bcast));
-        // abcast.on_deliver -> consensus.propose/gc + ADeliver handlers
-        edges.push((h_ab.on_deliver, h_cons.propose));
-        edges.push((h_ab.on_deliver, h_cons.gc));
-        edges.push((h_ab.on_deliver, h_mem.deliver_view));
-        edges.push((h_ab.on_deliver, h_app.on_adeliver));
-        // consensus emits point-to-point sends and decide floods
-        for src in [h_cons.propose, h_cons.on_msg, h_cons.on_suspect, h_cons.view_change] {
-            edges.push((src, h_rc.send));
-            edges.push((src, h_cast.bcast));
-        }
-        // membership
-        edges.push((h_mem.joinleave, h_ab.request));
-        edges.push((h_mem.on_suspect, h_ab.request));
-        for &t in &view_change_targets {
-            edges.push((h_mem.deliver_view, t));
-            edges.push((h_mem.adopt_view, t));
-        }
-        // abcast.view_change sends Sync snapshots to joiners
-        edges.push((h_ab.view_change, h_rc.send));
-        // failure detector
-        edges.push((h_fd.tick, h_cons.on_suspect));
-        edges.push((h_fd.tick, h_mem.on_suspect));
+        let stack = b.build();
 
-        let pattern_for = |root: HandlerId| -> RoutePattern {
-            // Keep only edges reachable from the root.
-            let mut keep = vec![root];
-            let mut pat = RoutePattern::new().root(root);
-            let mut i = 0;
-            while i < keep.len() {
-                let from = keep[i];
-                i += 1;
-                for &(a, bto) in &edges {
-                    if a == from {
-                        pat = pat.edge(a, bto);
-                        if !keep.contains(&bto) {
-                            keep.push(bto);
-                        }
-                    }
-                }
-            }
-            pat
-        };
-
+        // `isolated route` patterns, one per external event, cut from the
+        // stack's static call graph (each handler declares the events it
+        // triggers; see `samoa_core::analysis`). This replaces a hand-kept
+        // edge list that had to mirror every handler body.
+        debug_assert!(stack.has_full_trigger_metadata());
         let routes = RouteTable {
-            data: pattern_for(h_rc.recv_data),
-            ack: pattern_for(h_rc.recv_ack),
-            beat: pattern_for(h_fd.beat),
-            rb: pattern_for(h_cast.bcast),
-            ab: pattern_for(h_ab.request),
-            joinleave: pattern_for(h_mem.joinleave),
-            retr: pattern_for(h_rc.retransmit),
-            fd_tick: pattern_for(h_fd.tick),
+            data: infer_route(&stack, ev.rc_data),
+            ack: infer_route(&stack, ev.rc_ack),
+            beat: infer_route(&stack, ev.fd_beat),
+            rb: infer_route(&stack, ev.bcast),
+            ab: infer_route(&stack, ev.abcast),
+            joinleave: infer_route(&stack, ev.join_leave),
+            retr: infer_route(&stack, ev.retransmit_tick),
+            fd_tick: infer_route(&stack, ev.fd_tick),
         };
 
         let all = vec![
@@ -344,10 +287,11 @@ impl Node {
         };
 
         let rt = Runtime::with_config(
-            b.build(),
+            stack,
             RuntimeConfig {
                 record_history: cfg.record_history,
                 max_threads_per_computation: cfg.intra_threads.max(1),
+                ..RuntimeConfig::default()
             },
         );
 
@@ -394,9 +338,17 @@ impl Node {
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
-                        node.spawn_external(ExtKind::RetrTick, node.ev.retransmit_tick, EventData::empty());
+                        node.spawn_external(
+                            ExtKind::RetrTick,
+                            node.ev.retransmit_tick,
+                            EventData::empty(),
+                        );
                         if fd_enabled {
-                            node.spawn_external(ExtKind::FdTick, node.ev.fd_tick, EventData::empty());
+                            node.spawn_external(
+                                ExtKind::FdTick,
+                                node.ev.fd_tick,
+                                EventData::empty(),
+                            );
                         }
                     }
                 })
@@ -573,6 +525,11 @@ impl Node {
     /// The node's SAMOA runtime (for quiescing and isolation checks).
     pub fn runtime(&self) -> &Runtime {
         &self.rt
+    }
+
+    /// The stack's event types (for static analysis and direct injection).
+    pub fn events(&self) -> &Events {
+        &self.ev
     }
 
     /// The network this node is attached to.

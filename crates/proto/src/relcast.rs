@@ -78,10 +78,14 @@ pub fn register(
 ) -> RelCastHandlers {
     let events = *ev;
 
+    // Trigger metadata for the static analyzer: both `bcast` and `recv`
+    // fan `SendOut` out once per peer (a view-dependent count the static
+    // declaration approximates with one occurrence) and deliver locally.
     let bcast = {
         let state = state.clone();
         let e = ev.bcast;
-        b.bind(e, pid, "relcast.bcast", move |ctx, data| {
+        let triggers = [ev.send_out, ev.deliver_out];
+        b.bind_with_triggers(e, pid, "relcast.bcast", &triggers, move |ctx, data| {
             let cast_data: &CastData = data.expect(e)?;
             let (me, view, msg) = state.with(ctx, |s| {
                 s.next_seq += 1;
@@ -105,7 +109,8 @@ pub fn register(
     let recv = {
         let state = state.clone();
         let e = ev.from_rcomm;
-        b.bind(e, pid, "relcast.recv", move |ctx, data| {
+        let triggers = [ev.send_out, ev.deliver_out];
+        b.bind_with_triggers(e, pid, "relcast.recv", &triggers, move |ctx, data| {
             let d: &RDeliver = data.expect(e)?;
             let Payload::Cast(msg) = &d.payload else {
                 return Ok(()); // consensus traffic; not ours
@@ -129,7 +134,7 @@ pub fn register(
     let view_change = {
         let state = state.clone();
         let e = ev.view_change;
-        b.bind(e, pid, "relcast.view_change", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "relcast.view_change", &[], move |ctx, data| {
             let v: &GroupView = data.expect(e)?;
             state.with(ctx, |s| s.view = v.clone());
             Ok(())

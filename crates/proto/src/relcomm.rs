@@ -147,7 +147,8 @@ pub fn register(
         let state = state.clone();
         let net = Arc::clone(&net);
         let e = ev.send_out;
-        b.bind(e, pid, "relcomm.send", move |ctx, data| {
+        // `send` talks to the Transport directly — no stack-internal triggers.
+        b.bind_with_triggers(e, pid, "relcomm.send", &[], move |ctx, data| {
             let (payload, target): &(Payload, SiteId) = data.expect(e)?;
             let frame = state.with(ctx, |s| {
                 if !s.view.contains(*target) || *target == s.site {
@@ -183,32 +184,38 @@ pub fn register(
         let net = Arc::clone(&net);
         let e = ev.rc_data;
         let from_rcomm = ev.from_rcomm;
-        b.bind(e, pid, "relcomm.recv_data", move |ctx, data| {
-            let m: &RcDataIn = data.expect(e)?;
-            let (me, deliver) = state.with(ctx, |s| {
-                let fresh = s.inbound.entry(m.sender).or_default().fresh(m.seq);
-                // Deliver only from in-view senders (paper's recv).
-                (s.site, fresh && s.view.contains(m.sender))
-            });
-            // Always ack — even duplicates (the original ack may be lost).
-            net.send(me, m.sender, Wire::Ack { seq: m.seq }.encode());
-            if deliver {
-                ctx.async_trigger_all(
-                    from_rcomm,
-                    EventData::new(RDeliver {
-                        sender: m.sender,
-                        payload: m.payload.clone(),
-                    }),
-                )?;
-            }
-            Ok(())
-        })
+        b.bind_with_triggers(
+            e,
+            pid,
+            "relcomm.recv_data",
+            &[from_rcomm],
+            move |ctx, data| {
+                let m: &RcDataIn = data.expect(e)?;
+                let (me, deliver) = state.with(ctx, |s| {
+                    let fresh = s.inbound.entry(m.sender).or_default().fresh(m.seq);
+                    // Deliver only from in-view senders (paper's recv).
+                    (s.site, fresh && s.view.contains(m.sender))
+                });
+                // Always ack — even duplicates (the original ack may be lost).
+                net.send(me, m.sender, Wire::Ack { seq: m.seq }.encode());
+                if deliver {
+                    ctx.async_trigger_all(
+                        from_rcomm,
+                        EventData::new(RDeliver {
+                            sender: m.sender,
+                            payload: m.payload.clone(),
+                        }),
+                    )?;
+                }
+                Ok(())
+            },
+        )
     };
 
     let recv_ack = {
         let state = state.clone();
         let e = ev.rc_ack;
-        b.bind(e, pid, "relcomm.recv_ack", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "relcomm.recv_ack", &[], move |ctx, data| {
             let a: &RcAckIn = data.expect(e)?;
             state.with(ctx, |s| {
                 s.pending.remove(&(a.sender, a.seq));
@@ -221,7 +228,7 @@ pub fn register(
         let state = state.clone();
         let net = Arc::clone(&net);
         let e = ev.retransmit_tick;
-        b.bind(e, pid, "relcomm.retransmit", move |ctx, _| {
+        b.bind_with_triggers(e, pid, "relcomm.retransmit", &[], move |ctx, _| {
             let (me, resend) = state.with(ctx, |s| {
                 let now = Instant::now();
                 let rto = s.rto;
@@ -248,7 +255,7 @@ pub fn register(
     let view_change = {
         let state = state.clone();
         let e = ev.view_change;
-        b.bind(e, pid, "relcomm.view_change", move |ctx, data| {
+        b.bind_with_triggers(e, pid, "relcomm.view_change", &[], move |ctx, data| {
             let v: &GroupView = data.expect(e)?;
             let delay = state.with(ctx, |s| s.view_change_delay);
             if !delay.is_zero() {
@@ -305,11 +312,7 @@ mod tests {
 
     #[test]
     fn state_counters_start_clean() {
-        let s = RelCommState::new(
-            SiteId(0),
-            GroupView::of_first(3),
-            Duration::from_millis(20),
-        );
+        let s = RelCommState::new(SiteId(0), GroupView::of_first(3), Duration::from_millis(20));
         assert_eq!(s.pending_count(), 0);
         assert_eq!(s.retransmissions, 0);
         assert_eq!(s.view().len(), 3);

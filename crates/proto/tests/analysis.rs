@@ -1,0 +1,119 @@
+//! The static declaration analyzer run over the real group-communication
+//! stack: the full abcast stack lints clean, the inferred declarations
+//! validate cleanly, and `isolated route` executes under them (the route
+//! table in `Node` *is* `infer_route`'s output).
+
+use samoa_core::analysis::{
+    codes, infer_bounds, infer_m, infer_route, lint_stack, validate_decl, Severity,
+    CYCLE_FALLBACK_BOUND,
+};
+use samoa_core::prelude::*;
+use samoa_net::NetConfig;
+use samoa_proto::{Cluster, Events, NodeConfig, StackPolicy};
+
+fn externals(ev: &Events) -> Vec<EventType> {
+    vec![
+        ev.rc_data,
+        ev.rc_ack,
+        ev.fd_beat,
+        ev.bcast,
+        ev.abcast,
+        ev.join_leave,
+        ev.retransmit_tick,
+        ev.fd_tick,
+    ]
+}
+
+#[test]
+fn stack_has_full_metadata_and_lints_clean() {
+    let c = Cluster::new(3, NetConfig::fast(7), NodeConfig::default());
+    let node = c.node(0);
+    let stack = node.runtime().stack();
+    assert!(stack.has_full_trigger_metadata());
+    let report = lint_stack(stack, &externals(node.events()));
+    assert!(report.is_clean(), "expected clean stack:\n{report}");
+}
+
+#[test]
+fn inferred_m_for_ack_is_relcomm_only() {
+    let c = Cluster::new(3, NetConfig::fast(7), NodeConfig::default());
+    let node = c.node(0);
+    let stack = node.runtime().stack();
+    let ev = node.events();
+
+    let m = infer_m(stack, ev.rc_ack);
+    let recv_ack = stack.handler_by_name("relcomm.recv_ack").unwrap();
+    assert_eq!(m, vec![stack.handler_protocol(recv_ack)]);
+
+    // Acyclic fragment: bounds are exact, with no cycle warning.
+    let (bounds, rep) = infer_bounds(stack, ev.rc_ack);
+    assert!(rep.is_clean(), "{rep}");
+    assert_eq!(bounds, vec![(stack.handler_protocol(recv_ack), 1)]);
+    assert!(validate_decl(stack, &Decl::Bound(&bounds), Some(ev.rc_ack)).is_clean());
+}
+
+#[test]
+fn inferred_m_for_abcast_reaches_whole_stack_and_validates() {
+    let c = Cluster::new(3, NetConfig::fast(7), NodeConfig::default());
+    let node = c.node(0);
+    let stack = node.runtime().stack();
+    let ev = node.events();
+
+    // An abcast request can cascade through every microprotocol.
+    let m = infer_m(stack, ev.abcast);
+    assert_eq!(m, stack.all_protocols());
+    assert!(validate_decl(stack, &Decl::Basic(&m), Some(ev.abcast)).is_clean());
+
+    // Dropping any one protocol from the inferred set is an SA010 error.
+    let partial: Vec<ProtocolId> = m[1..].to_vec();
+    let report = validate_decl(stack, &Decl::Basic(&partial), Some(ev.abcast));
+    assert!(report.has_errors());
+    assert!(report.render().contains(codes::UNDECLARED_PROTOCOL));
+}
+
+#[test]
+fn abcast_bounds_fall_back_on_the_consensus_cycle() {
+    // abcast.on_deliver -> consensus.propose -> relcast.bcast ->
+    // abcast.on_deliver is a static cycle, so path counting cannot bound
+    // visits: inference warns (SA030) and falls back to a safe bound.
+    let c = Cluster::new(3, NetConfig::fast(7), NodeConfig::default());
+    let node = c.node(0);
+    let stack = node.runtime().stack();
+    let ev = node.events();
+
+    let (bounds, rep) = infer_bounds(stack, ev.abcast);
+    assert_eq!(rep.count(Severity::Error), 0, "{rep}");
+    assert!(rep.render().contains(codes::CYCLE_BOUND_UNKNOWN));
+    assert_eq!(bounds.len(), stack.all_protocols().len());
+    assert!(bounds.iter().all(|&(_, b)| b == CYCLE_FALLBACK_BOUND));
+
+    // The fallback declaration is error-free (the same cycle warning).
+    let report = validate_decl(stack, &Decl::Bound(&bounds), Some(ev.abcast));
+    assert!(!report.has_errors(), "{report}");
+}
+
+#[test]
+fn inferred_route_validates_and_executes_abcast() {
+    let c = Cluster::new(
+        3,
+        NetConfig::fast(7),
+        NodeConfig::with_policy(StackPolicy::Route),
+    );
+    let node = c.node(0);
+    let stack = node.runtime().stack();
+    let ev = node.events();
+
+    let pat = infer_route(stack, ev.abcast);
+    assert!(validate_decl(stack, &Decl::Route(&pat), Some(ev.abcast)).is_clean());
+
+    // The node's own Route policy uses exactly this inference; an abcast
+    // must still reach every site in the same total order.
+    c.node(0).abcast("alpha");
+    c.node(1).abcast("beta");
+    c.settle();
+    let order = c.node(0).ab_delivered();
+    assert_eq!(order.len(), 2);
+    for i in 1..3 {
+        assert_eq!(c.node(i).ab_delivered(), order, "site {i} diverged");
+    }
+}

@@ -59,11 +59,7 @@ fn abcast_agrees_under_every_policy() {
         StackPolicy::Route,
         StackPolicy::TwoPhase,
     ] {
-        let c = Cluster::new(
-            3,
-            NetConfig::fast(7),
-            NodeConfig::with_policy(policy),
-        );
+        let c = Cluster::new(3, NetConfig::fast(7), NodeConfig::with_policy(policy));
         for i in 0..6 {
             c.node(i % 3).abcast(msg(i));
         }
@@ -207,7 +203,9 @@ fn message_loss_is_masked_by_retransmission() {
         assert!(
             Instant::now() < deadline,
             "pending never drained: {:?}",
-            (0..3).map(|i| c.node(i).relcomm_pending()).collect::<Vec<_>>()
+            (0..3)
+                .map(|i| c.node(i).relcomm_pending())
+                .collect::<Vec<_>>()
         );
         std::thread::sleep(Duration::from_millis(20));
     }

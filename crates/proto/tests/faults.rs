@@ -60,7 +60,11 @@ fn duplication_is_masked_by_relcomm_dedup() {
         "no duplicates injected — test vacuous"
     );
     let order0 = c.node(0).ab_delivered();
-    assert_eq!(order0.len(), 8, "duplicates must not create extra deliveries");
+    assert_eq!(
+        order0.len(),
+        8,
+        "duplicates must not create extra deliveries"
+    );
     for i in 1..3 {
         assert_eq!(c.node(i).ab_delivered(), order0, "site {i} diverged");
     }
@@ -140,12 +144,16 @@ fn loss_duplication_and_churn_combined() {
         c.node(i % 4).abcast(msg(i));
     }
     c.node(0).request_leave(SiteId(3));
-    wait_until(Duration::from_secs(60), "all ordered + view installed", || {
-        c.settle();
-        (0..3).all(|i| {
-            c.node(i).ab_delivered().len() == 6 && !c.node(i).current_view().contains(SiteId(3))
-        })
-    });
+    wait_until(
+        Duration::from_secs(60),
+        "all ordered + view installed",
+        || {
+            c.settle();
+            (0..3).all(|i| {
+                c.node(i).ab_delivered().len() == 6 && !c.node(i).current_view().contains(SiteId(3))
+            })
+        },
+    );
     let order0 = c.node(0).ab_delivered();
     for i in 1..3 {
         assert_eq!(c.node(i).ab_delivered(), order0, "site {i} diverged");

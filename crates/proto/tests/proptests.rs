@@ -6,8 +6,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use samoa_net::SiteId;
 use samoa_proto::{
-    AbMsg, AbPayload, CastData, CastMsg, ConsMsg, GroupView, MsgUid, Payload, SyncMsg, ViewOp,
-    Wire,
+    AbMsg, AbPayload, CastData, CastMsg, ConsMsg, GroupView, MsgUid, Payload, SyncMsg, ViewOp, Wire,
 };
 
 fn arb_uid() -> impl Strategy<Value = MsgUid> {
@@ -19,8 +18,7 @@ fn arb_uid() -> impl Strategy<Value = MsgUid> {
 
 fn arb_ab_payload() -> impl Strategy<Value = AbPayload> {
     prop_oneof![
-        proptest::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|v| AbPayload::User(Bytes::from(v))),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|v| AbPayload::User(Bytes::from(v))),
         (any::<bool>(), any::<u16>()).prop_map(|(j, s)| AbPayload::ViewOp(
             if j { ViewOp::Join } else { ViewOp::Leave },
             SiteId(s)
@@ -91,21 +89,18 @@ fn arb_sync() -> impl Strategy<Value = SyncMsg> {
 
 fn arb_wire() -> impl Strategy<Value = Wire> {
     prop_oneof![
-        (any::<u64>(), arb_cast())
-            .prop_map(|(seq, c)| Wire::Data {
-                seq,
-                payload: Payload::Cast(c)
-            }),
-        (any::<u64>(), arb_cons())
-            .prop_map(|(seq, c)| Wire::Data {
-                seq,
-                payload: Payload::Cons(c)
-            }),
-        (any::<u64>(), arb_sync())
-            .prop_map(|(seq, s)| Wire::Data {
-                seq,
-                payload: Payload::Sync(s)
-            }),
+        (any::<u64>(), arb_cast()).prop_map(|(seq, c)| Wire::Data {
+            seq,
+            payload: Payload::Cast(c)
+        }),
+        (any::<u64>(), arb_cons()).prop_map(|(seq, c)| Wire::Data {
+            seq,
+            payload: Payload::Cons(c)
+        }),
+        (any::<u64>(), arb_sync()).prop_map(|(seq, s)| Wire::Data {
+            seq,
+            payload: Payload::Sync(s)
+        }),
         any::<u64>().prop_map(|seq| Wire::Ack { seq }),
         Just(Wire::Heartbeat),
     ]

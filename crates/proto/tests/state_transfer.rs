@@ -82,9 +82,7 @@ fn joiner_can_originate_abcasts() {
         .any(|(o, b)| *o == SiteId(3) && b == &Bytes::from_static(b"from-joiner")));
     let joiner = c.node(3).ab_delivered();
     assert!(
-        joiner
-            .iter()
-            .any(|(o, _)| *o == SiteId(3)),
+        joiner.iter().any(|(o, _)| *o == SiteId(3)),
         "joiner never saw its own message ordered"
     );
     // Suffix property still holds.

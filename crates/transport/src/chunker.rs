@@ -84,7 +84,11 @@ impl ChunkerState {
                 total: *frag_total,
                 parts: Vec::with_capacity(*frag_total as usize),
             });
-        debug_assert_eq!(entry.parts.len() as u32, *frag_idx, "fragments out of order");
+        debug_assert_eq!(
+            entry.parts.len() as u32,
+            *frag_idx,
+            "fragments out of order"
+        );
         entry.parts.push(payload.clone());
         if entry.parts.len() as u32 == entry.total {
             let entry = self.partial.remove(&(from, *msg_id)).expect("present");
@@ -197,7 +201,13 @@ mod tests {
         let fb = tx_b.split(&Bytes::from_static(b"bbbb"));
         assert!(rx.accept(SiteId(1), &fa[0]).is_none());
         assert!(rx.accept(SiteId(2), &fb[0]).is_none());
-        assert_eq!(rx.accept(SiteId(1), &fa[1]).unwrap(), Bytes::from_static(b"aaaa"));
-        assert_eq!(rx.accept(SiteId(2), &fb[1]).unwrap(), Bytes::from_static(b"bbbb"));
+        assert_eq!(
+            rx.accept(SiteId(1), &fa[1]).unwrap(),
+            Bytes::from_static(b"aaaa")
+        );
+        assert_eq!(
+            rx.accept(SiteId(2), &fb[1]).unwrap(),
+            Bytes::from_static(b"bbbb")
+        );
     }
 }

@@ -95,7 +95,14 @@ impl Endpoint {
         chunker::register(&mut b, p_chunker, &ev, chunker_st.clone());
         window::register(&mut b, p_window, &ev, window_st.clone());
         let transport: Arc<dyn Transport> = Arc::new(net.clone());
-        checksum::register(&mut b, p_checksum, &ev, checksum_st.clone(), site, transport);
+        checksum::register(
+            &mut b,
+            p_checksum,
+            &ev,
+            checksum_st.clone(),
+            site,
+            transport,
+        );
         {
             let delivered = delivered.clone();
             let e = ev.msg_deliver;
@@ -174,21 +181,13 @@ impl Endpoint {
             Some(FrameKind::Ack) => &[self.p_checksum, self.p_window],
             _ => &[self.p_checksum, self.p_window, self.p_chunker, self.p_app],
         };
-        self.spawn(
-            decl,
-            self.ev.csum_in,
-            EventData::new((from, payload)),
-        );
+        self.spawn(decl, self.ev.csum_in, EventData::new((from, payload)));
     }
 
     /// Send `data` reliably and in order to `peer`.
     pub fn send(&self, peer: SiteId, data: impl Into<Bytes>) {
         let decl = [self.p_chunker, self.p_window, self.p_checksum];
-        self.spawn(
-            &decl,
-            self.ev.send_msg,
-            EventData::new((peer, data.into())),
-        );
+        self.spawn(&decl, self.ev.send_msg, EventData::new((peer, data.into())));
     }
 
     /// Messages delivered to the application, in arrival order.
@@ -246,7 +245,9 @@ impl Drop for Endpoint {
 
 impl std::fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Endpoint").field("site", &self.site).finish()
+        f.debug_struct("Endpoint")
+            .field("site", &self.site)
+            .finish()
     }
 }
 

@@ -22,7 +22,6 @@ struct PeerTx {
     backlog: VecDeque<Frame>,
 }
 
-
 #[derive(Default)]
 struct PeerRx {
     expected: u64,
@@ -218,8 +217,7 @@ pub fn register(
                         events.csum_out,
                         EventData::new((*from, Frame::Ack { seq: *seq })),
                     )?;
-                    let (released, _dup) =
-                        state.with(ctx, |s| s.on_data(*from, frame.clone()));
+                    let (released, _dup) = state.with(ctx, |s| s.on_data(*from, frame.clone()));
                     for f in released {
                         ctx.trigger(events.chunk_in, EventData::new((*from, f)))?;
                     }

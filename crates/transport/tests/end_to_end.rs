@@ -9,7 +9,11 @@ use samoa_net::{NetConfig, SiteId};
 use samoa_transport::{TransportConfig, TransportNet, TransportPolicy};
 
 fn big_message(seed: u8, len: usize) -> Bytes {
-    Bytes::from((0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect::<Vec<u8>>())
+    Bytes::from(
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect::<Vec<u8>>(),
+    )
 }
 
 fn wait_delivered(net: &TransportNet, endpoint: usize, count: usize, what: &str) {
@@ -58,7 +62,12 @@ fn messages_arrive_in_order_per_peer() {
         net.endpoint(0).send(SiteId(1), m.clone());
     }
     wait_delivered(&net, 1, msgs.len(), "ordered stream");
-    let got: Vec<Bytes> = net.endpoint(1).delivered().into_iter().map(|(_, b)| b).collect();
+    let got: Vec<Bytes> = net
+        .endpoint(1)
+        .delivered()
+        .into_iter()
+        .map(|(_, b)| b)
+        .collect();
     assert_eq!(got, msgs, "delivery order differs from send order");
 }
 
@@ -67,11 +76,7 @@ fn loss_is_recovered_by_retransmission() {
     let mut cfg = TransportConfig::default();
     cfg.mtu = 32;
     cfg.rto = Duration::from_millis(15);
-    let net = TransportNet::new(
-        2,
-        NetConfig::fast(4).with_loss(0.15),
-        cfg,
-    );
+    let net = TransportNet::new(2, NetConfig::fast(4).with_loss(0.15), cfg);
     let msg = big_message(9, 4_000);
     net.endpoint(0).send(SiteId(1), msg.clone());
     wait_delivered(&net, 1, 1, "lossy transfer");
@@ -86,11 +91,7 @@ fn loss_is_recovered_by_retransmission() {
 fn duplicates_are_suppressed() {
     let mut cfg = TransportConfig::default();
     cfg.mtu = 32;
-    let net = TransportNet::new(
-        2,
-        NetConfig::fast(5).with_duplicates(0.5),
-        cfg,
-    );
+    let net = TransportNet::new(2, NetConfig::fast(5).with_duplicates(0.5), cfg);
     let msg = big_message(3, 2_000);
     net.endpoint(0).send(SiteId(1), msg.clone());
     wait_delivered(&net, 1, 1, "duplicated transfer");
@@ -98,8 +99,7 @@ fn duplicates_are_suppressed() {
     assert_eq!(got.len(), 1, "duplicate delivery");
     assert_eq!(got[0].1, msg);
     assert!(
-        net.endpoint(1).duplicates_suppressed() > 0
-            || net.net().total_stats().duplicated == 0,
+        net.endpoint(1).duplicates_suppressed() > 0 || net.net().total_stats().duplicated == 0,
         "duplicates existed but none were suppressed"
     );
 }
@@ -109,11 +109,7 @@ fn corruption_is_detected_and_recovered() {
     let mut cfg = TransportConfig::default();
     cfg.mtu = 32;
     cfg.rto = Duration::from_millis(15);
-    let net = TransportNet::new(
-        2,
-        NetConfig::fast(6).with_corruption(0.10),
-        cfg,
-    );
+    let net = TransportNet::new(2, NetConfig::fast(6).with_corruption(0.10), cfg);
     let msg = big_message(5, 4_000);
     net.endpoint(0).send(SiteId(1), msg.clone());
     wait_delivered(&net, 1, 1, "corrupted transfer");
@@ -179,8 +175,12 @@ fn concurrent_streams_between_many_peers() {
     }
     for j in 0..4 {
         wait_delivered(&net, j, 3, "full mesh");
-        let got: std::collections::BTreeSet<Bytes> =
-            net.endpoint(j).delivered().into_iter().map(|(_, b)| b).collect();
+        let got: std::collections::BTreeSet<Bytes> = net
+            .endpoint(j)
+            .delivered()
+            .into_iter()
+            .map(|(_, b)| b)
+            .collect();
         let want: std::collections::BTreeSet<Bytes> = expected[j].iter().cloned().collect();
         assert_eq!(got, want, "endpoint {j}");
     }

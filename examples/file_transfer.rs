@@ -48,7 +48,11 @@ fn main() {
 
     let (from, received) = &net.endpoint(1).delivered()[0];
     let stats = net.net().total_stats();
-    println!("received {} bytes from {from} in {:.1} ms", received.len(), wall.as_secs_f64() * 1e3);
+    println!(
+        "received {} bytes from {from} in {:.1} ms",
+        received.len(),
+        wall.as_secs_f64() * 1e3
+    );
     println!("payload intact: {}", received[..] == file[..]);
     println!();
     println!("what the network did, and what the stack did about it:");

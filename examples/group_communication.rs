@@ -29,7 +29,11 @@ fn main() {
     let order0 = cluster.node(0).ab_delivered();
     for site in 0..3 {
         let order = cluster.node(site).ab_delivered();
-        let same = if order == order0 { "(identical)" } else { "(DIVERGED!)" };
+        let same = if order == order0 {
+            "(identical)"
+        } else {
+            "(DIVERGED!)"
+        };
         println!("  s{site}: {} messages {same}", order.len());
     }
     for (origin, payload) in &order0 {

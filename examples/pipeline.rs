@@ -24,22 +24,29 @@ struct Pipe {
 
 fn build() -> Pipe {
     let mut b = StackBuilder::new();
-    let protocols: Vec<ProtocolId> = (0..STAGES).map(|i| b.protocol(&format!("Stage{i}"))).collect();
+    let protocols: Vec<ProtocolId> = (0..STAGES)
+        .map(|i| b.protocol(&format!("Stage{i}")))
+        .collect();
     let events: Vec<EventType> = (0..STAGES).map(|i| b.event(&format!("E{i}"))).collect();
     let mut handlers = Vec::new();
     for i in 0..STAGES {
         let state = ProtocolState::new(protocols[i], 0u64);
         let next = events.get(i + 1).copied();
-        handlers.push(b.bind(events[i], protocols[i], &format!("stage{i}"), move |ctx, ev| {
-            std::thread::sleep(STAGE_WORK); // simulated per-stage work (I/O)
-            state.with(ctx, |n| *n += 1);
-            if let Some(next) = next {
-                // Asynchronous hand-off: the finished stage becomes
-                // releasable under bound/route.
-                ctx.async_trigger(next, ev.clone())?;
-            }
-            Ok(())
-        }));
+        handlers.push(b.bind(
+            events[i],
+            protocols[i],
+            &format!("stage{i}"),
+            move |ctx, ev| {
+                std::thread::sleep(STAGE_WORK); // simulated per-stage work (I/O)
+                state.with(ctx, |n| *n += 1);
+                if let Some(next) = next {
+                    // Asynchronous hand-off: the finished stage becomes
+                    // releasable under bound/route.
+                    ctx.async_trigger(next, ev.clone())?;
+                }
+                Ok(())
+            },
+        ));
     }
     Pipe {
         rt: Runtime::new(b.build()),
@@ -69,9 +76,7 @@ fn main() {
     drive("vca-basic", |p| {
         for _ in 0..COMPS {
             let e = p.entry;
-            p.rt.spawn_isolated(&p.protocols, move |ctx| {
-                ctx.trigger(e, EventData::empty())
-            });
+            p.rt.spawn_isolated(&p.protocols, move |ctx| ctx.trigger(e, EventData::empty()));
         }
     });
 
@@ -79,9 +84,7 @@ fn main() {
         let decl: Vec<(ProtocolId, u64)> = p.protocols.iter().map(|&pr| (pr, 1)).collect();
         for _ in 0..COMPS {
             let e = p.entry;
-            p.rt.spawn_isolated_bound(&decl, move |ctx| {
-                ctx.trigger(e, EventData::empty())
-            });
+            p.rt.spawn_isolated_bound(&decl, move |ctx| ctx.trigger(e, EventData::empty()));
         }
     });
 
@@ -92,9 +95,7 @@ fn main() {
         }
         for _ in 0..COMPS {
             let e = p.entry;
-            p.rt.spawn_isolated_route(&pat, move |ctx| {
-                ctx.trigger(e, EventData::empty())
-            });
+            p.rt.spawn_isolated_route(&pat, move |ctx| ctx.trigger(e, EventData::empty()));
         }
     });
 

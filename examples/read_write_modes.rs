@@ -34,9 +34,7 @@ fn build() -> Table {
         let routes = routes.clone();
         b.bind_read_only(lookup, table, "lookup", move |ctx, ev| {
             let dst: &u32 = ev.expect(lookup)?;
-            let _nic = routes.read_with(ctx, |r| {
-                r.iter().find(|(d, _)| d == dst).map(|&(_, n)| n)
-            });
+            let _nic = routes.read_with(ctx, |r| r.iter().find(|(d, _)| d == dst).map(|&(_, n)| n));
             std::thread::sleep(LOOKUP_COST); // e.g. longest-prefix match work
             Ok(())
         });
@@ -65,10 +63,9 @@ fn run(read_mode: bool) -> Duration {
         let (lookup, table) = (t.lookup, t.table);
         let dst = (i % 2) as u32;
         if read_mode {
-            t.rt
-                .spawn_isolated_rw(&[(table, AccessMode::Read)], move |ctx| {
-                    ctx.trigger(lookup, EventData::new(dst))
-                });
+            t.rt.spawn_isolated_rw(&[(table, AccessMode::Read)], move |ctx| {
+                ctx.trigger(lookup, EventData::new(dst))
+            });
         } else {
             t.rt.spawn_isolated(&[table], move |ctx| {
                 ctx.trigger(lookup, EventData::new(dst))
@@ -87,7 +84,11 @@ fn run(read_mode: bool) -> Duration {
     match t.rt.check_isolation() {
         Ok(_) => println!(
             "  {}: {:>6.1} ms — isolation verified",
-            if read_mode { "read/write modes " } else { "all-write (paper)" },
+            if read_mode {
+                "read/write modes "
+            } else {
+                "all-write (paper)"
+            },
             wall.as_secs_f64() * 1e3
         ),
         Err(v) => println!("  ISOLATION VIOLATED: {v}"),
@@ -96,9 +97,7 @@ fn run(read_mode: bool) -> Duration {
 }
 
 fn main() {
-    println!(
-        "{LOOKUPS} lookups ({LOOKUP_COST:?} each) + 1 update on a routing table\n"
-    );
+    println!("{LOOKUPS} lookups ({LOOKUP_COST:?} each) + 1 update on a routing table\n");
     let all_write = run(false);
     let read_mode = run(true);
     println!(
