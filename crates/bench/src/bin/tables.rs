@@ -1,12 +1,54 @@
 //! Regenerate the experiment tables of EXPERIMENTS.md.
 //!
 //! ```text
-//! tables            # run all experiments
-//! tables --exp e2   # run one experiment
-//! tables --quick    # smaller parameters (CI-friendly)
+//! tables                         # run all experiments
+//! tables --exp e2                # run one experiment
+//! tables --quick                 # smaller parameters (CI-friendly)
+//! tables --json results.json    # also write machine-readable results
 //! ```
+//!
+//! `--json` writes one object per executed experiment (keyed `e1`…`e9`)
+//! with its parameters and table rows — the format `BENCH_baseline.json`
+//! is checked in as, so perf regressions diff structurally instead of by
+//! scraping stdout.
 
 use samoa_bench::experiments;
+use samoa_bench::report::{json_string, Table};
+
+/// Accumulates per-experiment JSON fragments for `--json`.
+struct JsonOut {
+    entries: Vec<String>,
+    quick: bool,
+}
+
+impl JsonOut {
+    fn table(&mut self, name: &str, title: &str, t: &Table) {
+        self.entries.push(format!(
+            "{{\"experiment\": {}, \"title\": {}, \"rows\": {}}}",
+            json_string(name),
+            json_string(title),
+            t.to_json()
+        ));
+    }
+
+    fn text(&mut self, name: &str, title: &str, body: &str) {
+        self.entries.push(format!(
+            "{{\"experiment\": {}, \"title\": {}, \"text\": {}}}",
+            json_string(name),
+            json_string(title),
+            json_string(body)
+        ));
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"experiments\": [\n  ");
+        out.push_str(&self.entries.join(",\n  "));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,60 +58,106 @@ fn main() {
         .position(|a| a == "--exp")
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let want = |name: &str| exp.as_deref().is_none_or(|e| e == name);
+    let mut json = JsonOut {
+        entries: Vec::new(),
+        quick,
+    };
 
     if want("e1") {
         println!("==============================================================");
-        println!("{}", experiments::e1());
+        let body = experiments::e1();
+        println!("{body}");
+        json.text(
+            "e1",
+            "Figure 1 runs r1-r3 and the checker's verdicts",
+            &body,
+        );
     }
     if want("e2") {
         println!("==============================================================");
         let (sites, msgs) = if quick { (3, 20) } else { (5, 60) };
-        println!("E2 (§7): atomic broadcast, {sites} sites, {msgs} messages — concurrency-control overhead\n");
-        experiments::e2(sites, msgs).print();
+        let title = format!(
+            "E2 (§7): atomic broadcast, {sites} sites, {msgs} messages — concurrency-control overhead"
+        );
+        println!("{title}\n");
+        let t = experiments::e2(sites, msgs);
+        t.print();
         println!();
+        json.table("e2", &title, &t);
     }
     if want("e3") {
         println!("==============================================================");
-        println!("E3: concurrency grain — throughput vs per-handler work (I/O-style)\n");
-        experiments::e3().print();
+        let title = "E3: concurrency grain — throughput vs per-handler work (I/O-style)";
+        println!("{title}\n");
+        let t = experiments::e3();
+        t.print();
         println!();
+        json.table("e3", title, &t);
     }
     if want("e4") {
         println!("==============================================================");
-        println!("E4 (§5.2/§5.3): pipeline parallelism per policy\n");
-        experiments::e4().print();
+        let title = "E4 (§5.2/§5.3): pipeline parallelism per policy";
+        println!("{title}\n");
+        let t = experiments::e4();
+        t.print();
         println!();
+        json.table("e4", title, &t);
     }
     if want("e5") {
         println!("==============================================================");
         let trials = if quick { 3 } else { 10 };
-        println!("E5 (§3 Problem): view change racing a broadcast burst\n");
-        experiments::e5(trials).print();
+        let title = "E5 (§3 Problem): view change racing a broadcast burst";
+        println!("{title}\n");
+        let t = experiments::e5(trials);
+        t.print();
         println!();
+        json.table("e5", title, &t);
     }
     if want("e6") {
         println!("==============================================================");
-        println!("E6: conflict-ratio sweep — serial floor vs versioning vs unsync\n");
-        experiments::e6().print();
+        let title = "E6: conflict-ratio sweep — serial floor vs versioning vs unsync";
+        println!("{title}\n");
+        let t = experiments::e6();
+        t.print();
         println!();
+        json.table("e6", title, &t);
     }
     if want("e7") {
         println!("==============================================================");
-        println!("E7 (extension, paper §7 future work): read-only declarations share readers\n");
-        experiments::e7().print();
+        let title = "E7 (extension, paper §7 future work): read-only declarations share readers";
+        println!("{title}\n");
+        let t = experiments::e7();
+        t.print();
         println!();
+        json.table("e7", title, &t);
     }
     if want("e8") {
         println!("==============================================================");
-        println!("E8 (ablation): tight vs coarse isolation declarations on the GC stack\n");
-        experiments::e8().print();
+        let title = "E8 (ablation): tight vs coarse isolation declarations on the GC stack";
+        println!("{title}\n");
+        let t = experiments::e8();
+        t.print();
         println!();
+        json.table("e8", title, &t);
     }
     if want("e9") {
         println!("==============================================================");
-        println!("E9: the two algorithm families — versioning (blocking, never aborts)\n    vs optimistic rollback/retry (never blocks, re-executes)\n");
-        experiments::e9().print();
+        let title = "E9: the two algorithm families — versioning (blocking, never aborts)\n    vs optimistic rollback/retry (never blocks, re-executes)";
+        println!("{title}\n");
+        let t = experiments::e9();
+        t.print();
         println!();
+        json.table("e9", title, &t);
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, json.render()).expect("write --json output");
+        eprintln!("wrote {path}");
     }
 }

@@ -59,6 +59,62 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Render as a JSON array of row objects keyed by the column headers.
+    /// Cells that parse as numbers are emitted as JSON numbers, everything
+    /// else as strings (the workspace has no serde; this is hand-emitted).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{}: {}",
+                    json_string(&self.header[i]),
+                    json_cell(cell)
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]");
+        out
+    }
+}
+
+/// Quote and escape a JSON string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A table cell as a JSON value: plain numbers stay numbers (so downstream
+/// tooling can compare them), everything else (including `"2.00x"` ratios
+/// and annotated cells) stays a string.
+fn json_cell(cell: &str) -> String {
+    if !cell.is_empty() && cell.parse::<f64>().map(f64::is_finite).unwrap_or(false) {
+        cell.to_string()
+    } else {
+        json_string(cell)
+    }
 }
 
 /// Format a duration in milliseconds with 2 decimals.
@@ -107,5 +163,20 @@ mod tests {
         assert_eq!(ms(std::time::Duration::from_millis(1500)), "1500.00");
         assert_eq!(per_sec(123.4), "123");
         assert_eq!(ratio(2.0), "2.00x");
+    }
+
+    #[test]
+    fn json_numbers_stay_numbers_strings_get_quoted() {
+        let mut t = Table::new(&["policy", "ms", "speedup"]);
+        t.row(&["vca-basic".into(), "3.50".into(), "2.00x".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"policy\": \"vca-basic\""), "{j}");
+        assert!(j.contains("\"ms\": 3.50"), "{j}");
+        assert!(j.contains("\"speedup\": \"2.00x\""), "{j}");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 }

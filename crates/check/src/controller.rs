@@ -1,0 +1,387 @@
+//! The cooperative scheduler: serialises the runtime's threads into
+//! turn-taking and records every scheduling choice.
+//!
+//! A [`Controller`] is installed into one or more runtimes as their
+//! [`SchedHook`] ([`Runtime::with_hook`](samoa_core::Runtime::with_hook)).
+//! From then on exactly one controlled thread executes at a time:
+//!
+//! * At every [`SchedPoint`] the running thread offers its turn back; the
+//!   controller asks its [`Decider`] which *ready* thread runs next.
+//! * Cooperative blocking ([`SchedHook::block`]) parks the thread until a
+//!   matching [`SchedHook::signal`] makes it ready again — the caller then
+//!   re-checks its wait predicate, so spurious wake-ups (e.g. two runtimes
+//!   sharing a controller and colliding on a resource id) are harmless.
+//! * A choice is only *recorded* when at least two threads are ready;
+//!   forced moves don't contribute to the trace, which keeps witnesses
+//!   short and makes exhaustive enumeration tractable.
+//!
+//! Thread identity is registration order: the main thread registers as
+//! thread 0 ([`Controller::register_main`]), every runtime thread gets the
+//! next id at its `on_thread_spawn`. Because spawning happens while the
+//! spawner holds the turn, ids — and with them the whole schedule — are a
+//! pure function of the choice sequence.
+//!
+//! ## Deadlock and runaway handling
+//!
+//! If no thread is ready and at least one is blocked, the schedule is stuck:
+//! the controller flags a deadlock and *aborts* — every controlled thread is
+//! released into free-running mode (blocking becomes spin-yield) so the
+//! scenario can unwind, and the run is reported as a deadlock failure. The
+//! versioning algorithms are deadlock-free by construction (waits point from
+//! younger to older computations), so this fires only on genuine framework
+//! bugs — which is exactly what an explorer is for. A `max_steps` guard
+//! aborts runaway schedules the same way.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+use parking_lot::{Condvar, Mutex};
+use samoa_core::sched::{SchedHook, SchedPoint, SchedResource};
+
+use crate::strategy::Decider;
+
+/// One recorded scheduling decision: which of the ready threads ran, out of
+/// how many. Only decisions with ≥ 2 alternatives are recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChoiceRecord {
+    /// Index of the chosen thread in the sorted ready list.
+    pub chosen: u32,
+    /// Number of ready threads at this decision point.
+    pub alternatives: u32,
+}
+
+/// Scheduling state of one controlled thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThState {
+    /// Runnable, waiting for a turn.
+    Ready,
+    /// Currently holding the turn.
+    Running,
+    /// Cooperatively blocked on a resource.
+    Blocked(SchedResource),
+    /// Exited.
+    Done,
+}
+
+struct CtrlState {
+    threads: Vec<ThState>,
+    /// OS thread → controlled thread id.
+    os: HashMap<ThreadId, usize>,
+    /// Spawn tokens handed out but not yet claimed by `on_thread_start`.
+    tokens: HashMap<u64, usize>,
+    next_token: u64,
+    current: Option<usize>,
+    decider: Box<dyn Decider>,
+    trace: Vec<ChoiceRecord>,
+    steps: u64,
+    max_steps: u64,
+    /// Free-run: all control is released (deadlock, runaway, or shutdown).
+    abort: bool,
+    deadlock: bool,
+    runaway: bool,
+}
+
+/// What a finished run looked like, extracted by [`Controller::finish`].
+#[derive(Debug, Clone)]
+pub struct ScheduleTrace {
+    /// The recorded choice sequence (replayable via
+    /// [`PrefixDecider`](crate::strategy::PrefixDecider)).
+    pub choices: Vec<ChoiceRecord>,
+    /// Scheduling steps taken (including forced moves).
+    pub steps: u64,
+    /// The schedule wedged: no thread ready, at least one blocked.
+    pub deadlock: bool,
+    /// The `max_steps` guard fired.
+    pub runaway: bool,
+}
+
+/// The cooperative turn-taking scheduler. Implements [`SchedHook`];
+/// install with `Runtime::with_hook(stack, cfg, ctrl.clone())`.
+pub struct Controller {
+    st: Mutex<CtrlState>,
+    cv: Condvar,
+}
+
+impl Controller {
+    /// A controller driving schedules with `decider`, aborting any schedule
+    /// longer than `max_steps` scheduling steps.
+    pub fn new(decider: Box<dyn Decider>, max_steps: u64) -> Arc<Controller> {
+        Arc::new(Controller {
+            st: Mutex::new(CtrlState {
+                threads: Vec::new(),
+                os: HashMap::new(),
+                tokens: HashMap::new(),
+                next_token: 1,
+                current: None,
+                decider,
+                trace: Vec::new(),
+                steps: 0,
+                max_steps,
+                abort: false,
+                deadlock: false,
+                runaway: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Register the calling thread as controlled thread 0 and hand it the
+    /// turn. Must be called exactly once, before the scenario starts any
+    /// hooked runtime activity.
+    pub fn register_main(&self) {
+        let mut st = self.st.lock();
+        assert!(st.threads.is_empty(), "register_main called twice");
+        st.threads.push(ThState::Running);
+        st.os.insert(std::thread::current().id(), 0);
+        st.current = Some(0);
+    }
+
+    /// Release every controlled thread into free-running mode and collect
+    /// the trace. Call after the scenario has finished (all computations
+    /// quiesced): stragglers still between their last release and thread
+    /// exit stop waiting for turns and run out naturally, so no thread ever
+    /// waits on a dropped controller.
+    pub fn finish(&self) -> ScheduleTrace {
+        let mut st = self.st.lock();
+        st.abort = true;
+        self.cv.notify_all();
+        ScheduleTrace {
+            choices: st.trace.clone(),
+            steps: st.steps,
+            deadlock: st.deadlock,
+            runaway: st.runaway,
+        }
+    }
+
+    fn lookup(&self, st: &CtrlState) -> Option<usize> {
+        st.os.get(&std::thread::current().id()).copied()
+    }
+
+    /// Pick and grant the next turn. Caller must have set `current = None`.
+    fn schedule(&self, st: &mut CtrlState) {
+        debug_assert_eq!(st.current, None);
+        let ready: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ThState::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            if st.threads.iter().any(|s| matches!(s, ThState::Blocked(_))) {
+                // Wedged: nobody can run, somebody is waiting. Abort into
+                // free-running so the scenario can unwind and report.
+                st.deadlock = true;
+                st.abort = true;
+                self.cv.notify_all();
+            }
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.runaway = true;
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        let idx = if ready.len() == 1 {
+            0
+        } else {
+            let step = st.trace.len();
+            let idx = st.decider.choose(&ready, step).min(ready.len() - 1);
+            st.trace.push(ChoiceRecord {
+                chosen: idx as u32,
+                alternatives: ready.len() as u32,
+            });
+            idx
+        };
+        let tid = ready[idx];
+        st.threads[tid] = ThState::Running;
+        st.current = Some(tid);
+        self.cv.notify_all();
+    }
+
+    /// Park until granted the turn (or the controller aborted).
+    fn wait_turn(&self, st: &mut parking_lot::MutexGuard<'_, CtrlState>, tid: usize) {
+        loop {
+            if st.abort {
+                return;
+            }
+            if st.current == Some(tid) {
+                st.threads[tid] = ThState::Running;
+                return;
+            }
+            self.cv.wait(st);
+        }
+    }
+}
+
+impl SchedHook for Controller {
+    fn on_thread_spawn(&self) -> u64 {
+        let mut st = self.st.lock();
+        if st.abort {
+            return 0;
+        }
+        let tid = st.threads.len();
+        st.threads.push(ThState::Ready);
+        let token = st.next_token;
+        st.next_token += 1;
+        st.tokens.insert(token, tid);
+        token
+    }
+
+    fn on_thread_start(&self, token: u64) {
+        let mut st = self.st.lock();
+        if st.abort {
+            return;
+        }
+        let Some(tid) = st.tokens.remove(&token) else {
+            return; // spawned during abort: free-run
+        };
+        st.os.insert(std::thread::current().id(), tid);
+        self.wait_turn(&mut st, tid);
+    }
+
+    fn on_thread_exit(&self) {
+        let mut st = self.st.lock();
+        if st.abort {
+            return;
+        }
+        let Some(tid) = self.lookup(&st) else { return };
+        st.threads[tid] = ThState::Done;
+        if st.current == Some(tid) {
+            st.current = None;
+            self.schedule(&mut st);
+        }
+    }
+
+    fn yield_point(&self, _point: SchedPoint) {
+        let mut st = self.st.lock();
+        if st.abort {
+            return;
+        }
+        let Some(tid) = self.lookup(&st) else { return };
+        debug_assert_eq!(
+            st.current,
+            Some(tid),
+            "yield from a thread without the turn"
+        );
+        st.threads[tid] = ThState::Ready;
+        st.current = None;
+        self.schedule(&mut st);
+        self.wait_turn(&mut st, tid);
+    }
+
+    fn block(&self, resource: SchedResource) {
+        let mut st = self.st.lock();
+        if st.abort {
+            drop(st);
+            std::thread::yield_now();
+            return;
+        }
+        let Some(tid) = self.lookup(&st) else {
+            drop(st);
+            std::thread::yield_now();
+            return;
+        };
+        debug_assert_eq!(
+            st.current,
+            Some(tid),
+            "block from a thread without the turn"
+        );
+        st.threads[tid] = ThState::Blocked(resource);
+        st.current = None;
+        self.schedule(&mut st);
+        self.wait_turn(&mut st, tid);
+    }
+
+    fn signal(&self, resource: SchedResource) {
+        let mut st = self.st.lock();
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        // The signaller keeps its turn; woken threads become ready and will
+        // re-check their predicates when scheduled.
+        for s in st.threads.iter_mut() {
+            if *s == ThState::Blocked(resource) {
+                *s = ThState::Ready;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::PrefixDecider;
+
+    #[test]
+    fn single_thread_run_records_no_choices() {
+        let ctrl = Controller::new(Box::new(PrefixDecider::new(Vec::new())), 1000);
+        ctrl.register_main();
+        ctrl.yield_point(SchedPoint::Spawn);
+        ctrl.yield_point(SchedPoint::Spawn);
+        let trace = ctrl.finish();
+        assert!(trace.choices.is_empty(), "forced moves are not recorded");
+        assert!(!trace.deadlock);
+        assert_eq!(trace.steps, 2);
+    }
+
+    #[test]
+    fn two_threads_alternate_under_prefix() {
+        // Main spawns one helper; choices decide who runs at each yield.
+        let ctrl = Controller::new(Box::new(PrefixDecider::new(vec![1, 0])), 1000);
+        ctrl.register_main();
+        let token = ctrl.on_thread_spawn();
+        let h2 = ctrl.clone();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o2 = Arc::clone(&order);
+        let t = std::thread::spawn(move || {
+            h2.on_thread_start(token);
+            o2.lock().push("helper");
+            h2.yield_point(SchedPoint::Spawn);
+            o2.lock().push("helper2");
+            h2.on_thread_exit();
+        });
+        // First choice (index 1 in ready=[0,1]) hands the turn to the
+        // helper; main parks until chosen again.
+        ctrl.yield_point(SchedPoint::Spawn);
+        order.lock().push("main");
+        let trace = ctrl.finish();
+        t.join().unwrap();
+        assert_eq!(order.lock()[0], "helper", "prefix [1] ran helper first");
+        assert!(!trace.choices.is_empty());
+        assert_eq!(
+            trace.choices[0],
+            ChoiceRecord {
+                chosen: 1,
+                alternatives: 2
+            }
+        );
+    }
+
+    #[test]
+    fn blocked_everyone_is_deadlock() {
+        let ctrl = Controller::new(Box::new(PrefixDecider::new(Vec::new())), 1000);
+        ctrl.register_main();
+        // Main blocks with nobody to signal: the controller must abort
+        // rather than hang.
+        ctrl.block(SchedResource::Quiesce);
+        let trace = ctrl.finish();
+        assert!(trace.deadlock);
+    }
+
+    #[test]
+    fn runaway_guard_aborts() {
+        let ctrl = Controller::new(Box::new(PrefixDecider::new(Vec::new())), 3);
+        ctrl.register_main();
+        for _ in 0..10 {
+            ctrl.yield_point(SchedPoint::Spawn);
+        }
+        let trace = ctrl.finish();
+        assert!(trace.runaway);
+        assert!(trace.steps <= 4);
+    }
+}

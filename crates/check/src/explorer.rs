@@ -1,0 +1,322 @@
+//! The exploration driver: run a [`Scenario`] under many schedules, check
+//! every run for isolation violations and scenario invariants, and — on
+//! failure — produce a minimised, replayable [`Witness`].
+
+use std::sync::Arc;
+
+use samoa_core::IsolationViolation;
+
+use crate::controller::{Controller, ScheduleTrace};
+use crate::scenarios::{RunReport, Scenario};
+use crate::strategy::{Decider, PctDecider, PrefixDecider, RandomDecider};
+
+/// How schedules are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Seeded uniform random walk; run `i` uses seed `seed + i`.
+    Random {
+        /// Base seed.
+        seed: u64,
+    },
+    /// Probabilistic Concurrency Testing with the given bug depth.
+    Pct {
+        /// Base seed (run `i` uses `seed + i`).
+        seed: u64,
+        /// Bug depth `d` (`d − 1` priority-change points per run).
+        depth: usize,
+    },
+    /// Exhaustive bounded depth-first enumeration of the choice tree.
+    /// Stops early when the space is exhausted.
+    Exhaustive,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Random { seed } => write!(f, "random(seed={seed})"),
+            Strategy::Pct { seed, depth } => write!(f, "pct(seed={seed}, depth={depth})"),
+            Strategy::Exhaustive => write!(f, "exhaustive"),
+        }
+    }
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ExplorerConfig {
+    /// Maximum number of schedules to run.
+    pub schedules: usize,
+    /// Schedule-generation strategy.
+    pub strategy: Strategy,
+    /// Per-run scheduling-step budget; longer runs abort as
+    /// [`Failure::Runaway`].
+    pub max_steps: u64,
+    /// Greedily shrink the witness trace before returning it.
+    pub minimise: bool,
+}
+
+impl ExplorerConfig {
+    /// `schedules` runs under `strategy`, with minimisation on and a
+    /// generous step budget.
+    pub fn new(schedules: usize, strategy: Strategy) -> ExplorerConfig {
+        ExplorerConfig {
+            schedules,
+            strategy,
+            max_steps: 50_000,
+            minimise: true,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// The serializability checker found a precedence cycle.
+    Isolation(IsolationViolation),
+    /// A scenario-specific invariant was violated.
+    Invariant(String),
+    /// The schedule wedged: no thread ready, at least one blocked.
+    Deadlock,
+    /// The run exceeded the scheduling-step budget.
+    Runaway,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Isolation(v) => write!(f, "{v}"),
+            Failure::Invariant(s) => write!(f, "invariant violated: {s}"),
+            Failure::Deadlock => write!(f, "schedule deadlocked"),
+            Failure::Runaway => write!(f, "schedule exceeded the step budget"),
+        }
+    }
+}
+
+/// A replayable counterexample: strategy, schedule index, and the exact
+/// choice trace. [`Explorer::replay`] reproduces the failure
+/// deterministically from `choices` alone.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// Name of the failing scenario.
+    pub scenario: String,
+    /// The strategy that found the failure.
+    pub strategy: Strategy,
+    /// Which schedule (0-based) failed.
+    pub schedule_index: usize,
+    /// The recorded decision trace (minimised if the config asked for it).
+    pub choices: Vec<u32>,
+    /// What went wrong.
+    pub failure: Failure,
+}
+
+impl std::fmt::Display for Witness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} (strategy {}, schedule #{}, trace {:?})",
+            self.scenario, self.failure, self.strategy, self.schedule_index, self.choices
+        )
+    }
+}
+
+/// What an exploration did.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Schedules actually run (less than requested if exhaustive search
+    /// exhausted the space or a failure stopped it early).
+    pub schedules_run: usize,
+    /// The first failure found, already minimised if configured.
+    pub violation: Option<Witness>,
+    /// Exhaustive search visited the whole bounded space.
+    pub exhausted: bool,
+}
+
+/// Runs scenarios under controlled schedules.
+pub struct Explorer;
+
+impl Explorer {
+    /// Run `scenario` for up to `cfg.schedules` schedules; stop at the
+    /// first failure.
+    pub fn explore(scenario: &dyn Scenario, cfg: &ExplorerConfig) -> Exploration {
+        let mut prefix: Vec<u32> = Vec::new(); // exhaustive-mode cursor
+        let mut pct_horizon: usize = 64;
+        let mut runs = 0;
+        for i in 0..cfg.schedules {
+            let decider: Box<dyn Decider> = match cfg.strategy {
+                Strategy::Random { seed } => {
+                    Box::new(RandomDecider::new(seed.wrapping_add(i as u64)))
+                }
+                Strategy::Pct { seed, depth } => Box::new(PctDecider::new(
+                    seed.wrapping_add(i as u64),
+                    depth,
+                    pct_horizon,
+                )),
+                Strategy::Exhaustive => Box::new(PrefixDecider::new(prefix.clone())),
+            };
+            let (report, trace) = run_once(scenario, decider, cfg.max_steps);
+            runs = i + 1;
+            pct_horizon = trace.choices.len().max(16);
+            if let Some(failure) = classify(&report, &trace) {
+                let mut choices: Vec<u32> = trace.choices.iter().map(|c| c.chosen).collect();
+                if cfg.minimise {
+                    choices = minimise(scenario, choices, &failure, cfg.max_steps);
+                }
+                return Exploration {
+                    schedules_run: runs,
+                    violation: Some(Witness {
+                        scenario: scenario.name().to_string(),
+                        strategy: cfg.strategy,
+                        schedule_index: i,
+                        choices,
+                        failure,
+                    }),
+                    exhausted: false,
+                };
+            }
+            if cfg.strategy == Strategy::Exhaustive {
+                match next_prefix(&trace) {
+                    Some(p) => prefix = p,
+                    None => {
+                        return Exploration {
+                            schedules_run: runs,
+                            violation: None,
+                            exhausted: true,
+                        }
+                    }
+                }
+            }
+        }
+        Exploration {
+            schedules_run: runs,
+            violation: None,
+            exhausted: false,
+        }
+    }
+
+    /// Re-run `witness.choices` deterministically and return the failure it
+    /// reproduces (or `None` — a stale witness).
+    pub fn replay(scenario: &dyn Scenario, witness: &Witness) -> Option<Failure> {
+        let (report, trace) = run_once(
+            scenario,
+            Box::new(PrefixDecider::new(witness.choices.clone())),
+            u64::MAX,
+        );
+        classify(&report, &trace)
+    }
+}
+
+/// One controlled run: fresh controller, scenario workload, shutdown.
+fn run_once(
+    scenario: &dyn Scenario,
+    decider: Box<dyn Decider>,
+    max_steps: u64,
+) -> (RunReport, ScheduleTrace) {
+    let ctrl = Controller::new(decider, max_steps);
+    ctrl.register_main();
+    let hook: Arc<dyn samoa_core::SchedHook> = ctrl.clone();
+    let report = scenario.run(hook);
+    // Free any straggler threads (parked between their last handler and
+    // thread exit) *after* the report — including its history snapshot —
+    // is taken, so the trace stays schedule-pure.
+    let trace = ctrl.finish();
+    (report, trace)
+}
+
+/// Order of severity: a definite isolation violation beats an invariant
+/// message beats the abort conditions.
+fn classify(report: &RunReport, trace: &ScheduleTrace) -> Option<Failure> {
+    if let Err(v) = report.history.check_isolation() {
+        return Some(Failure::Isolation(v));
+    }
+    if let Some(s) = &report.invariant_violation {
+        return Some(Failure::Invariant(s.clone()));
+    }
+    if trace.deadlock {
+        return Some(Failure::Deadlock);
+    }
+    if trace.runaway {
+        return Some(Failure::Runaway);
+    }
+    None
+}
+
+/// Depth-first successor of a completed run's trace: increment the last
+/// decision that still has an untried alternative, drop everything after
+/// it. `None` when the whole bounded space has been visited.
+fn next_prefix(trace: &ScheduleTrace) -> Option<Vec<u32>> {
+    let c = &trace.choices;
+    for i in (0..c.len()).rev() {
+        if c[i].chosen + 1 < c[i].alternatives {
+            let mut p: Vec<u32> = c[..i].iter().map(|r| r.chosen).collect();
+            p.push(c[i].chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Greedy witness shrinking: try deleting each choice (from the back — late
+/// choices are most likely incidental), keep deletions that preserve a
+/// failure of the same kind. Every candidate is validated by a full replay,
+/// so the result is guaranteed to still fail.
+fn minimise(
+    scenario: &dyn Scenario,
+    mut choices: Vec<u32>,
+    original: &Failure,
+    max_steps: u64,
+) -> Vec<u32> {
+    let same_kind = |f: &Failure| {
+        matches!(
+            (f, original),
+            (Failure::Isolation(_), Failure::Isolation(_))
+                | (Failure::Invariant(_), Failure::Invariant(_))
+                | (Failure::Deadlock, Failure::Deadlock)
+                | (Failure::Runaway, Failure::Runaway)
+        )
+    };
+    let mut i = choices.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate = choices.clone();
+        candidate.remove(i);
+        let (report, trace) = run_once(
+            scenario,
+            Box::new(PrefixDecider::new(candidate.clone())),
+            max_steps,
+        );
+        if classify(&report, &trace).as_ref().is_some_and(same_kind) {
+            choices = candidate;
+        }
+    }
+    // Trailing zeros are no-ops for the prefix decider (it picks 0 past the
+    // end anyway): strip them for a canonical witness.
+    while choices.last() == Some(&0) {
+        choices.pop();
+    }
+    choices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prefix_increments_deepest_open_choice() {
+        use crate::controller::ChoiceRecord;
+        let t = |choices: Vec<(u32, u32)>| ScheduleTrace {
+            choices: choices
+                .into_iter()
+                .map(|(chosen, alternatives)| ChoiceRecord {
+                    chosen,
+                    alternatives,
+                })
+                .collect(),
+            steps: 0,
+            deadlock: false,
+            runaway: false,
+        };
+        assert_eq!(next_prefix(&t(vec![(0, 2), (1, 2)])), Some(vec![1]));
+        assert_eq!(next_prefix(&t(vec![(0, 2), (0, 3)])), Some(vec![0, 1]));
+        assert_eq!(next_prefix(&t(vec![(1, 2), (2, 3)])), None);
+        assert_eq!(next_prefix(&t(vec![])), None);
+    }
+}

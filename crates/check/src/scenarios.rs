@@ -1,0 +1,370 @@
+//! Ready-made exploration scenarios: the paper's Figure 1 diamond stack,
+//! the §3 view-change race, and the transport sliding window.
+//!
+//! A [`Scenario`] builds a fresh hooked runtime, runs a fixed workload under
+//! the controller's schedule, and reports the recorded [`History`] plus any
+//! violated scenario-specific invariant. Scenarios must be *schedule-pure*:
+//! everything observable has to be a function of the controller's choice
+//! sequence (fresh state per run, seeded simulated networks in manual mode,
+//! no wall-clock timers), or witnesses will not replay.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use samoa_core::prelude::*;
+use samoa_core::{History, SchedHook};
+use samoa_net::{NetConfig, SimNet, SiteId};
+use samoa_transport::{Endpoint, TransportConfig, TransportPolicy};
+
+/// What one controlled run of a scenario produced.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// The recorded run and state accesses, ready for
+    /// [`History::check_isolation`].
+    pub history: History,
+    /// A violated scenario-specific invariant, if any (isolation is checked
+    /// separately by the explorer).
+    pub invariant_violation: Option<String>,
+}
+
+/// A workload the explorer can run under many schedules.
+pub trait Scenario {
+    /// Stable name, recorded in witnesses.
+    fn name(&self) -> &'static str;
+
+    /// Run the workload once under `hook`'s schedule and report.
+    ///
+    /// Called from the controller's main thread (thread 0, holding the
+    /// turn); must quiesce all spawned computations before returning.
+    fn run(&self, hook: Arc<dyn SchedHook>) -> RunReport;
+}
+
+/// Synchronisation policy a scenario runs its computations under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioPolicy {
+    /// Cactus-style, no isolation — the buggy baseline the explorer should
+    /// catch.
+    Unsync,
+    /// `isolated M e` (VCAbasic).
+    VcaBasic,
+    /// `isolated (M, bounds) e` (VCAbound) — bounds set to each
+    /// computation's true visit counts.
+    VcaBound,
+    /// `isolated pattern e` (VCAroute).
+    VcaRoute,
+    /// Appia-style serial execution.
+    Serial,
+    /// Conservative two-phase locking.
+    TwoPhase,
+}
+
+impl ScenarioPolicy {
+    /// All policies that guarantee isolation (everything except `Unsync`).
+    pub fn isolating() -> [ScenarioPolicy; 5] {
+        [
+            ScenarioPolicy::VcaBasic,
+            ScenarioPolicy::VcaBound,
+            ScenarioPolicy::VcaRoute,
+            ScenarioPolicy::Serial,
+            ScenarioPolicy::TwoPhase,
+        ]
+    }
+}
+
+/// The Figure 1 diamond: handlers P, Q, R, S; computation `ka` routes
+/// P → R → S, `kb` routes Q → R → S; R and S record writer order.
+///
+/// Under [`ScenarioPolicy::Unsync`] the explorer can drive the execution
+/// into the paper's run `r3` (`ka` before `kb` on R, `kb` before `ka` on S)
+/// — a precedence cycle. Under any isolating policy no schedule produces a
+/// violation.
+pub struct DiamondScenario {
+    policy: ScenarioPolicy,
+}
+
+impl DiamondScenario {
+    /// A diamond workload under `policy`.
+    pub fn new(policy: ScenarioPolicy) -> DiamondScenario {
+        DiamondScenario { policy }
+    }
+}
+
+impl Scenario for DiamondScenario {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            ScenarioPolicy::Unsync => "diamond/unsync",
+            ScenarioPolicy::VcaBasic => "diamond/vca-basic",
+            ScenarioPolicy::VcaBound => "diamond/vca-bound",
+            ScenarioPolicy::VcaRoute => "diamond/vca-route",
+            ScenarioPolicy::Serial => "diamond/serial",
+            ScenarioPolicy::TwoPhase => "diamond/two-phase",
+        }
+    }
+
+    fn run(&self, hook: Arc<dyn SchedHook>) -> RunReport {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let r = b.protocol("R");
+        let s = b.protocol("S");
+        let a0 = b.event("a0");
+        let b0 = b.event("b0");
+        let to_r = b.event("r");
+        let to_s = b.event("s");
+        let r_trace = ProtocolState::new(r, Vec::<u64>::new());
+        let s_trace = ProtocolState::new(s, Vec::<u64>::new());
+
+        let h_p = b.bind(a0, p, "P", move |ctx, ev| ctx.trigger(to_r, ev.clone()));
+        let h_q = b.bind(b0, q, "Q", move |ctx, ev| ctx.trigger(to_r, ev.clone()));
+        let h_r = {
+            let tr = r_trace.clone();
+            b.bind(to_r, r, "R", move |ctx, ev| {
+                tr.with(ctx, |t| t.push(ctx.comp_id()));
+                ctx.trigger(to_s, ev.clone())
+            })
+        };
+        let h_s = {
+            let ts = s_trace.clone();
+            b.bind(to_s, s, "S", move |ctx, _| {
+                ts.with(ctx, |t| t.push(ctx.comp_id()));
+                Ok(())
+            })
+        };
+
+        let rt = Runtime::with_hook(b.build(), RuntimeConfig::recording(), hook);
+        let policy = self.policy;
+        let spawn_one = |ev: EventType, own: ProtocolId, root| {
+            let body = move |ctx: &Ctx| ctx.trigger(ev, EventData::empty());
+            match policy {
+                ScenarioPolicy::Unsync => rt.spawn(Decl::Unsync, body),
+                ScenarioPolicy::VcaBasic => rt.spawn(Decl::Basic(&[own, r, s]), body),
+                ScenarioPolicy::VcaBound => {
+                    rt.spawn(Decl::Bound(&[(own, 1), (r, 1), (s, 1)]), body)
+                }
+                ScenarioPolicy::VcaRoute => {
+                    let pat = RoutePattern::new()
+                        .root(root)
+                        .edge(root, h_r)
+                        .edge(h_r, h_s);
+                    rt.spawn(Decl::Route(&pat), body)
+                }
+                ScenarioPolicy::Serial => rt.spawn(Decl::Serial, body),
+                ScenarioPolicy::TwoPhase => rt.spawn(Decl::TwoPhase(&[own, r, s]), body),
+            }
+        };
+        let _ka = spawn_one(a0, p, h_p);
+        let _kb = spawn_one(b0, q, h_q);
+        rt.quiesce();
+
+        RunReport {
+            history: rt.history(),
+            invariant_violation: None,
+        }
+    }
+}
+
+/// The §3 view-change race over a manual [`SimNet`]: a broadcast
+/// computation reads the current view, then stamps the channel epoch into
+/// the outgoing message, while a concurrent view-change computation
+/// increments both. Consistency requires every message on the wire to carry
+/// `view == epoch`; without isolation the broadcast can read the old view
+/// and the *new* epoch.
+///
+/// Delivery is folded into the controlled schedule: the manual network is
+/// pumped from the scenario's own (controlled) thread, so the whole run —
+/// including what site 1 receives — is a pure function of the choice
+/// sequence and the network seed.
+pub struct ViewChangeScenario {
+    policy: ScenarioPolicy,
+    net_seed: u64,
+}
+
+impl ViewChangeScenario {
+    /// A view-change race under `policy`, network delays drawn from
+    /// `net_seed`.
+    pub fn new(policy: ScenarioPolicy, net_seed: u64) -> ViewChangeScenario {
+        ViewChangeScenario { policy, net_seed }
+    }
+}
+
+impl Scenario for ViewChangeScenario {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            ScenarioPolicy::Unsync => "view-change/unsync",
+            ScenarioPolicy::VcaBasic => "view-change/vca-basic",
+            ScenarioPolicy::VcaBound => "view-change/vca-bound",
+            ScenarioPolicy::VcaRoute => "view-change/vca-route",
+            ScenarioPolicy::Serial => "view-change/serial",
+            ScenarioPolicy::TwoPhase => "view-change/two-phase",
+        }
+    }
+
+    fn run(&self, hook: Arc<dyn SchedHook>) -> RunReport {
+        let net = SimNet::new_manual(2, NetConfig::fast(self.net_seed));
+        let received: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let received = Arc::clone(&received);
+            net.handle().register(SiteId(1), move |dg| {
+                let b = &dg.payload;
+                if b.len() == 16 {
+                    let view = u64::from_be_bytes(b[0..8].try_into().unwrap());
+                    let epoch = u64::from_be_bytes(b[8..16].try_into().unwrap());
+                    received.lock().push((view, epoch));
+                }
+            });
+        }
+
+        let mut b = StackBuilder::new();
+        let p_view = b.protocol("View");
+        let p_chan = b.protocol("Chan");
+        let bcast = b.event("bcast");
+        let send = b.event("send");
+        let vchange = b.event("vchange");
+        let view = ProtocolState::new(p_view, 0u64);
+        let chan = ProtocolState::new(p_chan, 0u64);
+
+        // Broadcast: read the view under View, then hand off to the channel
+        // layer which stamps the epoch and emits the datagram.
+        let h_b = {
+            let view = view.clone();
+            b.bind(bcast, p_view, "bcast", move |ctx, _| {
+                let v = view.read_with(ctx, |v| *v);
+                ctx.trigger(send, v)
+            })
+        };
+        let h_s = {
+            let chan = chan.clone();
+            let handle = net.handle();
+            b.bind(send, p_chan, "chan.send", move |ctx, ev| {
+                let v: &u64 = ev.expect(send)?;
+                let e = chan.read_with(ctx, |e| *e);
+                let mut payload = Vec::with_capacity(16);
+                payload.extend_from_slice(&v.to_be_bytes());
+                payload.extend_from_slice(&e.to_be_bytes());
+                handle.send(SiteId(0), SiteId(1), Bytes::from(payload));
+                Ok(())
+            })
+        };
+        // View change: bump the view, then (next handler down) the channel
+        // epoch — the window between the two writes is the race.
+        let echange = b.event("echange");
+        let h_v = {
+            let view = view.clone();
+            b.bind(vchange, p_view, "vchange", move |ctx, _| {
+                view.with(ctx, |v| *v += 1);
+                ctx.trigger(echange, EventData::empty())
+            })
+        };
+        let h_e = {
+            let chan = chan.clone();
+            b.bind(echange, p_chan, "echange", move |ctx, _| {
+                chan.with(ctx, |e| *e += 1);
+                Ok(())
+            })
+        };
+
+        let rt = Runtime::with_hook(b.build(), RuntimeConfig::recording(), hook);
+        let policy = self.policy;
+        let spawn_one = |ev: EventType, decl: &[ProtocolId], pat: &RoutePattern| {
+            let body = move |ctx: &Ctx| ctx.trigger(ev, EventData::empty());
+            match policy {
+                ScenarioPolicy::Unsync => rt.spawn(Decl::Unsync, body),
+                ScenarioPolicy::VcaBasic => rt.spawn(Decl::Basic(decl), body),
+                ScenarioPolicy::VcaBound => {
+                    let bounds: Vec<(ProtocolId, u64)> = decl.iter().map(|&p| (p, 1)).collect();
+                    rt.spawn(Decl::Bound(&bounds), body)
+                }
+                ScenarioPolicy::VcaRoute => rt.spawn(Decl::Route(pat), body),
+                ScenarioPolicy::Serial => rt.spawn(Decl::Serial, body),
+                ScenarioPolicy::TwoPhase => rt.spawn(Decl::TwoPhase(decl), body),
+            }
+        };
+        let bcast_pat = RoutePattern::new().root(h_b).edge(h_b, h_s);
+        let vc_pat = RoutePattern::new().root(h_v).edge(h_v, h_e);
+        let _kb = spawn_one(bcast, &[p_view, p_chan], &bcast_pat);
+        let _kv = spawn_one(vchange, &[p_view, p_chan], &vc_pat);
+        rt.quiesce();
+        // Deliver on the controlled thread; callbacks only append to the
+        // collector, so ordering beyond the seed does not matter here.
+        net.handle().pump_all();
+
+        let bad = received
+            .lock()
+            .iter()
+            .find(|(v, e)| v != e)
+            .map(|(v, e)| format!("message on the wire with view {v} != epoch {e}"));
+        RunReport {
+            history: rt.history(),
+            invariant_violation: bad,
+        }
+    }
+}
+
+/// The transport sliding window under a controlled schedule: two concurrent
+/// sends from site 0 to site 1 over a manual network, with timers off and
+/// delivery pumped from the controlled main thread. Invariants: the
+/// endpoint histories stay serializable (checked by the explorer) and both
+/// messages are delivered intact.
+pub struct TransportWindowScenario {
+    policy: TransportPolicy,
+    net_seed: u64,
+}
+
+impl TransportWindowScenario {
+    /// A two-message window workload under `policy`.
+    pub fn new(policy: TransportPolicy, net_seed: u64) -> TransportWindowScenario {
+        TransportWindowScenario { policy, net_seed }
+    }
+}
+
+impl Scenario for TransportWindowScenario {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            TransportPolicy::Unsync => "transport-window/unsync",
+            TransportPolicy::Serial => "transport-window/serial",
+            TransportPolicy::Basic => "transport-window/basic",
+        }
+    }
+
+    fn run(&self, hook: Arc<dyn SchedHook>) -> RunReport {
+        let net = SimNet::new_manual(2, NetConfig::fast(self.net_seed));
+        let cfg = TransportConfig {
+            policy: self.policy,
+            mtu: 16,
+            window: 4,
+            enable_timers: false,
+            ..TransportConfig::default()
+        };
+        let e0 = Endpoint::new_hooked(net.handle(), SiteId(0), cfg.clone(), hook.clone(), true);
+        let e1 = Endpoint::new_hooked(net.handle(), SiteId(1), cfg, hook, false);
+
+        let msg_a: Vec<u8> = (0u8..40).collect();
+        let msg_b: Vec<u8> = (100u8..140).collect();
+        e0.send(SiteId(1), msg_a.clone());
+        e0.send(SiteId(1), msg_b.clone());
+        // Settle: drain both runtimes, pump deliveries (which spawn new
+        // computations), repeat until nothing is in flight.
+        loop {
+            e0.runtime().quiesce();
+            e1.runtime().quiesce();
+            if net.handle().pump_all() == 0 {
+                break;
+            }
+        }
+
+        let delivered = e1.delivered();
+        let payloads: Vec<Vec<u8>> = delivered.iter().map(|(_, b)| b.to_vec()).collect();
+        let mut bad = None;
+        if !payloads.contains(&msg_a) || !payloads.contains(&msg_b) {
+            bad = Some(format!(
+                "expected both messages delivered, got {} messages",
+                payloads.len()
+            ));
+        }
+        RunReport {
+            history: e0.runtime().history(),
+            invariant_violation: bad,
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Schedule-selection strategies: how the [`Controller`] picks among ready
+//! threads at each recorded decision point.
+//!
+//! Three families, mirroring the systematic-concurrency-testing literature:
+//!
+//! * [`RandomDecider`] — a seeded uniform random walk over the schedule
+//!   space. Cheap, surprisingly effective, trivially replayable via the
+//!   recorded trace.
+//! * [`PctDecider`] — Probabilistic Concurrency Testing (Burckhardt et al.,
+//!   ASPLOS 2010): threads get random priorities, the scheduler always runs
+//!   the highest-priority ready thread, and `depth − 1` randomly placed
+//!   priority-*change points* demote the running thread. For a bug of depth
+//!   `d` this gives a provable detection probability `≥ 1/(n·k^(d−1))`.
+//! * [`PrefixDecider`] — deterministic: follow a recorded choice list, then
+//!   always pick index 0. This is both the witness-replay mechanism and the
+//!   engine of exhaustive bounded search (the explorer advances prefixes in
+//!   depth-first order).
+//!
+//! [`Controller`]: crate::controller::Controller
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses which ready thread runs at a recorded decision point.
+///
+/// `ready` is the sorted list of ready thread ids (always `len() ≥ 2`);
+/// `step` is the number of decisions recorded so far. The return value is an
+/// *index into `ready`*, not a thread id; out-of-range returns are clamped
+/// by the controller.
+pub trait Decider: Send {
+    /// Pick `ready[return]` to run next.
+    fn choose(&mut self, ready: &[usize], step: usize) -> usize;
+}
+
+/// Seeded uniform random walk.
+pub struct RandomDecider {
+    rng: StdRng,
+}
+
+impl RandomDecider {
+    /// A random walk reproducible from `seed`.
+    pub fn new(seed: u64) -> RandomDecider {
+        RandomDecider {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Decider for RandomDecider {
+    fn choose(&mut self, ready: &[usize], _step: usize) -> usize {
+        self.rng.gen_range(0..ready.len())
+    }
+}
+
+/// Probabilistic Concurrency Testing: priority scheduling with `depth − 1`
+/// random priority-change points.
+pub struct PctDecider {
+    rng: StdRng,
+    /// Priority per thread id; higher runs first. Indexed lazily — threads
+    /// get a random priority the first time they appear ready.
+    prio: Vec<Option<u64>>,
+    /// Decision steps at which the running thread's priority drops.
+    change_points: Vec<usize>,
+}
+
+impl PctDecider {
+    /// A PCT schedule with `depth` (`d ≥ 1`): `d − 1` change points placed
+    /// uniformly over the first `horizon` decision steps.
+    pub fn new(seed: u64, depth: usize, horizon: usize) -> PctDecider {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = horizon.max(1);
+        let change_points = (0..depth.saturating_sub(1))
+            .map(|_| rng.gen_range(0..horizon))
+            .collect();
+        PctDecider {
+            rng,
+            prio: Vec::new(),
+            change_points,
+        }
+    }
+
+    fn prio_of(&mut self, tid: usize) -> u64 {
+        if tid >= self.prio.len() {
+            self.prio.resize(tid + 1, None);
+        }
+        // Initial priorities live in the upper half so change-point demotions
+        // (lower half) always rank below every undemoted thread.
+        *self.prio[tid].get_or_insert_with(|| (1 << 32) | self.rng.gen_range(0u64..(1 << 31)))
+    }
+}
+
+impl Decider for PctDecider {
+    fn choose(&mut self, ready: &[usize], step: usize) -> usize {
+        let best = (0..ready.len())
+            .max_by_key(|&i| self.prio_of(ready[i]))
+            .expect("ready is non-empty");
+        if self.change_points.contains(&step) {
+            // Demote the thread we are about to run below all base
+            // priorities; unique low values keep the order total.
+            let demoted = self.rng.gen_range(0u64..(1 << 30));
+            self.prio[ready[best]] = Some(demoted);
+        }
+        best
+    }
+}
+
+/// Follow a fixed choice list; pick index 0 once it runs out.
+///
+/// Replaying a [`Witness`](crate::explorer::Witness) and enumerating the
+/// exhaustive search tree are both prefix-following: the explorer extends or
+/// increments the prefix between runs, and past the prefix the schedule is
+/// deterministic (first ready thread).
+pub struct PrefixDecider {
+    prefix: Vec<u32>,
+}
+
+impl PrefixDecider {
+    /// Follow `prefix`, then always choose index 0.
+    pub fn new(prefix: Vec<u32>) -> PrefixDecider {
+        PrefixDecider { prefix }
+    }
+}
+
+impl Decider for PrefixDecider {
+    fn choose(&mut self, ready: &[usize], step: usize) -> usize {
+        let want = self.prefix.get(step).copied().unwrap_or(0) as usize;
+        want.min(ready.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_decider_is_seed_deterministic() {
+        let ready = [0usize, 1, 2, 3];
+        let seq = |seed| {
+            let mut d = RandomDecider::new(seed);
+            (0..32).map(|s| d.choose(&ready, s)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+        assert!(seq(9).iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn prefix_decider_follows_then_zero() {
+        let mut d = PrefixDecider::new(vec![2, 1]);
+        let ready = [5usize, 6, 7];
+        assert_eq!(d.choose(&ready, 0), 2);
+        assert_eq!(d.choose(&ready, 1), 1);
+        assert_eq!(d.choose(&ready, 2), 0);
+        // Clamped when the recorded choice exceeds what's ready now.
+        let mut d = PrefixDecider::new(vec![9]);
+        assert_eq!(d.choose(&[1usize, 2], 0), 1);
+    }
+
+    #[test]
+    fn pct_runs_highest_priority_consistently() {
+        // With no change points (depth 1) PCT is a fixed priority order:
+        // the same thread wins every step it is ready.
+        let mut d = PctDecider::new(3, 1, 100);
+        let ready = [0usize, 1, 2];
+        let first = d.choose(&ready, 0);
+        for s in 1..20 {
+            assert_eq!(d.choose(&ready, s), first);
+        }
+    }
+
+    #[test]
+    fn pct_change_point_demotes() {
+        // Depth 2 with a 1-step horizon forces the change point to step 0:
+        // whoever ran at step 0 must lose to the other thread afterwards.
+        let mut d = PctDecider::new(4, 2, 1);
+        let ready = [0usize, 1];
+        let first = d.choose(&ready, 0);
+        let second = d.choose(&ready, 1);
+        assert_ne!(first, second, "change point must demote the running thread");
+        for s in 2..10 {
+            assert_eq!(d.choose(&ready, s), second);
+        }
+    }
+}

@@ -38,6 +38,7 @@ use crate::handler::HandlerId;
 use crate::policy::{AccessMode, CompMode, CompSpec};
 use crate::protocol::ProtocolId;
 use crate::runtime::RuntimeInner;
+use crate::sched::{ReleaseReason, SchedPoint, SchedResource};
 
 /// Boxed task body type (a closure run by a computation worker).
 pub(crate) type TaskFn = Box<dyn FnOnce(&Ctx) -> Result<()> + Send>;
@@ -165,6 +166,9 @@ impl ComputationInner {
     pub(crate) fn enqueue(self: &Arc<Self>, task: Task) {
         self.pending.fetch_add(1, Ordering::SeqCst);
         self.queue.lock().push_back(task);
+        if let Some(h) = &self.rt.hook {
+            h.signal(SchedResource::Queue(self.id));
+        }
         if self.idle.load(Ordering::SeqCst) > 0 {
             self.queue_cv.notify_one();
         } else {
@@ -172,9 +176,17 @@ impl ComputationInner {
             if w < self.rt.config.max_threads_per_computation {
                 self.workers.fetch_add(1, Ordering::SeqCst);
                 let comp = Arc::clone(self);
+                let hook = self.rt.hook.clone();
+                let token = hook.as_ref().map(|h| h.on_thread_spawn());
                 std::thread::spawn(move || {
+                    if let (Some(h), Some(t)) = (&hook, token) {
+                        h.on_thread_start(t);
+                    }
                     comp.worker_loop();
                     comp.worker_exit();
+                    if let Some(h) = &hook {
+                        h.on_thread_exit();
+                    }
                 });
             }
             // Otherwise an existing (busy) worker will drain the queue; the
@@ -184,17 +196,35 @@ impl ComputationInner {
     }
 
     fn next_task(&self) -> Option<Task> {
-        let mut q = self.queue.lock();
-        loop {
-            if let Some(t) = q.pop_front() {
-                return Some(t);
+        match &self.rt.hook {
+            None => {
+                let mut q = self.queue.lock();
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        return Some(t);
+                    }
+                    if self.pending.load(Ordering::SeqCst) == 0 {
+                        return None;
+                    }
+                    self.idle.fetch_add(1, Ordering::SeqCst);
+                    self.queue_cv.wait(&mut q);
+                    self.idle.fetch_sub(1, Ordering::SeqCst);
+                }
             }
-            if self.pending.load(Ordering::SeqCst) == 0 {
-                return None;
-            }
-            self.idle.fetch_add(1, Ordering::SeqCst);
-            self.queue_cv.wait(&mut q);
-            self.idle.fetch_sub(1, Ordering::SeqCst);
+            Some(h) => loop {
+                {
+                    let mut q = self.queue.lock();
+                    if let Some(t) = q.pop_front() {
+                        return Some(t);
+                    }
+                    if self.pending.load(Ordering::SeqCst) == 0 {
+                        return None;
+                    }
+                }
+                self.idle.fetch_add(1, Ordering::SeqCst);
+                h.block(SchedResource::Queue(self.id));
+                self.idle.fetch_sub(1, Ordering::SeqCst);
+            },
         }
     }
 
@@ -203,12 +233,18 @@ impl ComputationInner {
     pub(crate) fn release_pending(&self) {
         if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.queue_cv.notify_all();
+            if let Some(h) = &self.rt.hook {
+                h.signal(SchedResource::Queue(self.id));
+            }
         }
     }
 
     /// Drain tasks until the computation has none left.
     pub(crate) fn worker_loop(self: &Arc<Self>) {
         while let Some(task) = self.next_task() {
+            if let Some(h) = &self.rt.hook {
+                h.yield_point(SchedPoint::TaskDequeue { comp: self.id });
+            }
             self.run_task(task);
             self.release_pending();
         }
@@ -332,6 +368,14 @@ impl ComputationInner {
         from_async: bool,
     ) -> Result<()> {
         let pid = self.rt.stack.handler_protocol(handler);
+        if let Some(h) = &self.rt.hook {
+            // Admission is a decision point even for Unsync (no wait, but
+            // the handler-boundary interleaving is what exploration needs).
+            h.yield_point(SchedPoint::Admission {
+                comp: self.id,
+                protocol: pid,
+            });
+        }
 
         // ---- Rule 2: admission ----
         let wait_start = if self.spec.mode == CompMode::Unsync {
@@ -358,7 +402,7 @@ impl ComputationInner {
                 let pv = e.pv;
                 match e.mode {
                     AccessMode::Write => {
-                        self.rt.versions[pid.index()].wait_write(move |lv| lv + 1 >= pv, pv);
+                        self.rt.vwait_write(pid.index(), move |lv| lv + 1 >= pv, pv);
                     }
                     AccessMode::Read => {
                         // Read-mode computations may only call read-only
@@ -371,7 +415,7 @@ impl ComputationInner {
                                 handler,
                             });
                         }
-                        self.rt.versions[pid.index()].wait_until(move |lv| lv >= pv);
+                        self.rt.vwait_until(pid.index(), move |lv| lv >= pv);
                     }
                 }
             }
@@ -388,7 +432,7 @@ impl ComputationInner {
                     });
                 }
                 let (pv, b) = (e.pv, e.bound);
-                self.rt.versions[pid.index()].wait_write(move |lv| lv + b >= pv, pv);
+                self.rt.vwait_write(pid.index(), move |lv| lv + b >= pv, pv);
             }
             CompMode::Route => {
                 let rs = self.spec.route.as_ref().expect("route spec");
@@ -400,7 +444,7 @@ impl ComputationInner {
                 }
                 let e = self.spec.entry(pid).expect("pattern protocol declared");
                 let pv = e.pv;
-                self.rt.versions[pid.index()].wait_write(move |lv| lv + 1 >= pv, pv);
+                self.rt.vwait_write(pid.index(), move |lv| lv + 1 >= pv, pv);
             }
         }
 
@@ -448,6 +492,15 @@ impl ComputationInner {
             PostAction::Handler(h, pid) => match self.spec.mode {
                 CompMode::Bound => {
                     self.rt.versions[pid.index()].bump();
+                    self.rt.stats.note_bound_release();
+                    self.rt.vsignal(pid.index());
+                    if let Some(hk) = &self.rt.hook {
+                        hk.yield_point(SchedPoint::EarlyRelease {
+                            comp: self.id,
+                            protocol: pid,
+                            reason: ReleaseReason::BoundVisit,
+                        });
+                    }
                 }
                 CompMode::Route => {
                     let rs = self.spec.route.as_ref().expect("route spec");
@@ -474,10 +527,21 @@ impl ComputationInner {
         }
     }
 
+    /// Release microprotocols ahead of completion (VCAroute's reachability
+    /// scan found them finished with).
     fn release_protocols(&self, released: &[ProtocolId]) {
+        self.rt.stats.note_route_releases(released.len() as u64);
         for &p in released {
             let e = self.spec.entry(p).expect("released protocol declared");
             self.rt.versions[p.index()].raise_to(e.pv);
+            self.rt.vsignal(p.index());
+            if let Some(hk) = &self.rt.hook {
+                hk.yield_point(SchedPoint::EarlyRelease {
+                    comp: self.id,
+                    protocol: p,
+                    reason: ReleaseReason::RouteUnreachable,
+                });
+            }
         }
     }
 
@@ -489,7 +553,7 @@ impl ComputationInner {
             CompMode::Unsync => {}
             CompMode::Locked => {
                 for e in &self.spec.entries {
-                    self.rt.locks[e.pid.index()].release();
+                    self.rt.lock_release(e.pid.index());
                 }
             }
             CompMode::Basic | CompMode::Bound => {
@@ -497,10 +561,12 @@ impl ComputationInner {
                     if e.mode == AccessMode::Read {
                         // Release the reader hold registered at spawn.
                         self.rt.versions[e.pid.index()].unregister_reader(e.pv);
+                        self.rt.vsignal(e.pid.index());
                         continue;
                     }
                     let (pv, b) = (e.pv, e.bound);
-                    self.rt.versions[e.pid.index()].wait_then(
+                    self.rt.vwait_then(
+                        e.pid.index(),
                         move |lv| lv + b >= pv,
                         move |lv| {
                             if *lv < pv {
@@ -508,6 +574,7 @@ impl ComputationInner {
                             }
                         },
                     );
+                    self.rt.vsignal(e.pid.index());
                 }
             }
             CompMode::Route => {
@@ -521,7 +588,8 @@ impl ComputationInner {
                 for p in remaining {
                     let e = self.spec.entry(p).expect("pattern protocol declared");
                     let pv = e.pv;
-                    self.rt.versions[p.index()].wait_then(
+                    self.rt.vwait_then(
+                        p.index(),
                         move |lv| lv + 1 >= pv,
                         move |lv| {
                             if *lv < pv {
@@ -529,6 +597,7 @@ impl ComputationInner {
                             }
                         },
                     );
+                    self.rt.vsignal(p.index());
                 }
             }
         }
@@ -540,13 +609,26 @@ impl ComputationInner {
             *d = true;
         }
         self.done_cv.notify_all();
+        if let Some(h) = &self.rt.hook {
+            h.signal(SchedResource::Done(self.id));
+        }
     }
 
     /// Block until the computation has fully completed (Rule 3 done).
     pub(crate) fn wait_done(&self) {
-        let mut d = self.done.lock();
-        while !*d {
-            self.done_cv.wait(&mut d);
+        match &self.rt.hook {
+            None => {
+                let mut d = self.done.lock();
+                while !*d {
+                    self.done_cv.wait(&mut d);
+                }
+            }
+            Some(h) => loop {
+                if *self.done.lock() {
+                    return;
+                }
+                h.block(SchedResource::Done(self.id));
+            },
         }
     }
 }

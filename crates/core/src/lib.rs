@@ -57,6 +57,7 @@ pub mod optimistic;
 pub mod policy;
 pub mod protocol;
 pub mod runtime;
+pub mod sched;
 pub mod stack;
 pub mod version;
 
@@ -70,6 +71,7 @@ pub use history::{check_serializable, Access, History, IsolationViolation, RunEn
 pub use policy::{AccessMode, Policy};
 pub use protocol::{ProtocolId, ProtocolState};
 pub use runtime::{CompHandle, Decl, Runtime, RuntimeConfig, RuntimeStats};
+pub use sched::{ReleaseReason, SchedHook, SchedPoint, SchedResource};
 pub use stack::{Stack, StackBuilder};
 
 /// Everything most programs need.

@@ -166,6 +166,17 @@ impl LockCell {
         *held = true;
     }
 
+    /// Non-blocking acquire, for the cooperative-scheduling path.
+    pub(crate) fn try_acquire(&self) -> bool {
+        let mut held = self.held.lock();
+        if *held {
+            false
+        } else {
+            *held = true;
+            true
+        }
+    }
+
     pub(crate) fn release(&self) {
         let mut held = self.held.lock();
         debug_assert!(*held, "releasing a lock that is not held");
@@ -227,6 +238,16 @@ mod tests {
         assert!(!t.is_finished(), "second acquire should block");
         cell.release();
         assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn lock_cell_try_acquire() {
+        let cell = LockCell::new();
+        assert!(cell.try_acquire());
+        assert!(!cell.try_acquire());
+        cell.release();
+        assert!(cell.try_acquire());
+        cell.release();
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::handler::HandlerId;
 use crate::history::{History, HistoryRecorder, IsolationViolation};
 use crate::policy::{AccessMode, CompMode, CompSpec, LockCell, PvEntry};
 use crate::protocol::ProtocolId;
+use crate::sched::{SchedHook, SchedPoint, SchedResource};
 use crate::stack::Stack;
 use crate::version::VersionCell;
 
@@ -124,6 +125,15 @@ pub struct RuntimeStats {
     /// plus 2PL lock acquisition) — the direct cost of isolation. Summed
     /// across threads, so it can exceed wall-clock time.
     pub admission_wait: std::time::Duration,
+    /// Rule 4 early releases by VCAbound computations: one per handler call
+    /// whose completion advanced `lv_p` before the computation finished.
+    pub bound_releases: u64,
+    /// Microprotocols released early by VCAroute computations (released by
+    /// the reachability scan, before Rule 3 completion).
+    pub route_releases: u64,
+    /// Times a thread blocked on a version cell woke up and re-checked its
+    /// admission/completion predicate — how "churny" the version waits are.
+    pub version_wait_wakeups: u64,
 }
 
 #[derive(Default)]
@@ -132,6 +142,8 @@ pub(crate) struct StatCounters {
     completed: AtomicU64,
     handler_calls: AtomicU64,
     admission_wait_ns: AtomicU64,
+    bound_releases: AtomicU64,
+    route_releases: AtomicU64,
 }
 
 impl StatCounters {
@@ -143,6 +155,14 @@ impl StatCounters {
         self.admission_wait_ns
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
+
+    pub(crate) fn note_bound_release(&self) {
+        self.bound_releases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_route_releases(&self, n: u64) {
+        self.route_releases.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 pub(crate) struct RuntimeInner {
@@ -152,6 +172,9 @@ pub(crate) struct RuntimeInner {
     pub(crate) history: HistoryRecorder,
     pub(crate) config: RuntimeConfig,
     pub(crate) stats: StatCounters,
+    /// Schedule-control hook ([`Runtime::with_hook`]); `None` in production,
+    /// so the instrumented paths cost one branch.
+    pub(crate) hook: Option<Arc<dyn SchedHook>>,
     /// Global version counters, Rule 1's atomicity domain.
     gv: Mutex<Vec<u64>>,
     comp_seq: AtomicU64,
@@ -162,10 +185,100 @@ pub(crate) struct RuntimeInner {
 impl RuntimeInner {
     pub(crate) fn computation_finished(&self) {
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
-        let mut a = self.active.lock();
-        *a -= 1;
-        if *a == 0 {
+        let idle = {
+            let mut a = self.active.lock();
+            *a -= 1;
+            *a == 0
+        };
+        if idle {
             self.active_cv.notify_all();
+            if let Some(h) = &self.hook {
+                h.signal(SchedResource::Quiesce);
+            }
+        }
+    }
+
+    // ---- cooperative version waits ----
+    //
+    // Uninstrumented runtimes use the condvar waits in `VersionCell`
+    // directly; with a hook installed, every wait becomes a
+    // try-predicate → `SchedHook::block` loop so the controller owns the
+    // interleaving, and every `lv` change signals the matching resource.
+
+    pub(crate) fn vwait_until(&self, idx: usize, pred: impl Fn(u64) -> bool) -> u64 {
+        match &self.hook {
+            None => self.versions[idx].wait_until(pred),
+            Some(h) => loop {
+                if let Some(v) = self.versions[idx].try_until(&pred) {
+                    return v;
+                }
+                h.block(SchedResource::Version(idx as u32));
+                self.versions[idx].note_wakeup();
+            },
+        }
+    }
+
+    pub(crate) fn vwait_write(&self, idx: usize, pred: impl Fn(u64) -> bool, pv: u64) -> u64 {
+        match &self.hook {
+            None => self.versions[idx].wait_write(pred, pv),
+            Some(h) => loop {
+                if let Some(v) = self.versions[idx].try_write(&pred, pv) {
+                    return v;
+                }
+                h.block(SchedResource::Version(idx as u32));
+                self.versions[idx].note_wakeup();
+            },
+        }
+    }
+
+    pub(crate) fn vwait_then<R>(
+        &self,
+        idx: usize,
+        pred: impl Fn(u64) -> bool,
+        mut f: impl FnOnce(&mut u64) -> R,
+    ) -> R {
+        match &self.hook {
+            None => self.versions[idx].wait_then(pred, f),
+            Some(h) => loop {
+                match self.versions[idx].try_then(&pred, f) {
+                    Ok(r) => {
+                        self.vsignal(idx);
+                        return r;
+                    }
+                    Err(back) => {
+                        f = back;
+                        h.block(SchedResource::Version(idx as u32));
+                        self.versions[idx].note_wakeup();
+                    }
+                }
+            },
+        }
+    }
+
+    /// Wake cooperative waiters of version cell `idx` (no-op without hook).
+    pub(crate) fn vsignal(&self, idx: usize) {
+        if let Some(h) = &self.hook {
+            h.signal(SchedResource::Version(idx as u32));
+        }
+    }
+
+    /// Acquire 2PL lock `idx`, cooperatively when hooked.
+    pub(crate) fn lock_acquire(&self, idx: usize) {
+        match &self.hook {
+            None => self.locks[idx].acquire(),
+            Some(h) => {
+                while !self.locks[idx].try_acquire() {
+                    h.block(SchedResource::Lock(idx as u32));
+                }
+            }
+        }
+    }
+
+    /// Release 2PL lock `idx` and wake waiters.
+    pub(crate) fn lock_release(&self, idx: usize) {
+        self.locks[idx].release();
+        if let Some(h) = &self.hook {
+            h.signal(SchedResource::Lock(idx as u32));
         }
     }
 }
@@ -197,7 +310,23 @@ impl Runtime {
                 panic!("strict_analysis rejected the stack:\n{}", report.render());
             }
         }
-        Runtime::build(stack, config)
+        Runtime::build(stack, config, None)
+    }
+
+    /// Create a runtime with a schedule-control hook installed (see
+    /// [`crate::sched`]). Every scheduling decision point and blocking wait
+    /// in this runtime reports to — and is controlled by — `hook`; the
+    /// `samoa-check` crate uses this to explore thread interleavings
+    /// systematically. `strict_analysis` linting is applied as in
+    /// [`Runtime::with_config`].
+    pub fn with_hook(stack: Stack, config: RuntimeConfig, hook: Arc<dyn SchedHook>) -> Self {
+        if config.strict_analysis {
+            let report = crate::analysis::lint_stack(&stack, &stack.all_events());
+            if report.has_errors() {
+                panic!("strict_analysis rejected the stack:\n{}", report.render());
+            }
+        }
+        Runtime::build(stack, config, Some(hook))
     }
 
     /// Create a runtime only if the stack passes the static linter
@@ -212,10 +341,10 @@ impl Runtime {
                 report: report.render(),
             });
         }
-        Ok(Runtime::build(stack, config))
+        Ok(Runtime::build(stack, config, None))
     }
 
-    fn build(stack: Stack, config: RuntimeConfig) -> Self {
+    fn build(stack: Stack, config: RuntimeConfig, hook: Option<Arc<dyn SchedHook>>) -> Self {
         let n = stack.protocol_count();
         Runtime {
             inner: Arc::new(RuntimeInner {
@@ -223,6 +352,7 @@ impl Runtime {
                 locks: (0..n).map(|_| LockCell::new()).collect(),
                 history: HistoryRecorder::new(config.record_history),
                 stats: StatCounters::default(),
+                hook,
                 gv: Mutex::new(vec![0; n]),
                 comp_seq: AtomicU64::new(0),
                 active: Mutex::new(0),
@@ -275,6 +405,9 @@ impl Runtime {
     // ---- Rule 1: spawning ----
 
     fn spawn_comp(&self, decl: &Decl<'_>) -> Arc<ComputationInner> {
+        if let Some(h) = &self.inner.hook {
+            h.yield_point(SchedPoint::Spawn);
+        }
         let id = self.inner.comp_seq.fetch_add(1, Ordering::SeqCst) + 1;
         self.inner.stats.spawned.fetch_add(1, Ordering::Relaxed);
         let spec = self.make_spec(decl);
@@ -283,7 +416,7 @@ impl Runtime {
             // computation starts, in canonical order (deadlock-free).
             let t0 = std::time::Instant::now();
             for e in &spec.entries {
-                self.inner.locks[e.pid.index()].acquire();
+                self.inner.lock_acquire(e.pid.index());
             }
             self.inner.stats.note_admission_wait(t0.elapsed());
         }
@@ -419,10 +552,18 @@ impl Runtime {
         }
         let comp = self.spawn_comp(&decl);
         let c2 = Arc::clone(&comp);
+        let hook = self.inner.hook.clone();
+        let token = hook.as_ref().map(|h| h.on_thread_spawn());
         std::thread::spawn(move || {
+            if let (Some(h), Some(t)) = (&hook, token) {
+                h.on_thread_start(t);
+            }
             root_execute(&c2, f);
             c2.worker_loop();
             c2.worker_exit();
+            if let Some(h) = &hook {
+                h.on_thread_exit();
+            }
         });
         CompHandle { comp }
     }
@@ -585,9 +726,19 @@ impl Runtime {
 
     /// Block until every computation spawned so far has completed.
     pub fn quiesce(&self) {
-        let mut a = self.inner.active.lock();
-        while *a > 0 {
-            self.inner.active_cv.wait(&mut a);
+        match &self.inner.hook {
+            None => {
+                let mut a = self.inner.active.lock();
+                while *a > 0 {
+                    self.inner.active_cv.wait(&mut a);
+                }
+            }
+            Some(h) => loop {
+                if *self.inner.active.lock() == 0 {
+                    return;
+                }
+                h.block(SchedResource::Quiesce);
+            },
         }
     }
 
@@ -602,6 +753,9 @@ impl Runtime {
             admission_wait: std::time::Duration::from_nanos(
                 self.inner.stats.admission_wait_ns.load(Ordering::Relaxed),
             ),
+            bound_releases: self.inner.stats.bound_releases.load(Ordering::Relaxed),
+            route_releases: self.inner.stats.route_releases.load(Ordering::Relaxed),
+            version_wait_wakeups: self.inner.versions.iter().map(|c| c.wakeups()).sum(),
         }
     }
 

@@ -1,0 +1,176 @@
+//! Scheduling instrumentation: the hook a systematic-testing controller
+//! plugs into the runtime.
+//!
+//! The runtime's observable nondeterminism comes from a handful of decision
+//! points: who wins the global spawn lock (Rule 1 order), when a blocked
+//! admission wait is woken (Rule 2), which queued task a worker dequeues,
+//! and when an early release (VCAbound's per-visit bump, VCAroute's
+//! reachability scan) hands a microprotocol to a successor. [`SchedHook`]
+//! exposes exactly those points. A controller that implements it — the
+//! `samoa-check` crate ships one — can serialise the runtime's threads into
+//! cooperative turn-taking and *choose* each interleaving instead of leaving
+//! it to the OS scheduler, which is what makes schedule exploration and
+//! deterministic replay possible.
+//!
+//! ## Contract
+//!
+//! * Threads announce themselves: the runtime calls [`SchedHook::on_thread_spawn`]
+//!   in the *spawning* thread (returning a token), then
+//!   [`SchedHook::on_thread_start`] as the first action of the new thread and
+//!   [`SchedHook::on_thread_exit`] as its last. A controller can therefore
+//!   account for every runtime thread with no startup race.
+//! * [`SchedHook::yield_point`] marks a scheduling decision point. A
+//!   controller typically parks the calling thread there until it is that
+//!   thread's turn.
+//! * Blocking is cooperative: where the uninstrumented runtime would wait on
+//!   a condition variable, the instrumented runtime loops
+//!   `check-predicate → SchedHook::block(resource)`. The hook returns once
+//!   the controller re-schedules the thread (after a matching
+//!   [`SchedHook::signal`]); the caller re-checks its predicate and blocks
+//!   again if it still does not hold. Spurious wake-ups are therefore
+//!   harmless, and a signal can never be lost as long as signals are only
+//!   issued by the running thread.
+//!
+//! Production runtimes carry **no hook at all** (`Option::None`), so the
+//! per-operation cost of this instrumentation is one well-predicted branch.
+
+use crate::error::CompId;
+use crate::protocol::ProtocolId;
+
+/// A scheduling decision point inside the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPoint {
+    /// Rule 1 is about to run for a new computation: the calling thread is
+    /// about to take the global spawn lock and allocate versions.
+    Spawn,
+    /// A worker thread of `comp` dequeued a task and is about to run it.
+    TaskDequeue {
+        /// The computation whose task was dequeued.
+        comp: CompId,
+    },
+    /// `comp` is about to run the Rule 2 admission check for a handler of
+    /// `protocol` (for `Unsync` computations: about to call the handler —
+    /// there is no admission, but the interleaving point still exists).
+    Admission {
+        /// The computation requesting admission.
+        comp: CompId,
+        /// The microprotocol owning the handler about to run.
+        protocol: ProtocolId,
+    },
+    /// `comp` just released `protocol` to its successors *before*
+    /// completing — Rule 4 of VCAbound (a visit was consumed) or VCAroute
+    /// (the microprotocol became unreachable from active handlers).
+    EarlyRelease {
+        /// The releasing computation.
+        comp: CompId,
+        /// The released microprotocol.
+        protocol: ProtocolId,
+        /// Which rule triggered the release.
+        reason: ReleaseReason,
+    },
+}
+
+/// Why a microprotocol was released before its computation completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseReason {
+    /// VCAbound Rule 4: a handler call finished, consuming one declared
+    /// visit; the local version advanced by one.
+    BoundVisit,
+    /// VCAroute: the microprotocol is no longer active or reachable from an
+    /// active handler in the declared routing pattern.
+    RouteUnreachable,
+}
+
+/// A waitable resource inside the runtime, identifying *what* a
+/// cooperatively blocked thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedResource {
+    /// The local version counter (`lv_p`) of the microprotocol with this
+    /// index: admission waits (Rule 2) and completion upgrades (Rule 3).
+    Version(u32),
+    /// The 2PL lock-table slot of the microprotocol with this index.
+    Lock(u32),
+    /// The task queue of a computation: workers waiting for work.
+    Queue(CompId),
+    /// Completion of a computation: `join`/blocking-run waiters.
+    Done(CompId),
+    /// The runtime's active-computation count: `quiesce` waiters.
+    Quiesce,
+}
+
+/// Instrumentation hook for schedule control (see module docs).
+///
+/// Every method has a no-op default, so a hook only overrides what it needs.
+/// Implementations must be `Send + Sync`; methods are called concurrently
+/// from runtime threads.
+pub trait SchedHook: Send + Sync {
+    /// A new runtime thread is about to be spawned by the calling thread.
+    /// Returns a token passed to [`SchedHook::on_thread_start`] by the new
+    /// thread, letting the controller tie the two ends together.
+    fn on_thread_spawn(&self) -> u64 {
+        0
+    }
+
+    /// First action of a newly spawned runtime thread.
+    fn on_thread_start(&self, token: u64) {
+        let _ = token;
+    }
+
+    /// Last action of a runtime thread before it terminates.
+    fn on_thread_exit(&self) {}
+
+    /// A scheduling decision point was reached by the calling thread.
+    fn yield_point(&self, point: SchedPoint) {
+        let _ = point;
+    }
+
+    /// Cooperative block: the calling thread found its wait predicate false
+    /// and yields until `resource` is signalled. Callers re-check their
+    /// predicate on return and call `block` again if it still fails.
+    fn block(&self, resource: SchedResource) {
+        let _ = resource;
+    }
+
+    /// `resource` changed in a way that may unblock waiters.
+    fn signal(&self, resource: SchedResource) {
+        let _ = resource;
+    }
+}
+
+/// The do-nothing hook; useful as a placeholder in tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHook;
+
+impl SchedHook for NoopHook {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hook_defaults() {
+        let h = NoopHook;
+        assert_eq!(h.on_thread_spawn(), 0);
+        h.on_thread_start(0);
+        h.yield_point(SchedPoint::Spawn);
+        h.block(SchedResource::Quiesce);
+        h.signal(SchedResource::Version(0));
+        h.on_thread_exit();
+    }
+
+    #[test]
+    fn resources_are_hashable_and_distinct() {
+        use std::collections::HashSet;
+        let set: HashSet<SchedResource> = [
+            SchedResource::Version(0),
+            SchedResource::Version(1),
+            SchedResource::Lock(0),
+            SchedResource::Queue(1),
+            SchedResource::Done(1),
+            SchedResource::Quiesce,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 6);
+    }
+}

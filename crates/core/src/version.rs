@@ -24,6 +24,7 @@
 //! protocol remains deadlock-free.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -46,6 +47,10 @@ impl CellState {
 pub(crate) struct VersionCell {
     state: Mutex<CellState>,
     cv: Condvar,
+    /// Times a waiter woke up and re-checked its predicate (both the condvar
+    /// paths here and the cooperative paths in `RuntimeInner`); feeds
+    /// `RuntimeStats::version_wait_wakeups`.
+    wakeups: AtomicU64,
 }
 
 impl VersionCell {
@@ -68,6 +73,7 @@ impl VersionCell {
         let mut st = self.state.lock();
         while !pred(st.lv) {
             self.cv.wait(&mut st);
+            self.note_wakeup();
         }
         st.lv
     }
@@ -78,8 +84,50 @@ impl VersionCell {
         let mut st = self.state.lock();
         while !pred(st.lv) || st.readers_below(pv) {
             self.cv.wait(&mut st);
+            self.note_wakeup();
         }
         st.lv
+    }
+
+    /// Non-blocking [`Self::wait_until`]: `Some(lv)` if the predicate already
+    /// holds, `None` otherwise. The cooperative-scheduling path in
+    /// `RuntimeInner` loops try → `SchedHook::block` with this.
+    pub(crate) fn try_until(&self, pred: impl Fn(u64) -> bool) -> Option<u64> {
+        let st = self.state.lock();
+        pred(st.lv).then_some(st.lv)
+    }
+
+    /// Non-blocking [`Self::wait_write`].
+    pub(crate) fn try_write(&self, pred: impl Fn(u64) -> bool, pv: u64) -> Option<u64> {
+        let st = self.state.lock();
+        (pred(st.lv) && !st.readers_below(pv)).then_some(st.lv)
+    }
+
+    /// Non-blocking [`Self::wait_then`]: if the predicate holds, run `f`
+    /// under the lock, wake waiters, and return `Ok`; otherwise hand the
+    /// unconsumed closure back so the caller can retry after blocking.
+    pub(crate) fn try_then<R, F: FnOnce(&mut u64) -> R>(
+        &self,
+        pred: impl Fn(u64) -> bool,
+        f: F,
+    ) -> std::result::Result<R, F> {
+        let mut st = self.state.lock();
+        if !pred(st.lv) {
+            return Err(f);
+        }
+        let r = f(&mut st.lv);
+        self.cv.notify_all();
+        Ok(r)
+    }
+
+    /// Count one waiter wake-up (predicate re-check).
+    pub(crate) fn note_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total waiter wake-ups so far.
+    pub(crate) fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
     }
 
     /// Like [`Self::wait_until`], but gives up after `timeout` and returns
@@ -96,6 +144,7 @@ impl VersionCell {
             if self.cv.wait_until(&mut st, deadline).timed_out() {
                 return None;
             }
+            self.note_wakeup();
         }
         Some(st.lv)
     }
@@ -130,6 +179,7 @@ impl VersionCell {
         let mut st = self.state.lock();
         while !pred(st.lv) {
             self.cv.wait(&mut st);
+            self.note_wakeup();
         }
         let r = f(&mut st.lv);
         self.cv.notify_all();
@@ -290,6 +340,35 @@ mod tests {
         c.register_reader(5); // reader spawned after the writer
                               // Writer with pv = 1 must not wait for it.
         assert_eq!(c.wait_write(|v| v + 1 >= 1, 1), 0);
+    }
+
+    #[test]
+    fn try_variants_do_not_block() {
+        let c = VersionCell::new();
+        assert_eq!(c.try_until(|v| v >= 1), None);
+        c.bump();
+        assert_eq!(c.try_until(|v| v >= 1), Some(1));
+        c.register_reader(0);
+        assert_eq!(c.try_write(|v| v >= 1, 2), None, "older reader blocks");
+        c.unregister_reader(0);
+        assert_eq!(c.try_write(|v| v >= 1, 2), Some(1));
+        assert!(c.try_then(|v| v >= 5, |_| ()).is_err());
+        assert!(c.try_then(|v| v >= 1, |v| *v = 7).is_ok());
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn wakeups_count_recheck_iterations() {
+        let c = Arc::new(VersionCell::new());
+        assert_eq!(c.wakeups(), 0);
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || c2.wait_until(|v| v >= 2));
+        std::thread::sleep(Duration::from_millis(2));
+        c.bump();
+        std::thread::sleep(Duration::from_millis(2));
+        c.bump();
+        t.join().unwrap();
+        assert!(c.wakeups() >= 1, "waiter woke at least once");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! The early-release statistics counters against hand-computed values on a
+//! pipeline stack: `bound_releases` counts one per VCAbound handler
+//! completion, `route_releases` one per protocol freed by VCAroute's
+//! reachability scan, and `version_wait_wakeups` counts predicate re-checks
+//! of blocked version waits (exactly zero when nothing ever contends).
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::{join_within, wait_flag};
+use samoa_core::prelude::*;
+
+/// A 3-stage pipeline: h0 → h1 → h2, one protocol per stage.
+struct Pipeline {
+    rt: Runtime,
+    e0: EventType,
+    protocols: [ProtocolId; 3],
+    handlers: [HandlerId; 3],
+}
+
+fn pipeline() -> Pipeline {
+    let mut b = StackBuilder::new();
+    let p0 = b.protocol("S0");
+    let p1 = b.protocol("S1");
+    let p2 = b.protocol("S2");
+    let e0 = b.event("e0");
+    let e1 = b.event("e1");
+    let e2 = b.event("e2");
+    let s0 = ProtocolState::new(p0, 0u64);
+    let s1 = ProtocolState::new(p1, 0u64);
+    let s2 = ProtocolState::new(p2, 0u64);
+    let h0 = {
+        let s = s0.clone();
+        b.bind(e0, p0, "h0", move |ctx, _| {
+            s.with(ctx, |v| *v += 1);
+            ctx.trigger(e1, EventData::empty())
+        })
+    };
+    let h1 = {
+        let s = s1.clone();
+        b.bind(e1, p1, "h1", move |ctx, _| {
+            s.with(ctx, |v| *v += 1);
+            ctx.trigger(e2, EventData::empty())
+        })
+    };
+    let h2 = {
+        let s = s2.clone();
+        b.bind(e2, p2, "h2", move |ctx, _| {
+            s.with(ctx, |v| *v += 1);
+            Ok(())
+        })
+    };
+    Pipeline {
+        rt: Runtime::new(b.build()),
+        e0,
+        protocols: [p0, p1, p2],
+        handlers: [h0, h1, h2],
+    }
+}
+
+#[test]
+fn counters_start_at_zero() {
+    let p = pipeline();
+    let s = p.rt.stats();
+    assert_eq!(s.bound_releases, 0);
+    assert_eq!(s.route_releases, 0);
+    assert_eq!(s.version_wait_wakeups, 0);
+}
+
+#[test]
+fn basic_and_serial_computations_release_nothing_early() {
+    let p = pipeline();
+    let decl = p.protocols;
+    p.rt.isolated(&decl, |ctx| ctx.trigger(p.e0, EventData::empty()))
+        .unwrap();
+    p.rt.serial(|ctx| ctx.trigger(p.e0, EventData::empty()))
+        .unwrap();
+    let s = p.rt.stats();
+    // Rule 4 never fires for VCAbasic or Serial; nothing contended, so no
+    // version wait ever blocked.
+    assert_eq!(s.bound_releases, 0);
+    assert_eq!(s.route_releases, 0);
+    assert_eq!(s.version_wait_wakeups, 0);
+    assert_eq!(s.handler_calls, 6);
+}
+
+#[test]
+fn bound_pipeline_releases_once_per_handler_call() {
+    let p = pipeline();
+    let bounds: Vec<(ProtocolId, u64)> = p.protocols.iter().map(|&pr| (pr, 1)).collect();
+    // Each of the 3 handler completions bumps its protocol: 3 per run.
+    p.rt.isolated_bound(&bounds, |ctx| ctx.trigger(p.e0, EventData::empty()))
+        .unwrap();
+    assert_eq!(p.rt.stats().bound_releases, 3);
+    p.rt.isolated_bound(&bounds, |ctx| ctx.trigger(p.e0, EventData::empty()))
+        .unwrap();
+    let s = p.rt.stats();
+    assert_eq!(s.bound_releases, 6);
+    assert_eq!(s.route_releases, 0, "bound releases are not route releases");
+}
+
+#[test]
+fn route_pipeline_releases_every_protocol_via_the_scan() {
+    let p = pipeline();
+    let pat = RoutePattern::new()
+        .root(p.handlers[0])
+        .edge(p.handlers[0], p.handlers[1])
+        .edge(p.handlers[1], p.handlers[2]);
+    // The chain runs synchronously: every stage stays reachable until the
+    // root closure returns, then the final scan frees all 3 protocols —
+    // through the Rule 4(b) release path, so all 3 are counted.
+    p.rt.isolated_route(&pat, |ctx| ctx.trigger(p.e0, EventData::empty()))
+        .unwrap();
+    assert_eq!(p.rt.stats().route_releases, 3);
+    p.rt.isolated_route(&pat, |ctx| ctx.trigger(p.e0, EventData::empty()))
+        .unwrap();
+    let s = p.rt.stats();
+    assert_eq!(s.route_releases, 6);
+    assert_eq!(s.bound_releases, 0, "route releases are not bound releases");
+    assert_eq!(s.version_wait_wakeups, 0, "uncontended runs never block");
+}
+
+#[test]
+fn contended_admission_counts_wakeups() {
+    // ka holds S0 parked on a gate; kb's VCAbasic admission on S0 must
+    // block, and every wake-and-recheck is counted.
+    let mut b = StackBuilder::new();
+    let p0 = b.protocol("S0");
+    let e0 = b.event("e0");
+    let gate = Arc::new(AtomicBool::new(false));
+    let entered = Arc::new(AtomicBool::new(false));
+    {
+        let gate = Arc::clone(&gate);
+        let entered = Arc::clone(&entered);
+        let st = ProtocolState::new(p0, 0u64);
+        b.bind(e0, p0, "h0", move |ctx, _| {
+            st.with(ctx, |v| *v += 1);
+            if !entered.swap(true, Ordering::SeqCst) {
+                assert!(
+                    wait_flag(&gate, Duration::from_secs(10)),
+                    "gate never opened"
+                );
+            }
+            Ok(())
+        });
+    }
+    let rt = Runtime::new(b.build());
+    assert_eq!(rt.stats().version_wait_wakeups, 0);
+    let ka = rt.spawn_isolated(&[p0], move |ctx| ctx.trigger(e0, EventData::empty()));
+    // Wait until ka is inside the handler, so kb's admission *must* block.
+    while !entered.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let kb = rt.spawn_isolated(&[p0], move |ctx| ctx.trigger(e0, EventData::empty()));
+    std::thread::sleep(Duration::from_millis(20));
+    gate.store(true, Ordering::SeqCst);
+    join_within(ka, Duration::from_secs(10)).unwrap();
+    join_within(kb, Duration::from_secs(10)).unwrap();
+    let s = rt.stats();
+    assert!(
+        s.version_wait_wakeups >= 1,
+        "kb's blocked admission must have woken at least once"
+    );
+}

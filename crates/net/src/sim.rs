@@ -110,6 +110,12 @@ struct NetInner {
     counters: Vec<SiteCounters>,
     min_delay: Duration,
     max_delay: Duration,
+    /// Manual (pumped) delivery: no delivery thread; in-flight datagrams sit
+    /// in the heap until [`NetHandle::pump_one`]. Timestamps are virtual
+    /// (`epoch` + drawn delay) so ordering is a pure function of the seed.
+    manual: bool,
+    /// Fixed origin for virtual timestamps in manual mode.
+    epoch: Instant,
 }
 
 /// A cheap, cloneable handle to the network: send datagrams, inject faults,
@@ -152,7 +158,14 @@ impl NetHandle {
             self.inner.counters[to.index()].note_dropped_loss();
             return;
         }
-        let now = Instant::now();
+        // Manual mode uses the fixed epoch: a datagram's slot in the heap
+        // depends only on the seeded delay draw, never on wall-clock time,
+        // so a replayed schedule sees the identical delivery order.
+        let now = if self.inner.manual {
+            self.inner.epoch
+        } else {
+            Instant::now()
+        };
         let push = |st: &mut NetState, payload: Bytes| {
             let span = self.inner.max_delay.saturating_sub(self.inner.min_delay);
             let delay = if span.is_zero() {
@@ -250,12 +263,86 @@ impl NetHandle {
 
     /// Block until no datagram is in flight or being delivered. Note that a
     /// callback may send new datagrams; `quiesce` returns only once the
-    /// whole cascade has drained.
+    /// whole cascade has drained. On a manual network there is no delivery
+    /// thread to wait for, so this pumps the backlog itself.
     pub fn quiesce(&self) {
+        if self.inner.manual {
+            self.pump_all();
+            return;
+        }
         let mut st = self.inner.state.lock();
         while !(st.heap.is_empty() && st.delivering == 0) {
             self.inner.quiesce_cv.wait(&mut st);
         }
+    }
+
+    /// Is this a manual (pumped) network ([`SimNet::new_manual`])?
+    pub fn is_manual(&self) -> bool {
+        self.inner.manual
+    }
+
+    /// In-flight datagrams waiting to be pumped (or delivered by the
+    /// delivery thread, on a threaded network).
+    pub fn pending(&self) -> usize {
+        self.inner.state.lock().heap.len()
+    }
+
+    /// Deliver the earliest in-flight datagram on the *calling* thread:
+    /// corruption/crash/partition are applied exactly as the delivery thread
+    /// would, and the destination's callback runs before `pump_one` returns.
+    /// Returns `false` if nothing was in flight. Primarily for manual
+    /// networks, where it folds message delivery into the caller's schedule
+    /// (the `samoa-check` explorer pumps from a controlled thread); on a
+    /// threaded network it races the delivery thread and is not useful.
+    pub fn pump_one(&self) -> bool {
+        let inner = &self.inner;
+        let mut st = inner.state.lock();
+        let Some(mut item) = st.heap.pop() else {
+            return false;
+        };
+        let (from, to) = (item.dg.from, item.dg.to);
+        if st.corruption > 0.0 && !item.dg.payload.is_empty() {
+            let p = st.corruption;
+            if st.rng.gen_bool(p) {
+                let mut bytes = item.dg.payload.to_vec();
+                let idx = st.rng.gen_range(0..bytes.len());
+                let bit = st.rng.gen_range(0u8..8);
+                bytes[idx] ^= 1u8 << bit;
+                item.dg.payload = Bytes::from(bytes);
+                inner.counters[to.index()].note_corrupted();
+            }
+        }
+        if st.crashed[to.index()] || st.crashed[from.index()] {
+            inner.counters[to.index()].note_dropped_crash();
+            return true;
+        }
+        if st.partition[from.index()] != st.partition[to.index()] {
+            inner.counters[to.index()].note_dropped_partition();
+            return true;
+        }
+        let cb = inner.callbacks.read()[to.index()].clone();
+        if let Some(cb) = cb {
+            st.delivering += 1;
+            drop(st);
+            cb(item.dg);
+            inner.counters[to.index()].note_delivered();
+            st = inner.state.lock();
+            st.delivering -= 1;
+            if st.delivering == 0 && st.heap.is_empty() {
+                inner.quiesce_cv.notify_all();
+            }
+        }
+        true
+    }
+
+    /// Pump until nothing is in flight (callbacks may send more; the whole
+    /// cascade is drained).
+    pub fn pump_all(&self) -> usize {
+        let mut n = 0;
+        while self.pump_one() {
+            n += 1;
+        }
+        n
     }
 
     fn request_shutdown(&self) {
@@ -275,30 +362,8 @@ pub struct SimNet {
 impl SimNet {
     /// Create a network of `n_sites` sites.
     pub fn new(n_sites: usize, config: NetConfig) -> SimNet {
-        let inner = Arc::new(NetInner {
-            state: Mutex::new(NetState {
-                heap: BinaryHeap::new(),
-                rng: StdRng::seed_from_u64(config.seed),
-                crashed: vec![false; n_sites],
-                partition: vec![0; n_sites],
-                loss: config.loss_probability,
-                duplicate: config.duplicate_probability,
-                corruption: config.corruption_probability,
-                shutdown: false,
-                seq: 0,
-                delivering: 0,
-            }),
-            cv: Condvar::new(),
-            quiesce_cv: Condvar::new(),
-            callbacks: RwLock::new((0..n_sites).map(|_| None).collect()),
-            counters: (0..n_sites).map(|_| SiteCounters::default()).collect(),
-            min_delay: config.min_delay,
-            max_delay: config.max_delay.max(config.min_delay),
-        });
-        let handle = NetHandle {
-            inner: Arc::clone(&inner),
-        };
-        let thread_handle = NetHandle { inner };
+        let handle = SimNet::make_handle(n_sites, config, false);
+        let thread_handle = handle.clone();
         let thread = std::thread::Builder::new()
             .name("simnet-delivery".into())
             .spawn(move || delivery_loop(thread_handle))
@@ -306,6 +371,48 @@ impl SimNet {
         SimNet {
             handle,
             thread: Some(thread),
+        }
+    }
+
+    /// Create a *manual* network: no delivery thread. Datagrams stay queued
+    /// until someone calls [`NetHandle::pump_one`]/[`NetHandle::pump_all`],
+    /// which runs the delivery callback on the pumping thread. Delivery
+    /// order is determined by the seeded delay draws alone (virtual
+    /// timestamps — wall-clock time never enters), so a manual network is
+    /// fully deterministic under a controlled thread schedule. This is the
+    /// substrate `samoa-check` scenarios use to fold message delivery into
+    /// the explored schedule.
+    pub fn new_manual(n_sites: usize, config: NetConfig) -> SimNet {
+        SimNet {
+            handle: SimNet::make_handle(n_sites, config, true),
+            thread: None,
+        }
+    }
+
+    fn make_handle(n_sites: usize, config: NetConfig, manual: bool) -> NetHandle {
+        NetHandle {
+            inner: Arc::new(NetInner {
+                state: Mutex::new(NetState {
+                    heap: BinaryHeap::new(),
+                    rng: StdRng::seed_from_u64(config.seed),
+                    crashed: vec![false; n_sites],
+                    partition: vec![0; n_sites],
+                    loss: config.loss_probability,
+                    duplicate: config.duplicate_probability,
+                    corruption: config.corruption_probability,
+                    shutdown: false,
+                    seq: 0,
+                    delivering: 0,
+                }),
+                cv: Condvar::new(),
+                quiesce_cv: Condvar::new(),
+                callbacks: RwLock::new((0..n_sites).map(|_| None).collect()),
+                counters: (0..n_sites).map(|_| SiteCounters::default()).collect(),
+                min_delay: config.min_delay,
+                max_delay: config.max_delay.max(config.min_delay),
+                manual,
+                epoch: Instant::now(),
+            }),
         }
     }
 
@@ -631,6 +738,67 @@ mod tests {
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
         assert_eq!(diff_bits, 1, "exactly one bit must flip");
+    }
+
+    #[test]
+    fn manual_net_holds_until_pumped() {
+        let net = SimNet::new_manual(2, NetConfig::fast(1));
+        assert!(net.is_manual());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        {
+            let log = Arc::clone(&log);
+            net.register(SiteId(1), move |dg| log.lock().push(dg.payload[0]));
+        }
+        net.send(SiteId(0), SiteId(1), payload(3));
+        net.send(SiteId(0), SiteId(1), payload(4));
+        assert_eq!(net.pending(), 2);
+        assert!(log.lock().is_empty(), "nothing delivered before pumping");
+        assert!(net.pump_one());
+        assert_eq!(log.lock().len(), 1);
+        assert_eq!(net.pump_all(), 1);
+        assert!(!net.pump_one());
+        assert_eq!(log.lock().len(), 2);
+    }
+
+    #[test]
+    fn manual_net_order_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let net = SimNet::new_manual(2, NetConfig::default().with_seed(seed));
+            let log = Arc::new(Mutex::new(Vec::new()));
+            {
+                let log = Arc::clone(&log);
+                net.register(SiteId(1), move |dg| log.lock().push(dg.payload[0]));
+            }
+            for i in 0..16 {
+                net.send(SiteId(0), SiteId(1), payload(i));
+            }
+            net.pump_all();
+            let got = log.lock().clone();
+            got
+        };
+        assert_eq!(run(9), run(9), "same seed, same delivery order");
+        // Random delays actually reorder (otherwise virtual time is moot).
+        assert_ne!(run(9), (0..16).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn manual_net_quiesce_pumps_cascades() {
+        let net = SimNet::new_manual(2, NetConfig::fast(2));
+        let hits = Arc::new(AtomicUsize::new(0));
+        for (me, other) in [(SiteId(0), SiteId(1)), (SiteId(1), SiteId(0))] {
+            let h = net.handle();
+            let hits = Arc::clone(&hits);
+            net.register(me, move |dg| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                if dg.payload[0] > 0 {
+                    h.send(me, other, payload(dg.payload[0] - 1));
+                }
+            });
+        }
+        net.send(SiteId(0), SiteId(1), payload(4));
+        net.quiesce();
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+        assert_eq!(net.pending(), 0);
     }
 
     #[test]

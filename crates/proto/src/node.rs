@@ -195,6 +195,30 @@ impl Node {
     /// Build the node, wire its stack, register it on the network, and (if
     /// enabled) start its timers.
     pub fn new(net: NetHandle, site: SiteId, cfg: NodeConfig) -> Arc<Node> {
+        Node::build(net, site, cfg, None)
+    }
+
+    /// [`Node::new`] with a scheduling hook installed on the node's runtime,
+    /// for `samoa-check`-style controlled exploration of the full protocol
+    /// stack. Pair with a manual network
+    /// ([`SimNet::new_manual`](samoa_net::SimNet::new_manual)) and
+    /// `enable_timers: false` / `enable_fd: false` so every thread in the
+    /// system is under the controller.
+    pub fn new_hooked(
+        net: NetHandle,
+        site: SiteId,
+        cfg: NodeConfig,
+        hook: Arc<dyn samoa_core::SchedHook>,
+    ) -> Arc<Node> {
+        Node::build(net, site, cfg, Some(hook))
+    }
+
+    fn build(
+        net: NetHandle,
+        site: SiteId,
+        cfg: NodeConfig,
+        hook: Option<Arc<dyn samoa_core::SchedHook>>,
+    ) -> Arc<Node> {
         let view = match &cfg.initial_members {
             Some(m) => GroupView::initial(m.iter().copied()),
             None => GroupView::initial(net.sites()),
@@ -286,14 +310,15 @@ impl Node {
             routes,
         };
 
-        let rt = Runtime::with_config(
-            stack,
-            RuntimeConfig {
-                record_history: cfg.record_history,
-                max_threads_per_computation: cfg.intra_threads.max(1),
-                ..RuntimeConfig::default()
-            },
-        );
+        let rt_cfg = RuntimeConfig {
+            record_history: cfg.record_history,
+            max_threads_per_computation: cfg.intra_threads.max(1),
+            ..RuntimeConfig::default()
+        };
+        let rt = match hook {
+            Some(h) => Runtime::with_hook(stack, rt_cfg, h),
+            None => Runtime::with_config(stack, rt_cfg),
+        };
 
         let node = Arc::new(Node {
             site,

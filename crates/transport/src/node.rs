@@ -80,6 +80,32 @@ pub struct Endpoint {
 impl Endpoint {
     /// Build the endpoint, wire its stack, and register it on the network.
     pub fn new(net: NetHandle, site: SiteId, cfg: TransportConfig) -> Arc<Endpoint> {
+        Endpoint::build(net, site, cfg, None, false)
+    }
+
+    /// [`Endpoint::new`] with a scheduling hook installed and (optionally)
+    /// history recording enabled — the constructor `samoa-check` scenarios
+    /// use to fold the endpoint's computations into an explored schedule.
+    /// Combine with [`SimNet::new_manual`](samoa_net::SimNet::new_manual)
+    /// and `enable_timers: false` so no free-running thread escapes the
+    /// controller.
+    pub fn new_hooked(
+        net: NetHandle,
+        site: SiteId,
+        cfg: TransportConfig,
+        hook: Arc<dyn samoa_core::SchedHook>,
+        record_history: bool,
+    ) -> Arc<Endpoint> {
+        Endpoint::build(net, site, cfg, Some(hook), record_history)
+    }
+
+    fn build(
+        net: NetHandle,
+        site: SiteId,
+        cfg: TransportConfig,
+        hook: Option<Arc<dyn samoa_core::SchedHook>>,
+        record_history: bool,
+    ) -> Arc<Endpoint> {
         let mut b = StackBuilder::new();
         let p_chunker = b.protocol("Chunker");
         let p_window = b.protocol("Window");
@@ -114,7 +140,15 @@ impl Endpoint {
             });
         }
 
-        let rt = Runtime::new(b.build());
+        let rt_cfg = if record_history {
+            RuntimeConfig::recording()
+        } else {
+            RuntimeConfig::default()
+        };
+        let rt = match hook {
+            Some(h) => Runtime::with_hook(b.build(), rt_cfg, h),
+            None => Runtime::with_config(b.build(), rt_cfg),
+        };
         let node = Arc::new(Endpoint {
             site,
             rt,
