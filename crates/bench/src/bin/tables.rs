@@ -7,7 +7,7 @@
 //! tables --json results.json    # also write machine-readable results
 //! ```
 //!
-//! `--json` writes one object per executed experiment (keyed `e1`…`e9`)
+//! `--json` writes one object per executed experiment (keyed `e1`…`e10`)
 //! with its parameters and table rows — the format `BENCH_baseline.json`
 //! is checked in as, so perf regressions diff structurally instead of by
 //! scraping stdout.
@@ -154,6 +154,19 @@ fn main() {
         t.print();
         println!();
         json.table("e9", title, &t);
+    }
+
+    if want("e10") {
+        println!("==============================================================");
+        let (stages, n_comps) = if quick { (3, 12) } else { (4, 24) };
+        let title = format!(
+            "E10 (observability): per-microprotocol contention profiles — pipeline, {stages} stages, {n_comps} computations"
+        );
+        println!("{title}\n");
+        let t = experiments::e10(stages, n_comps);
+        t.print();
+        println!();
+        json.table("e10", &title, &t);
     }
 
     if let Some(path) = json_path {

@@ -12,8 +12,8 @@ use samoa_proto::StackPolicy;
 use crate::gc::{abcast_run, declaration_tightness_run, view_race_run};
 use crate::report::{ms, per_sec, ratio, Table};
 use crate::synth::{
-    flat_stack, flat_workload, pipeline_stack, run_flat, run_pipeline, run_rw, rw_stack,
-    BenchPolicy, WorkKind,
+    flat_stack, flat_workload, pipeline_stack, pipeline_stack_with_sink, run_flat, run_pipeline,
+    run_rw, rw_stack, BenchPolicy, WorkKind,
 };
 
 /// E1 — the paper's Fig. 1: which runs each policy admits, verified by the
@@ -366,6 +366,47 @@ pub fn e8() -> Table {
         ms(tight),
         ratio(coarse.as_secs_f64() / tight.as_secs_f64()),
     ]);
+    t
+}
+
+/// E10 (observability) — per-microprotocol contention profiles from the
+/// trace layer: where each policy's admission waits concentrate on a
+/// contended pipeline, and how Rule 4 early release dissolves them. The
+/// rows are [`ContentionProfile`] aggregates (p50/p95/p99 admission-wait
+/// latency, handler service medians, early-release counts) rather than
+/// wall-clock times, so they expose *why* E4's speedups happen.
+pub fn e10(stages: usize, n_comps: usize) -> Table {
+    let mut t = Table::new(&[
+        "policy",
+        "protocol",
+        "waits",
+        "wait_p50_us",
+        "wait_p95_us",
+        "wait_p99_us",
+        "wait_total_ms",
+        "svc_p50_us",
+        "early_releases",
+    ]);
+    let work = Duration::from_micros(400);
+    for policy in [BenchPolicy::Basic, BenchPolicy::Bound, BenchPolicy::Route] {
+        let sink = TraceBuffer::new();
+        let stack = pipeline_stack_with_sink(stages, work, WorkKind::Io, sink.clone());
+        run_pipeline(&stack, n_comps, policy, 4);
+        let profile = ContentionProfile::from_events(&sink.drain(), stack.rt.stack());
+        for p in &profile.protocols {
+            t.row(&[
+                policy.label().to_string(),
+                p.name.clone(),
+                p.waits.to_string(),
+                format!("{:.1}", p.wait_p50_us),
+                format!("{:.1}", p.wait_p95_us),
+                format!("{:.1}", p.wait_p99_us),
+                format!("{:.3}", p.wait_total.as_secs_f64() * 1e3),
+                format!("{:.1}", p.service_p50_us),
+                (p.bound_releases + p.route_releases).to_string(),
+            ]);
+        }
+    }
     t
 }
 

@@ -98,6 +98,27 @@ pub struct PipelineStack {
 
 /// Build a pipeline of `stages` stages with `work` per stage.
 pub fn pipeline_stack(stages: usize, work: Duration, kind: WorkKind) -> PipelineStack {
+    pipeline_stack_inner(stages, work, kind, None)
+}
+
+/// [`pipeline_stack`] with a [`TraceSink`] installed on the runtime: every
+/// run through the returned stack records admission waits, handler service
+/// times, and early releases for [`ContentionProfile`] aggregation.
+pub fn pipeline_stack_with_sink(
+    stages: usize,
+    work: Duration,
+    kind: WorkKind,
+    sink: Arc<dyn TraceSink>,
+) -> PipelineStack {
+    pipeline_stack_inner(stages, work, kind, Some(sink))
+}
+
+fn pipeline_stack_inner(
+    stages: usize,
+    work: Duration,
+    kind: WorkKind,
+    sink: Option<Arc<dyn TraceSink>>,
+) -> PipelineStack {
     let mut b = StackBuilder::new();
     let protocols: Vec<ProtocolId> = (0..stages).map(|i| b.protocol(&format!("S{i}"))).collect();
     let events: Vec<EventType> = (0..stages).map(|i| b.event(&format!("Stage{i}"))).collect();
@@ -130,8 +151,13 @@ pub fn pipeline_stack(stages: usize, work: Duration, kind: WorkKind) -> Pipeline
             },
         ));
     }
+    let stack = b.build();
+    let rt = match sink {
+        Some(s) => Runtime::with_trace(stack, RuntimeConfig::default(), s),
+        None => Runtime::new(stack),
+    };
     PipelineStack {
-        rt: Runtime::new(b.build()),
+        rt,
         protocols,
         entry: events[0],
         handlers,
@@ -308,6 +334,43 @@ pub fn run_pipeline(
             });
         }
     });
+    rt.quiesce();
+    start.elapsed()
+}
+
+/// Run `n_comps` computations through the pipeline from a single injector,
+/// spawning one every `stagger`; returns the wall time to quiescence.
+///
+/// With `work < stagger < stages × work` this is exactly the schedule where
+/// Rule 4 pays: `VCAbasic` holds every stage until Rule 3 completion so the
+/// next computation blocks at stage 0, while `VCAbound`/`VCAroute` released
+/// stage 0 long before the next spawn arrives.
+pub fn run_pipeline_staggered(
+    stack: &PipelineStack,
+    n_comps: usize,
+    policy: BenchPolicy,
+    stagger: Duration,
+) -> Duration {
+    let rt = stack.rt.clone();
+    let entry = stack.entry;
+    let decl = stack.protocols.clone();
+    let bounds = stack.bound_decl();
+    let pattern = stack.route_pattern();
+    let start = Instant::now();
+    for i in 0..n_comps {
+        if i > 0 && !stagger.is_zero() {
+            std::thread::sleep(stagger);
+        }
+        let body = move |ctx: &Ctx| ctx.trigger(entry, EventData::empty());
+        match policy {
+            BenchPolicy::Unsync => rt.spawn(Decl::Unsync, body),
+            BenchPolicy::Serial => rt.spawn(Decl::Serial, body),
+            BenchPolicy::TwoPhase => rt.spawn(Decl::TwoPhase(&decl), body),
+            BenchPolicy::Basic => rt.spawn(Decl::Basic(&decl), body),
+            BenchPolicy::Bound => rt.spawn(Decl::Bound(&bounds), body),
+            BenchPolicy::Route => rt.spawn(Decl::Route(&pattern), body),
+        };
+    }
     rt.quiesce();
     start.elapsed()
 }

@@ -1,0 +1,48 @@
+//! Acceptance guard for the tracing cost model: with no sink installed the
+//! hot path is a single `Option` branch — no event is constructed, no
+//! timestamp read, nothing emitted. `samoa_core::trace::events_emitted()`
+//! counts every event delivered to any sink process-wide, so a zero delta
+//! across a full workload proves the untraced path never reaches delivery.
+//!
+//! Both checks live in one `#[test]` because the counter is process-global;
+//! a parallel traced test would perturb the untraced delta.
+
+use std::time::Duration;
+
+use samoa_bench::synth::{
+    pipeline_stack, pipeline_stack_with_sink, run_pipeline, BenchPolicy, WorkKind,
+};
+use samoa_core::trace::events_emitted;
+use samoa_core::TraceBuffer;
+
+#[test]
+fn untraced_runtime_emits_nothing_traced_runtime_emits() {
+    // No sink: a full pipeline workload across every interesting policy
+    // must not deliver a single trace event.
+    let stack = pipeline_stack(3, Duration::ZERO, WorkKind::Cpu);
+    let before = events_emitted();
+    for policy in [
+        BenchPolicy::Basic,
+        BenchPolicy::Bound,
+        BenchPolicy::Route,
+        BenchPolicy::TwoPhase,
+    ] {
+        run_pipeline(&stack, 6, policy, 2);
+    }
+    assert_eq!(
+        events_emitted() - before,
+        0,
+        "untraced runtime delivered trace events: the no-sink hot path \
+         must cost exactly one branch"
+    );
+
+    // Same workload with a sink: events flow (the counter is live, not a
+    // vacuous zero).
+    let sink = TraceBuffer::new();
+    let traced = pipeline_stack_with_sink(3, Duration::ZERO, WorkKind::Cpu, sink.clone());
+    let before = events_emitted();
+    run_pipeline(&traced, 6, BenchPolicy::Basic, 2);
+    let delta = events_emitted() - before;
+    assert!(delta > 0, "traced runtime emitted no events");
+    assert_eq!(sink.drain().len() as u64, delta);
+}

@@ -39,6 +39,7 @@ use crate::policy::{AccessMode, CompMode, CompSpec};
 use crate::protocol::ProtocolId;
 use crate::runtime::RuntimeInner;
 use crate::sched::{ReleaseReason, SchedPoint, SchedResource};
+use crate::trace::TraceKind;
 
 /// Boxed task body type (a closure run by a computation worker).
 pub(crate) type TaskFn = Box<dyn FnOnce(&Ctx) -> Result<()> + Send>;
@@ -402,7 +403,12 @@ impl ComputationInner {
                 let pv = e.pv;
                 match e.mode {
                     AccessMode::Write => {
-                        self.rt.vwait_write(pid.index(), move |lv| lv + 1 >= pv, pv);
+                        self.rt.vwait_write_traced(
+                            self.id,
+                            pid.index(),
+                            move |lv| lv + 1 >= pv,
+                            pv,
+                        );
                     }
                     AccessMode::Read => {
                         // Read-mode computations may only call read-only
@@ -415,7 +421,8 @@ impl ComputationInner {
                                 handler,
                             });
                         }
-                        self.rt.vwait_until(pid.index(), move |lv| lv >= pv);
+                        self.rt
+                            .vwait_until_traced(self.id, pid.index(), move |lv| lv >= pv, pv);
                     }
                 }
             }
@@ -432,7 +439,8 @@ impl ComputationInner {
                     });
                 }
                 let (pv, b) = (e.pv, e.bound);
-                self.rt.vwait_write(pid.index(), move |lv| lv + b >= pv, pv);
+                self.rt
+                    .vwait_write_traced(self.id, pid.index(), move |lv| lv + b >= pv, pv);
             }
             CompMode::Route => {
                 let rs = self.spec.route.as_ref().expect("route spec");
@@ -444,7 +452,8 @@ impl ComputationInner {
                 }
                 let e = self.spec.entry(pid).expect("pattern protocol declared");
                 let pv = e.pv;
-                self.rt.vwait_write(pid.index(), move |lv| lv + 1 >= pv, pv);
+                self.rt
+                    .vwait_write_traced(self.id, pid.index(), move |lv| lv + 1 >= pv, pv);
             }
         }
 
@@ -469,7 +478,31 @@ impl ComputationInner {
             )
         };
         let func = Arc::clone(&self.rt.stack.entry(handler).func);
+        let enter_ns = self.rt.trace.as_ref().map(|t| {
+            let t0 = t.now_ns();
+            t.emit_at(
+                t0,
+                TraceKind::HandlerEnter {
+                    comp: self.id,
+                    handler,
+                    protocol: pid,
+                },
+            );
+            t0
+        });
         let outcome = catch_unwind(AssertUnwindSafe(|| func(&ctx, data)));
+        if let (Some(t), Some(t0)) = (&self.rt.trace, enter_ns) {
+            let t1 = t.now_ns();
+            t.emit_at(
+                t1,
+                TraceKind::HandlerExit {
+                    comp: self.id,
+                    handler,
+                    protocol: pid,
+                    service_ns: t1.saturating_sub(t0),
+                },
+            );
+        }
         let result = match outcome {
             Ok(r) => r,
             Err(payload) => Err(SamoaError::HandlerPanic {
@@ -494,6 +527,13 @@ impl ComputationInner {
                     self.rt.versions[pid.index()].bump();
                     self.rt.stats.note_bound_release();
                     self.rt.vsignal(pid.index());
+                    if let Some(t) = &self.rt.trace {
+                        t.emit(TraceKind::EarlyRelease {
+                            comp: self.id,
+                            protocol: pid,
+                            reason: ReleaseReason::BoundVisit,
+                        });
+                    }
                     if let Some(hk) = &self.rt.hook {
                         hk.yield_point(SchedPoint::EarlyRelease {
                             comp: self.id,
@@ -535,6 +575,14 @@ impl ComputationInner {
             let e = self.spec.entry(p).expect("released protocol declared");
             self.rt.versions[p.index()].raise_to(e.pv);
             self.rt.vsignal(p.index());
+            if let Some(t) = &self.rt.trace {
+                t.on_release(self.id, p.index());
+                t.emit(TraceKind::EarlyRelease {
+                    comp: self.id,
+                    protocol: p,
+                    reason: ReleaseReason::RouteUnreachable,
+                });
+            }
             if let Some(hk) = &self.rt.hook {
                 hk.yield_point(SchedPoint::EarlyRelease {
                     comp: self.id,
@@ -600,6 +648,10 @@ impl ComputationInner {
                     self.rt.vsignal(p.index());
                 }
             }
+        }
+        if let Some(t) = &self.rt.trace {
+            t.on_complete(self.id);
+            t.emit(TraceKind::Complete { comp: self.id });
         }
         // Counter/active bookkeeping first, so that a joiner woken by the
         // done flag observes the completed count already updated.

@@ -208,7 +208,64 @@
 //! anything schedule-pure (fresh state per run, manual simulated network,
 //! no wall-clock) explores and replays deterministically.
 //!
-//! ## 7. Pitfalls
+//! ## 7. Observing a stack
+//!
+//! Exploration (§6) is for *testing*; in production you attach a
+//! [`TraceSink`] instead. The shipped [`TraceBuffer`] collects structured,
+//! timestamped events — spawns, Rule 2 admission waits (with the identity
+//! of the blocking computation), handler enter/exit, Rule 4 early
+//! releases, completions — into per-thread buffers cheap enough to leave
+//! on under load; a runtime built *without* a sink pays exactly one branch
+//! per instrumentation site:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use samoa_core::prelude::*;
+//! use samoa_core::{chrome_trace, ContentionProfile};
+//!
+//! let mut b = StackBuilder::new();
+//! let p = b.protocol("Parser");
+//! let e = b.event("Ingest");
+//! b.bind(e, p, "parse", |_, _| Ok(()));
+//! let stack = b.build();
+//!
+//! // Attach a sink at construction; run the workload as usual.
+//! let buf = TraceBuffer::new();
+//! let rt = Runtime::with_trace(stack, RuntimeConfig::default(), buf.clone());
+//! for _ in 0..3 {
+//!     rt.isolated(&[p], |ctx| ctx.trigger(e, EventData::empty())).unwrap();
+//! }
+//! rt.quiesce();
+//!
+//! // Drain the stream and aggregate it: per-microprotocol admission-wait
+//! // percentiles, handler service times, early-release counts.
+//! let events = buf.drain();
+//! let profile = ContentionProfile::from_events(&events, rt.stack());
+//! let parser = profile.protocol("Parser").unwrap();
+//! assert_eq!(parser.handler_calls, 3);
+//! assert_eq!(parser.waits, 0); // sequential spawns never block
+//!
+//! // While computations are blocked, `waiters()` names who waits on whom
+//! // (`k4 waits on Parser held by k2`); here everything has completed.
+//! assert!(rt.waiters().is_empty());
+//!
+//! // For a timeline, export Chrome trace_event JSON and load it in
+//! // chrome://tracing or https://ui.perfetto.dev — one track per
+//! // computation, admission waits and handler calls as spans.
+//! let json = chrome_trace(&events, rt.stack());
+//! assert!(json.contains("traceEvents"));
+//! ```
+//!
+//! A wait edge in [`Runtime::waiters`] always points from a younger
+//! computation to a strictly older one — that is the deadlock-freedom
+//! invariant of §6 of the paper — so
+//! [`WaitForGraph::has_cycle`](crate::WaitForGraph::has_cycle) returning
+//! `true` is itself a bug report. The OCC family traces too:
+//! `OccRuntime::with_trace` emits validate/commit/abort events into the
+//! same sink, and `cargo run --release --example samoa_trace` writes a
+//! comparative trace of the whole proto stack under each algorithm.
+//!
+//! ## 8. Pitfalls
 //!
 //! * **Don't trigger while holding state.** Keep
 //!   [`ProtocolState::with`] closures short; compute what to send, end the
@@ -231,6 +288,10 @@
 //!   cascade can actually reach.
 //!
 //! [`SamoaError::UndeclaredProtocol`]: crate::error::SamoaError::UndeclaredProtocol
+//! [`TraceSink`]: crate::trace::TraceSink
+//! [`TraceBuffer`]: crate::trace::TraceBuffer
+//! [`Runtime::waiters`]: crate::runtime::Runtime::waiters
+//! [`Runtime::with_trace`]: crate::runtime::Runtime::with_trace
 //! [`SchedHook`]: crate::sched::SchedHook
 //! [`Runtime::new`]: crate::runtime::Runtime::new
 //! [`Runtime::isolated`]: crate::runtime::Runtime::isolated

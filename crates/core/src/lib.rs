@@ -59,6 +59,7 @@ pub mod protocol;
 pub mod runtime;
 pub mod sched;
 pub mod stack;
+pub mod trace;
 pub mod version;
 
 pub use analysis::{Diagnostic, Report, Severity};
@@ -73,6 +74,10 @@ pub use protocol::{ProtocolId, ProtocolState};
 pub use runtime::{CompHandle, Decl, Runtime, RuntimeConfig, RuntimeStats};
 pub use sched::{ReleaseReason, SchedHook, SchedPoint, SchedResource};
 pub use stack::{Stack, StackBuilder};
+pub use trace::{
+    chrome_trace, render_summary, Algo, ChromeTrace, ContentionProfile, TraceBuffer, TraceEvent,
+    TraceKind, TraceSink, WaitEdge, WaitForGraph,
+};
 
 /// Everything most programs need.
 pub mod prelude {
@@ -85,6 +90,7 @@ pub mod prelude {
     pub use crate::protocol::{ProtocolId, ProtocolState};
     pub use crate::runtime::{CompHandle, Decl, Runtime, RuntimeConfig, RuntimeStats};
     pub use crate::stack::{Stack, StackBuilder};
+    pub use crate::trace::{ContentionProfile, TraceBuffer, TraceEvent, TraceKind, TraceSink};
 }
 
 /// Construct a raw [`HandlerId`] — for doctests and examples that build

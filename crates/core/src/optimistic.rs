@@ -31,10 +31,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::error::{Result, SamoaError};
+use crate::sched::{SchedHook, SchedPoint};
+use crate::trace::{self, TraceKind, TraceSink};
 
 /// A shared state cell managed by optimistic concurrency control.
 pub struct OccCell<S> {
@@ -198,12 +201,48 @@ struct OccInner {
     commit_lock: Mutex<()>,
     total_commits: AtomicU64,
     total_retries: AtomicU64,
+    /// Transaction ids for instrumentation; only assigned when a hook or
+    /// sink is attached.
+    tx_seq: AtomicU64,
+    /// Schedule-control hook ([`OccRuntime::with_hook`]); `None` in
+    /// production, so each decision point costs one branch.
+    hook: Option<Arc<dyn SchedHook>>,
+    /// Trace sink + timestamp epoch ([`OccRuntime::with_trace`]); `None`
+    /// when untraced — one branch per instrumentation site, as in
+    /// [`Runtime`](crate::Runtime).
+    trace: Option<(Arc<dyn TraceSink>, Instant)>,
 }
 
 impl OccRuntime {
     /// Create a fresh optimistic runtime.
     pub fn new() -> Self {
         OccRuntime::default()
+    }
+
+    /// An optimistic runtime with a schedule-control hook: validation,
+    /// commit, and retry are reported as [`SchedPoint`]s, letting a
+    /// controller steer which transaction validates first.
+    pub fn with_hook(hook: Arc<dyn SchedHook>) -> Self {
+        OccRuntime {
+            inner: Arc::new(OccInner {
+                hook: Some(hook),
+                ..OccInner::default()
+            }),
+        }
+    }
+
+    /// An optimistic runtime with a [`TraceSink`] attached: every
+    /// validation, commit, and abort/retry is delivered as a structured
+    /// [`TraceKind::OccValidate`]/[`TraceKind::OccCommit`]/
+    /// [`TraceKind::OccAbort`] event, timestamped from this runtime's
+    /// construction.
+    pub fn with_trace(sink: Arc<dyn TraceSink>) -> Self {
+        OccRuntime {
+            inner: Arc::new(OccInner {
+                trace: Some((sink, Instant::now())),
+                ..OccInner::default()
+            }),
+        }
     }
 
     /// Execute `f` as an optimistic computation: run against private
@@ -213,10 +252,24 @@ impl OccRuntime {
     /// final (validated) run's writes become visible. Errors returned by
     /// `f` abort the computation permanently without committing.
     pub fn execute<R>(&self, f: impl Fn(&OccCtx) -> Result<R>) -> Result<(R, OccReport)> {
+        // A transaction id is only minted when someone is watching.
+        let instrumented = self.inner.hook.is_some() || self.inner.trace.is_some();
+        let tx_id = if instrumented {
+            self.inner.tx_seq.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            0
+        };
         let mut retries = 0u64;
         loop {
             let tx = OccCtx::new();
             let out = f(&tx)?;
+            if let Some((sink, epoch)) = &self.inner.trace {
+                let cells = tx.touched.borrow().len() as u64;
+                trace::deliver(sink, *epoch, TraceKind::OccValidate { tx: tx_id, cells });
+            }
+            if let Some(h) = &self.inner.hook {
+                h.yield_point(SchedPoint::OccValidate { tx: tx_id });
+            }
             // Validate + commit atomically.
             let _commit = self.inner.commit_lock.lock();
             let touched = tx.touched.into_inner();
@@ -231,10 +284,33 @@ impl OccRuntime {
                 self.inner
                     .total_retries
                     .fetch_add(retries, Ordering::Relaxed);
+                drop(_commit);
+                if let Some((sink, epoch)) = &self.inner.trace {
+                    trace::deliver(sink, *epoch, TraceKind::OccCommit { tx: tx_id, retries });
+                }
+                if let Some(h) = &self.inner.hook {
+                    h.yield_point(SchedPoint::OccCommit { tx: tx_id });
+                }
                 return Ok((out, OccReport { retries }));
             }
             drop(_commit);
             retries += 1;
+            if let Some((sink, epoch)) = &self.inner.trace {
+                trace::deliver(
+                    sink,
+                    *epoch,
+                    TraceKind::OccAbort {
+                        tx: tx_id,
+                        attempt: retries,
+                    },
+                );
+            }
+            if let Some(h) = &self.inner.hook {
+                h.yield_point(SchedPoint::OccRetry {
+                    tx: tx_id,
+                    attempt: retries,
+                });
+            }
             if retries > 1_000_000 {
                 return Err(SamoaError::protocol(
                     "optimistic computation starved (1M aborts)",
@@ -385,6 +461,51 @@ mod tests {
         assert_eq!(a.read_committed(|v| *v), 100);
         assert_eq!(b.read_committed(|v| *v), 100);
         assert_eq!(rt.aborts(), 0, "disjoint writes should never conflict");
+    }
+
+    #[test]
+    fn traced_runtime_emits_validate_commit_abort() {
+        use crate::trace::{TraceBuffer, TraceKind};
+        let buf = TraceBuffer::new();
+        let rt = OccRuntime::with_trace(buf.clone());
+        let cell = OccCell::new(0u64);
+        // Force at least one abort under contention.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rt = rt.clone();
+                let cell = cell.clone();
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        rt.execute(|tx| {
+                            let v = cell.read(tx, |c| *c);
+                            std::thread::sleep(Duration::from_micros(10));
+                            cell.write(tx, |c| *c = v + 1);
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let events = buf.drain();
+        let mut validates = 0;
+        let mut commits = 0;
+        let mut aborts = 0;
+        for e in &events {
+            match e.kind {
+                TraceKind::OccValidate { cells, .. } => {
+                    assert_eq!(cells, 1);
+                    validates += 1;
+                }
+                TraceKind::OccCommit { .. } => commits += 1,
+                TraceKind::OccAbort { .. } => aborts += 1,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(commits, 100);
+        assert_eq!(validates as u64, commits + aborts);
+        assert_eq!(aborts, rt.aborts());
+        assert!(aborts > 0, "no conflicts induced");
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::policy::{AccessMode, CompMode, CompSpec, LockCell, PvEntry};
 use crate::protocol::ProtocolId;
 use crate::sched::{SchedHook, SchedPoint, SchedResource};
 use crate::stack::Stack;
+use crate::trace::{Algo, TraceCtl, TraceKind, TraceSink, WaitForGraph};
 use crate::version::VersionCell;
 
 /// Tunables of a [`Runtime`].
@@ -136,6 +137,24 @@ pub struct RuntimeStats {
     pub version_wait_wakeups: u64,
 }
 
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} computations ({} completed), {} handler calls, \
+             admission wait {:.3}ms, {} bound / {} route early releases, \
+             {} version-wait wakeups",
+            self.computations_spawned,
+            self.computations_completed,
+            self.handler_calls,
+            self.admission_wait.as_secs_f64() * 1e3,
+            self.bound_releases,
+            self.route_releases,
+            self.version_wait_wakeups,
+        )
+    }
+}
+
 #[derive(Default)]
 pub(crate) struct StatCounters {
     spawned: AtomicU64,
@@ -144,6 +163,10 @@ pub(crate) struct StatCounters {
     admission_wait_ns: AtomicU64,
     bound_releases: AtomicU64,
     route_releases: AtomicU64,
+    /// Shared with every `VersionCell` of the runtime (each cell increments
+    /// this same counter on waiter wake-ups), so the stats snapshot is a
+    /// single load.
+    version_wait_wakeups: Arc<AtomicU64>,
 }
 
 impl StatCounters {
@@ -175,6 +198,9 @@ pub(crate) struct RuntimeInner {
     /// Schedule-control hook ([`Runtime::with_hook`]); `None` in production,
     /// so the instrumented paths cost one branch.
     pub(crate) hook: Option<Arc<dyn SchedHook>>,
+    /// Trace sink + wait-for registry ([`Runtime::with_trace`]); `None` when
+    /// untraced, so — like `hook` — every trace site costs one branch.
+    pub(crate) trace: Option<TraceCtl>,
     /// Global version counters, Rule 1's atomicity domain.
     gv: Mutex<Vec<u64>>,
     comp_seq: AtomicU64,
@@ -262,6 +288,137 @@ impl RuntimeInner {
         }
     }
 
+    // ---- traced admission waits ----
+    //
+    // Rule 2 call sites go through these: with no sink attached they
+    // delegate straight to the waits above (one branch); with a sink, a
+    // wait that actually blocks is bracketed by WaitBegin/WaitEnd events
+    // carrying the blocking computation's identity, and registered in the
+    // wait-for graph for `Runtime::waiters`.
+
+    pub(crate) fn vwait_write_traced(
+        &self,
+        comp: CompId,
+        idx: usize,
+        pred: impl Fn(u64) -> bool + Copy,
+        pv: u64,
+    ) -> u64 {
+        match &self.trace {
+            None => self.vwait_write(idx, pred, pv),
+            Some(t) => match self.versions[idx].try_write(pred, pv) {
+                Some(v) => v,
+                None => {
+                    let protocol = ProtocolId(idx as u32);
+                    let lv = self.versions[idx].get();
+                    let blocker = t.wait_begin(comp, idx, pv, lv);
+                    let t0 = t.now_ns();
+                    t.emit_at(
+                        t0,
+                        TraceKind::WaitBegin {
+                            comp,
+                            protocol,
+                            blocker,
+                        },
+                    );
+                    let v = self.vwait_write(idx, pred, pv);
+                    let t1 = t.now_ns();
+                    t.wait_end(comp, idx);
+                    t.emit_at(
+                        t1,
+                        TraceKind::WaitEnd {
+                            comp,
+                            protocol,
+                            wait_ns: t1.saturating_sub(t0),
+                            blocker,
+                        },
+                    );
+                    v
+                }
+            },
+        }
+    }
+
+    /// Read-mode admission: the waiter's epoch is `pv` *inclusive* (it waits
+    /// for the writer holding `pv` itself), hence the `pv + 1` upper bound
+    /// for the blocker lookup.
+    pub(crate) fn vwait_until_traced(
+        &self,
+        comp: CompId,
+        idx: usize,
+        pred: impl Fn(u64) -> bool + Copy,
+        pv: u64,
+    ) -> u64 {
+        match &self.trace {
+            None => self.vwait_until(idx, pred),
+            Some(t) => match self.versions[idx].try_until(pred) {
+                Some(v) => v,
+                None => {
+                    let protocol = ProtocolId(idx as u32);
+                    let lv = self.versions[idx].get();
+                    let blocker = t.wait_begin(comp, idx, pv + 1, lv);
+                    let t0 = t.now_ns();
+                    t.emit_at(
+                        t0,
+                        TraceKind::WaitBegin {
+                            comp,
+                            protocol,
+                            blocker,
+                        },
+                    );
+                    let v = self.vwait_until(idx, pred);
+                    let t1 = t.now_ns();
+                    t.wait_end(comp, idx);
+                    t.emit_at(
+                        t1,
+                        TraceKind::WaitEnd {
+                            comp,
+                            protocol,
+                            wait_ns: t1.saturating_sub(t0),
+                            blocker,
+                        },
+                    );
+                    v
+                }
+            },
+        }
+    }
+
+    /// 2PL growing-phase acquisition with tracing. The lock table does not
+    /// track owners, so the wait edge carries no blocker.
+    pub(crate) fn lock_acquire_traced(&self, comp: CompId, idx: usize) {
+        match &self.trace {
+            None => self.lock_acquire(idx),
+            Some(t) => {
+                if self.locks[idx].try_acquire() {
+                    return;
+                }
+                let protocol = ProtocolId(idx as u32);
+                let t0 = t.now_ns();
+                t.lock_wait_begin(comp, idx);
+                t.emit_at(
+                    t0,
+                    TraceKind::WaitBegin {
+                        comp,
+                        protocol,
+                        blocker: None,
+                    },
+                );
+                self.lock_acquire(idx);
+                let t1 = t.now_ns();
+                t.wait_end(comp, idx);
+                t.emit_at(
+                    t1,
+                    TraceKind::WaitEnd {
+                        comp,
+                        protocol,
+                        wait_ns: t1.saturating_sub(t0),
+                        blocker: None,
+                    },
+                );
+            }
+        }
+    }
+
     /// Acquire 2PL lock `idx`, cooperatively when hooked.
     pub(crate) fn lock_acquire(&self, idx: usize) {
         match &self.hook {
@@ -310,7 +467,24 @@ impl Runtime {
                 panic!("strict_analysis rejected the stack:\n{}", report.render());
             }
         }
-        Runtime::build(stack, config, None)
+        Runtime::build(stack, config, None, None)
+    }
+
+    /// Create a runtime with a [`TraceSink`] attached (see [`crate::trace`]):
+    /// every computation lifecycle point — spawn, Rule 2 admission waits
+    /// with the blocking computation's identity, handler enter/exit, Rule 4
+    /// early releases, Rule 3 completion — is delivered to `sink` as a
+    /// structured, timestamped event, and [`Runtime::waiters`] reports live
+    /// wait-for edges. `strict_analysis` linting is applied as in
+    /// [`Runtime::with_config`].
+    pub fn with_trace(stack: Stack, config: RuntimeConfig, sink: Arc<dyn TraceSink>) -> Self {
+        if config.strict_analysis {
+            let report = crate::analysis::lint_stack(&stack, &stack.all_events());
+            if report.has_errors() {
+                panic!("strict_analysis rejected the stack:\n{}", report.render());
+            }
+        }
+        Runtime::build(stack, config, None, Some(sink))
     }
 
     /// Create a runtime with a schedule-control hook installed (see
@@ -326,7 +500,7 @@ impl Runtime {
                 panic!("strict_analysis rejected the stack:\n{}", report.render());
             }
         }
-        Runtime::build(stack, config, Some(hook))
+        Runtime::build(stack, config, Some(hook), None)
     }
 
     /// Create a runtime only if the stack passes the static linter
@@ -341,18 +515,27 @@ impl Runtime {
                 report: report.render(),
             });
         }
-        Ok(Runtime::build(stack, config, None))
+        Ok(Runtime::build(stack, config, None, None))
     }
 
-    fn build(stack: Stack, config: RuntimeConfig, hook: Option<Arc<dyn SchedHook>>) -> Self {
+    fn build(
+        stack: Stack,
+        config: RuntimeConfig,
+        hook: Option<Arc<dyn SchedHook>>,
+        sink: Option<Arc<dyn TraceSink>>,
+    ) -> Self {
         let n = stack.protocol_count();
+        let stats = StatCounters::default();
         Runtime {
             inner: Arc::new(RuntimeInner {
-                versions: (0..n).map(|_| VersionCell::new()).collect(),
+                versions: (0..n)
+                    .map(|_| VersionCell::with_counter(Arc::clone(&stats.version_wait_wakeups)))
+                    .collect(),
                 locks: (0..n).map(|_| LockCell::new()).collect(),
                 history: HistoryRecorder::new(config.record_history),
-                stats: StatCounters::default(),
+                stats,
                 hook,
+                trace: sink.map(|s| TraceCtl::new(s, n)),
                 gv: Mutex::new(vec![0; n]),
                 comp_seq: AtomicU64::new(0),
                 active: Mutex::new(0),
@@ -411,12 +594,27 @@ impl Runtime {
         let id = self.inner.comp_seq.fetch_add(1, Ordering::SeqCst) + 1;
         self.inner.stats.spawned.fetch_add(1, Ordering::Relaxed);
         let spec = self.make_spec(decl);
+        if let Some(t) = &self.inner.trace {
+            // Register this computation's writer holds (the versions Rule 1
+            // just allocated) so later waiters can name it as their blocker.
+            t.on_spawn(
+                id,
+                spec.entries
+                    .iter()
+                    .filter(|e| spec.mode != CompMode::Locked && e.mode == AccessMode::Write)
+                    .map(|e| (e.pid.index(), e.pv)),
+            );
+            t.emit(TraceKind::Spawn {
+                comp: id,
+                algo: algo_of_decl(decl),
+            });
+        }
         if spec.mode == CompMode::Locked {
             // Conservative 2PL growing phase: all locks before the
             // computation starts, in canonical order (deadlock-free).
             let t0 = std::time::Instant::now();
             for e in &spec.entries {
-                self.inner.lock_acquire(e.pid.index());
+                self.inner.lock_acquire_traced(id, e.pid.index());
             }
             self.inner.stats.note_admission_wait(t0.elapsed());
         }
@@ -755,7 +953,25 @@ impl Runtime {
             ),
             bound_releases: self.inner.stats.bound_releases.load(Ordering::Relaxed),
             route_releases: self.inner.stats.route_releases.load(Ordering::Relaxed),
-            version_wait_wakeups: self.inner.versions.iter().map(|c| c.wakeups()).sum(),
+            version_wait_wakeups: self
+                .inner
+                .stats
+                .version_wait_wakeups
+                .load(Ordering::Relaxed),
+        }
+    }
+
+    /// A point-in-time snapshot of the wait-for graph: which computations
+    /// are blocked in Rule 2 admission right now, on which microprotocol,
+    /// and — for versioning waits — which older computation they are waiting
+    /// for. Requires a trace sink ([`Runtime::with_trace`]); untraced
+    /// runtimes keep no wait registry and always return an empty graph.
+    pub fn waiters(&self) -> WaitForGraph {
+        match &self.inner.trace {
+            None => WaitForGraph::default(),
+            Some(t) => WaitForGraph {
+                edges: t.snapshot_waits(),
+            },
         }
     }
 
@@ -831,6 +1047,18 @@ fn root_execute(comp: &Arc<ComputationInner>, f: impl FnOnce(&Ctx) -> Result<()>
         comp.run_post(PostAction::Root);
     }
     comp.release_pending();
+}
+
+/// The trace-facing label of a declaration's algorithm.
+fn algo_of_decl(decl: &Decl<'_>) -> Algo {
+    match decl {
+        Decl::Basic(_) | Decl::ReadWrite(_) => Algo::Basic,
+        Decl::Bound(_) => Algo::Bound,
+        Decl::Route(_) => Algo::Route,
+        Decl::Serial => Algo::Serial,
+        Decl::Unsync => Algo::Unsync,
+        Decl::TwoPhase(_) => Algo::TwoPhase,
+    }
 }
 
 /// Deduplicate a declaration, keeping the maximum bound and the stronger

@@ -68,6 +68,26 @@ pub enum SchedPoint {
         /// Which rule triggered the release.
         reason: ReleaseReason,
     },
+    /// An optimistic transaction (`samoa_core::optimistic`) finished an
+    /// attempt and is about to validate its read set under the commit lock.
+    OccValidate {
+        /// The transaction (1-based, per `OccRuntime`).
+        tx: u64,
+    },
+    /// An optimistic transaction validated successfully and committed its
+    /// overlays.
+    OccCommit {
+        /// The transaction.
+        tx: u64,
+    },
+    /// An optimistic transaction failed validation; the attempt was rolled
+    /// back and will be re-run from scratch.
+    OccRetry {
+        /// The transaction.
+        tx: u64,
+        /// The 1-based number of the aborted attempt.
+        attempt: u64,
+    },
 }
 
 /// Why a microprotocol was released before its computation completed.

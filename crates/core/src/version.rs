@@ -25,6 +25,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -48,14 +49,26 @@ pub(crate) struct VersionCell {
     state: Mutex<CellState>,
     cv: Condvar,
     /// Times a waiter woke up and re-checked its predicate (both the condvar
-    /// paths here and the cooperative paths in `RuntimeInner`); feeds
-    /// `RuntimeStats::version_wait_wakeups`.
-    wakeups: AtomicU64,
+    /// paths here and the cooperative paths in `RuntimeInner`). Shared: the
+    /// runtime hands every cell the *same* counter — the
+    /// `version_wait_wakeups` member of its `StatCounters` — so
+    /// `RuntimeStats` reads one atomic instead of summing per-cell values.
+    wakeups: Arc<AtomicU64>,
 }
 
 impl VersionCell {
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
         VersionCell::default()
+    }
+
+    /// A cell whose wake-up count feeds `counter` (shared across the
+    /// runtime's cells).
+    pub(crate) fn with_counter(counter: Arc<AtomicU64>) -> Self {
+        VersionCell {
+            wakeups: counter,
+            ..VersionCell::default()
+        }
     }
 
     /// Current value (for diagnostics; racy by nature).
@@ -126,6 +139,7 @@ impl VersionCell {
     }
 
     /// Total waiter wake-ups so far.
+    #[cfg(test)]
     pub(crate) fn wakeups(&self) -> u64 {
         self.wakeups.load(Ordering::Relaxed)
     }

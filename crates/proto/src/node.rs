@@ -195,7 +195,22 @@ impl Node {
     /// Build the node, wire its stack, register it on the network, and (if
     /// enabled) start its timers.
     pub fn new(net: NetHandle, site: SiteId, cfg: NodeConfig) -> Arc<Node> {
-        Node::build(net, site, cfg, None)
+        Node::build(net, site, cfg, None, None)
+    }
+
+    /// [`Node::new`] with a [`TraceSink`](samoa_core::TraceSink) attached to
+    /// the node's runtime: every computation spawn, admission wait (with the
+    /// blocking computation's identity), handler call, early release, and
+    /// completion in this node's stack is delivered to `sink` as a
+    /// structured event. Cheap enough to leave on in production; see
+    /// `samoa_core::trace`.
+    pub fn new_traced(
+        net: NetHandle,
+        site: SiteId,
+        cfg: NodeConfig,
+        sink: Arc<dyn samoa_core::TraceSink>,
+    ) -> Arc<Node> {
+        Node::build(net, site, cfg, None, Some(sink))
     }
 
     /// [`Node::new`] with a scheduling hook installed on the node's runtime,
@@ -210,7 +225,7 @@ impl Node {
         cfg: NodeConfig,
         hook: Arc<dyn samoa_core::SchedHook>,
     ) -> Arc<Node> {
-        Node::build(net, site, cfg, Some(hook))
+        Node::build(net, site, cfg, Some(hook), None)
     }
 
     fn build(
@@ -218,6 +233,7 @@ impl Node {
         site: SiteId,
         cfg: NodeConfig,
         hook: Option<Arc<dyn samoa_core::SchedHook>>,
+        trace: Option<Arc<dyn samoa_core::TraceSink>>,
     ) -> Arc<Node> {
         let view = match &cfg.initial_members {
             Some(m) => GroupView::initial(m.iter().copied()),
@@ -315,9 +331,10 @@ impl Node {
             max_threads_per_computation: cfg.intra_threads.max(1),
             ..RuntimeConfig::default()
         };
-        let rt = match hook {
-            Some(h) => Runtime::with_hook(stack, rt_cfg, h),
-            None => Runtime::with_config(stack, rt_cfg),
+        let rt = match (hook, trace) {
+            (Some(h), _) => Runtime::with_hook(stack, rt_cfg, h),
+            (None, Some(s)) => Runtime::with_trace(stack, rt_cfg, s),
+            (None, None) => Runtime::with_config(stack, rt_cfg),
         };
 
         let node = Arc::new(Node {
@@ -603,6 +620,31 @@ impl Cluster {
         let net = SimNet::new(n, net_cfg);
         let nodes = (0..n as u16)
             .map(|i| Node::new(net.handle(), SiteId(i), node_cfg.clone()))
+            .collect();
+        Cluster { net, nodes }
+    }
+
+    /// [`Cluster::new`] with a [`TraceSink`](samoa_core::TraceSink) per
+    /// node: `make_sink` is called once per site and the returned sink is
+    /// attached to that node's runtime ([`Node::new_traced`]). Use one
+    /// shared buffer for a merged stream, or one buffer per site to export
+    /// each node as its own track group.
+    pub fn new_traced(
+        n: usize,
+        net_cfg: NetConfig,
+        node_cfg: NodeConfig,
+        make_sink: impl Fn(SiteId) -> Arc<dyn samoa_core::TraceSink>,
+    ) -> Cluster {
+        let net = SimNet::new(n, net_cfg);
+        let nodes = (0..n as u16)
+            .map(|i| {
+                Node::new_traced(
+                    net.handle(),
+                    SiteId(i),
+                    node_cfg.clone(),
+                    make_sink(SiteId(i)),
+                )
+            })
             .collect();
         Cluster { net, nodes }
     }
