@@ -7,7 +7,7 @@
 //! tables --json results.json    # also write machine-readable results
 //! ```
 //!
-//! `--json` writes one object per executed experiment (keyed `e1`…`e10`)
+//! `--json` writes one object per executed experiment (keyed `e1`…`e11`)
 //! with its parameters and table rows — the format `BENCH_baseline.json`
 //! is checked in as, so perf regressions diff structurally instead of by
 //! scraping stdout.
@@ -167,6 +167,20 @@ fn main() {
         t.print();
         println!();
         json.table("e10", &title, &t);
+    }
+
+    if want("e11") {
+        println!("==============================================================");
+        let title = if quick {
+            "E11 (checking): DPOR vs exhaustive schedule counts, small scenarios"
+        } else {
+            "E11 (checking): DPOR vs exhaustive schedule counts, incl. the width-3 diamond"
+        };
+        println!("{title}\n");
+        let t = experiments::e11(quick);
+        t.print();
+        println!();
+        json.table("e11", title, &t);
     }
 
     if let Some(path) = json_path {

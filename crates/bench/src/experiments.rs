@@ -440,3 +440,68 @@ pub fn e6() -> Table {
     }
     t
 }
+
+/// E11 — DPOR reduction ratios: for each bounded checking scenario, the
+/// number of schedules exhaustive enumeration explores vs the DPOR-reduced
+/// search, with the failure sets compared signature-by-signature. A
+/// `match=no` row or a shrinking reduction is a regression in the
+/// dynamic-checking layer.
+pub fn e11(quick: bool) -> Table {
+    use samoa_check::{
+        DiamondScenario, Explorer, ExplorerConfig, OccScenario, Scenario, ScenarioPolicy, Strategy,
+        ViewChangeScenario,
+    };
+    use std::collections::BTreeSet;
+
+    let mut t = Table::new(&[
+        "scenario",
+        "exhaustive",
+        "dpor",
+        "reduction",
+        "failures",
+        "match",
+    ]);
+    let mut scenarios: Vec<(Box<dyn Scenario>, usize)> = vec![
+        (
+            Box::new(DiamondScenario::new(ScenarioPolicy::Unsync)),
+            1_000,
+        ),
+        (
+            Box::new(DiamondScenario::new(ScenarioPolicy::VcaBasic)),
+            1_000,
+        ),
+        (
+            Box::new(ViewChangeScenario::new(ScenarioPolicy::Unsync, 7)),
+            1_000,
+        ),
+        (Box::new(OccScenario::lost_update(2)), 2_000),
+        (Box::new(OccScenario::serialised(2)), 2_000),
+    ];
+    if !quick {
+        // The acceptance-scale space: > 100k exhaustive schedules.
+        scenarios.push((
+            Box::new(DiamondScenario::sized(ScenarioPolicy::Unsync, 3)),
+            150_000,
+        ));
+    }
+    for (scenario, budget) in scenarios {
+        let mut cfg = ExplorerConfig::new(budget, Strategy::Exhaustive);
+        cfg.minimise = false;
+        let ex = Explorer::sweep(scenario.as_ref(), &cfg);
+        cfg.strategy = Strategy::Dpor;
+        let dp = Explorer::sweep(scenario.as_ref(), &cfg);
+        let sigs = |s: &samoa_check::Sweep| -> BTreeSet<String> {
+            s.failures.iter().map(|w| w.failure.signature()).collect()
+        };
+        let same = sigs(&ex) == sigs(&dp) && ex.exhausted && dp.exhausted;
+        t.row(&[
+            scenario.name().to_string(),
+            ex.schedules_run.to_string(),
+            dp.schedules_run.to_string(),
+            ratio(ex.schedules_run as f64 / dp.schedules_run.max(1) as f64),
+            sigs(&ex).len().to_string(),
+            if same { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}

@@ -51,6 +51,65 @@ pub struct ChoiceRecord {
     pub alternatives: u32,
 }
 
+/// One contiguous run of resource accesses by a single thread inside a
+/// segment. A segment usually holds one event (the chosen thread's), but
+/// *forced moves* — granted when only one thread was ready, so nothing was
+/// recorded — fold other threads' accesses into the same segment, and race
+/// detection must still know **who** touched **what**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegEvent {
+    /// The thread that performed these accesses.
+    pub tid: u32,
+    /// The resources it touched, deduplicated, in first-touch order.
+    pub resources: Vec<SchedResource>,
+}
+
+/// The resource view of one recorded decision, parallel to
+/// [`ChoiceRecord`]: who was ready (and what each announced as its next
+/// action), who ran, and everything the resulting *segment* — the chosen
+/// thread's action plus every forced move, cooperative block, and signal up
+/// to the next recorded decision — touched, split per acting thread. This
+/// is the raw material of the DPOR dependence relation
+/// (`samoa_check::dpor`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StepRecord {
+    /// Sorted ids of the threads that were ready at this decision.
+    pub ready: Vec<u32>,
+    /// The announced next-action footprint of each ready thread, parallel
+    /// to `ready`. Empty means *unknown* (a freshly spawned thread that has
+    /// not reached its first annotated yield) — consumers must treat an
+    /// unknown footprint as conflicting with everything.
+    pub pending: Vec<Vec<SchedResource>>,
+    /// Id of the thread that ran.
+    pub chosen: u32,
+    /// Per-thread access runs of the segment after this decision, in
+    /// execution order.
+    pub events: Vec<SegEvent>,
+}
+
+impl StepRecord {
+    /// The announced footprint of ready thread `tid`, if any.
+    pub fn pending_of(&self, tid: u32) -> Option<&[SchedResource]> {
+        self.ready
+            .iter()
+            .position(|&t| t == tid)
+            .map(|i| self.pending[i].as_slice())
+    }
+
+    /// Every resource the whole segment touched, across all its events.
+    pub fn footprint(&self) -> Vec<SchedResource> {
+        let mut all = Vec::new();
+        for ev in &self.events {
+            for &rs in &ev.resources {
+                if !all.contains(&rs) {
+                    all.push(rs);
+                }
+            }
+        }
+        all
+    }
+}
+
 /// Scheduling state of one controlled thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ThState {
@@ -74,6 +133,11 @@ struct CtrlState {
     current: Option<usize>,
     decider: Box<dyn Decider>,
     trace: Vec<ChoiceRecord>,
+    /// Resource view of each recorded decision, parallel to `trace`.
+    records: Vec<StepRecord>,
+    /// Per-thread announced next-action footprint, consumed when the thread
+    /// is next granted the turn.
+    pending: Vec<Vec<SchedResource>>,
     steps: u64,
     max_steps: u64,
     /// Free-run: all control is released (deadlock, runaway, or shutdown).
@@ -82,12 +146,50 @@ struct CtrlState {
     runaway: bool,
 }
 
+impl CtrlState {
+    /// Attribute `rs`, accessed by thread `tid`, to the currently executing
+    /// segment (the span since the last recorded decision). Touches before
+    /// the first recorded decision belong to the deterministic common
+    /// prefix of every schedule and are dropped.
+    fn touch(&mut self, tid: usize, rs: SchedResource) {
+        if let Some(rec) = self.records.last_mut() {
+            match rec.events.last_mut() {
+                Some(ev) if ev.tid == tid as u32 => {
+                    if !ev.resources.contains(&rs) {
+                        ev.resources.push(rs);
+                    }
+                }
+                _ => rec.events.push(SegEvent {
+                    tid: tid as u32,
+                    resources: vec![rs],
+                }),
+            }
+        }
+    }
+
+    fn touch_all(&mut self, tid: usize, rss: &[SchedResource]) {
+        for &rs in rss {
+            self.touch(tid, rs);
+        }
+    }
+
+    /// The chosen thread starts executing its announced action: consume its
+    /// pending footprint into the current segment.
+    fn consume_pending(&mut self, tid: usize) {
+        let fp = std::mem::take(&mut self.pending[tid]);
+        self.touch_all(tid, &fp);
+    }
+}
+
 /// What a finished run looked like, extracted by [`Controller::finish`].
 #[derive(Debug, Clone)]
 pub struct ScheduleTrace {
     /// The recorded choice sequence (replayable via
     /// [`PrefixDecider`](crate::strategy::PrefixDecider)).
     pub choices: Vec<ChoiceRecord>,
+    /// The resource view of each recorded decision, parallel to `choices`:
+    /// ready sets, announced footprints, and per-segment touched resources.
+    pub records: Vec<StepRecord>,
     /// Scheduling steps taken (including forced moves).
     pub steps: u64,
     /// The schedule wedged: no thread ready, at least one blocked.
@@ -116,6 +218,8 @@ impl Controller {
                 current: None,
                 decider,
                 trace: Vec::new(),
+                records: Vec::new(),
+                pending: Vec::new(),
                 steps: 0,
                 max_steps,
                 abort: false,
@@ -133,6 +237,7 @@ impl Controller {
         let mut st = self.st.lock();
         assert!(st.threads.is_empty(), "register_main called twice");
         st.threads.push(ThState::Running);
+        st.pending.push(Vec::new());
         st.os.insert(std::thread::current().id(), 0);
         st.current = Some(0);
     }
@@ -148,6 +253,7 @@ impl Controller {
         self.cv.notify_all();
         ScheduleTrace {
             choices: st.trace.clone(),
+            records: st.records.clone(),
             steps: st.steps,
             deadlock: st.deadlock,
             runaway: st.runaway,
@@ -194,9 +300,23 @@ impl Controller {
                 chosen: idx as u32,
                 alternatives: ready.len() as u32,
             });
+            // Open a new segment: snapshot who was ready and what each had
+            // announced; the segment footprint accumulates from here until
+            // the next recorded decision.
+            let record = StepRecord {
+                ready: ready.iter().map(|&t| t as u32).collect(),
+                pending: ready.iter().map(|&t| st.pending[t].clone()).collect(),
+                chosen: ready[idx] as u32,
+                events: Vec::new(),
+            };
+            st.records.push(record);
             idx
         };
         let tid = ready[idx];
+        // The granted thread now performs its announced action; its
+        // footprint lands in the segment just opened (recorded decision) or
+        // the ongoing one (forced move).
+        st.consume_pending(tid);
         st.threads[tid] = ThState::Running;
         st.current = Some(tid);
         self.cv.notify_all();
@@ -217,6 +337,24 @@ impl Controller {
     }
 }
 
+/// How a [`SchedPoint`]'s announced footprint relates to its yield: does it
+/// describe the action *just performed* (attribute to the current segment),
+/// the action the thread performs *when next granted* (announce as
+/// pending), or both sides of the yield?
+fn attribution(point: SchedPoint) -> (bool, bool) {
+    match point {
+        // Yield precedes taking the spawn lock / running admission.
+        SchedPoint::Spawn | SchedPoint::Admission { .. } => (false, true),
+        // The queue pop / version bump / overlay commit already happened.
+        SchedPoint::TaskDequeue { .. }
+        | SchedPoint::EarlyRelease { .. }
+        | SchedPoint::OccCommit { .. } => (true, false),
+        // The attempt read its cells (before) and will validate or re-run
+        // against them (after).
+        SchedPoint::OccValidate { .. } | SchedPoint::OccRetry { .. } => (true, true),
+    }
+}
+
 impl SchedHook for Controller {
     fn on_thread_spawn(&self) -> u64 {
         let mut st = self.st.lock();
@@ -225,6 +363,7 @@ impl SchedHook for Controller {
         }
         let tid = st.threads.len();
         st.threads.push(ThState::Ready);
+        st.pending.push(Vec::new());
         let token = st.next_token;
         st.next_token += 1;
         st.tokens.insert(token, tid);
@@ -256,7 +395,11 @@ impl SchedHook for Controller {
         }
     }
 
-    fn yield_point(&self, _point: SchedPoint) {
+    fn yield_point(&self, point: SchedPoint) {
+        self.yield_point_with(point, &[]);
+    }
+
+    fn yield_point_with(&self, point: SchedPoint, footprint: &[SchedResource]) {
         let mut st = self.st.lock();
         if st.abort {
             return;
@@ -267,10 +410,28 @@ impl SchedHook for Controller {
             Some(tid),
             "yield from a thread without the turn"
         );
+        let (now, pend) = attribution(point);
+        if now {
+            st.touch_all(tid, footprint);
+        }
+        if pend {
+            st.pending[tid] = footprint.to_vec();
+        }
         st.threads[tid] = ThState::Ready;
         st.current = None;
         self.schedule(&mut st);
         self.wait_turn(&mut st, tid);
+    }
+
+    fn note(&self, resource: SchedResource) {
+        let mut st = self.st.lock();
+        if st.abort {
+            return;
+        }
+        let Some(tid) = self.lookup(&st) else { return };
+        // A silent access between yields: part of the ongoing segment's
+        // footprint, no rescheduling.
+        st.touch(tid, resource);
     }
 
     fn block(&self, resource: SchedResource) {
@@ -290,6 +451,10 @@ impl SchedHook for Controller {
             Some(tid),
             "block from a thread without the turn"
         );
+        // The failed predicate check read the resource now; the re-check on
+        // wake-up reads it again, so it is also the announced next action.
+        st.touch(tid, resource);
+        st.pending[tid] = vec![resource];
         st.threads[tid] = ThState::Blocked(resource);
         st.current = None;
         self.schedule(&mut st);
@@ -304,6 +469,9 @@ impl SchedHook for Controller {
         }
         // The signaller keeps its turn; woken threads become ready and will
         // re-check their predicates when scheduled.
+        if let Some(tid) = self.lookup(&st) {
+            st.touch(tid, resource);
+        }
         for s in st.threads.iter_mut() {
             if *s == ThState::Blocked(resource) {
                 *s = ThState::Ready;
@@ -371,6 +539,58 @@ mod tests {
         ctrl.block(SchedResource::Quiesce);
         let trace = ctrl.finish();
         assert!(trace.deadlock);
+    }
+
+    #[test]
+    fn step_records_carry_footprints() {
+        // Main spawns a helper; both yield at annotated points. The
+        // recorded decisions must carry ready sets, announced pendings,
+        // and segment footprints.
+        let pid = {
+            let mut b = samoa_core::StackBuilder::new();
+            b.protocol("P")
+        };
+        let ctrl = Controller::new(Box::new(PrefixDecider::new(vec![1, 1])), 1000);
+        ctrl.register_main();
+        let token = ctrl.on_thread_spawn();
+        let h2 = ctrl.clone();
+        let t = std::thread::spawn(move || {
+            h2.on_thread_start(token);
+            // Announces Version(0) as the helper's next action.
+            h2.yield_point_with(
+                SchedPoint::Admission {
+                    comp: 1,
+                    protocol: pid,
+                },
+                &[SchedResource::Version(0)],
+            );
+            h2.signal(SchedResource::Version(0));
+            h2.on_thread_exit();
+        });
+        // Main: an annotated pre-action yield (Spawn → SpawnLock pending).
+        ctrl.yield_point_with(SchedPoint::Spawn, &[SchedResource::SpawnLock]);
+        ctrl.yield_point_with(SchedPoint::Spawn, &[SchedResource::SpawnLock]);
+        ctrl.yield_point_with(SchedPoint::Spawn, &[SchedResource::SpawnLock]);
+        let trace = ctrl.finish();
+        t.join().unwrap();
+        assert_eq!(trace.records.len(), trace.choices.len());
+        // Every recorded decision has parallel ready/pending lists and a
+        // chosen thread drawn from the ready set.
+        for r in &trace.records {
+            assert_eq!(r.ready.len(), r.pending.len());
+            assert!(r.ready.contains(&r.chosen));
+            assert!(r.ready.len() >= 2);
+        }
+        // The SpawnLock announcements were consumed into segments where
+        // main ran, and the helper's Version(0) shows up both as an
+        // announced pending and in an executed footprint (signal).
+        let all_fp: Vec<SchedResource> = trace.records.iter().flat_map(|r| r.footprint()).collect();
+        assert!(all_fp.contains(&SchedResource::SpawnLock));
+        assert!(all_fp.contains(&SchedResource::Version(0)));
+        assert!(trace.records.iter().any(|r| r
+            .pending
+            .iter()
+            .any(|p| p.contains(&SchedResource::Version(0)))));
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //! every run for isolation violations and scenario invariants, and — on
 //! failure — produce a minimised, replayable [`Witness`].
 
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use samoa_core::IsolationViolation;
 
 use crate::controller::{Controller, ScheduleTrace};
+use crate::dpor::DporSearch;
 use crate::scenarios::{RunReport, Scenario};
 use crate::strategy::{Decider, PctDecider, PrefixDecider, RandomDecider};
 
@@ -28,6 +30,13 @@ pub enum Strategy {
     /// Exhaustive bounded depth-first enumeration of the choice tree.
     /// Stops early when the space is exhausted.
     Exhaustive,
+    /// Dynamic partial-order reduction ([`crate::dpor`]): like
+    /// [`Strategy::Exhaustive`] it covers the whole bounded space, but it
+    /// skips schedules equivalent to one already run — two interleavings
+    /// that differ only in the order of steps with disjoint resource
+    /// footprints reach the same state. Typically orders of magnitude
+    /// fewer runs for the same set of reachable failures.
+    Dpor,
 }
 
 impl std::fmt::Display for Strategy {
@@ -36,6 +45,7 @@ impl std::fmt::Display for Strategy {
             Strategy::Random { seed } => write!(f, "random(seed={seed})"),
             Strategy::Pct { seed, depth } => write!(f, "pct(seed={seed}, depth={depth})"),
             Strategy::Exhaustive => write!(f, "exhaustive"),
+            Strategy::Dpor => write!(f, "dpor"),
         }
     }
 }
@@ -78,6 +88,26 @@ pub enum Failure {
     Deadlock,
     /// The run exceeded the scheduling-step budget.
     Runaway,
+}
+
+impl Failure {
+    /// A canonical, schedule-independent key for deduplication: the sorted
+    /// precedence cycle for isolation violations, the message for invariant
+    /// violations, the kind alone for aborts. Two schedules exhibiting the
+    /// same underlying bug map to the same signature, so
+    /// [`Explorer::sweep`]'s failure sets are comparable across strategies.
+    pub fn signature(&self) -> String {
+        match self {
+            Failure::Isolation(v) => {
+                let mut cycle = v.cycle.clone();
+                cycle.sort_unstable();
+                format!("isolation:{cycle:?}")
+            }
+            Failure::Invariant(s) => format!("invariant:{s}"),
+            Failure::Deadlock => "deadlock".to_string(),
+            Failure::Runaway => "runaway".to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for Failure {
@@ -126,8 +156,99 @@ pub struct Exploration {
     pub schedules_run: usize,
     /// The first failure found, already minimised if configured.
     pub violation: Option<Witness>,
-    /// Exhaustive search visited the whole bounded space.
+    /// Exhaustive/DPOR search visited the whole bounded space.
     pub exhausted: bool,
+}
+
+/// What a [`Explorer::sweep`] did: like [`Exploration`], but the search
+/// keeps going past failures and collects every *distinct* one
+/// (deduplicated by [`Failure::signature`]).
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Schedules actually run.
+    pub schedules_run: usize,
+    /// One witness per distinct failure signature, in discovery order.
+    pub failures: Vec<Witness>,
+    /// Exhaustive/DPOR search visited the whole bounded space — the
+    /// failure set is *complete* for the bounded scenario.
+    pub exhausted: bool,
+}
+
+/// The per-strategy schedule source shared by [`Explorer::explore`] and
+/// [`Explorer::sweep`]: hands out a decider per run, folds each finished
+/// trace back in, and knows when the space is exhausted.
+enum Gen {
+    Random {
+        seed: u64,
+    },
+    Pct {
+        seed: u64,
+        depth: usize,
+        horizon: usize,
+    },
+    Exhaustive {
+        prefix: Vec<u32>,
+    },
+    Dpor {
+        search: DporSearch,
+    },
+}
+
+impl Gen {
+    fn new(strategy: Strategy) -> Gen {
+        match strategy {
+            Strategy::Random { seed } => Gen::Random { seed },
+            Strategy::Pct { seed, depth } => Gen::Pct {
+                seed,
+                depth,
+                horizon: 64,
+            },
+            Strategy::Exhaustive => Gen::Exhaustive { prefix: Vec::new() },
+            Strategy::Dpor => Gen::Dpor {
+                search: DporSearch::new(),
+            },
+        }
+    }
+
+    fn decider(&self, i: usize) -> Box<dyn Decider> {
+        match self {
+            Gen::Random { seed } => Box::new(RandomDecider::new(seed.wrapping_add(i as u64))),
+            Gen::Pct {
+                seed,
+                depth,
+                horizon,
+            } => Box::new(PctDecider::new(
+                seed.wrapping_add(i as u64),
+                *depth,
+                *horizon,
+            )),
+            Gen::Exhaustive { prefix } => Box::new(PrefixDecider::new(prefix.clone())),
+            Gen::Dpor { search } => Box::new(PrefixDecider::new(search.prefix())),
+        }
+    }
+
+    /// Fold a finished run in; `true` when the whole bounded space has
+    /// been visited and no further run is useful.
+    fn observe(&mut self, trace: &ScheduleTrace) -> bool {
+        match self {
+            Gen::Random { .. } => false,
+            Gen::Pct { horizon, .. } => {
+                *horizon = trace.choices.len().max(16);
+                false
+            }
+            Gen::Exhaustive { prefix } => match next_prefix(trace) {
+                Some(p) => {
+                    *prefix = p;
+                    false
+                }
+                None => true,
+            },
+            Gen::Dpor { search } => {
+                search.record(trace);
+                search.advance().is_none()
+            }
+        }
+    }
 }
 
 /// Runs scenarios under controlled schedules.
@@ -137,24 +258,11 @@ impl Explorer {
     /// Run `scenario` for up to `cfg.schedules` schedules; stop at the
     /// first failure.
     pub fn explore(scenario: &dyn Scenario, cfg: &ExplorerConfig) -> Exploration {
-        let mut prefix: Vec<u32> = Vec::new(); // exhaustive-mode cursor
-        let mut pct_horizon: usize = 64;
+        let mut generator = Gen::new(cfg.strategy);
         let mut runs = 0;
         for i in 0..cfg.schedules {
-            let decider: Box<dyn Decider> = match cfg.strategy {
-                Strategy::Random { seed } => {
-                    Box::new(RandomDecider::new(seed.wrapping_add(i as u64)))
-                }
-                Strategy::Pct { seed, depth } => Box::new(PctDecider::new(
-                    seed.wrapping_add(i as u64),
-                    depth,
-                    pct_horizon,
-                )),
-                Strategy::Exhaustive => Box::new(PrefixDecider::new(prefix.clone())),
-            };
-            let (report, trace) = run_once(scenario, decider, cfg.max_steps);
+            let (report, trace) = run_once(scenario, generator.decider(i), cfg.max_steps);
             runs = i + 1;
-            pct_horizon = trace.choices.len().max(16);
             if let Some(failure) = classify(&report, &trace) {
                 let mut choices: Vec<u32> = trace.choices.iter().map(|c| c.chosen).collect();
                 if cfg.minimise {
@@ -172,23 +280,61 @@ impl Explorer {
                     exhausted: false,
                 };
             }
-            if cfg.strategy == Strategy::Exhaustive {
-                match next_prefix(&trace) {
-                    Some(p) => prefix = p,
-                    None => {
-                        return Exploration {
-                            schedules_run: runs,
-                            violation: None,
-                            exhausted: true,
-                        }
-                    }
-                }
+            if generator.observe(&trace) {
+                return Exploration {
+                    schedules_run: runs,
+                    violation: None,
+                    exhausted: true,
+                };
             }
         }
         Exploration {
             schedules_run: runs,
             violation: None,
             exhausted: false,
+        }
+    }
+
+    /// Run `scenario` like [`explore`](Explorer::explore), but *keep
+    /// going* past failures and collect one witness per distinct
+    /// [`Failure::signature`]. With [`Strategy::Exhaustive`] or
+    /// [`Strategy::Dpor`] and a sufficient budget, the returned failure
+    /// set is complete for the bounded scenario — which is what makes the
+    /// two strategies comparable: DPOR must find exactly the exhaustive
+    /// failure set in (usually far) fewer schedules.
+    pub fn sweep(scenario: &dyn Scenario, cfg: &ExplorerConfig) -> Sweep {
+        let mut generator = Gen::new(cfg.strategy);
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut failures: Vec<Witness> = Vec::new();
+        let mut runs = 0;
+        let mut exhausted = false;
+        for i in 0..cfg.schedules {
+            let (report, trace) = run_once(scenario, generator.decider(i), cfg.max_steps);
+            runs = i + 1;
+            if let Some(failure) = classify(&report, &trace) {
+                if seen.insert(failure.signature()) {
+                    let mut choices: Vec<u32> = trace.choices.iter().map(|c| c.chosen).collect();
+                    if cfg.minimise {
+                        choices = minimise(scenario, choices, &failure, cfg.max_steps);
+                    }
+                    failures.push(Witness {
+                        scenario: scenario.name().to_string(),
+                        strategy: cfg.strategy,
+                        schedule_index: i,
+                        choices,
+                        failure,
+                    });
+                }
+            }
+            if generator.observe(&trace) {
+                exhausted = true;
+                break;
+            }
+        }
+        Sweep {
+            schedules_run: runs,
+            failures,
+            exhausted,
         }
     }
 
@@ -254,10 +400,27 @@ fn next_prefix(trace: &ScheduleTrace) -> Option<Vec<u32>> {
     None
 }
 
+/// Strip trailing zeros: they are no-ops for the prefix decider (it picks
+/// 0 past the end anyway), so this is the canonical form of a prefix.
+fn canonical(mut choices: Vec<u32>) -> Vec<u32> {
+    while choices.last() == Some(&0) {
+        choices.pop();
+    }
+    choices
+}
+
 /// Greedy witness shrinking: try deleting each choice (from the back — late
 /// choices are most likely incidental), keep deletions that preserve a
-/// failure of the same kind. Every candidate is validated by a full replay,
-/// so the result is guaranteed to still fail.
+/// failure of the same kind. Every kept deletion is validated by a full
+/// replay, so the result is guaranteed to still fail.
+///
+/// Replays are memoised on the controller's *effective* decision log: a
+/// deletion candidate is an arbitrary prefix, but the run it induces is
+/// fully described by the choices the controller actually recorded
+/// (out-of-range entries are clamped, entries past the last decision are
+/// ignored). Distinct candidates frequently collapse onto the same
+/// effective log — especially near the tail — so caching both the
+/// candidate and its effective log skips whole re-runs of the scenario.
 fn minimise(
     scenario: &dyn Scenario,
     mut choices: Vec<u32>,
@@ -273,26 +436,38 @@ fn minimise(
                 | (Failure::Runaway, Failure::Runaway)
         )
     };
+    // canonical(candidate) → "replaying it fails with the original kind".
+    let mut cache: HashMap<Vec<u32>, bool> = HashMap::new();
+    cache.insert(canonical(choices.clone()), true);
     let mut i = choices.len();
     while i > 0 {
         i -= 1;
         let mut candidate = choices.clone();
         candidate.remove(i);
-        let (report, trace) = run_once(
-            scenario,
-            Box::new(PrefixDecider::new(candidate.clone())),
-            max_steps,
-        );
-        if classify(&report, &trace).as_ref().is_some_and(same_kind) {
+        let key = canonical(candidate.clone());
+        let fails = match cache.get(&key) {
+            Some(&hit) => hit,
+            None => {
+                let (report, trace) = run_once(
+                    scenario,
+                    Box::new(PrefixDecider::new(candidate.clone())),
+                    max_steps,
+                );
+                let fails = classify(&report, &trace).as_ref().is_some_and(same_kind);
+                // The effective log describes the same run as the
+                // candidate — future candidates that collapse onto it are
+                // settled without replaying.
+                let effective: Vec<u32> = trace.choices.iter().map(|c| c.chosen).collect();
+                cache.insert(canonical(effective), fails);
+                cache.insert(key, fails);
+                fails
+            }
+        };
+        if fails {
             choices = candidate;
         }
     }
-    // Trailing zeros are no-ops for the prefix decider (it picks 0 past the
-    // end anyway): strip them for a canonical witness.
-    while choices.last() == Some(&0) {
-        choices.pop();
-    }
-    choices
+    canonical(choices)
 }
 
 #[cfg(test)]
@@ -310,6 +485,7 @@ mod tests {
                     alternatives,
                 })
                 .collect(),
+            records: Vec::new(),
             steps: 0,
             deadlock: false,
             runaway: false,

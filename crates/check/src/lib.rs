@@ -38,14 +38,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod controller;
+pub mod dpor;
 pub mod explorer;
 pub mod scenarios;
 pub mod strategy;
 
-pub use controller::{ChoiceRecord, Controller, ScheduleTrace};
-pub use explorer::{Exploration, Explorer, ExplorerConfig, Failure, Strategy, Witness};
+pub use controller::{ChoiceRecord, Controller, ScheduleTrace, SegEvent, StepRecord};
+pub use dpor::{DporSearch, HappensBefore, HbUnit};
+pub use explorer::{Exploration, Explorer, ExplorerConfig, Failure, Strategy, Sweep, Witness};
 pub use scenarios::{
-    DiamondScenario, RunReport, Scenario, ScenarioPolicy, TransportWindowScenario,
+    DiamondScenario, OccScenario, RunReport, Scenario, ScenarioPolicy, TransportWindowScenario,
     ViewChangeScenario,
 };
 pub use strategy::{Decider, PctDecider, PrefixDecider, RandomDecider};

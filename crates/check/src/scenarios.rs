@@ -13,6 +13,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use samoa_core::prelude::*;
+use samoa_core::sched::SchedResource;
 use samoa_core::{History, SchedHook};
 use samoa_net::{NetConfig, SimNet, SiteId};
 use samoa_transport::{Endpoint, TransportConfig, TransportPolicy};
@@ -81,12 +82,23 @@ impl ScenarioPolicy {
 /// violation.
 pub struct DiamondScenario {
     policy: ScenarioPolicy,
+    width: usize,
 }
 
 impl DiamondScenario {
-    /// A diamond workload under `policy`.
+    /// The paper's two-computation diamond under `policy`.
     pub fn new(policy: ScenarioPolicy) -> DiamondScenario {
-        DiamondScenario { policy }
+        DiamondScenario::sized(policy, 2)
+    }
+
+    /// A diamond with `width` concurrent computations, alternating the
+    /// `a0` (via P) and `b0` (via Q) roots. The schedule space grows
+    /// exponentially in `width`, which is what makes it the reduction
+    /// benchmark: at `width ≥ 3` exhaustive enumeration runs tens of
+    /// thousands of schedules where DPOR needs a fraction of them.
+    pub fn sized(policy: ScenarioPolicy, width: usize) -> DiamondScenario {
+        assert!(width >= 1, "diamond needs at least one computation");
+        DiamondScenario { policy, width }
     }
 }
 
@@ -153,13 +165,152 @@ impl Scenario for DiamondScenario {
                 ScenarioPolicy::TwoPhase => rt.spawn(Decl::TwoPhase(&[own, r, s]), body),
             }
         };
-        let _ka = spawn_one(a0, p, h_p);
-        let _kb = spawn_one(b0, q, h_q);
+        for i in 0..self.width {
+            if i % 2 == 0 {
+                spawn_one(a0, p, h_p);
+            } else {
+                spawn_one(b0, q, h_q);
+            }
+        }
         rt.quiesce();
 
         RunReport {
             history: rt.history(),
             invariant_violation: None,
+        }
+    }
+}
+
+/// The OCC rollback search: `threads` computations each increment one
+/// shared [`OccCell`](samoa_core::optimistic::OccCell) through the
+/// optimistic runtime, with validation, commit, and retry exposed as
+/// controlled yield points — the explorer steers which transaction
+/// validates first, driving conflicting attempts down the abort/retry
+/// path.
+///
+/// Two variants:
+///
+/// * **buggy** (`OccScenario::lost_update`): the increment reads the
+///   committed value *outside* the transaction and writes `v + 1` inside
+///   it. A retry re-runs only the transaction body, so the stale read
+///   survives rollback and a schedule that aborts one writer loses its
+///   update — the final count comes up short. The invariant
+///   `final == threads` catches it.
+/// * **correct** (`OccScenario::serialised`): the read happens inside the
+///   transaction, so every retry re-reads. No schedule loses an update,
+///   and backward validation guarantees global progress: an attempt only
+///   aborts because some *other* transaction committed, so per-computation
+///   retries are bounded by `threads − 1`. The scenario checks that bound
+///   too — a livelock probe on the rollback path.
+pub struct OccScenario {
+    threads: usize,
+    buggy: bool,
+}
+
+impl OccScenario {
+    /// The buggy variant: stale read outside the transaction.
+    pub fn lost_update(threads: usize) -> OccScenario {
+        assert!(threads >= 2, "a lost update needs at least two writers");
+        OccScenario {
+            threads,
+            buggy: true,
+        }
+    }
+
+    /// The correct variant: read inside the transaction, retries bounded.
+    pub fn serialised(threads: usize) -> OccScenario {
+        assert!(threads >= 2, "contention needs at least two writers");
+        OccScenario {
+            threads,
+            buggy: false,
+        }
+    }
+}
+
+/// Resource the OCC workers signal completion on (disjoint from any real
+/// computation id).
+const OCC_JOIN: SchedResource = SchedResource::Done(u64::MAX);
+
+impl Scenario for OccScenario {
+    fn name(&self) -> &'static str {
+        if self.buggy {
+            "occ/lost-update"
+        } else {
+            "occ/serialised"
+        }
+    }
+
+    fn run(&self, hook: Arc<dyn SchedHook>) -> RunReport {
+        use samoa_core::optimistic::{OccCell, OccRuntime};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let rt = OccRuntime::with_hook(hook.clone());
+        let cell = OccCell::new(0u64);
+        let finished = Arc::new(AtomicU64::new(0));
+        let max_retries = Arc::new(AtomicU64::new(0));
+
+        let mut handles = Vec::with_capacity(self.threads);
+        for _ in 0..self.threads {
+            let token = hook.on_thread_spawn();
+            let hook = Arc::clone(&hook);
+            let rt = rt.clone();
+            let cell = cell.clone();
+            let finished = Arc::clone(&finished);
+            let max_retries = Arc::clone(&max_retries);
+            let buggy = self.buggy;
+            handles.push(std::thread::spawn(move || {
+                hook.on_thread_start(token);
+                let (_, report) = if buggy {
+                    // Stale read: taken once, outside the transaction, so
+                    // a rollback re-runs the write against an old value.
+                    let v = cell.read_committed(|c| *c);
+                    rt.execute(|tx| {
+                        cell.write(tx, |c| *c = v + 1);
+                        Ok(())
+                    })
+                } else {
+                    rt.execute(|tx| {
+                        let v = cell.read(tx, |c| *c);
+                        cell.write(tx, |c| *c = v + 1);
+                        Ok(())
+                    })
+                }
+                .expect("occ increment cannot fail");
+                max_retries.fetch_max(report.retries, Ordering::Relaxed);
+                finished.fetch_add(1, Ordering::Relaxed);
+                // Wake the main thread; we still hold the turn, so the
+                // count is visible before anyone re-checks it.
+                hook.signal(OCC_JOIN);
+                hook.on_thread_exit();
+            }));
+        }
+        // Cooperative join: re-check then park. Workers only run while
+        // this thread is blocked, so check-then-block cannot lose a
+        // wake-up.
+        while finished.load(Ordering::Relaxed) < self.threads as u64 {
+            hook.block(OCC_JOIN);
+        }
+        for h in handles {
+            h.join().expect("occ worker panicked");
+        }
+
+        let total = cell.read_committed(|c| *c);
+        let mut bad = None;
+        if total != self.threads as u64 {
+            bad = Some(format!(
+                "lost update: {} increments committed {total}",
+                self.threads
+            ));
+        } else if max_retries.load(Ordering::Relaxed) >= self.threads as u64 {
+            bad = Some(format!(
+                "livelock: a transaction retried {} times with only {} writers",
+                max_retries.load(Ordering::Relaxed),
+                self.threads
+            ));
+        }
+        RunReport {
+            history: History::default(),
+            invariant_violation: bad,
         }
     }
 }

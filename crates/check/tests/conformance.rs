@@ -1,0 +1,219 @@
+//! DPOR conformance: on every bounded scenario, the reduced search must
+//! find *exactly* the failures exhaustive enumeration finds — no more, no
+//! fewer — while running at most as many schedules. The reduction claim
+//! itself (≤ 1/5 of exhaustive on a ≥ 10k-schedule space) is pinned by
+//! `dpor_reduction_on_the_wide_diamond`.
+
+use std::collections::BTreeSet;
+
+use samoa_check::{
+    DiamondScenario, Explorer, ExplorerConfig, Failure, OccScenario, Scenario, ScenarioPolicy,
+    Strategy, Sweep, ViewChangeScenario,
+};
+
+fn signatures(sweep: &Sweep) -> BTreeSet<String> {
+    sweep
+        .failures
+        .iter()
+        .map(|w| w.failure.signature())
+        .collect()
+}
+
+/// Sweep `scenario` to exhaustion under both strategies and demand
+/// identical failure sets with DPOR running no more schedules. Returns
+/// (exhaustive runs, dpor runs) for reduction assertions.
+fn conforms(scenario: &dyn Scenario, budget: usize) -> (usize, usize) {
+    let mut cfg = ExplorerConfig::new(budget, Strategy::Exhaustive);
+    cfg.minimise = false;
+    let ex = Explorer::sweep(scenario, &cfg);
+    assert!(
+        ex.exhausted,
+        "{}: exhaustive budget {budget} too small ({} runs)",
+        scenario.name(),
+        ex.schedules_run
+    );
+    cfg.strategy = Strategy::Dpor;
+    let dp = Explorer::sweep(scenario, &cfg);
+    assert!(
+        dp.exhausted,
+        "{}: DPOR did not exhaust within the exhaustive budget ({} runs)",
+        scenario.name(),
+        dp.schedules_run
+    );
+    assert_eq!(
+        signatures(&ex),
+        signatures(&dp),
+        "{}: DPOR failure set differs from exhaustive",
+        scenario.name()
+    );
+    assert!(
+        dp.schedules_run <= ex.schedules_run,
+        "{}: DPOR ran more schedules ({}) than exhaustive ({})",
+        scenario.name(),
+        dp.schedules_run,
+        ex.schedules_run
+    );
+    (ex.schedules_run, dp.schedules_run)
+}
+
+#[test]
+fn diamond_conformance_buggy_and_isolating() {
+    let (_, _) = conforms(&DiamondScenario::new(ScenarioPolicy::Unsync), 1_000);
+    let (_, _) = conforms(&DiamondScenario::new(ScenarioPolicy::VcaBasic), 1_000);
+    let (_, _) = conforms(&DiamondScenario::new(ScenarioPolicy::Serial), 1_000);
+    let (_, _) = conforms(&DiamondScenario::new(ScenarioPolicy::TwoPhase), 1_000);
+}
+
+#[test]
+fn view_change_conformance() {
+    let (_, _) = conforms(&ViewChangeScenario::new(ScenarioPolicy::Unsync, 7), 1_000);
+    let (_, _) = conforms(&ViewChangeScenario::new(ScenarioPolicy::Serial, 7), 1_000);
+}
+
+#[test]
+fn occ_conformance_two_writers() {
+    // The buggy variant loses an update on some schedule; DPOR must find
+    // the same (single) invariant signature.
+    let (ex, dp) = conforms(&OccScenario::lost_update(2), 2_000);
+    assert!(ex > 0 && dp > 0);
+    // The correct variant survives every schedule — including every
+    // rollback/retry interleaving — under both searches.
+    let (_, _) = conforms(&OccScenario::serialised(2), 2_000);
+}
+
+/// The ISSUE acceptance bar: a diamond sized so exhaustive enumeration
+/// explores ≥ 10 000 schedules, where DPOR must explore ≤ 1/5 as many and
+/// still produce the identical violation set. Expensive (exhaustive alone
+/// is > 100k runs), so ignored by default; CI runs it in release via
+/// `--include-ignored`.
+#[test]
+#[ignore = "slow acceptance sweep; run in release via --include-ignored"]
+fn dpor_reduction_on_the_wide_diamond() {
+    let scenario = DiamondScenario::sized(ScenarioPolicy::Unsync, 3);
+    let (ex, dp) = conforms(&scenario, 150_000);
+    assert!(
+        ex >= 10_000,
+        "width-3 diamond space unexpectedly small: {ex} schedules"
+    );
+    assert!(
+        dp * 5 <= ex,
+        "DPOR reduction regressed: {dp} runs vs exhaustive {ex} (need ≤ 1/5)"
+    );
+}
+
+/// OCC lost-update witness regression: the DPOR search deterministically
+/// pins the same minimised witness every time, and that witness replays
+/// to the same failure.
+#[test]
+fn occ_lost_update_witness_is_pinned() {
+    let scenario = OccScenario::lost_update(2);
+    let cfg = ExplorerConfig::new(2_000, Strategy::Dpor);
+    let first = Explorer::explore(&scenario, &cfg)
+        .violation
+        .expect("DPOR must find the lost update");
+    assert!(
+        matches!(first.failure, Failure::Invariant(_)),
+        "expected an invariant violation, got {}",
+        first.failure
+    );
+    // Deterministic search: a second exploration finds the identical
+    // minimised witness.
+    let second = Explorer::explore(&scenario, &cfg)
+        .violation
+        .expect("second search must also find it");
+    assert_eq!(first.choices, second.choices, "witness not deterministic");
+    assert_eq!(first.failure, second.failure);
+    assert_eq!(first.schedule_index, second.schedule_index);
+    // And it replays: twice, to the same failure.
+    let r1 = Explorer::replay(&scenario, &first).expect("witness must replay");
+    let r2 = Explorer::replay(&scenario, &first).expect("witness must replay again");
+    assert_eq!(r1, first.failure);
+    assert_eq!(r1, r2);
+}
+
+/// The correct OCC variant's retry bound (the livelock probe) holds on
+/// every schedule: exhaustive search certifies it at 2 writers.
+#[test]
+fn occ_serialised_never_livelocks() {
+    let got = Explorer::explore(
+        &OccScenario::serialised(2),
+        &ExplorerConfig::new(2_000, Strategy::Exhaustive),
+    );
+    assert!(
+        got.exhausted,
+        "space not exhausted in {}",
+        got.schedules_run
+    );
+    assert!(
+        got.violation.is_none(),
+        "unexpected failure: {}",
+        got.violation.unwrap()
+    );
+}
+
+/// Witness minimisation memoises replays on the controller's effective
+/// decision log: minimising a diamond witness must replay the scenario
+/// strictly fewer times than the un-memoised bound (one run per deletion
+/// candidate), and the result must still fail.
+#[test]
+fn minimisation_replays_fewer_runs_than_candidates() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Wraps a scenario, counting runs.
+    struct Counting<S> {
+        inner: S,
+        runs: Arc<AtomicUsize>,
+    }
+    impl<S: Scenario> Scenario for Counting<S> {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn run(&self, hook: Arc<dyn samoa_core::SchedHook>) -> samoa_check::RunReport {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            self.inner.run(hook)
+        }
+    }
+
+    // First: same seed with minimisation off, to learn the raw witness
+    // length. Greedy deletion tries one candidate per index of that
+    // trace, so an un-memoised minimiser replays exactly that many times.
+    let raw_len = {
+        let mut cfg = ExplorerConfig::new(500, Strategy::Random { seed: 3 });
+        cfg.minimise = false;
+        Explorer::explore(&DiamondScenario::new(ScenarioPolicy::Unsync), &cfg)
+            .violation
+            .expect("unsync diamond must fail")
+            .choices
+            .len()
+    };
+
+    let runs = Arc::new(AtomicUsize::new(0));
+    let scenario = Counting {
+        inner: DiamondScenario::new(ScenarioPolicy::Unsync),
+        runs: Arc::clone(&runs),
+    };
+    // Same walk with minimisation on (the default).
+    let cfg = ExplorerConfig::new(500, Strategy::Random { seed: 3 });
+    let got = Explorer::explore(&scenario, &cfg);
+    let witness = got.violation.expect("unsync diamond must fail");
+    let minimisation_replays = runs.load(Ordering::Relaxed) - got.schedules_run;
+    assert!(
+        Explorer::replay(&scenario, &witness).is_some(),
+        "minimised witness must still fail"
+    );
+    assert!(
+        minimisation_replays > 0,
+        "minimisation did not run at all — test is vacuous"
+    );
+    assert!(witness.choices.len() < raw_len, "nothing was shrunk");
+    // The memoisation claim: candidates settled by the canonical /
+    // effective-decision-log cache are not replayed, so minimisation
+    // replays strictly fewer schedules than the one-per-candidate bound
+    // an un-memoised greedy pass would pay.
+    assert!(
+        minimisation_replays < raw_len,
+        "memoisation regressed: {minimisation_replays} replays for a \
+         {raw_len}-choice trace (un-memoised bound)"
+    );
+}

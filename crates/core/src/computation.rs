@@ -244,7 +244,10 @@ impl ComputationInner {
     pub(crate) fn worker_loop(self: &Arc<Self>) {
         while let Some(task) = self.next_task() {
             if let Some(h) = &self.rt.hook {
-                h.yield_point(SchedPoint::TaskDequeue { comp: self.id });
+                h.yield_point_with(
+                    SchedPoint::TaskDequeue { comp: self.id },
+                    &[SchedResource::Queue(self.id)],
+                );
             }
             self.run_task(task);
             self.release_pending();
@@ -372,10 +375,21 @@ impl ComputationInner {
         if let Some(h) = &self.rt.hook {
             // Admission is a decision point even for Unsync (no wait, but
             // the handler-boundary interleaving is what exploration needs).
-            h.yield_point(SchedPoint::Admission {
-                comp: self.id,
-                protocol: pid,
-            });
+            // The footprint names the protocol about to be entered — its
+            // version cell for the versioning family, its lock slot for
+            // 2PL — standing for the handler's state accesses too.
+            let fp = if self.spec.mode == CompMode::Locked {
+                SchedResource::Lock(pid.index() as u32)
+            } else {
+                SchedResource::Version(pid.index() as u32)
+            };
+            h.yield_point_with(
+                SchedPoint::Admission {
+                    comp: self.id,
+                    protocol: pid,
+                },
+                &[fp],
+            );
         }
 
         // ---- Rule 2: admission ----
@@ -535,11 +549,14 @@ impl ComputationInner {
                         });
                     }
                     if let Some(hk) = &self.rt.hook {
-                        hk.yield_point(SchedPoint::EarlyRelease {
-                            comp: self.id,
-                            protocol: pid,
-                            reason: ReleaseReason::BoundVisit,
-                        });
+                        hk.yield_point_with(
+                            SchedPoint::EarlyRelease {
+                                comp: self.id,
+                                protocol: pid,
+                                reason: ReleaseReason::BoundVisit,
+                            },
+                            &[SchedResource::Version(pid.index() as u32)],
+                        );
                     }
                 }
                 CompMode::Route => {
@@ -584,11 +601,14 @@ impl ComputationInner {
                 });
             }
             if let Some(hk) = &self.rt.hook {
-                hk.yield_point(SchedPoint::EarlyRelease {
-                    comp: self.id,
-                    protocol: p,
-                    reason: ReleaseReason::RouteUnreachable,
-                });
+                hk.yield_point_with(
+                    SchedPoint::EarlyRelease {
+                        comp: self.id,
+                        protocol: p,
+                        reason: ReleaseReason::RouteUnreachable,
+                    },
+                    &[SchedResource::Version(p.index() as u32)],
+                );
             }
         }
     }

@@ -88,6 +88,12 @@ impl Ctx {
     /// [`ProtocolState::read_with`](crate::protocol::ProtocolState::read_with)).
     pub(crate) fn note_state_access(&self, pid: ProtocolId, write: bool) {
         self.comp.rt.history.record_access(self.comp.id, pid, write);
+        if let Some(h) = &self.comp.rt.hook {
+            // Dependence instrumentation: the access belongs to the current
+            // scheduling step's footprint (the state lives under the
+            // microprotocol's version resource), but it is not a yield.
+            h.note(crate::sched::SchedResource::Version(pid.index() as u32));
+        }
     }
 
     fn handlers_for(&self, event: EventType) -> &[HandlerId] {

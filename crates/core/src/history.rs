@@ -229,9 +229,25 @@ pub fn check_serializable(accesses: &[Access]) -> Result<Vec<CompId>, IsolationV
         return Ok(order);
     }
 
-    // A cycle exists among nodes with nonzero residual in-degree; walk
-    // successors within that set until a node repeats.
-    let in_cycle: Vec<bool> = (0..n).map(|i| indeg_mut[i] > 0).collect();
+    // A cycle exists among nodes with nonzero residual in-degree — but that
+    // set also contains acyclic nodes *downstream* of a cycle (never
+    // processed because a cyclic predecessor never released them). Prune
+    // nodes with no successor inside the set until a fixpoint: what remains
+    // is exactly the union of the cycles, where every node has an in-set
+    // successor and the walk below must revisit one.
+    let mut in_cycle: Vec<bool> = (0..n).map(|i| indeg_mut[i] > 0).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if in_cycle[i] && !succ[i].iter().any(|&j| in_cycle[j]) {
+                in_cycle[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
     let start = (0..n).find(|&i| in_cycle[i]).expect("cycle node exists");
     let mut seen_at: HashMap<usize, usize> = HashMap::new();
     let mut path = vec![start];

@@ -36,7 +36,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use crate::error::{Result, SamoaError};
-use crate::sched::{SchedHook, SchedPoint};
+use crate::sched::{SchedHook, SchedPoint, SchedResource};
 use crate::trace::{self, TraceKind, TraceSink};
 
 /// A shared state cell managed by optimistic concurrency control.
@@ -268,13 +268,30 @@ impl OccRuntime {
                 trace::deliver(sink, *epoch, TraceKind::OccValidate { tx: tx_id, cells });
             }
             if let Some(h) = &self.inner.hook {
-                h.yield_point(SchedPoint::OccValidate { tx: tx_id });
+                // The footprint is the validation set: the attempt just read
+                // these cells and is about to validate/commit against them.
+                let cells: Vec<SchedResource> = tx
+                    .touched
+                    .borrow()
+                    .keys()
+                    .map(|&id| SchedResource::OccCell(id))
+                    .collect();
+                h.yield_point_with(SchedPoint::OccValidate { tx: tx_id }, &cells);
             }
             // Validate + commit atomically.
             let _commit = self.inner.commit_lock.lock();
             let touched = tx.touched.into_inner();
             let valid = touched.values().all(|e| e.cell.version() == e.seen_version);
             if valid {
+                let written: Vec<SchedResource> = if self.inner.hook.is_some() {
+                    touched
+                        .iter()
+                        .filter(|(_, e)| e.written)
+                        .map(|(&id, _)| SchedResource::OccCell(id))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 for (_, e) in touched {
                     if e.written {
                         e.cell.commit_overlay(e.overlay);
@@ -289,10 +306,19 @@ impl OccRuntime {
                     trace::deliver(sink, *epoch, TraceKind::OccCommit { tx: tx_id, retries });
                 }
                 if let Some(h) = &self.inner.hook {
-                    h.yield_point(SchedPoint::OccCommit { tx: tx_id });
+                    // Footprint: the cells the commit just wrote.
+                    h.yield_point_with(SchedPoint::OccCommit { tx: tx_id }, &written);
                 }
                 return Ok((out, OccReport { retries }));
             }
+            let stale: Vec<SchedResource> = if self.inner.hook.is_some() {
+                touched
+                    .keys()
+                    .map(|&id| SchedResource::OccCell(id))
+                    .collect()
+            } else {
+                Vec::new()
+            };
             drop(_commit);
             retries += 1;
             if let Some((sink, epoch)) = &self.inner.trace {
@@ -306,10 +332,15 @@ impl OccRuntime {
                 );
             }
             if let Some(h) = &self.inner.hook {
-                h.yield_point(SchedPoint::OccRetry {
-                    tx: tx_id,
-                    attempt: retries,
-                });
+                // Footprint: the validation set the aborted attempt read —
+                // the retry is about to re-read (and re-write) those cells.
+                h.yield_point_with(
+                    SchedPoint::OccRetry {
+                        tx: tx_id,
+                        attempt: retries,
+                    },
+                    &stale,
+                );
             }
             if retries > 1_000_000 {
                 return Err(SamoaError::protocol(

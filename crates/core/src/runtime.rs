@@ -589,7 +589,7 @@ impl Runtime {
 
     fn spawn_comp(&self, decl: &Decl<'_>) -> Arc<ComputationInner> {
         if let Some(h) = &self.inner.hook {
-            h.yield_point(SchedPoint::Spawn);
+            h.yield_point_with(SchedPoint::Spawn, &[SchedResource::SpawnLock]);
         }
         let id = self.inner.comp_seq.fetch_add(1, Ordering::SeqCst) + 1;
         self.inner.stats.spawned.fetch_add(1, Ordering::Relaxed);

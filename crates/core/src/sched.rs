@@ -102,8 +102,12 @@ pub enum ReleaseReason {
 }
 
 /// A waitable resource inside the runtime, identifying *what* a
-/// cooperatively blocked thread is waiting for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// cooperatively blocked thread is waiting for — and, for dependence-aware
+/// exploration (DPOR), *what shared state* a scheduling step touches. The
+/// `Version`/`Lock` variants stand for the microprotocol as a whole (its
+/// version counters *and* its local state, which admission guards), so two
+/// steps conflict exactly when they name a common resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SchedResource {
     /// The local version counter (`lv_p`) of the microprotocol with this
     /// index: admission waits (Rule 2) and completion upgrades (Rule 3).
@@ -116,6 +120,14 @@ pub enum SchedResource {
     Done(CompId),
     /// The runtime's active-computation count: `quiesce` waiters.
     Quiesce,
+    /// Rule 1's atomicity domain: the global spawn lock and the `gv`
+    /// counters it allocates pre-versions from. Every pair of spawns
+    /// conflicts (their order decides computation age).
+    SpawnLock,
+    /// One shared [`OccCell`](crate::optimistic::OccCell), by cell id: the
+    /// members of an optimistic transaction's validation set. Two
+    /// transactions conflict iff their validation sets intersect.
+    OccCell(u64),
 }
 
 /// Instrumentation hook for schedule control (see module docs).
@@ -142,6 +154,33 @@ pub trait SchedHook: Send + Sync {
     /// A scheduling decision point was reached by the calling thread.
     fn yield_point(&self, point: SchedPoint) {
         let _ = point;
+    }
+
+    /// A scheduling decision point, annotated with its resource footprint:
+    /// the [`SchedResource`]s the surrounding action touches. Two steps of
+    /// different threads are *dependent* — their order can matter — iff
+    /// their footprints intersect; that relation is what a partial-order-
+    /// reducing explorer prunes with. Whether the footprint describes the
+    /// action *before* or *after* the yield is fixed per [`SchedPoint`]
+    /// (e.g. `Admission` announces the upcoming handler's protocol,
+    /// `TaskDequeue` reports the queue pop that just happened); a consumer
+    /// that cares — the `samoa-check` controller — attributes it
+    /// accordingly. The default forwards to [`SchedHook::yield_point`], so
+    /// footprint-oblivious hooks need not change.
+    fn yield_point_with(&self, point: SchedPoint, footprint: &[SchedResource]) {
+        let _ = footprint;
+        self.yield_point(point);
+    }
+
+    /// A silent resource touch: the calling thread accessed `resource`
+    /// *without* reaching a scheduling decision point — e.g. a handler
+    /// body reading or writing a microprotocol's local state between
+    /// yields. Dependence-aware exploration needs these accesses in the
+    /// current step's footprint (two unsynchronised handlers touching the
+    /// same state conflict even though no yield separates the accesses),
+    /// but they must never reschedule, so this is not a yield.
+    fn note(&self, resource: SchedResource) {
+        let _ = resource;
     }
 
     /// Cooperative block: the calling thread found its wait predicate false
@@ -188,9 +227,28 @@ mod tests {
             SchedResource::Queue(1),
             SchedResource::Done(1),
             SchedResource::Quiesce,
+            SchedResource::SpawnLock,
+            SchedResource::OccCell(0),
+            SchedResource::OccCell(1),
         ]
         .into_iter()
         .collect();
-        assert_eq!(set.len(), 6);
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn yield_point_with_defaults_to_plain_yield() {
+        // A hook that only overrides `yield_point` still sees annotated
+        // yields through the default forwarding.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct Count(AtomicU32);
+        impl SchedHook for Count {
+            fn yield_point(&self, _point: SchedPoint) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let h = Count(AtomicU32::new(0));
+        h.yield_point_with(SchedPoint::Spawn, &[SchedResource::SpawnLock]);
+        assert_eq!(h.0.load(Ordering::Relaxed), 1);
     }
 }
