@@ -443,13 +443,15 @@ pub fn e6() -> Table {
 
 /// E11 — DPOR reduction ratios: for each bounded checking scenario, the
 /// number of schedules exhaustive enumeration explores vs the DPOR-reduced
-/// search, with the failure sets compared signature-by-signature. A
-/// `match=no` row or a shrinking reduction is a regression in the
-/// dynamic-checking layer.
+/// search, with the failure sets compared signature-by-signature. The
+/// `pruned` column is the static-pruning ratio: the fraction of fallback
+/// backtrack candidates the stack's conflict-matrix-derived
+/// `StaticIndependence` relation suppressed. A `match=no` row or a
+/// shrinking reduction is a regression in the dynamic-checking layer.
 pub fn e11(quick: bool) -> Table {
     use samoa_check::{
-        DiamondScenario, Explorer, ExplorerConfig, OccScenario, Scenario, ScenarioPolicy, Strategy,
-        ViewChangeScenario,
+        DiamondScenario, DisjointClustersScenario, Explorer, ExplorerConfig, OccScenario, Scenario,
+        ScenarioPolicy, Strategy, ViewChangeScenario,
     };
     use std::collections::BTreeSet;
 
@@ -458,6 +460,7 @@ pub fn e11(quick: bool) -> Table {
         "exhaustive",
         "dpor",
         "reduction",
+        "pruned",
         "failures",
         "match",
     ]);
@@ -473,6 +476,10 @@ pub fn e11(quick: bool) -> Table {
         (
             Box::new(ViewChangeScenario::new(ScenarioPolicy::Unsync, 7)),
             1_000,
+        ),
+        (
+            Box::new(DisjointClustersScenario::new(ScenarioPolicy::VcaBasic)),
+            40_000,
         ),
         (Box::new(OccScenario::lost_update(2)), 2_000),
         (Box::new(OccScenario::serialised(2)), 2_000),
@@ -499,6 +506,7 @@ pub fn e11(quick: bool) -> Table {
             ex.schedules_run.to_string(),
             dp.schedules_run.to_string(),
             ratio(ex.schedules_run as f64 / dp.schedules_run.max(1) as f64),
+            format!("{:.2}", dp.pruned_ratio()),
             sigs(&ex).len().to_string(),
             if same { "yes" } else { "NO" }.to_string(),
         ]);

@@ -80,6 +80,13 @@ pub struct StepRecord {
     /// not reached its first annotated yield) — consumers must treat an
     /// unknown footprint as conflicting with everything.
     pub pending: Vec<Vec<SchedResource>>,
+    /// The *static seed* of each ready thread, parallel to `ready`: the
+    /// upper bound, announced at spawn
+    /// ([`SchedHook::on_thread_spawn_with`]), on every resource the thread
+    /// can ever touch. Empty means no seed. Unlike `pending` this bounds
+    /// the thread's **entire future**, not just its next action — the
+    /// stronger guarantee DPOR's static backtrack pruning needs.
+    pub seeds: Vec<Vec<SchedResource>>,
     /// Id of the thread that ran.
     pub chosen: u32,
     /// Per-thread access runs of the segment after this decision, in
@@ -94,6 +101,27 @@ impl StepRecord {
             .iter()
             .position(|&t| t == tid)
             .map(|i| self.pending[i].as_slice())
+    }
+
+    /// The static seed of ready thread `tid`: `None` when `tid` was not
+    /// ready here or spawned without a seed.
+    pub fn seed_of(&self, tid: u32) -> Option<&[SchedResource]> {
+        self.ready
+            .iter()
+            .position(|&t| t == tid)
+            .map(|i| self.seeds[i].as_slice())
+            .filter(|s| !s.is_empty())
+    }
+
+    /// The best known *next-action* footprint of ready thread `tid`: the
+    /// announced pending if non-empty, else the static seed (a sound
+    /// stand-in — the seed over-approximates every action, the next one
+    /// included). `None`/empty means genuinely unknown.
+    pub fn announced_or_seed(&self, tid: u32) -> Option<&[SchedResource]> {
+        match self.pending_of(tid) {
+            Some(p) if !p.is_empty() => Some(p),
+            _ => self.seed_of(tid),
+        }
     }
 
     /// Every resource the whole segment touched, across all its events.
@@ -138,6 +166,13 @@ struct CtrlState {
     /// Per-thread announced next-action footprint, consumed when the thread
     /// is next granted the turn.
     pending: Vec<Vec<SchedResource>>,
+    /// Per-thread *static seed*: the upper bound on every resource the
+    /// thread can ever touch, announced at spawn via
+    /// [`SchedHook::on_thread_spawn_with`]. Unlike `pending` it is never
+    /// consumed into a segment — it is snapshotted verbatim into every
+    /// [`StepRecord`], which is what lets DPOR prove freshly spawned but
+    /// statically disjoint computations independent.
+    static_pending: Vec<Vec<SchedResource>>,
     steps: u64,
     max_steps: u64,
     /// Free-run: all control is released (deadlock, runaway, or shutdown).
@@ -220,6 +255,7 @@ impl Controller {
                 trace: Vec::new(),
                 records: Vec::new(),
                 pending: Vec::new(),
+                static_pending: Vec::new(),
                 steps: 0,
                 max_steps,
                 abort: false,
@@ -238,6 +274,7 @@ impl Controller {
         assert!(st.threads.is_empty(), "register_main called twice");
         st.threads.push(ThState::Running);
         st.pending.push(Vec::new());
+        st.static_pending.push(Vec::new());
         st.os.insert(std::thread::current().id(), 0);
         st.current = Some(0);
     }
@@ -291,6 +328,10 @@ impl Controller {
             self.cv.notify_all();
             return;
         }
+        // Every scheduling step — forced moves included — ticks the
+        // decider, so step-indexed strategies (PCT change points) see the
+        // same clock the step budget counts.
+        st.decider.note_step();
         let idx = if ready.len() == 1 {
             0
         } else {
@@ -300,12 +341,19 @@ impl Controller {
                 chosen: idx as u32,
                 alternatives: ready.len() as u32,
             });
-            // Open a new segment: snapshot who was ready and what each had
-            // announced; the segment footprint accumulates from here until
-            // the next recorded decision.
+            // Open a new segment: snapshot who was ready, what each had
+            // announced, and each thread's static seed; the segment
+            // footprint accumulates from here until the next recorded
+            // decision. Announced pendings describe only the next action —
+            // the seeds bound the thread's whole future, which is what the
+            // DPOR backtrack pruning needs.
             let record = StepRecord {
                 ready: ready.iter().map(|&t| t as u32).collect(),
                 pending: ready.iter().map(|&t| st.pending[t].clone()).collect(),
+                seeds: ready
+                    .iter()
+                    .map(|&t| st.static_pending[t].clone())
+                    .collect(),
                 chosen: ready[idx] as u32,
                 events: Vec::new(),
             };
@@ -320,6 +368,23 @@ impl Controller {
         st.threads[tid] = ThState::Running;
         st.current = Some(tid);
         self.cv.notify_all();
+    }
+
+    /// Register a new controlled thread carrying `seed` as its static
+    /// footprint (empty = unknown); returns the start token.
+    fn spawn_with_seed(&self, seed: Vec<SchedResource>) -> u64 {
+        let mut st = self.st.lock();
+        if st.abort {
+            return 0;
+        }
+        let tid = st.threads.len();
+        st.threads.push(ThState::Ready);
+        st.pending.push(Vec::new());
+        st.static_pending.push(seed);
+        let token = st.next_token;
+        st.next_token += 1;
+        st.tokens.insert(token, tid);
+        token
     }
 
     /// Park until granted the turn (or the controller aborted).
@@ -357,17 +422,11 @@ fn attribution(point: SchedPoint) -> (bool, bool) {
 
 impl SchedHook for Controller {
     fn on_thread_spawn(&self) -> u64 {
-        let mut st = self.st.lock();
-        if st.abort {
-            return 0;
-        }
-        let tid = st.threads.len();
-        st.threads.push(ThState::Ready);
-        st.pending.push(Vec::new());
-        let token = st.next_token;
-        st.next_token += 1;
-        st.tokens.insert(token, tid);
-        token
+        self.spawn_with_seed(Vec::new())
+    }
+
+    fn on_thread_spawn_with(&self, static_footprint: &[SchedResource]) -> u64 {
+        self.spawn_with_seed(static_footprint.to_vec())
     }
 
     fn on_thread_start(&self, token: u64) {
@@ -591,6 +650,42 @@ mod tests {
             .pending
             .iter()
             .any(|p| p.contains(&SchedResource::Version(0)))));
+    }
+
+    #[test]
+    fn static_seed_stands_in_for_unannounced_pending() {
+        // A thread spawned with a static seed has announced nothing yet;
+        // recorded decisions must snapshot the seed as its pending
+        // footprint instead of "unknown".
+        let ctrl = Controller::new(Box::new(PrefixDecider::new(vec![0, 0])), 1000);
+        ctrl.register_main();
+        let token = ctrl.on_thread_spawn_with(&[SchedResource::Version(7)]);
+        let h2 = ctrl.clone();
+        let t = std::thread::spawn(move || {
+            h2.on_thread_start(token);
+            h2.yield_point(SchedPoint::Spawn);
+            h2.on_thread_exit();
+        });
+        ctrl.yield_point(SchedPoint::Spawn);
+        ctrl.yield_point(SchedPoint::Spawn);
+        let trace = ctrl.finish();
+        t.join().unwrap();
+        let rec = trace.records.first().expect("two ready threads: recorded");
+        assert_eq!(
+            rec.pending_of(1),
+            Some(&[][..]),
+            "announced pending stays empty until the first annotated yield"
+        );
+        assert_eq!(
+            rec.seed_of(1),
+            Some(&[SchedResource::Version(7)][..]),
+            "the spawn-time seed must be snapshotted"
+        );
+        assert_eq!(
+            rec.announced_or_seed(1),
+            Some(&[SchedResource::Version(7)][..]),
+            "seed must stand in for the unannounced pending"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::collections::BTreeSet;
 use samoa_core::sched::SchedResource;
 
 use crate::controller::{ScheduleTrace, StepRecord};
+use crate::independence::StaticIndependence;
 
 /// One unit of the happens-before analysis: a thread and the resources
 /// one of its access runs touched.
@@ -176,6 +177,14 @@ pub struct DporSearch {
     next: Vec<u32>,
     schedules_run: usize,
     exhausted: bool,
+    /// Statically-known independence from the stack's conflict matrix;
+    /// `None` disables static pruning (classic DPOR).
+    independence: Option<StaticIndependence>,
+    /// Ready threads considered by the no-initiator fallback, total.
+    fallback_candidates: usize,
+    /// Of those, threads statically proven independent of their race
+    /// window and therefore *not* inserted as backtrack points.
+    fallback_pruned: usize,
 }
 
 impl Default for DporSearch {
@@ -187,12 +196,35 @@ impl Default for DporSearch {
 impl DporSearch {
     /// A fresh search; the first run uses the empty prefix.
     pub fn new() -> DporSearch {
+        DporSearch::with_independence(None)
+    }
+
+    /// A search that prunes with a [`StaticIndependence`] relation: in the
+    /// no-ready-initiator fallback of the race analysis, ready threads
+    /// whose spawn-time static seed is independent of
+    /// the entire race window never seed backtrack points. `None` is
+    /// exactly [`DporSearch::new`].
+    pub fn with_independence(independence: Option<StaticIndependence>) -> DporSearch {
         DporSearch {
             stack: Vec::new(),
             next: Vec::new(),
             schedules_run: 0,
             exhausted: false,
+            independence,
+            fallback_candidates: 0,
+            fallback_pruned: 0,
         }
+    }
+
+    /// Ready threads the no-initiator fallback has considered so far.
+    pub fn fallback_candidates(&self) -> usize {
+        self.fallback_candidates
+    }
+
+    /// Fallback candidates suppressed by static independence — the
+    /// numerator of the *pruned ratio* the benchmarks report.
+    pub fn fallback_pruned(&self) -> usize {
+        self.fallback_pruned
     }
 
     /// The replay prefix for the next run (indices into each decision's
@@ -244,7 +276,7 @@ impl DporSearch {
                         .iter()
                         .chain(pnode.done.iter())
                         .filter(|&&q| {
-                            q != pstep.chosen && known_independent(pstep.pending_of(q), &pfp)
+                            q != pstep.chosen && known_independent(pstep.announced_or_seed(q), &pfp)
                         })
                         .copied()
                         .collect()
@@ -307,12 +339,38 @@ impl DporSearch {
                         cand.insert(unit.tid);
                     }
                 }
-                let node = &mut self.stack[d];
                 if cand.is_empty() {
                     // No initiator is ready at the decision: conservatively
-                    // try everything (the classic fallback).
-                    node.backtrack.extend(ready.iter().copied());
-                } else if cand
+                    // try everything (the classic fallback) — minus threads
+                    // the static relation proves independent of the whole
+                    // race window. Only the *spawn-time seed* licenses this
+                    // prune: it bounds everything the thread will ever
+                    // touch, so the thread commutes with the window and
+                    // cannot flip the race or enable its initiator. An
+                    // announced pending is not enough — it describes only
+                    // the next action, and a later one could interfere.
+                    let window: Vec<SchedResource> = units[e..=f]
+                        .iter()
+                        .flat_map(|u| u.resources.iter().copied())
+                        .collect();
+                    let mut keep: Vec<u32> = Vec::new();
+                    for &q in ready {
+                        self.fallback_candidates += 1;
+                        let pruned = match (self.independence.as_ref(), steps[d].seed_of(q)) {
+                            (Some(si), Some(seed)) => si.sets_independent(seed, &window),
+                            _ => false,
+                        };
+                        if pruned {
+                            self.fallback_pruned += 1;
+                        } else {
+                            keep.push(q);
+                        }
+                    }
+                    self.stack[d].backtrack.extend(keep);
+                    continue;
+                }
+                let node = &mut self.stack[d];
+                if cand
                     .iter()
                     .all(|t| !node.backtrack.contains(t) && !node.done.contains(t))
                 {
@@ -369,6 +427,7 @@ mod tests {
         StepRecord {
             ready: ready.to_vec(),
             pending: ready.iter().map(|_| Vec::new()).collect(),
+            seeds: ready.iter().map(|_| Vec::new()).collect(),
             chosen,
             events: vec![SegEvent {
                 tid: chosen,
@@ -451,6 +510,54 @@ mod tests {
         s.record(&trace_of(vec![only]));
         let next = s.advance().expect("race demands a second run");
         assert_eq!(next, vec![1]);
+    }
+
+    /// Two clusters that never meet: e1 -> a(P), e2 -> c(R). Protocol
+    /// indices: P = 0, R = 1.
+    fn disjoint_relation() -> StaticIndependence {
+        let mut bld = samoa_core::StackBuilder::new();
+        let pp = bld.protocol("P");
+        let pr = bld.protocol("R");
+        let e1 = bld.event("e1");
+        let e2 = bld.event("e2");
+        bld.bind_with_triggers(e1, pp, "a", &[], |_, _| Ok(()));
+        bld.bind_with_triggers(e2, pr, "c", &[], |_, _| Ok(()));
+        let s = bld.build();
+        let (m, _) = samoa_core::analysis::ConflictMatrix::analyze(&s, &[e1, e2]);
+        StaticIndependence::from_matrix(&m)
+    }
+
+    #[test]
+    fn static_independence_prunes_the_no_initiator_fallback() {
+        // Race on V0 between threads 0 and 1, but thread 1 is not ready at
+        // the decision that opened the race: the classic fallback schedules
+        // every ready thread there, including bystander thread 2. With the
+        // static relation and 2's seed naming only the other cluster, the
+        // bystander is pruned and the reduced space is already exhausted.
+        let vr = SchedResource::Version(1);
+        let seeded = |chosen: u32, ready: &[u32], fp: &[SchedResource]| {
+            let mut s = step(chosen, ready, fp);
+            if let Some(i) = s.ready.iter().position(|&t| t == 2) {
+                s.seeds[i] = vec![vr];
+            }
+            s
+        };
+        let steps = vec![seeded(0, &[0, 2], &[V0]), seeded(1, &[1, 2], &[V0])];
+
+        let mut classic = DporSearch::new();
+        classic.record(&trace_of(steps.clone()));
+        assert_eq!(
+            classic.advance(),
+            Some(vec![1]),
+            "classic fallback must still try the bystander"
+        );
+        assert_eq!(classic.fallback_pruned(), 0);
+
+        let mut reduced = DporSearch::with_independence(Some(disjoint_relation()));
+        reduced.record(&trace_of(steps));
+        assert!(reduced.fallback_pruned() > 0, "bystander must be pruned");
+        assert!(reduced.advance().is_none(), "nothing left to backtrack");
+        assert!(reduced.exhausted());
     }
 
     #[test]

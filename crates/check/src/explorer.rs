@@ -9,6 +9,7 @@ use samoa_core::IsolationViolation;
 
 use crate::controller::{Controller, ScheduleTrace};
 use crate::dpor::DporSearch;
+use crate::independence::StaticIndependence;
 use crate::scenarios::{RunReport, Scenario};
 use crate::strategy::{Decider, PctDecider, PrefixDecider, RandomDecider};
 
@@ -172,6 +173,26 @@ pub struct Sweep {
     /// Exhaustive/DPOR search visited the whole bounded space — the
     /// failure set is *complete* for the bounded scenario.
     pub exhausted: bool,
+    /// Under [`Strategy::Dpor`]: ready threads the race analysis'
+    /// no-initiator fallback considered across all runs (0 otherwise).
+    pub backtrack_candidates: usize,
+    /// Under [`Strategy::Dpor`]: of those, threads suppressed by the
+    /// scenario's [`StaticIndependence`] relation. The quotient is the
+    /// *pruned ratio* the benchmarks report.
+    pub backtrack_pruned: usize,
+}
+
+impl Sweep {
+    /// Fraction of fallback backtrack candidates the static relation
+    /// suppressed (`0.0` when the fallback never fired or no relation was
+    /// installed).
+    pub fn pruned_ratio(&self) -> f64 {
+        if self.backtrack_candidates == 0 {
+            0.0
+        } else {
+            self.backtrack_pruned as f64 / self.backtrack_candidates as f64
+        }
+    }
 }
 
 /// The per-strategy schedule source shared by [`Explorer::explore`] and
@@ -195,7 +216,7 @@ enum Gen {
 }
 
 impl Gen {
-    fn new(strategy: Strategy) -> Gen {
+    fn new(strategy: Strategy, independence: Option<StaticIndependence>) -> Gen {
         match strategy {
             Strategy::Random { seed } => Gen::Random { seed },
             Strategy::Pct { seed, depth } => Gen::Pct {
@@ -205,7 +226,7 @@ impl Gen {
             },
             Strategy::Exhaustive => Gen::Exhaustive { prefix: Vec::new() },
             Strategy::Dpor => Gen::Dpor {
-                search: DporSearch::new(),
+                search: DporSearch::with_independence(independence),
             },
         }
     }
@@ -233,7 +254,11 @@ impl Gen {
         match self {
             Gen::Random { .. } => false,
             Gen::Pct { horizon, .. } => {
-                *horizon = trace.choices.len().max(16);
+                // PCT places change points over scheduling *steps* — every
+                // yield point, forced moves included — to match its depth
+                // bound, so the horizon tracks the step count, not the
+                // (much shorter) recorded-decision count.
+                *horizon = (trace.steps as usize).max(16);
                 false
             }
             Gen::Exhaustive { prefix } => match next_prefix(trace) {
@@ -258,7 +283,7 @@ impl Explorer {
     /// Run `scenario` for up to `cfg.schedules` schedules; stop at the
     /// first failure.
     pub fn explore(scenario: &dyn Scenario, cfg: &ExplorerConfig) -> Exploration {
-        let mut generator = Gen::new(cfg.strategy);
+        let mut generator = Gen::new(cfg.strategy, scenario.static_independence());
         let mut runs = 0;
         for i in 0..cfg.schedules {
             let (report, trace) = run_once(scenario, generator.decider(i), cfg.max_steps);
@@ -303,7 +328,7 @@ impl Explorer {
     /// two strategies comparable: DPOR must find exactly the exhaustive
     /// failure set in (usually far) fewer schedules.
     pub fn sweep(scenario: &dyn Scenario, cfg: &ExplorerConfig) -> Sweep {
-        let mut generator = Gen::new(cfg.strategy);
+        let mut generator = Gen::new(cfg.strategy, scenario.static_independence());
         let mut seen: BTreeSet<String> = BTreeSet::new();
         let mut failures: Vec<Witness> = Vec::new();
         let mut runs = 0;
@@ -331,10 +356,16 @@ impl Explorer {
                 break;
             }
         }
+        let (backtrack_candidates, backtrack_pruned) = match &generator {
+            Gen::Dpor { search } => (search.fallback_candidates(), search.fallback_pruned()),
+            _ => (0, 0),
+        };
         Sweep {
             schedules_run: runs,
             failures,
             exhausted,
+            backtrack_candidates,
+            backtrack_pruned,
         }
     }
 

@@ -40,14 +40,16 @@
 pub mod controller;
 pub mod dpor;
 pub mod explorer;
+pub mod independence;
 pub mod scenarios;
 pub mod strategy;
 
 pub use controller::{ChoiceRecord, Controller, ScheduleTrace, SegEvent, StepRecord};
 pub use dpor::{DporSearch, HappensBefore, HbUnit};
 pub use explorer::{Exploration, Explorer, ExplorerConfig, Failure, Strategy, Sweep, Witness};
+pub use independence::StaticIndependence;
 pub use scenarios::{
-    DiamondScenario, OccScenario, RunReport, Scenario, ScenarioPolicy, TransportWindowScenario,
-    ViewChangeScenario,
+    DiamondScenario, DisjointClustersScenario, OccScenario, RunReport, Scenario, ScenarioPolicy,
+    TransportWindowScenario, ViewChangeScenario,
 };
 pub use strategy::{Decider, PctDecider, PrefixDecider, RandomDecider};

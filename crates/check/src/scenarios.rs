@@ -12,11 +12,23 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use samoa_core::analysis::ConflictMatrix;
 use samoa_core::prelude::*;
 use samoa_core::sched::SchedResource;
 use samoa_core::{History, SchedHook};
 use samoa_net::{NetConfig, SimNet, SiteId};
 use samoa_transport::{Endpoint, TransportConfig, TransportPolicy};
+
+use crate::independence::StaticIndependence;
+
+/// Build the [`StaticIndependence`] relation of a stack *shape*: run the
+/// conflict analysis with the given roots and export the matrix. Scenario
+/// shapes must register protocols in the same order as their `run` stacks,
+/// so the raw indices in [`SchedResource`] seeds line up.
+fn relation_of(stack: &Stack, roots: &[EventType]) -> StaticIndependence {
+    let (m, _) = ConflictMatrix::analyze(stack, roots);
+    StaticIndependence::from_matrix(&m)
+}
 
 /// What one controlled run of a scenario produced.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +51,18 @@ pub trait Scenario {
     /// Called from the controller's main thread (thread 0, holding the
     /// turn); must quiesce all spawned computations before returning.
     fn run(&self, hook: Arc<dyn SchedHook>) -> RunReport;
+
+    /// The scenario stack's [`StaticIndependence`] relation, derived from
+    /// its conflict matrix, for DPOR pruning
+    /// ([`DporSearch::with_independence`]). `None` (the default) runs
+    /// classic DPOR. Implementations must keep the analyzed stack's
+    /// protocol order identical to the stack `run` builds, so raw protocol
+    /// indices agree.
+    ///
+    /// [`DporSearch::with_independence`]: crate::dpor::DporSearch::with_independence
+    fn static_independence(&self) -> Option<StaticIndependence> {
+        None
+    }
 }
 
 /// Synchronisation policy a scenario runs its computations under.
@@ -100,6 +124,26 @@ impl DiamondScenario {
         assert!(width >= 1, "diamond needs at least one computation");
         DiamondScenario { policy, width }
     }
+
+    /// The diamond stack's *shape* — same protocol/event registration
+    /// order as [`Scenario::run`]'s stack, noop handlers — plus its root
+    /// events, for static analysis.
+    fn shape() -> (Stack, [EventType; 2]) {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let r = b.protocol("R");
+        let s = b.protocol("S");
+        let a0 = b.event("a0");
+        let b0 = b.event("b0");
+        let to_r = b.event("r");
+        let to_s = b.event("s");
+        b.bind_with_triggers(a0, p, "P", &[to_r], |_, _| Ok(()));
+        b.bind_with_triggers(b0, q, "Q", &[to_r], |_, _| Ok(()));
+        b.bind_with_triggers(to_r, r, "R", &[to_s], |_, _| Ok(()));
+        b.bind_with_triggers(to_s, s, "S", &[], |_, _| Ok(()));
+        (b.build(), [a0, b0])
+    }
 }
 
 impl Scenario for DiamondScenario {
@@ -127,18 +171,22 @@ impl Scenario for DiamondScenario {
         let r_trace = ProtocolState::new(r, Vec::<u64>::new());
         let s_trace = ProtocolState::new(s, Vec::<u64>::new());
 
-        let h_p = b.bind(a0, p, "P", move |ctx, ev| ctx.trigger(to_r, ev.clone()));
-        let h_q = b.bind(b0, q, "Q", move |ctx, ev| ctx.trigger(to_r, ev.clone()));
+        let h_p = b.bind_with_triggers(a0, p, "P", &[to_r], move |ctx, ev| {
+            ctx.trigger(to_r, ev.clone())
+        });
+        let h_q = b.bind_with_triggers(b0, q, "Q", &[to_r], move |ctx, ev| {
+            ctx.trigger(to_r, ev.clone())
+        });
         let h_r = {
             let tr = r_trace.clone();
-            b.bind(to_r, r, "R", move |ctx, ev| {
+            b.bind_with_triggers(to_r, r, "R", &[to_s], move |ctx, ev| {
                 tr.with(ctx, |t| t.push(ctx.comp_id()));
                 ctx.trigger(to_s, ev.clone())
             })
         };
         let h_s = {
             let ts = s_trace.clone();
-            b.bind(to_s, s, "S", move |ctx, _| {
+            b.bind_with_triggers(to_s, s, "S", &[], move |ctx, _| {
                 ts.with(ctx, |t| t.push(ctx.comp_id()));
                 Ok(())
             })
@@ -178,6 +226,161 @@ impl Scenario for DiamondScenario {
             history: rt.history(),
             invariant_violation: None,
         }
+    }
+
+    fn static_independence(&self) -> Option<StaticIndependence> {
+        let (stack, roots) = DiamondScenario::shape();
+        Some(relation_of(&stack, &roots))
+    }
+}
+
+/// Two statically disjoint clusters sharing one runtime: the Figure 1
+/// diamond (P, Q, R, S; computations `ka` via P and `kb` via Q) next to an
+/// independent two-protocol chain (X → Y; computation `kc`).
+///
+/// The conflict matrix proves every diamond protocol independent of the
+/// chain, so a DPOR search armed with the scenario's
+/// [`StaticIndependence`] relation never seeds backtrack points that
+/// merely reorder `kc` against the diamond: the chain multiplies the
+/// exhaustive schedule space but (mostly) not the reduced one. Under
+/// [`ScenarioPolicy::Unsync`] the diamond still hides the paper's run
+/// `r3`; the chain itself is race-free under every policy.
+pub struct DisjointClustersScenario {
+    policy: ScenarioPolicy,
+}
+
+impl DisjointClustersScenario {
+    /// The diamond-plus-chain workload under `policy`.
+    pub fn new(policy: ScenarioPolicy) -> DisjointClustersScenario {
+        DisjointClustersScenario { policy }
+    }
+
+    /// The stack *shape* (registration order matches [`Scenario::run`]'s
+    /// stack) plus the three root events, for static analysis.
+    fn shape() -> (Stack, [EventType; 3]) {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let r = b.protocol("R");
+        let s = b.protocol("S");
+        let x = b.protocol("X");
+        let y = b.protocol("Y");
+        let a0 = b.event("a0");
+        let b0 = b.event("b0");
+        let to_r = b.event("r");
+        let to_s = b.event("s");
+        let x0 = b.event("x0");
+        let to_y = b.event("y");
+        b.bind_with_triggers(a0, p, "P", &[to_r], |_, _| Ok(()));
+        b.bind_with_triggers(b0, q, "Q", &[to_r], |_, _| Ok(()));
+        b.bind_with_triggers(to_r, r, "R", &[to_s], |_, _| Ok(()));
+        b.bind_with_triggers(to_s, s, "S", &[], |_, _| Ok(()));
+        b.bind_with_triggers(x0, x, "X", &[to_y], |_, _| Ok(()));
+        b.bind_with_triggers(to_y, y, "Y", &[], |_, _| Ok(()));
+        (b.build(), [a0, b0, x0])
+    }
+}
+
+impl Scenario for DisjointClustersScenario {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            ScenarioPolicy::Unsync => "disjoint-clusters/unsync",
+            ScenarioPolicy::VcaBasic => "disjoint-clusters/vca-basic",
+            ScenarioPolicy::VcaBound => "disjoint-clusters/vca-bound",
+            ScenarioPolicy::VcaRoute => "disjoint-clusters/vca-route",
+            ScenarioPolicy::Serial => "disjoint-clusters/serial",
+            ScenarioPolicy::TwoPhase => "disjoint-clusters/two-phase",
+        }
+    }
+
+    fn run(&self, hook: Arc<dyn SchedHook>) -> RunReport {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let r = b.protocol("R");
+        let s = b.protocol("S");
+        let x = b.protocol("X");
+        let y = b.protocol("Y");
+        let a0 = b.event("a0");
+        let b0 = b.event("b0");
+        let to_r = b.event("r");
+        let to_s = b.event("s");
+        let x0 = b.event("x0");
+        let to_y = b.event("y");
+        let r_trace = ProtocolState::new(r, Vec::<u64>::new());
+        let s_trace = ProtocolState::new(s, Vec::<u64>::new());
+        let x_count = ProtocolState::new(x, 0u64);
+        let y_count = ProtocolState::new(y, 0u64);
+
+        let h_p = b.bind_with_triggers(a0, p, "P", &[to_r], move |ctx, ev| {
+            ctx.trigger(to_r, ev.clone())
+        });
+        let h_q = b.bind_with_triggers(b0, q, "Q", &[to_r], move |ctx, ev| {
+            ctx.trigger(to_r, ev.clone())
+        });
+        let h_r = {
+            let tr = r_trace.clone();
+            b.bind_with_triggers(to_r, r, "R", &[to_s], move |ctx, ev| {
+                tr.with(ctx, |t| t.push(ctx.comp_id()));
+                ctx.trigger(to_s, ev.clone())
+            })
+        };
+        let h_s = {
+            let ts = s_trace.clone();
+            b.bind_with_triggers(to_s, s, "S", &[], move |ctx, _| {
+                ts.with(ctx, |t| t.push(ctx.comp_id()));
+                Ok(())
+            })
+        };
+        let h_x = {
+            let xc = x_count.clone();
+            b.bind_with_triggers(x0, x, "X", &[to_y], move |ctx, _| {
+                xc.with(ctx, |c| *c += 1);
+                ctx.trigger(to_y, EventData::empty())
+            })
+        };
+        let h_y = {
+            let yc = y_count.clone();
+            b.bind_with_triggers(to_y, y, "Y", &[], move |ctx, _| {
+                yc.with(ctx, |c| *c += 1);
+                Ok(())
+            })
+        };
+
+        let rt = Runtime::with_hook(b.build(), RuntimeConfig::recording(), hook);
+        let policy = self.policy;
+        let spawn_one = |ev: EventType, decl: &[ProtocolId], pat: &RoutePattern| {
+            let body = move |ctx: &Ctx| ctx.trigger(ev, EventData::empty());
+            match policy {
+                ScenarioPolicy::Unsync => rt.spawn(Decl::Unsync, body),
+                ScenarioPolicy::VcaBasic => rt.spawn(Decl::Basic(decl), body),
+                ScenarioPolicy::VcaBound => {
+                    let bounds: Vec<(ProtocolId, u64)> = decl.iter().map(|&pr| (pr, 1)).collect();
+                    rt.spawn(Decl::Bound(&bounds), body)
+                }
+                ScenarioPolicy::VcaRoute => rt.spawn(Decl::Route(pat), body),
+                ScenarioPolicy::Serial => rt.spawn(Decl::Serial, body),
+                ScenarioPolicy::TwoPhase => rt.spawn(Decl::TwoPhase(decl), body),
+            }
+        };
+        let a_pat = RoutePattern::new().root(h_p).edge(h_p, h_r).edge(h_r, h_s);
+        let b_pat = RoutePattern::new().root(h_q).edge(h_q, h_r).edge(h_r, h_s);
+        let c_pat = RoutePattern::new().root(h_x).edge(h_x, h_y);
+        spawn_one(a0, &[p, r, s], &a_pat);
+        spawn_one(b0, &[q, r, s], &b_pat);
+        spawn_one(x0, &[x, y], &c_pat);
+        rt.quiesce();
+
+        let chain_ok = x_count.snapshot() == 1 && y_count.snapshot() == 1;
+        RunReport {
+            history: rt.history(),
+            invariant_violation: (!chain_ok).then(|| "chain cluster lost a write".to_string()),
+        }
+    }
+
+    fn static_independence(&self) -> Option<StaticIndependence> {
+        let (stack, roots) = DisjointClustersScenario::shape();
+        Some(relation_of(&stack, &roots))
     }
 }
 
@@ -337,6 +540,23 @@ impl ViewChangeScenario {
     pub fn new(policy: ScenarioPolicy, net_seed: u64) -> ViewChangeScenario {
         ViewChangeScenario { policy, net_seed }
     }
+
+    /// The stack *shape* (registration order matches [`Scenario::run`]'s
+    /// stack) plus the root events, for static analysis.
+    fn shape() -> (Stack, [EventType; 2]) {
+        let mut b = StackBuilder::new();
+        let p_view = b.protocol("View");
+        let p_chan = b.protocol("Chan");
+        let bcast = b.event("bcast");
+        let send = b.event("send");
+        let vchange = b.event("vchange");
+        b.bind_with_triggers(bcast, p_view, "bcast", &[send], |_, _| Ok(()));
+        b.bind_with_triggers(send, p_chan, "chan.send", &[], |_, _| Ok(()));
+        let echange = b.event("echange");
+        b.bind_with_triggers(vchange, p_view, "vchange", &[echange], |_, _| Ok(()));
+        b.bind_with_triggers(echange, p_chan, "echange", &[], |_, _| Ok(()));
+        (b.build(), [bcast, vchange])
+    }
 }
 
 impl Scenario for ViewChangeScenario {
@@ -379,7 +599,7 @@ impl Scenario for ViewChangeScenario {
         // layer which stamps the epoch and emits the datagram.
         let h_b = {
             let view = view.clone();
-            b.bind(bcast, p_view, "bcast", move |ctx, _| {
+            b.bind_with_triggers(bcast, p_view, "bcast", &[send], move |ctx, _| {
                 let v = view.read_with(ctx, |v| *v);
                 ctx.trigger(send, v)
             })
@@ -387,7 +607,7 @@ impl Scenario for ViewChangeScenario {
         let h_s = {
             let chan = chan.clone();
             let handle = net.handle();
-            b.bind(send, p_chan, "chan.send", move |ctx, ev| {
+            b.bind_with_triggers(send, p_chan, "chan.send", &[], move |ctx, ev| {
                 let v: &u64 = ev.expect(send)?;
                 let e = chan.read_with(ctx, |e| *e);
                 let mut payload = Vec::with_capacity(16);
@@ -402,14 +622,14 @@ impl Scenario for ViewChangeScenario {
         let echange = b.event("echange");
         let h_v = {
             let view = view.clone();
-            b.bind(vchange, p_view, "vchange", move |ctx, _| {
+            b.bind_with_triggers(vchange, p_view, "vchange", &[echange], move |ctx, _| {
                 view.with(ctx, |v| *v += 1);
                 ctx.trigger(echange, EventData::empty())
             })
         };
         let h_e = {
             let chan = chan.clone();
-            b.bind(echange, p_chan, "echange", move |ctx, _| {
+            b.bind_with_triggers(echange, p_chan, "echange", &[], move |ctx, _| {
                 chan.with(ctx, |e| *e += 1);
                 Ok(())
             })
@@ -449,6 +669,11 @@ impl Scenario for ViewChangeScenario {
             history: rt.history(),
             invariant_violation: bad,
         }
+    }
+
+    fn static_independence(&self) -> Option<StaticIndependence> {
+        let (stack, roots) = ViewChangeScenario::shape();
+        Some(relation_of(&stack, &roots))
     }
 }
 

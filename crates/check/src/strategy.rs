@@ -30,6 +30,16 @@ use rand::{Rng, SeedableRng};
 pub trait Decider: Send {
     /// Pick `ready[return]` to run next.
     fn choose(&mut self, ready: &[usize], step: usize) -> usize;
+
+    /// One scheduling step is about to happen — *recorded or forced*. The
+    /// controller calls this on every step (before any [`choose`]), giving
+    /// step-indexed strategies the same clock the step budget counts: PCT's
+    /// depth bound is over yield points, not just decisions with ≥ 2 ready
+    /// threads, so its change points must be placed on this clock. The
+    /// default does nothing.
+    ///
+    /// [`choose`]: Decider::choose
+    fn note_step(&mut self) {}
 }
 
 /// Seeded uniform random walk.
@@ -59,8 +69,13 @@ pub struct PctDecider {
     /// Priority per thread id; higher runs first. Indexed lazily — threads
     /// get a random priority the first time they appear ready.
     prio: Vec<Option<u64>>,
-    /// Decision steps at which the running thread's priority drops.
+    /// Scheduling steps (the [`Decider::note_step`] clock — *all* yield
+    /// points, forced moves included) at which the running thread's
+    /// priority drops.
     change_points: Vec<usize>,
+    /// Scheduling steps seen so far; `steps − 1` is the 0-based index of
+    /// the step currently being decided.
+    steps: usize,
 }
 
 impl PctDecider {
@@ -76,6 +91,7 @@ impl PctDecider {
             rng,
             prio: Vec::new(),
             change_points,
+            steps: 0,
         }
     }
 
@@ -90,17 +106,26 @@ impl PctDecider {
 }
 
 impl Decider for PctDecider {
-    fn choose(&mut self, ready: &[usize], step: usize) -> usize {
+    fn choose(&mut self, ready: &[usize], _step: usize) -> usize {
         let best = (0..ready.len())
             .max_by_key(|&i| self.prio_of(ready[i]))
             .expect("ready is non-empty");
-        if self.change_points.contains(&step) {
+        // Change points live on the scheduling-step clock (every yield
+        // point, forced moves included — see `note_step`), matching the
+        // PCT depth bound; `_step` only counts recorded decisions. A point
+        // passed during a forced move fires at the next real decision.
+        while let Some(i) = self.change_points.iter().position(|&c| c < self.steps) {
+            self.change_points.swap_remove(i);
             // Demote the thread we are about to run below all base
             // priorities; unique low values keep the order total.
             let demoted = self.rng.gen_range(0u64..(1 << 30));
             self.prio[ready[best]] = Some(demoted);
         }
         best
+    }
+
+    fn note_step(&mut self) {
+        self.steps += 1;
     }
 }
 
@@ -162,8 +187,10 @@ mod tests {
         // the same thread wins every step it is ready.
         let mut d = PctDecider::new(3, 1, 100);
         let ready = [0usize, 1, 2];
+        d.note_step();
         let first = d.choose(&ready, 0);
         for s in 1..20 {
+            d.note_step();
             assert_eq!(d.choose(&ready, s), first);
         }
     }
@@ -174,10 +201,32 @@ mod tests {
         // whoever ran at step 0 must lose to the other thread afterwards.
         let mut d = PctDecider::new(4, 2, 1);
         let ready = [0usize, 1];
+        d.note_step();
         let first = d.choose(&ready, 0);
+        d.note_step();
         let second = d.choose(&ready, 1);
         assert_ne!(first, second, "change point must demote the running thread");
         for s in 2..10 {
+            d.note_step();
+            assert_eq!(d.choose(&ready, s), second);
+        }
+    }
+
+    #[test]
+    fn pct_change_point_on_forced_step_fires_at_next_decision() {
+        // The change point (step 0) lands on a forced move — no decision
+        // there — but it must still demote at the next real decision: the
+        // depth bound is over *all* yield points, not recorded choices.
+        let mut d = PctDecider::new(4, 2, 1);
+        let ready = [0usize, 1];
+        d.note_step(); // step 0: forced move, choose not called
+        d.note_step(); // step 1: a real decision
+        let first = d.choose(&ready, 0);
+        d.note_step();
+        let second = d.choose(&ready, 1);
+        assert_ne!(first, second, "pending change point must fire");
+        for s in 2..10 {
+            d.note_step();
             assert_eq!(d.choose(&ready, s), second);
         }
     }

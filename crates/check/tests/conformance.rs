@@ -7,8 +7,8 @@
 use std::collections::BTreeSet;
 
 use samoa_check::{
-    DiamondScenario, Explorer, ExplorerConfig, Failure, OccScenario, Scenario, ScenarioPolicy,
-    Strategy, Sweep, ViewChangeScenario,
+    DiamondScenario, DisjointClustersScenario, Explorer, ExplorerConfig, Failure, OccScenario,
+    Scenario, ScenarioPolicy, Strategy, Sweep, ViewChangeScenario,
 };
 
 fn signatures(sweep: &Sweep) -> BTreeSet<String> {
@@ -56,17 +56,38 @@ fn conforms(scenario: &dyn Scenario, budget: usize) -> (usize, usize) {
     (ex.schedules_run, dp.schedules_run)
 }
 
+// Schedule-count ceilings measured at PR-5 (before the static-independence
+// relation was wired into DPOR). Static pruning must never push a count
+// *above* these: statically-independent pairs pruned from backtrack sets
+// can only shrink the search.
+const PR5_DIAMOND_UNSYNC: usize = 48;
+const PR5_DIAMOND_VCA: usize = 35;
+const PR5_VIEW_CHANGE_UNSYNC: usize = 23;
+const PR5_OCC_TWO_WRITERS: usize = 55;
+
 #[test]
 fn diamond_conformance_buggy_and_isolating() {
-    let (_, _) = conforms(&DiamondScenario::new(ScenarioPolicy::Unsync), 1_000);
-    let (_, _) = conforms(&DiamondScenario::new(ScenarioPolicy::VcaBasic), 1_000);
+    let (_, dp) = conforms(&DiamondScenario::new(ScenarioPolicy::Unsync), 1_000);
+    assert!(
+        dp <= PR5_DIAMOND_UNSYNC,
+        "diamond/unsync DPOR count regressed past PR-5: {dp} > {PR5_DIAMOND_UNSYNC}"
+    );
+    let (_, dp) = conforms(&DiamondScenario::new(ScenarioPolicy::VcaBasic), 1_000);
+    assert!(
+        dp <= PR5_DIAMOND_VCA,
+        "diamond/vca-basic DPOR count regressed past PR-5: {dp} > {PR5_DIAMOND_VCA}"
+    );
     let (_, _) = conforms(&DiamondScenario::new(ScenarioPolicy::Serial), 1_000);
     let (_, _) = conforms(&DiamondScenario::new(ScenarioPolicy::TwoPhase), 1_000);
 }
 
 #[test]
 fn view_change_conformance() {
-    let (_, _) = conforms(&ViewChangeScenario::new(ScenarioPolicy::Unsync, 7), 1_000);
+    let (_, dp) = conforms(&ViewChangeScenario::new(ScenarioPolicy::Unsync, 7), 1_000);
+    assert!(
+        dp <= PR5_VIEW_CHANGE_UNSYNC,
+        "view-change/unsync DPOR count regressed past PR-5: {dp} > {PR5_VIEW_CHANGE_UNSYNC}"
+    );
     let (_, _) = conforms(&ViewChangeScenario::new(ScenarioPolicy::Serial, 7), 1_000);
 }
 
@@ -76,9 +97,72 @@ fn occ_conformance_two_writers() {
     // the same (single) invariant signature.
     let (ex, dp) = conforms(&OccScenario::lost_update(2), 2_000);
     assert!(ex > 0 && dp > 0);
+    assert!(
+        dp <= PR5_OCC_TWO_WRITERS,
+        "occ/lost-update DPOR count regressed past PR-5: {dp} > {PR5_OCC_TWO_WRITERS}"
+    );
     // The correct variant survives every schedule — including every
     // rollback/retry interleaving — under both searches.
-    let (_, _) = conforms(&OccScenario::serialised(2), 2_000);
+    let (_, dp) = conforms(&OccScenario::serialised(2), 2_000);
+    assert!(
+        dp <= PR5_OCC_TWO_WRITERS,
+        "occ/serialised DPOR count regressed past PR-5: {dp} > {PR5_OCC_TWO_WRITERS}"
+    );
+}
+
+/// The static-pruning invariant of the conflict-matrix → DPOR loop: on a
+/// workload with two statically disjoint clusters (a VCAbasic diamond next
+/// to an unrelated two-protocol chain), DPOR armed with the stack's
+/// [`StaticIndependence`](samoa_check::StaticIndependence) relation finds
+/// exactly the exhaustive failure set while the no-initiator fallback
+/// demonstrably prunes statically independent threads.
+#[test]
+fn disjoint_clusters_static_pruning_conformance() {
+    let scenario = DisjointClustersScenario::new(ScenarioPolicy::VcaBasic);
+    let mut cfg = ExplorerConfig::new(40_000, Strategy::Exhaustive);
+    cfg.minimise = false;
+    let ex = Explorer::sweep(&scenario, &cfg);
+    assert!(
+        ex.exhausted,
+        "exhaustive budget too small ({} runs)",
+        ex.schedules_run
+    );
+    cfg.strategy = Strategy::Dpor;
+    let dp = Explorer::sweep(&scenario, &cfg);
+    assert!(
+        dp.exhausted,
+        "DPOR did not exhaust ({} runs)",
+        dp.schedules_run
+    );
+    assert_eq!(
+        signatures(&ex),
+        signatures(&dp),
+        "DPOR failure set differs from exhaustive"
+    );
+    assert!(
+        dp.schedules_run * 10 <= ex.schedules_run,
+        "static pruning lost its edge: {} DPOR runs vs {} exhaustive",
+        dp.schedules_run,
+        ex.schedules_run
+    );
+    assert!(
+        dp.backtrack_pruned > 0,
+        "the static relation never pruned a fallback candidate"
+    );
+    assert!(dp.backtrack_pruned <= dp.backtrack_candidates);
+
+    // The buggy sibling: seeds are withheld for Unsync stacks (no admission
+    // protocol to bound the future), so pruning must stay off — and the
+    // isolation violation must still surface.
+    let buggy = DisjointClustersScenario::new(ScenarioPolicy::Unsync);
+    cfg.schedules = 60_000;
+    let dp = Explorer::sweep(&buggy, &cfg);
+    assert!(dp.exhausted, "buggy sweep did not exhaust");
+    assert_eq!(dp.backtrack_pruned, 0, "unsync stacks must not be pruned");
+    assert!(
+        signatures(&dp).iter().any(|s| s.starts_with("isolation")),
+        "unsync disjoint clusters must violate isolation"
+    );
 }
 
 /// The ISSUE acceptance bar: a diamond sized so exhaustive enumeration

@@ -1,0 +1,282 @@
+//! Static detection of Rule-2 admission deadlocks.
+//!
+//! The runtime's one documented deadlock (see the module docs of
+//! [`crate::runtime`]) is a *blocking nested spawn*: a handler of a running
+//! computation starts a new computation whose declaration overlaps its
+//! own — the inner computation's Rule-2 admission waits for the outer's
+//! versions, while the outer waits for the inner to finish. With nested
+//! spawns declared on the stack
+//! ([`StackBuilder::declare_nested_spawn`](crate::stack::StackBuilder::declare_nested_spawn)),
+//! that situation is decidable statically.
+//!
+//! [`analyze_deadlocks`] builds the **wait-can-precede graph**: nodes are
+//! microprotocols; for every analyzed root `e` and every handler reachable
+//! from it that declares a nested spawn rooted at `e'`, there is an edge
+//! `p -> q` for each `p` in `e`'s footprint (held by the outer computation
+//! while it blocks) and `q` in `e'`'s footprint (awaited by the inner
+//! computation's admission). A cycle — including the self-loop produced by
+//! overlapping outer/inner footprints — means a schedule exists in which
+//! admissions wait on each other forever, reported as `SA040` (Error) with
+//! the witness cycle spelled out in the diagnostic. Stacks declaring no
+//! nested spawns are certified deadlock-free by construction.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::analysis::callgraph::CallGraph;
+use crate::analysis::diagnostics::{codes, Diagnostic, Report, Severity};
+use crate::event::EventType;
+use crate::handler::HandlerId;
+use crate::protocol::ProtocolId;
+use crate::stack::Stack;
+
+/// Search the static wait-can-precede graph of `stack` (rooted at
+/// `externals`) for admission-deadlock cycles. Returns a clean report when
+/// no cycle exists; each cycle is one `SA040` Error carrying the witness.
+/// Pass [`Stack::all_events`](crate::stack::Stack::all_events) when every
+/// event may arrive externally (the strict runtime's conservative default).
+pub fn analyze_deadlocks(stack: &Stack, externals: &[EventType]) -> Report {
+    let mut r = Report::new();
+    if !stack.has_nested_spawns() {
+        return r; // No blocking nested spawns: deadlock-free by Rule 2.
+    }
+    let g = CallGraph::from_stack(stack);
+    let n = stack.protocol_count();
+
+    // Footprint cache: nested-spawn roots recur across analyzed roots.
+    let mut fp: BTreeMap<EventType, BTreeSet<ProtocolId>> = BTreeMap::new();
+    let mut footprint = |g: &CallGraph, e: EventType| -> BTreeSet<ProtocolId> {
+        fp.entry(e)
+            .or_insert_with(|| g.reachable_protocols(e))
+            .clone()
+    };
+
+    // edges[(p, q)] = first witness (spawn-site handler, inner root).
+    let mut edges: BTreeMap<(ProtocolId, ProtocolId), (HandlerId, EventType)> = BTreeMap::new();
+    let mut seen_roots = BTreeSet::new();
+    for &e in externals {
+        if !seen_roots.insert(e) {
+            continue;
+        }
+        let outer = footprint(&g, e);
+        for h in g.reachable_from_event(e) {
+            for &inner_root in stack.handler_nested_spawns(h) {
+                let inner = footprint(&g, inner_root);
+                for &p in &outer {
+                    for &q in &inner {
+                        edges.entry((p, q)).or_insert((h, inner_root));
+                    }
+                }
+            }
+        }
+    }
+    if edges.is_empty() {
+        return r;
+    }
+
+    // Transitive closure, then one witness cycle per strongly connected
+    // component that can wait on itself.
+    let mut reach = vec![false; n * n];
+    for &(p, q) in edges.keys() {
+        reach[p.index() * n + q.index()] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i * n + k] {
+                for j in 0..n {
+                    if reach[k * n + j] {
+                        reach[i * n + j] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut reported = vec![false; n];
+    for i in 0..n {
+        if !reach[i * n + i] || reported[i] {
+            continue;
+        }
+        // Mark the whole SCC so each cycle is reported once.
+        let scc: Vec<usize> = (0..n)
+            .filter(|&j| reach[i * n + j] && reach[j * n + i])
+            .collect();
+        for &j in &scc {
+            reported[j] = true;
+        }
+        let anchor = ProtocolId(i as u32);
+        let cycle = shortest_cycle(anchor, &edges);
+        let mut msg = format!(
+            "potential Rule-2 admission deadlock: \"{}\"",
+            stack.protocol_name(anchor)
+        );
+        for w in cycle.windows(2) {
+            let (h, inner_root) = edges[&(w[0], w[1])];
+            msg.push_str(&format!(
+                " -> \"{}\" (handler \"{}\" spawns a nested computation rooted at \"{}\")",
+                stack.protocol_name(w[1]),
+                stack.handler_name(h),
+                stack.event_name(inner_root)
+            ));
+        }
+        msg.push_str(
+            "; the outer computation holds each microprotocol on the left while \
+             the nested computation's admission waits for the one on the right",
+        );
+        r.push(
+            Diagnostic::new(codes::ADMISSION_DEADLOCK, Severity::Error, msg).with_protocol(anchor),
+        );
+    }
+    r
+}
+
+/// Shortest cycle through `anchor` along `edges`, as the node sequence
+/// `anchor, …, anchor`. Only called when the closure proves one exists.
+fn shortest_cycle(
+    anchor: ProtocolId,
+    edges: &BTreeMap<(ProtocolId, ProtocolId), (HandlerId, EventType)>,
+) -> Vec<ProtocolId> {
+    let mut succ: BTreeMap<ProtocolId, Vec<ProtocolId>> = BTreeMap::new();
+    for &(p, q) in edges.keys() {
+        succ.entry(p).or_default().push(q);
+    }
+    // BFS from the anchor's successors back to the anchor.
+    let mut prev: BTreeMap<ProtocolId, ProtocolId> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    for &q in succ.get(&anchor).into_iter().flatten() {
+        if let std::collections::btree_map::Entry::Vacant(e) = prev.entry(q) {
+            e.insert(anchor);
+            queue.push_back(q);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        if v == anchor {
+            break;
+        }
+        for &q in succ.get(&v).into_iter().flatten() {
+            if !prev.contains_key(&q) || (q == anchor && v != anchor) {
+                prev.entry(q).or_insert(v);
+                if q == anchor {
+                    queue.push_front(q);
+                    break;
+                }
+                queue.push_back(q);
+            }
+        }
+    }
+    let mut path = vec![anchor];
+    let mut at = prev[&anchor];
+    while at != anchor {
+        path.push(at);
+        at = prev[&at];
+    }
+    path.push(anchor);
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Ctx;
+    use crate::error::Result;
+    use crate::event::EventData;
+    use crate::stack::StackBuilder;
+
+    fn noop() -> impl Fn(&Ctx, &EventData) -> Result<()> + Send + Sync + 'static {
+        |_, _| Ok(())
+    }
+
+    #[test]
+    fn no_nested_spawns_is_deadlock_free() {
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let root = b.event("root");
+        b.bind_with_triggers(root, p, "h", &[], noop());
+        let s = b.build();
+        assert!(analyze_deadlocks(&s, &s.all_events()).is_clean());
+    }
+
+    #[test]
+    fn overlapping_nested_spawn_is_a_self_loop() {
+        // The documented pitfall: a handler of P spawns a computation whose
+        // root reaches P again — inner admission waits on the outer forever.
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let root = b.event("root");
+        let h = b.bind_with_triggers(root, p, "reenter", &[], noop());
+        b.declare_nested_spawn(h, root);
+        let s = b.build();
+        let r = analyze_deadlocks(&s, &[root]);
+        assert!(r.has_errors(), "{r}");
+        let d = &r.diagnostics()[0];
+        assert_eq!(d.code, codes::ADMISSION_DEADLOCK);
+        assert_eq!(d.protocol, Some(p));
+        assert!(
+            d.message.contains("\"P\" -> \"P\"") && d.message.contains("\"reenter\""),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn cross_protocol_cycle_carries_full_witness() {
+        // e1 -> a(P), a spawns e2; e2 -> b(Q), b spawns e1: P -> Q -> P.
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let e1 = b.event("e1");
+        let e2 = b.event("e2");
+        let ha = b.bind_with_triggers(e1, p, "a", &[], noop());
+        let hb = b.bind_with_triggers(e2, q, "b", &[], noop());
+        b.declare_nested_spawn(ha, e2);
+        b.declare_nested_spawn(hb, e1);
+        let s = b.build();
+        let r = analyze_deadlocks(&s, &[e1, e2]);
+        assert_eq!(r.count(Severity::Error), 1, "one cycle, one report:\n{r}");
+        let msg = &r.diagnostics()[0].message;
+        for part in ["\"P\"", "\"Q\"", "\"a\"", "\"b\"", "rooted at \"e2\""] {
+            assert!(msg.contains(part), "missing {part} in: {msg}");
+        }
+    }
+
+    #[test]
+    fn disjoint_nested_spawn_is_clean() {
+        // a(P) spawns a computation that only touches Q; Q spawns nothing.
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let e1 = b.event("e1");
+        let e2 = b.event("e2");
+        let ha = b.bind_with_triggers(e1, p, "a", &[], noop());
+        b.bind_with_triggers(e2, q, "b", &[], noop());
+        b.declare_nested_spawn(ha, e2);
+        let s = b.build();
+        assert!(analyze_deadlocks(&s, &[e1, e2]).is_clean());
+    }
+
+    #[test]
+    fn three_party_cycle_found_once() {
+        // P -> Q -> R -> P through three nested spawns.
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let _q = b.protocol("Q");
+        let _r2 = b.protocol("R");
+        let e1 = b.event("e1");
+        let e2 = b.event("e2");
+        let e3 = b.event("e3");
+        let ha = b.bind_with_triggers(e1, p, "a", &[], noop());
+        let hb = b.bind_with_triggers(e2, _q, "b", &[], noop());
+        let hc = b.bind_with_triggers(e3, _r2, "c", &[], noop());
+        b.declare_nested_spawn(ha, e2);
+        b.declare_nested_spawn(hb, e3);
+        b.declare_nested_spawn(hc, e1);
+        let s = b.build();
+        let r = analyze_deadlocks(&s, &[e1, e2, e3]);
+        assert_eq!(r.count(Severity::Error), 1, "{r}");
+        let msg = &r.diagnostics()[0].message;
+        assert!(
+            msg.matches("->").count() == 3,
+            "expected a 3-edge witness: {msg}"
+        );
+    }
+}

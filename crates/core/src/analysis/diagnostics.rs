@@ -17,7 +17,11 @@ use crate::protocol::ProtocolId;
 /// Stable diagnostic codes. `SA00x` come from the stack linter
 /// ([`lint_stack`](crate::analysis::lint_stack)), `SA01x` are Error-level
 /// declaration defects, `SA02x`/`SA03x` Warning-level slack and
-/// imprecision (see [`validate_decl`](crate::analysis::validate_decl)).
+/// imprecision (see [`validate_decl`](crate::analysis::validate_decl)),
+/// `SA04x` are admission-deadlock findings
+/// ([`analyze_deadlocks`](crate::analysis::analyze_deadlocks)) and `SA05x`
+/// conflict-reachability findings
+/// ([`ConflictMatrix`](crate::analysis::ConflictMatrix)).
 pub mod codes {
     /// An event type has no bound handler; triggering it fails at run time.
     pub const EVENT_NO_HANDLER: &str = "SA001";
@@ -46,6 +50,16 @@ pub mod codes {
     pub const DEAD_ROUTE_VERTEX: &str = "SA022";
     /// A cycle in the call graph prevents precise visit-bound analysis.
     pub const CYCLE_BOUND_UNKNOWN: &str = "SA030";
+    /// The static wait-can-precede graph has a cycle: a schedule exists in
+    /// which Rule-2 admission waits can deadlock. The message carries the
+    /// witness cycle (microprotocols and the nested-spawn sites closing it).
+    pub const ADMISSION_DEADLOCK: &str = "SA040";
+    /// A microprotocol has handlers, but no analyzed root event reaches it:
+    /// a bound/lock on it can be declared, yet no schedule can contend there.
+    pub const UNREACHABLE_CONFLICT: &str = "SA050";
+    /// A microprotocol never shares a computation footprint with any other:
+    /// it is conflict-free and any isolation spent on it buys nothing.
+    pub const CONFLICT_FREE_PROTOCOL: &str = "SA051";
 }
 
 /// How bad a [`Diagnostic`] is. Ordered: `Info < Warning < Error`.

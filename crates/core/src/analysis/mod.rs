@@ -23,6 +23,15 @@
 //! * **Inference** ([`infer_m`], [`infer_bounds`], [`infer_route`]): the
 //!   minimal declaration each `isolated` variant needs, guaranteed
 //!   sufficient because the graph over-approximates behaviour.
+//! * **Conflict analysis** ([`ConflictMatrix`]): which microprotocol pairs
+//!   can ever contend on a version cell or lock, given the analyzed root
+//!   events — unreachable or conflict-free microprotocols are reported
+//!   (`SA050`/`SA051`), and the matrix feeds the dynamic checker's static
+//!   independence relation (DPOR pruning in crate `samoa-check`).
+//! * **Deadlock analysis** ([`analyze_deadlocks`]): a cycle search over the
+//!   static wait-can-precede graph induced by declared nested computation
+//!   spawns; potential Rule-2 admission deadlocks are Errors with the
+//!   witness cycle in the message (`SA040`).
 //!
 //! Findings are [`Diagnostic`]s collected in a [`Report`];
 //! [`RuntimeConfig::strict_analysis`](crate::runtime::RuntimeConfig::strict_analysis)
@@ -50,11 +59,15 @@
 //! ```
 
 pub mod callgraph;
+pub mod conflict;
+pub mod deadlock;
 pub mod diagnostics;
 pub mod infer;
 pub mod lint;
 
 pub use callgraph::CallGraph;
+pub use conflict::ConflictMatrix;
+pub use deadlock::analyze_deadlocks;
 pub use diagnostics::{codes, Diagnostic, Report, Severity};
 pub use infer::{infer_bounds, infer_m, infer_route, CYCLE_FALLBACK_BOUND};
 pub use lint::{lint_stack, validate_decl};

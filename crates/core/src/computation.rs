@@ -151,6 +151,33 @@ impl ComputationInner {
         })
     }
 
+    /// A static upper bound on every [`SchedResource`] any thread of this
+    /// computation can ever touch, used to seed the dynamic checker's
+    /// dependence tracking before the thread has announced anything
+    /// ([`SchedHook::on_thread_spawn_with`](crate::sched::SchedHook::on_thread_spawn_with)).
+    ///
+    /// `None` when no sound bound exists: `Unsync` computations declare
+    /// nothing, and a stack with declared nested spawns can grow a
+    /// computation's footprint beyond its own declaration. Callers must
+    /// fall back to the unseeded announcement then.
+    pub(crate) fn static_seed(&self) -> Option<Vec<SchedResource>> {
+        if self.spec.mode == CompMode::Unsync || self.rt.stack.has_nested_spawns() {
+            return None;
+        }
+        let mut seed = vec![
+            SchedResource::Queue(self.id),
+            SchedResource::Done(self.id),
+            SchedResource::Quiesce,
+        ];
+        for e in &self.spec.entries {
+            seed.push(SchedResource::Version(e.pid.index() as u32));
+            if self.spec.mode == CompMode::Locked {
+                seed.push(SchedResource::Lock(e.pid.index() as u32));
+            }
+        }
+        Some(seed)
+    }
+
     /// Record the first error of the computation; later ones are dropped.
     pub(crate) fn set_error(&self, e: SamoaError) {
         let mut slot = self.error.lock();
@@ -178,7 +205,10 @@ impl ComputationInner {
                 self.workers.fetch_add(1, Ordering::SeqCst);
                 let comp = Arc::clone(self);
                 let hook = self.rt.hook.clone();
-                let token = hook.as_ref().map(|h| h.on_thread_spawn());
+                let token = hook.as_ref().map(|h| match self.static_seed() {
+                    Some(seed) => h.on_thread_spawn_with(&seed),
+                    None => h.on_thread_spawn(),
+                });
                 std::thread::spawn(move || {
                     if let (Some(h), Some(t)) = (&hook, token) {
                         h.on_thread_start(t);

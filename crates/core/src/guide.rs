@@ -165,12 +165,51 @@
 //! rt.isolated_route(&route, |ctx| ctx.trigger(ingest, EventData::empty())).unwrap();
 //! ```
 //!
-//! [`RuntimeConfig::strict_analysis`] wires the analyzer into the runtime:
-//! error-level lints reject the stack at construction, and (in debug
-//! builds) every computation's declaration is checked for closure before it
-//! runs. The `samoa_lint` example (`cargo run --example samoa_lint`) prints
-//! the full report and the inferred declarations for the group-communication
-//! stack; README's "Static analysis" section lists every SA code.
+//! Beyond per-declaration checks, two *whole-stack* passes certify the
+//! stack itself:
+//!
+//! * [`ConflictMatrix`](crate::analysis::ConflictMatrix) computes the
+//!   symmetric may-conflict relation over microprotocols from the
+//!   footprints of the analyzed root events. Protocols no root reaches
+//!   (`SA050`) or that never share a footprint with another (`SA051`) are
+//!   provably-unreachable conflicts: isolation spent there buys nothing.
+//!   The same matrix exports to `samoa-check` as a `StaticIndependence`
+//!   relation, where it prunes DPOR backtrack points (§6).
+//! * [`analyze_deadlocks`](crate::analysis::analyze_deadlocks) searches
+//!   the static *wait-can-precede* graph for cycles. A handler that
+//!   blocks on a nested `isolated` spawn (declare it with
+//!   [`StackBuilder::declare_nested_spawn`]) holds its Rule-2 admission
+//!   while waiting for another admission; if the declared spawns close a
+//!   cycle of overlapping footprints, a schedule exists in which every
+//!   computation in the cycle waits on the next — a Rule-2 admission
+//!   deadlock, flagged as an `SA040` error whose message carries the
+//!   witness cycle:
+//!
+//! ```text
+//! error[SA040]: admission deadlock: "P" -> "Q" (handler "a" spawns a
+//!   nested computation rooted at "e2") -> "P" (handler "c" spawns a
+//!   nested computation rooted at "e1")
+//! ```
+//!
+//! The deadlock-analysis table, for quick reference:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | SA040 | error    | static wait-can-precede cycle: Rule-2 admission deadlock reachable on some schedule |
+//! | SA050 | warning  | protocol has handlers but no analyzed root reaches it — declared conflicts unreachable |
+//! | SA051 | info     | protocol never shares a footprint: conflict-free, isolation on it is wasted |
+//!
+//! [`RuntimeConfig::strict_analysis`] wires all of it into the runtime:
+//! [`Runtime::new_checked`] (and every strict constructor) runs the
+//! linter, the deadlock pass and the conflict pass, rejecting the stack on
+//! any error — a cyclic nested-spawn stack never runs, while the shipped
+//! group-communication stack of `samoa-proto` is certified clean by its
+//! test suite. In debug builds every computation's declaration is also
+//! checked for closure before it runs. The `samoa-lint` binary
+//! (`cargo run --bin samoa-lint -- --help`) runs the same merged pass from
+//! the command line, with `--format json` for machine-readable output and
+//! `--deny warn` to fail CI on warnings; README's "Static analysis"
+//! section lists every SA code.
 //!
 //! ## 6. Schedule exploration
 //!

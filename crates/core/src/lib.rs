@@ -69,7 +69,7 @@ pub use event::{EventData, EventType};
 pub use graph::RoutePattern;
 pub use handler::HandlerId;
 pub use history::{check_serializable, Access, History, IsolationViolation, RunEntry};
-pub use policy::{AccessMode, Policy};
+pub use policy::{AccessMode, CellKind, Policy};
 pub use protocol::{ProtocolId, ProtocolState};
 pub use runtime::{CompHandle, Decl, Runtime, RuntimeConfig, RuntimeStats};
 pub use sched::{ReleaseReason, SchedHook, SchedPoint, SchedResource};

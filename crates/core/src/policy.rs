@@ -58,6 +58,33 @@ impl Policy {
     pub fn isolating(self) -> bool {
         !matches!(self, Policy::Unsync)
     }
+
+    /// The kind of per-microprotocol cell this policy contends on, if any
+    /// — what the static conflict analysis
+    /// ([`ConflictMatrix`](crate::analysis::ConflictMatrix)) uses to decide
+    /// which handler pairs can meet on the same cell.
+    pub fn cell(self) -> Option<CellKind> {
+        match self {
+            Policy::Unsync => None,
+            Policy::Serial | Policy::VcaBasic | Policy::VcaBound | Policy::VcaRoute => {
+                Some(CellKind::Version)
+            }
+            Policy::TwoPhase => Some(CellKind::Lock),
+        }
+    }
+}
+
+/// The kind of per-microprotocol synchronisation cell a [`Policy`]'s
+/// admission control waits on. Versioning policies share one `(gv, lv)`
+/// counter pair per microprotocol; the two-phase comparator uses a separate
+/// lock table (and the two must not be mixed on overlapping
+/// microprotocols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// A `(gv_p, lv_p)` version-counter pair (Rules 1–4).
+    Version,
+    /// A slot of the two-phase-locking lock table.
+    Lock,
 }
 
 impl fmt::Display for Policy {
@@ -207,6 +234,20 @@ mod tests {
         assert!(Policy::Serial.isolating());
         assert!(!Policy::Unsync.isolating());
         assert_eq!(Policy::ALL.len(), 6);
+    }
+
+    #[test]
+    fn policy_cell_kinds() {
+        assert_eq!(Policy::Unsync.cell(), None);
+        assert_eq!(Policy::TwoPhase.cell(), Some(CellKind::Lock));
+        for p in [
+            Policy::Serial,
+            Policy::VcaBasic,
+            Policy::VcaBound,
+            Policy::VcaRoute,
+        ] {
+            assert_eq!(p.cell(), Some(CellKind::Version), "{p}");
+        }
     }
 
     #[test]

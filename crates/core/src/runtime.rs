@@ -456,18 +456,35 @@ impl Runtime {
     ///
     /// # Panics
     ///
-    /// With [`RuntimeConfig::strict_analysis`] set, panics if linting the
-    /// stack ([`lint_stack`](crate::analysis::lint_stack), every event
-    /// treated as external) yields Error-level diagnostics. Use
-    /// [`Runtime::new_checked`] to get the failure as a value.
+    /// With [`RuntimeConfig::strict_analysis`] set, panics if the static
+    /// safety pass ([`Runtime::static_report`]: linting, admission-deadlock
+    /// and conflict analysis, every event treated as external) yields
+    /// Error-level diagnostics. Use [`Runtime::new_checked`] to get the
+    /// failure as a value.
     pub fn with_config(stack: Stack, config: RuntimeConfig) -> Self {
         if config.strict_analysis {
-            let report = crate::analysis::lint_stack(&stack, &stack.all_events());
+            let report = Runtime::static_report(&stack);
             if report.has_errors() {
                 panic!("strict_analysis rejected the stack:\n{}", report.render());
             }
         }
         Runtime::build(stack, config, None, None)
+    }
+
+    /// The full static safety report of a stack, as the strict constructors
+    /// and [`Runtime::new_checked`] compute it: structural lints
+    /// ([`lint_stack`](crate::analysis::lint_stack)), the admission-deadlock
+    /// cycle search ([`analyze_deadlocks`](crate::analysis::analyze_deadlocks),
+    /// `SA040`) and conflict reachability
+    /// ([`ConflictMatrix`](crate::analysis::ConflictMatrix), `SA05x`), with
+    /// every event treated as external.
+    pub fn static_report(stack: &Stack) -> crate::analysis::Report {
+        let all = stack.all_events();
+        let mut report = crate::analysis::lint_stack(stack, &all);
+        report.merge(crate::analysis::analyze_deadlocks(stack, &all));
+        let (_, conflicts) = crate::analysis::ConflictMatrix::analyze(stack, &all);
+        report.merge(conflicts);
+        report
     }
 
     /// Create a runtime with a [`TraceSink`] attached (see [`crate::trace`]):
@@ -479,7 +496,7 @@ impl Runtime {
     /// [`Runtime::with_config`].
     pub fn with_trace(stack: Stack, config: RuntimeConfig, sink: Arc<dyn TraceSink>) -> Self {
         if config.strict_analysis {
-            let report = crate::analysis::lint_stack(&stack, &stack.all_events());
+            let report = Runtime::static_report(&stack);
             if report.has_errors() {
                 panic!("strict_analysis rejected the stack:\n{}", report.render());
             }
@@ -495,7 +512,7 @@ impl Runtime {
     /// [`Runtime::with_config`].
     pub fn with_hook(stack: Stack, config: RuntimeConfig, hook: Arc<dyn SchedHook>) -> Self {
         if config.strict_analysis {
-            let report = crate::analysis::lint_stack(&stack, &stack.all_events());
+            let report = Runtime::static_report(&stack);
             if report.has_errors() {
                 panic!("strict_analysis rejected the stack:\n{}", report.render());
             }
@@ -503,13 +520,14 @@ impl Runtime {
         Runtime::build(stack, config, Some(hook), None)
     }
 
-    /// Create a runtime only if the stack passes the static linter
-    /// ([`lint_stack`](crate::analysis::lint_stack), every event treated as
-    /// external): Error-level diagnostics become
-    /// [`SamoaError::AnalysisFailed`]. Lints unconditionally, whatever
+    /// Create a runtime only if the stack passes the full static safety
+    /// pass ([`Runtime::static_report`]: linting, admission-deadlock and
+    /// conflict analysis, every event treated as external): Error-level
+    /// diagnostics — including `SA040` admission-deadlock cycles — become
+    /// [`SamoaError::AnalysisFailed`]. Analyzes unconditionally, whatever
     /// `config.strict_analysis` says.
     pub fn new_checked(stack: Stack, config: RuntimeConfig) -> Result<Runtime> {
-        let report = crate::analysis::lint_stack(&stack, &stack.all_events());
+        let report = Runtime::static_report(&stack);
         if report.has_errors() {
             return Err(SamoaError::AnalysisFailed {
                 report: report.render(),
@@ -751,7 +769,10 @@ impl Runtime {
         let comp = self.spawn_comp(&decl);
         let c2 = Arc::clone(&comp);
         let hook = self.inner.hook.clone();
-        let token = hook.as_ref().map(|h| h.on_thread_spawn());
+        let token = hook.as_ref().map(|h| match comp.static_seed() {
+            Some(seed) => h.on_thread_spawn_with(&seed),
+            None => h.on_thread_spawn(),
+        });
         std::thread::spawn(move || {
             if let (Some(h), Some(t)) = (&hook, token) {
                 h.on_thread_start(t);
@@ -1157,6 +1178,52 @@ mod tests {
     #[should_panic(expected = "SA005")]
     fn strict_with_config_panics_on_defective_stack() {
         let _ = Runtime::with_config(defective_stack(), RuntimeConfig::strict());
+    }
+
+    /// Stack whose declared nested spawns form a wait cycle: a handler of P
+    /// spawns a computation rooted back at its own root event, so the inner
+    /// admission would wait on the outer's version forever.
+    fn cyclic_nested_spawn_stack() -> Stack {
+        use crate::stack::StackBuilder;
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let root = b.event("root");
+        let h = b.bind_with_triggers(root, p, "reenter", &[], |_, _| Ok(()));
+        b.declare_nested_spawn(h, root);
+        b.build()
+    }
+
+    #[test]
+    fn new_checked_rejects_admission_deadlock_cycle() {
+        let err =
+            Runtime::new_checked(cyclic_nested_spawn_stack(), RuntimeConfig::strict()).unwrap_err();
+        match err {
+            SamoaError::AnalysisFailed { report } => {
+                assert!(report.contains("SA040"), "{report}");
+                assert!(report.contains("\"P\" -> \"P\""), "witness cycle: {report}");
+            }
+            other => panic!("expected AnalysisFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SA040")]
+    fn strict_with_config_panics_on_admission_deadlock() {
+        let _ = Runtime::with_config(cyclic_nested_spawn_stack(), RuntimeConfig::strict());
+    }
+
+    #[test]
+    fn acyclic_nested_spawn_passes_checked() {
+        use crate::stack::StackBuilder;
+        let mut b = StackBuilder::new();
+        let p = b.protocol("P");
+        let q = b.protocol("Q");
+        let e1 = b.event("e1");
+        let e2 = b.event("e2");
+        let h = b.bind_with_triggers(e1, p, "a", &[], |_, _| Ok(()));
+        b.bind_with_triggers(e2, q, "b", &[], |_, _| Ok(()));
+        b.declare_nested_spawn(h, e2);
+        assert!(Runtime::new_checked(b.build(), RuntimeConfig::strict()).is_ok());
     }
 
     #[test]

@@ -143,6 +143,22 @@ pub trait SchedHook: Send + Sync {
         0
     }
 
+    /// [`SchedHook::on_thread_spawn`] with a *static seed*: an upper bound,
+    /// known before the thread runs, on every [`SchedResource`] it can ever
+    /// touch. The runtime derives the seed from the computation's resolved
+    /// declaration (its version/lock entries plus its queue, completion and
+    /// quiesce resources) and only announces one when it is sound — never
+    /// for `Unsync` computations, and never on stacks with declared nested
+    /// spawns. A dependence-aware controller can treat the seed as the
+    /// thread's pending footprint before its first real announcement, which
+    /// lets DPOR prove steps of statically disjoint computations
+    /// independent without exploring both orders. The default discards the
+    /// seed and forwards to [`SchedHook::on_thread_spawn`].
+    fn on_thread_spawn_with(&self, static_footprint: &[SchedResource]) -> u64 {
+        let _ = static_footprint;
+        self.on_thread_spawn()
+    }
+
     /// First action of a newly spawned runtime thread.
     fn on_thread_start(&self, token: u64) {
         let _ = token;
@@ -234,6 +250,18 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn seeded_spawn_defaults_to_plain_spawn() {
+        struct Tok;
+        impl SchedHook for Tok {
+            fn on_thread_spawn(&self) -> u64 {
+                7
+            }
+        }
+        let h = Tok;
+        assert_eq!(h.on_thread_spawn_with(&[SchedResource::Version(0)]), 7);
     }
 
     #[test]

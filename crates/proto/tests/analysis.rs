@@ -4,8 +4,8 @@
 //! table in `Node` *is* `infer_route`'s output).
 
 use samoa_core::analysis::{
-    codes, infer_bounds, infer_m, infer_route, lint_stack, validate_decl, Severity,
-    CYCLE_FALLBACK_BOUND,
+    analyze_deadlocks, codes, infer_bounds, infer_m, infer_route, lint_stack, validate_decl,
+    ConflictMatrix, Severity, CYCLE_FALLBACK_BOUND,
 };
 use samoa_core::prelude::*;
 use samoa_net::NetConfig;
@@ -90,6 +90,74 @@ fn abcast_bounds_fall_back_on_the_consensus_cycle() {
     // The fallback declaration is error-free (the same cycle warning).
     let report = validate_decl(stack, &Decl::Bound(&bounds), Some(ev.abcast));
     assert!(!report.has_errors(), "{report}");
+}
+
+/// The deadlock certification of the shipped stack: under every bundled
+/// policy, the abcast/consensus/membership/fd stack declares no blocking
+/// nested spawns, so the Rule-2 wait-can-precede analysis finds no cycle —
+/// not a single SA040 — and the whole-stack static report
+/// ([`Runtime::static_report`], what `Runtime::new_checked` gates on) is
+/// error-free. A deliberately cyclic stack is rejected by the same gate
+/// (`new_checked_rejects_admission_deadlock_cycle` in `samoa-core`).
+#[test]
+fn shipped_stack_is_certified_admission_deadlock_free() {
+    for policy in [
+        StackPolicy::Unsync,
+        StackPolicy::Serial,
+        StackPolicy::Basic,
+        StackPolicy::Bound,
+        StackPolicy::Route,
+        StackPolicy::TwoPhase,
+    ] {
+        let c = Cluster::new(3, NetConfig::fast(7), NodeConfig::with_policy(policy));
+        let node = c.node(0);
+        let stack = node.runtime().stack();
+
+        let deadlocks = analyze_deadlocks(stack, &externals(node.events()));
+        assert!(
+            deadlocks.is_clean(),
+            "{policy:?}: admission-deadlock analysis not clean:\n{deadlocks}"
+        );
+
+        let report = Runtime::static_report(stack);
+        assert!(
+            !report.has_errors(),
+            "{policy:?}: static report has errors:\n{report}"
+        );
+        assert!(
+            !report.render().contains(codes::ADMISSION_DEADLOCK),
+            "{policy:?}: unexpected SA040:\n{report}"
+        );
+    }
+}
+
+/// The conflict matrix of the shipped stack: an abcast cascade can reach
+/// every microprotocol, so every protocol is reachable and the abcast
+/// footprint couples the full stack — and the SA05x pass reports no
+/// provably-unreachable conflicts.
+#[test]
+fn shipped_stack_conflict_matrix_is_total_and_reachable() {
+    let c = Cluster::new(3, NetConfig::fast(7), NodeConfig::default());
+    let node = c.node(0);
+    let stack = node.runtime().stack();
+
+    let (matrix, report) = ConflictMatrix::analyze(stack, &externals(node.events()));
+    assert!(
+        report.is_clean(),
+        "SA05x noise on the real stack:\n{report}"
+    );
+    assert_eq!(matrix.protocol_count(), stack.all_protocols().len());
+    for &p in &stack.all_protocols() {
+        assert!(matrix.contended(p), "protocol {p:?} unreachable");
+    }
+    let abcast_fp = matrix
+        .footprint(node.events().abcast)
+        .expect("abcast is an analyzed root");
+    assert_eq!(
+        abcast_fp.len(),
+        stack.all_protocols().len(),
+        "abcast should statically reach the whole stack"
+    );
 }
 
 #[test]

@@ -1,0 +1,258 @@
+//! samoa-lint: the whole-stack static safety pass as a command-line tool.
+//!
+//! ```text
+//! samoa-lint [--stack proto|defective] [--format text|json]
+//!            [--deny error|warn|info] [--infer]
+//! ```
+//!
+//! Runs every static analysis the runtime's strict constructors gate on —
+//! the stack linter (`SA00x`), the Rule-2 admission-deadlock pass
+//! (`SA040`, with its witness cycle in the message), and the conflict
+//! matrix reachability pass (`SA05x`) — over a stack and reports the
+//! merged diagnostics.
+//!
+//! * `--stack proto` (default) lints the paper's §3 group-communication
+//!   stack from `samoa-proto`; `--stack defective` lints a small stack
+//!   with deliberate mistakes, to demonstrate the error diagnostics.
+//! * `--format json` emits one machine-readable JSON document on stdout
+//!   (stable keys: `stack`, `clean`, `counts`, `diagnostics[]` with
+//!   `code`/`severity`/`message` and optional `handler`/`protocol`/
+//!   `event` anchors) — what CI archives as its lint artifact.
+//! * `--deny <level>` sets the exit threshold: any diagnostic at or above
+//!   the level makes the process exit 1 (default `error`).
+//! * `--infer` (text mode) additionally prints the minimal isolation
+//!   declaration the analyzer infers per external event.
+
+use std::process::ExitCode;
+
+use samoa::core::analysis::{
+    analyze_deadlocks, infer_bounds, infer_m, infer_route, lint_stack, ConflictMatrix, Report,
+    Severity,
+};
+use samoa::prelude::*;
+
+/// Parsed command line.
+struct Opts {
+    stack: StackChoice,
+    json: bool,
+    deny: Severity,
+    infer: bool,
+}
+
+enum StackChoice {
+    Proto,
+    Defective,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: samoa-lint [--stack proto|defective] [--format text|json] \
+         [--deny error|warn|info] [--infer]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        stack: StackChoice::Proto,
+        json: false,
+        deny: Severity::Error,
+        infer: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| usage_missing(name));
+        match arg.as_str() {
+            "--stack" => {
+                opts.stack = match value("--stack").as_str() {
+                    "proto" => StackChoice::Proto,
+                    "defective" => StackChoice::Defective,
+                    _ => usage(),
+                }
+            }
+            "--format" => {
+                opts.json = match value("--format").as_str() {
+                    "text" => false,
+                    "json" => true,
+                    _ => usage(),
+                }
+            }
+            "--deny" => {
+                opts.deny = match value("--deny").as_str() {
+                    "error" => Severity::Error,
+                    "warn" | "warning" => Severity::Warning,
+                    "info" => Severity::Info,
+                    _ => usage(),
+                }
+            }
+            "--infer" => opts.infer = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn usage_missing(name: &str) -> ! {
+    eprintln!("samoa-lint: {name} needs a value");
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    match opts.stack {
+        StackChoice::Proto => {
+            // Timers stay off: the lint pass only needs the stack shape,
+            // not a running cluster.
+            let cfg = NodeConfig {
+                enable_timers: false,
+                ..NodeConfig::default()
+            };
+            let cluster = Cluster::new(3, NetConfig::fast(1), cfg);
+            let node = cluster.node(0);
+            let ev = node.events();
+            let external = [
+                ("RcData", ev.rc_data),
+                ("RcAck", ev.rc_ack),
+                ("FdBeat", ev.fd_beat),
+                ("Bcast", ev.bcast),
+                ("ABcast", ev.abcast),
+                ("JoinLeave", ev.join_leave),
+                ("RetransmitTick", ev.retransmit_tick),
+                ("FdTick", ev.fd_tick),
+            ];
+            run("proto", node.runtime().stack(), &external, &opts)
+        }
+        StackChoice::Defective => {
+            let mut b = StackBuilder::new();
+            let parser = b.protocol("Parser");
+            let _idle = b.protocol("Idle"); // SA003: no handlers
+            let ingest = b.event("Ingest");
+            let parsed = b.event("Parsed"); // SA001: never bound
+            b.bind_with_triggers(ingest, parser, "parse", &[parsed], |_, _| Ok(()));
+            let stack = b.build();
+            run("defective", &stack, &[("Ingest", ingest)], &opts)
+        }
+    }
+}
+
+/// Run the merged static pass over one stack and report. Returns the
+/// process exit code per the `--deny` threshold.
+fn run(name: &str, stack: &Stack, external: &[(&str, EventType)], opts: &Opts) -> ExitCode {
+    let events: Vec<EventType> = external.iter().map(|&(_, e)| e).collect();
+    let mut report = lint_stack(stack, &events);
+    report.merge(analyze_deadlocks(stack, &events));
+    let (_, conflicts) = ConflictMatrix::analyze(stack, &events);
+    report.merge(conflicts);
+
+    if opts.json {
+        println!("{}", to_json(name, stack, &report));
+    } else {
+        println!("== {name} stack ==");
+        println!(
+            "{} microprotocols, {} events, {} handlers, full trigger metadata: {}",
+            stack.protocol_count(),
+            stack.event_count(),
+            stack.handler_count(),
+            stack.has_full_trigger_metadata()
+        );
+        println!("\n{report}");
+        if opts.infer {
+            print_inferred(stack, external);
+        }
+    }
+
+    let denied = report.diagnostics().iter().any(|d| d.severity >= opts.deny);
+    if denied {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The minimal isolation declarations the analyzer infers per external
+/// event — the original `samoa_lint` example's summary, behind `--infer`.
+fn print_inferred(stack: &Stack, external: &[(&str, EventType)]) {
+    println!("\ninferred minimal declarations per external event:");
+    for &(name, e) in external {
+        let m = infer_m(stack, e);
+        let names: Vec<&str> = m.iter().map(|&p| stack.protocol_name(p)).collect();
+        let (bounds, rep) = infer_bounds(stack, e);
+        let bound_note = if rep.is_clean() {
+            let parts: Vec<String> = bounds
+                .iter()
+                .map(|&(p, b)| format!("{}\u{2264}{b}", stack.protocol_name(p)))
+                .collect();
+            format!("bounds {}", parts.join(" "))
+        } else {
+            "bounds: cyclic, fallback".to_string()
+        };
+        let route = infer_route(stack, e);
+        println!(
+            "  {name:>14}: M = {{{}}}; {bound_note}; route touches {} handlers",
+            names.join(", "),
+            route.vertices().len()
+        );
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The machine-readable form CI archives: everything the text report
+/// carries, with anchors resolved to names.
+fn to_json(name: &str, stack: &Stack, report: &Report) -> String {
+    let mut diags = Vec::new();
+    for d in report.diagnostics() {
+        let mut fields = vec![
+            format!("\"code\":\"{}\"", d.code),
+            format!("\"severity\":\"{}\"", d.severity),
+            format!("\"message\":\"{}\"", json_escape(&d.message)),
+        ];
+        if let Some(h) = d.handler {
+            fields.push(format!(
+                "\"handler\":\"{}\"",
+                json_escape(stack.handler_name(h))
+            ));
+        }
+        if let Some(p) = d.protocol {
+            fields.push(format!(
+                "\"protocol\":\"{}\"",
+                json_escape(stack.protocol_name(p))
+            ));
+        }
+        if let Some(e) = d.event {
+            fields.push(format!(
+                "\"event\":\"{}\"",
+                json_escape(stack.event_name(e))
+            ));
+        }
+        diags.push(format!("{{{}}}", fields.join(",")));
+    }
+    format!(
+        "{{\"stack\":\"{}\",\"protocols\":{},\"events\":{},\"handlers\":{},\
+         \"clean\":{},\"counts\":{{\"error\":{},\"warning\":{},\"info\":{}}},\
+         \"diagnostics\":[{}]}}",
+        json_escape(name),
+        stack.protocol_count(),
+        stack.event_count(),
+        stack.handler_count(),
+        report.is_clean(),
+        report.count(Severity::Error),
+        report.count(Severity::Warning),
+        report.count(Severity::Info),
+        diags.join(",")
+    )
+}
