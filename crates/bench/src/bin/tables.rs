@@ -183,6 +183,23 @@ fn main() {
         json.table("e11", title, &t);
     }
 
+    if want("e12") {
+        println!("==============================================================");
+        let title = "E12 (cluster): replicated KV over SimNet and TcpNet — client-fleet\n    throughput, tail latency, and convergence at 3/5/9 sites";
+        println!("{title}\n");
+        let t = experiments::e12(quick);
+        t.print();
+        println!();
+        json.table("e12", title, &t);
+
+        let title = "E12 (failover): kill the round-0 coordinator mid-load over TCP —\n    view-exclusion and recovery latency on the survivors";
+        println!("{title}\n");
+        let t = experiments::e12_failover(quick);
+        t.print();
+        println!();
+        json.table("e12-failover", title, &t);
+    }
+
     if let Some(path) = json_path {
         std::fs::write(&path, json.render()).expect("write --json output");
         eprintln!("wrote {path}");

@@ -1,0 +1,414 @@
+//! Client-fleet load driver for replicated KV clusters (experiment E12).
+//!
+//! A fleet of closed-loop client threads issues `put`/`get`/`cas` commands
+//! against a running cluster — each client is homed on one site, submits an
+//! operation, waits for its abcast-ordered completion, and only then issues
+//! the next. The driver measures committed throughput and p50/p95/p99
+//! completion latency (via [`samoa_core::percentile_us`], the same
+//! nearest-rank percentile the trace layer's `ContentionProfile` reports),
+//! then verifies that every site converged to an identical state machine.
+//!
+//! Two backends run the identical workload through the `Transport` seam:
+//! [`Backend::Sim`] (the in-process simulated network) and [`Backend::Tcp`]
+//! (real framed localhost sockets). [`failover_run`] additionally kills the
+//! round-0 consensus coordinator mid-load and measures how long the
+//! survivors take to exclude it from the view and commit again.
+//!
+//! Convergence is always checked by deadline-bounded polling, never by
+//! `Cluster::settle` — real sockets have no quiescence oracle, and using
+//! one idiom for both backends keeps the measurements comparable.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use samoa_core::percentile_us;
+use samoa_net::{NetConfig, SiteId};
+use samoa_proto::{Cluster, Node, NodeConfig, StackPolicy, TcpCluster};
+
+/// Which transport backend carries the cluster's datagrams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The in-process simulated network (`SimNet`).
+    Sim,
+    /// Real length-prefixed framed TCP sockets on localhost (`TcpNet`).
+    Tcp,
+}
+
+impl Backend {
+    /// Human-readable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Tcp => "tcp",
+        }
+    }
+}
+
+/// Parameters of one closed-loop fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Transport backend under test.
+    pub backend: Backend,
+    /// Cluster size.
+    pub sites: usize,
+    /// Number of closed-loop client threads (homed round-robin on sites).
+    pub clients: usize,
+    /// Operations each client issues.
+    pub ops_per_client: usize,
+    /// Isolation policy every node runs under.
+    pub policy: StackPolicy,
+    /// Seed for the per-client operation mix.
+    pub seed: u64,
+    /// Per-operation completion timeout (a miss counts as `timed_out`).
+    pub op_timeout: Duration,
+    /// Deadline for post-load convergence polling.
+    pub converge_timeout: Duration,
+}
+
+impl FleetConfig {
+    /// A fleet run with the default timeouts (10 s per op, 30 s to
+    /// converge).
+    pub fn new(
+        backend: Backend,
+        sites: usize,
+        clients: usize,
+        ops_per_client: usize,
+        policy: StackPolicy,
+    ) -> FleetConfig {
+        FleetConfig {
+            backend,
+            sites,
+            clients,
+            ops_per_client,
+            policy,
+            seed: 42,
+            op_timeout: Duration::from_secs(10),
+            converge_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Measurements from one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Operations that completed within their timeout.
+    pub committed: usize,
+    /// Operations whose completion wait timed out (they may still commit
+    /// later — the convergence check accounts for every submission).
+    pub timed_out: usize,
+    /// Wall-clock of the load phase (first submission to last completion).
+    pub wall: Duration,
+    /// Median completion latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile completion latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile completion latency, microseconds.
+    pub p99_us: f64,
+    /// All sites applied every submitted command and agree byte-for-byte.
+    pub converged: bool,
+    /// Frames the transport dropped (loss, backpressure, crash, shutdown,
+    /// no receiver) — nonzero values flag truncated measurements.
+    pub dropped_frames: u64,
+    /// Frames the TCP writer re-queued after a write error (0 on Sim).
+    pub retried_frames: u64,
+    /// TCP reconnect attempts (0 on Sim).
+    pub reconnects: u64,
+}
+
+impl FleetOutcome {
+    /// Committed operations per second of load wall-clock.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.committed as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Parameters of a mid-load leader-failover run (TCP backend).
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Cluster size (site 0 — the round-0 consensus coordinator — dies).
+    pub sites: usize,
+    /// Closed-loop clients, homed round-robin on the surviving sites.
+    pub clients: usize,
+    /// Seed for the per-client operation mix.
+    pub seed: u64,
+    /// Per-operation completion timeout.
+    pub op_timeout: Duration,
+    /// Deadline for view exclusion / recovery / convergence waits.
+    pub recover_timeout: Duration,
+}
+
+impl FailoverConfig {
+    /// A failover run with the default timeouts.
+    pub fn new(sites: usize, clients: usize) -> FailoverConfig {
+        FailoverConfig {
+            sites,
+            clients,
+            seed: 42,
+            op_timeout: Duration::from_secs(15),
+            recover_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Measurements from one leader-failover run.
+#[derive(Debug, Clone)]
+pub struct FailoverOutcome {
+    /// Crash → every survivor's view excludes the dead coordinator.
+    pub exclusion: Duration,
+    /// Crash → a fresh probe command commits on the survivor quorum.
+    pub recovery: Duration,
+    /// Client operations that committed across the whole run.
+    pub committed: usize,
+    /// Client operations that timed out (expected during the fault window).
+    pub timed_out: usize,
+    /// Survivors converged to identical state after the fleet drained.
+    pub converged: bool,
+    /// Frames dropped by the transport (the fault window makes this > 0).
+    pub dropped_frames: u64,
+    /// Frames re-queued after write errors.
+    pub retried_frames: u64,
+    /// Reconnect attempts against the dead (and live) endpoints.
+    pub reconnects: u64,
+}
+
+/// The two cluster flavours behind one polling interface.
+enum Fleet {
+    Sim(Cluster),
+    Tcp(TcpCluster),
+}
+
+impl Fleet {
+    fn node(&self, i: usize) -> &Arc<Node> {
+        match self {
+            Fleet::Sim(c) => c.node(i),
+            Fleet::Tcp(c) => c.node(i),
+        }
+    }
+}
+
+fn wait_until(deadline: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    pred()
+}
+
+/// One closed-loop client: `ops` operations against `node`, drawn from a
+/// seeded mix (~50% put / 40% get / 10% cas) over a 32-key space. Returns
+/// (completion latencies in ns, timed-out count). Stops early when `stop`
+/// is raised (used by the failover driver to drain the fleet).
+fn run_client(
+    node: Arc<Node>,
+    client: usize,
+    ops: usize,
+    seed: u64,
+    op_timeout: Duration,
+    stop: Arc<AtomicBool>,
+    submitted: Arc<AtomicUsize>,
+) -> (Vec<u64>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(client as u64).wrapping_mul(0x9e37));
+    let mut lat = Vec::with_capacity(ops.min(1 << 10));
+    let mut timed_out = 0usize;
+    for op in 0..ops {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let key = format!("key-{}", rng.gen_range(0..32u32));
+        let value = format!("c{client}-o{op}");
+        let roll = rng.gen_range(0..10u32);
+        let start = Instant::now();
+        submitted.fetch_add(1, Ordering::Relaxed);
+        let pending = match roll {
+            0..=4 => node.kv_put(key, value),
+            5..=8 => node.kv_get(key),
+            _ => node.kv_cas(key, None, value),
+        };
+        match pending.wait(op_timeout) {
+            Some(_) => lat.push(start.elapsed().as_nanos() as u64),
+            None => timed_out += 1,
+        }
+    }
+    (lat, timed_out)
+}
+
+/// Drive a closed-loop client fleet against a fresh cluster and measure
+/// throughput, tail latency, and convergence.
+pub fn kv_fleet_run(cfg: &FleetConfig) -> FleetOutcome {
+    let node_cfg = NodeConfig::with_policy(cfg.policy);
+    let fleet = match cfg.backend {
+        Backend::Sim => Fleet::Sim(Cluster::new(cfg.sites, NetConfig::fast(cfg.seed), node_cfg)),
+        Backend::Tcp => {
+            Fleet::Tcp(TcpCluster::new(cfg.sites, node_cfg).expect("bind localhost mesh"))
+        }
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitted = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let node = Arc::clone(fleet.node(c % cfg.sites));
+            let (stop, submitted) = (Arc::clone(&stop), Arc::clone(&submitted));
+            let (ops, seed, t) = (cfg.ops_per_client, cfg.seed, cfg.op_timeout);
+            std::thread::spawn(move || run_client(node, c, ops, seed, t, stop, submitted))
+        })
+        .collect();
+    let mut lat_ns = Vec::new();
+    let mut timed_out = 0usize;
+    for h in handles {
+        let (l, t) = h.join().expect("client thread");
+        lat_ns.extend(l);
+        timed_out += t;
+    }
+    let wall = start.elapsed();
+
+    // Every submitted command must apply on every site, identically.
+    let total = submitted.load(Ordering::Relaxed);
+    let applied = wait_until(cfg.converge_timeout, || {
+        (0..cfg.sites).all(|i| fleet.node(i).kv_applied() == total)
+    });
+    let d0 = fleet.node(0).kv_digest();
+    let converged = applied && (1..cfg.sites).all(|i| fleet.node(i).kv_digest() == d0);
+
+    lat_ns.sort_unstable();
+    let (dropped_frames, retried_frames, reconnects) = match &fleet {
+        Fleet::Sim(c) => (c.net().total_stats().dropped(), 0, 0),
+        Fleet::Tcp(c) => {
+            let s = c.mesh().total_stats();
+            (s.dropped(), s.retried, s.reconnects)
+        }
+    };
+    FleetOutcome {
+        committed: lat_ns.len(),
+        timed_out,
+        wall,
+        p50_us: percentile_us(&lat_ns, 0.50),
+        p95_us: percentile_us(&lat_ns, 0.95),
+        p99_us: percentile_us(&lat_ns, 0.99),
+        converged,
+        dropped_frames,
+        retried_frames,
+        reconnects,
+    }
+}
+
+/// Kill the round-0 consensus coordinator (site 0) under client load on a
+/// real-socket cluster and measure the survivors' recovery: the time until
+/// every surviving view excludes the dead site, and the time until a fresh
+/// probe command commits again.
+pub fn failover_run(cfg: &FailoverConfig) -> FailoverOutcome {
+    let mut node_cfg = NodeConfig::with_policy(StackPolicy::Basic);
+    node_cfg.enable_fd = true;
+    node_cfg.fd_timeout = Duration::from_millis(300);
+    let mut tcp = TcpCluster::new(cfg.sites, node_cfg).expect("bind localhost mesh");
+
+    // Warm up: one command commits while the coordinator is alive.
+    assert!(
+        tcp.node(1)
+            .kv_put("warm", "up")
+            .wait(cfg.op_timeout)
+            .is_some(),
+        "warm-up command never committed"
+    );
+
+    // Open-ended clients on the survivors; drained via `stop` at the end.
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitted = Arc::new(AtomicUsize::new(0));
+    let survivors: Vec<usize> = (1..cfg.sites).collect();
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let node = Arc::clone(tcp.node(survivors[c % survivors.len()]));
+            let (stop, submitted) = (Arc::clone(&stop), Arc::clone(&submitted));
+            let (seed, t) = (cfg.seed, cfg.op_timeout);
+            std::thread::spawn(move || run_client(node, c, usize::MAX, seed, t, stop, submitted))
+        })
+        .collect();
+
+    // Let the fleet get in flight, then kill the coordinator.
+    std::thread::sleep(Duration::from_millis(100));
+    let crash_at = Instant::now();
+    tcp.crash(0);
+
+    // The FD clears its suspicion once membership excludes the site, so
+    // the durable recovery signal is the view itself.
+    let excluded = wait_until(cfg.recover_timeout, || {
+        survivors
+            .iter()
+            .all(|&i| !tcp.node(i).current_view().contains(SiteId(0)))
+    });
+    assert!(excluded, "survivors never excluded the crashed coordinator");
+    let exclusion = crash_at.elapsed();
+
+    let probe = tcp.node(1).kv_put("after", "failover");
+    assert!(
+        probe.wait(cfg.recover_timeout).is_some(),
+        "post-failover probe never committed"
+    );
+    let recovery = crash_at.elapsed();
+
+    // Drain the fleet and let the survivors converge.
+    stop.store(true, Ordering::Relaxed);
+    let mut committed = 0usize;
+    let mut timed_out = 0usize;
+    for h in handles {
+        let (l, t) = h.join().expect("client thread");
+        committed += l.len();
+        timed_out += t;
+    }
+    let converged = wait_until(cfg.recover_timeout, || {
+        let a1 = tcp.node(1).kv_applied();
+        survivors.iter().all(|&i| tcp.node(i).kv_applied() == a1)
+    }) && {
+        let d1 = tcp.node(1).kv_digest();
+        survivors.iter().all(|&i| tcp.node(i).kv_digest() == d1)
+    };
+
+    let s = tcp.mesh().total_stats();
+    FailoverOutcome {
+        exclusion,
+        recovery,
+        committed: committed + 1, // + the probe
+        timed_out,
+        converged,
+        dropped_frames: s.dropped(),
+        retried_frames: s.retried,
+        reconnects: s.reconnects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sim_fleet_commits_and_converges() {
+        let mut cfg = FleetConfig::new(Backend::Sim, 3, 2, 5, StackPolicy::Basic);
+        cfg.seed = 7;
+        let o = kv_fleet_run(&cfg);
+        assert_eq!(o.committed, 10);
+        assert_eq!(o.timed_out, 0);
+        assert!(o.converged, "replicas diverged");
+        assert!(o.p50_us > 0.0 && o.p99_us >= o.p50_us);
+        assert!(o.throughput() > 0.0);
+    }
+
+    #[test]
+    fn small_tcp_fleet_commits_and_converges() {
+        let cfg = FleetConfig::new(Backend::Tcp, 3, 2, 5, StackPolicy::Basic);
+        let o = kv_fleet_run(&cfg);
+        assert_eq!(o.committed, 10);
+        assert!(o.converged, "replicas diverged over TCP");
+        assert!(o.p95_us >= o.p50_us);
+    }
+}

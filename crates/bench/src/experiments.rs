@@ -9,6 +9,7 @@ use std::time::Duration;
 use samoa_core::prelude::*;
 use samoa_proto::StackPolicy;
 
+use crate::cluster::{failover_run, kv_fleet_run, Backend, FailoverConfig, FleetConfig};
 use crate::gc::{abcast_run, declaration_tightness_run, view_race_run};
 use crate::report::{ms, per_sec, ratio, Table};
 use crate::synth::{
@@ -437,6 +438,113 @@ pub fn e6() -> Table {
                 vs,
             ]);
         }
+    }
+    t
+}
+
+/// E12 — replicated-cluster throughput and tail latency: a closed-loop
+/// client fleet issues KV commands (put/get/cas totally ordered by abcast)
+/// against 3/5/9-site clusters under each isolation policy, over the
+/// simulated network and — for the 3-site configuration — over real framed
+/// localhost TCP sockets through the same `Transport` seam. `dropped` and
+/// `retried` surface transport-level frame loss/requeues so a truncated
+/// measurement is visible in the row itself; `converged` is the safety
+/// check (every site applied every command, byte-identical state).
+/// `Unsync` is deliberately absent: the KV service's correctness depends on
+/// the isolation the policy provides.
+pub fn e12(quick: bool) -> Table {
+    let mut t = Table::new(&[
+        "backend",
+        "sites",
+        "policy",
+        "clients",
+        "ops",
+        "committed",
+        "ops/s",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "dropped",
+        "retried",
+        "converged",
+    ]);
+    let policies: &[(StackPolicy, &str)] = &[
+        (StackPolicy::Serial, "serial (appia)"),
+        (StackPolicy::TwoPhase, "two-phase"),
+        (StackPolicy::Basic, "vca-basic"),
+        (StackPolicy::Bound, "vca-bound"),
+        (StackPolicy::Route, "vca-route"),
+    ];
+    let (clients, ops) = if quick { (3, 8) } else { (4, 20) };
+    let run = |t: &mut Table, backend: Backend, sites: usize, policy, label: &str| {
+        let cfg = FleetConfig::new(backend, sites, clients, ops, policy);
+        let o = kv_fleet_run(&cfg);
+        t.row(&[
+            backend.label().to_string(),
+            sites.to_string(),
+            label.to_string(),
+            clients.to_string(),
+            (clients * ops).to_string(),
+            o.committed.to_string(),
+            per_sec(o.throughput()),
+            format!("{:.1}", o.p50_us),
+            format!("{:.1}", o.p95_us),
+            format!("{:.1}", o.p99_us),
+            o.dropped_frames.to_string(),
+            o.retried_frames.to_string(),
+            if o.converged { "yes" } else { "NO" }.to_string(),
+        ]);
+    };
+    for &sites in &[3usize, 5, 9] {
+        for &(policy, label) in policies {
+            // Quick mode keeps the full 3/5/9 sweep but only sweeps every
+            // policy at 3 sites; the larger clusters run vca-basic.
+            if quick && sites > 3 && policy != StackPolicy::Basic {
+                continue;
+            }
+            run(&mut t, Backend::Sim, sites, policy, label);
+        }
+    }
+    // The real-socket row: identical workload, identical stack, different
+    // backend behind `Arc<dyn Transport>`.
+    run(&mut t, Backend::Tcp, 3, StackPolicy::Basic, "vca-basic");
+    t
+}
+
+/// E12 (failover) — mid-load leader failover on the real-socket backend:
+/// kill the round-0 consensus coordinator under closed-loop client load and
+/// measure how long the survivors take to exclude it from the membership
+/// view (`exclusion_ms`) and to commit a fresh command again
+/// (`recovery_ms`). Timed-out client operations during the fault window are
+/// expected; `converged` checks the survivors ended byte-identical.
+pub fn e12_failover(quick: bool) -> Table {
+    let mut t = Table::new(&[
+        "sites",
+        "clients",
+        "exclusion_ms",
+        "recovery_ms",
+        "committed",
+        "timed_out",
+        "dropped",
+        "retried",
+        "reconnects",
+        "converged",
+    ]);
+    let sizes: &[usize] = if quick { &[3] } else { &[3, 5] };
+    for &sites in sizes {
+        let o = failover_run(&FailoverConfig::new(sites, 2));
+        t.row(&[
+            sites.to_string(),
+            "2".to_string(),
+            ms(o.exclusion),
+            ms(o.recovery),
+            o.committed.to_string(),
+            o.timed_out.to_string(),
+            o.dropped_frames.to_string(),
+            o.retried_frames.to_string(),
+            o.reconnects.to_string(),
+            if o.converged { "yes" } else { "NO" }.to_string(),
+        ]);
     }
     t
 }

@@ -1,13 +1,15 @@
 //! # samoa-bench — benchmark harness for the SAMOA reproduction
 //!
-//! Workload generators, experiment drivers, and table rendering for the six
-//! experiments of DESIGN.md §3 (E1–E6). The `tables` binary prints every
-//! experiment's table; the Criterion benches under `benches/` measure the
-//! same workloads statistically.
+//! Workload generators, experiment drivers, and table rendering for the
+//! experiments of DESIGN.md §3 and EXPERIMENTS.md (E1–E12), including the
+//! replicated-cluster client-fleet driver of [`cluster`]. The `tables`
+//! binary prints every experiment's table; the Criterion benches under
+//! `benches/` measure the same workloads statistically.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod gc;
 pub mod report;

@@ -328,7 +328,58 @@
 //! same sink, and `cargo run --release --example samoa_trace` writes a
 //! comparative trace of the whole proto stack under each algorithm.
 //!
-//! ## 8. Pitfalls
+//! ## 8. A replicated service end to end
+//!
+//! Everything above composes into `samoa-proto`'s replicated key-value
+//! store: the paper's §3 group-communication stack (RelComm → RelCast →
+//! failure detector → rotating-coordinator consensus → atomic broadcast →
+//! membership) with a KV microprotocol on top. Every `put`/`get`/`cas` is
+//! abcast-ordered and applied by a deterministic state machine at each
+//! site, so replicas stay byte-identical. The network is abstracted behind
+//! `samoa_net::Transport`, with two interchangeable backends — the seeded
+//! in-process simulator (`SimNet`: delays, loss, crashes, partitions) and
+//! real length-prefixed framed TCP sockets (`TcpNet`) — and the *same*
+//! node code runs over either (this snippet lives downstream of
+//! `samoa-core`, so it is shown as text; `examples/replicated_kv.rs` is
+//! the runnable version):
+//!
+//! ```text
+//! let cfg = NodeConfig::with_policy(StackPolicy::Basic);
+//! let cluster = TcpCluster::new(3, cfg)?;        // 3 sites on localhost
+//! let reply = cluster.node(0)
+//!     .kv_put("user:17", "alice")                // totally ordered by abcast
+//!     .wait(Duration::from_secs(5));             // resolves at commit
+//! assert!(reply.is_some());
+//! assert_eq!(cluster.node(1).kv_digest(),        // replicas byte-identical
+//!            cluster.node(2).kv_digest());
+//! ```
+//!
+//! Each datagram arrival, client request, and timer tick enters the stack
+//! as a detached computation ([`Runtime::spawn`]) whose declaration is the
+//! configured `StackPolicy` — the paper's
+//! `isolated [relComm relCast ...] {trigger FromNet m}` — so the whole
+//! distributed service inherits serial-equivalence from the framework with
+//! no locks in protocol code. Two production lessons from making this
+//! stack survive real sockets at load are baked into the runtime and
+//! RelComm and worth knowing about:
+//!
+//! * **Admission control.** An OS thread per external computation is the
+//!   model, so an unbounded socket reader can exhaust threads. Nodes gate
+//!   external spawns (`NodeConfig::max_inflight_external`) with a slot
+//!   that rides the *whole* computation thread — body plus the
+//!   asynchronous-trigger drain phase — via `Runtime::spawn_guarded`.
+//! * **Adaptive retransmission.** A fixed RTO below the loaded RTT turns
+//!   load into a retransmit storm (each duplicate costs the receiver a
+//!   serialized computation, raising the RTT further). RelComm tracks a
+//!   per-peer smoothed RTT (RFC 6298 shape, Karn's rule), backs off
+//!   exponentially per message, and retransmits only a head-of-line
+//!   window per tick.
+//!
+//! Experiment E12 (EXPERIMENTS.md) measures the result: client-fleet
+//! throughput and p50/p95/p99 commit latency at 3/5/9 sites over both
+//! backends, and mid-load coordinator-failover latency over TCP.
+//!
+//! ## 9. Pitfalls
 //!
 //! * **Don't trigger while holding state.** Keep
 //!   [`ProtocolState::with`] closures short; compute what to send, end the

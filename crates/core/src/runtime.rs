@@ -763,6 +763,22 @@ impl Runtime {
         decl: Decl<'_>,
         f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
     ) -> CompHandle {
+        self.spawn_guarded(decl, (), f)
+    }
+
+    /// [`Runtime::spawn`], holding `guard` until the computation's root
+    /// thread fully exits — body, asynchronous drain, and Rule 3 release
+    /// included. Callers use the guard's `Drop` as a completion signal for
+    /// backpressure: dropping it when the *body* returns would under-count,
+    /// because the thread can still block in the drain phase long after
+    /// (see the worker loop), and unbounded spawn rates then exhaust OS
+    /// threads regardless of any body-scoped accounting.
+    pub fn spawn_guarded(
+        &self,
+        decl: Decl<'_>,
+        guard: impl Send + 'static,
+        f: impl FnOnce(&Ctx) -> Result<()> + Send + 'static,
+    ) -> CompHandle {
         if let Err(e) = self.debug_validate(&decl) {
             panic!("{e}");
         }
@@ -774,6 +790,7 @@ impl Runtime {
             None => h.on_thread_spawn(),
         });
         std::thread::spawn(move || {
+            let _guard = guard;
             if let (Some(h), Some(t)) = (&hook, token) {
                 h.on_thread_start(t);
             }

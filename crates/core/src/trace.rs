@@ -757,14 +757,14 @@ impl ContentionProfile {
                     name: stack.protocol_name(ProtocolId(i as u32)).to_string(),
                     waits: w.len() as u64,
                     wait_total: Duration::from_nanos(w.iter().sum()),
-                    wait_p50_us: pct_us(w, 0.50),
-                    wait_p95_us: pct_us(w, 0.95),
-                    wait_p99_us: pct_us(w, 0.99),
+                    wait_p50_us: percentile_us(w, 0.50),
+                    wait_p95_us: percentile_us(w, 0.95),
+                    wait_p99_us: percentile_us(w, 0.99),
                     wait_max_us: w.last().map_or(0.0, |&v| v as f64 / 1e3),
                     handler_calls: s.len() as u64,
-                    service_p50_us: pct_us(s, 0.50),
-                    service_p95_us: pct_us(s, 0.95),
-                    service_p99_us: pct_us(s, 0.99),
+                    service_p50_us: percentile_us(s, 0.50),
+                    service_p95_us: percentile_us(s, 0.95),
+                    service_p99_us: percentile_us(s, 0.99),
                     bound_releases: bound_rel[i],
                     route_releases: route_rel[i],
                 }
@@ -781,9 +781,9 @@ impl ContentionProfile {
                     computations,
                     waits: w.len() as u64,
                     wait_total: Duration::from_nanos(w.iter().sum()),
-                    wait_p50_us: pct_us(&w, 0.50),
-                    wait_p95_us: pct_us(&w, 0.95),
-                    wait_p99_us: pct_us(&w, 0.99),
+                    wait_p50_us: percentile_us(&w, 0.50),
+                    wait_p95_us: percentile_us(&w, 0.95),
+                    wait_p99_us: percentile_us(&w, 0.99),
                     early_releases: algo_releases.get(&algo).copied().unwrap_or(0),
                 }
             })
@@ -900,7 +900,11 @@ impl ContentionProfile {
 }
 
 /// Percentile of a sorted nanosecond series, in microseconds (nearest-rank).
-fn pct_us(sorted_ns: &[u64], q: f64) -> f64 {
+///
+/// Shared by [`ContentionProfile`] and external latency harnesses (the bench
+/// crate's cluster fleet driver) so every reported pNN uses one definition.
+/// The input must already be sorted ascending; an empty series yields `0.0`.
+pub fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
     if sorted_ns.is_empty() {
         return 0.0;
     }
@@ -1153,11 +1157,11 @@ mod tests {
     #[test]
     fn percentiles_nearest_rank() {
         let v: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
-        assert_eq!(pct_us(&v, 0.50), 50.0);
-        assert_eq!(pct_us(&v, 0.95), 95.0);
-        assert_eq!(pct_us(&v, 0.99), 99.0);
-        assert_eq!(pct_us(&[], 0.5), 0.0);
-        assert_eq!(pct_us(&[7000], 0.99), 7.0);
+        assert_eq!(percentile_us(&v, 0.50), 50.0);
+        assert_eq!(percentile_us(&v, 0.95), 95.0);
+        assert_eq!(percentile_us(&v, 0.99), 99.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        assert_eq!(percentile_us(&[7000], 0.99), 7.0);
     }
 
     #[test]

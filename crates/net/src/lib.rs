@@ -1,10 +1,15 @@
-//! # samoa-net — simulated distributed substrate for SAMOA
+//! # samoa-net — network substrates for SAMOA
 //!
 //! The SAMOA paper's evaluation ran its group-communication stack "on
-//! distributed machines" (§7). This crate replaces that testbed with a
-//! deterministic in-process simulator: `n` sites exchanging datagrams with
-//! seeded random delays, configurable loss, site crashes, and network
-//! partitions.
+//! distributed machines" (§7). This crate provides two interchangeable
+//! backends behind one [`Transport`] seam:
+//!
+//! * [`SimNet`] — a deterministic in-process simulator: `n` sites
+//!   exchanging datagrams with seeded random delays, configurable loss,
+//!   site crashes, and network partitions.
+//! * [`TcpNet`] — a real-socket backend: length-prefixed framed TCP on
+//!   localhost with reconnecting, bounded per-peer outbound queues
+//!   ([`TcpMesh`] bundles `n` endpoints for in-process cluster tests).
 //!
 //! ```
 //! use samoa_net::{NetConfig, SimNet, SiteId};
@@ -29,9 +34,11 @@
 pub mod config;
 pub mod sim;
 pub mod stats;
+pub mod tcp;
 pub mod transport;
 
 pub use config::NetConfig;
 pub use sim::{Datagram, NetHandle, SimNet, SiteId};
 pub use stats::SiteStats;
+pub use tcp::{TcpConfig, TcpMesh, TcpNet, TcpStats};
 pub use transport::Transport;

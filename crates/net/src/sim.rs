@@ -136,7 +136,11 @@ impl NetHandle {
         (0..self.site_count() as u16).map(SiteId).collect()
     }
 
-    /// Install (or replace) the delivery callback of a site.
+    /// Install (or replace) the delivery callback of a site. A `SimNet`
+    /// hosts every site of its address table, so any `site < site_count` is
+    /// valid. Datagrams arriving while no callback is registered are
+    /// discarded and counted (`SiteStats::dropped_no_receiver`); see the
+    /// [`Transport`](crate::transport::Transport) contract.
     pub fn register(&self, site: SiteId, callback: impl Fn(Datagram) + Send + Sync + 'static) {
         self.inner.callbacks.write()[site.index()] = Some(Arc::new(callback));
     }
@@ -331,6 +335,10 @@ impl NetHandle {
             if st.delivering == 0 && st.heap.is_empty() {
                 inner.quiesce_cv.notify_all();
             }
+        } else {
+            // Unregistered destination: silently discarded, but counted, so
+            // the drop is visible in stats (Transport contract).
+            inner.counters[to.index()].note_dropped_no_receiver();
         }
         true
     }
@@ -508,8 +516,11 @@ fn delivery_loop(net: NetHandle) {
             if st.delivering == 0 && st.heap.is_empty() {
                 inner.quiesce_cv.notify_all();
             }
+        } else {
+            // Unregistered destination: silently discarded, but counted
+            // (`SiteStats::dropped_no_receiver`) per the Transport contract.
+            inner.counters[to.index()].note_dropped_no_receiver();
         }
-        // Unregistered destination: silently discarded.
     }
 }
 

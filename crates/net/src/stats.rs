@@ -12,6 +12,7 @@ pub struct SiteCounters {
     dropped_partition: AtomicU64,
     duplicated: AtomicU64,
     corrupted: AtomicU64,
+    dropped_no_receiver: AtomicU64,
 }
 
 impl SiteCounters {
@@ -36,6 +37,9 @@ impl SiteCounters {
     pub(crate) fn note_corrupted(&self) {
         self.corrupted.fetch_add(1, Ordering::Relaxed);
     }
+    pub(crate) fn note_dropped_no_receiver(&self) {
+        self.dropped_no_receiver.fetch_add(1, Ordering::Relaxed);
+    }
 
     /// Snapshot the counters.
     pub fn snapshot(&self) -> SiteStats {
@@ -47,6 +51,7 @@ impl SiteCounters {
             dropped_partition: self.dropped_partition.load(Ordering::Relaxed),
             duplicated: self.duplicated.load(Ordering::Relaxed),
             corrupted: self.corrupted.load(Ordering::Relaxed),
+            dropped_no_receiver: self.dropped_no_receiver.load(Ordering::Relaxed),
         }
     }
 }
@@ -71,12 +76,15 @@ pub struct SiteStats {
     pub duplicated: u64,
     /// Datagrams to this site corrupted in transit (one flipped bit).
     pub corrupted: u64,
+    /// Datagrams to this site discarded because no delivery callback was
+    /// registered at delivery time (see `Transport::register`).
+    pub dropped_no_receiver: u64,
 }
 
 impl SiteStats {
     /// All drops combined.
     pub fn dropped(&self) -> u64 {
-        self.dropped_loss + self.dropped_crash + self.dropped_partition
+        self.dropped_loss + self.dropped_crash + self.dropped_partition + self.dropped_no_receiver
     }
 }
 
@@ -91,6 +99,7 @@ impl std::ops::Add for SiteStats {
             dropped_partition: self.dropped_partition + o.dropped_partition,
             duplicated: self.duplicated + o.duplicated,
             corrupted: self.corrupted + o.corrupted,
+            dropped_no_receiver: self.dropped_no_receiver + o.dropped_no_receiver,
         }
     }
 }
@@ -124,9 +133,10 @@ mod tests {
             dropped_partition: 1,
             duplicated: 2,
             corrupted: 1,
+            dropped_no_receiver: 1,
         };
         let b = a + a;
         assert_eq!(b.sent, 2);
-        assert_eq!(b.dropped(), 8);
+        assert_eq!(b.dropped(), 10);
     }
 }

@@ -1,22 +1,102 @@
 //! Transport abstraction so protocol stacks are not tied to
 //! [`SimNet`](crate::sim::SimNet).
+//!
+//! The trait has exactly two halves:
+//!
+//! * a **send seam** ([`Transport::send`]/[`Transport::send_all`]) used by
+//!   the microprotocols that emit traffic, and
+//! * a **receive seam** ([`Transport::register`]) used by a site's Network
+//!   Module to install its delivery callback.
+//!
+//! Both the in-process simulator ([`SimNet`]) and the real-socket backend
+//! ([`TcpNet`](crate::tcp::TcpNet)) implement the full trait, so a protocol
+//! stack written against `Arc<dyn Transport>` runs unchanged over either.
+//!
+//! ## The contract every backend provides
+//!
+//! These semantics are deliberately identical across backends (pinned by
+//! `crates/net/tests/tcp.rs` and the cross-backend conformance test in
+//! `samoa-proto`):
+//!
+//! * **Datagram, at-most-once-per-transmission.** `send` never blocks the
+//!   caller and never reports an error; delivery is asynchronous on a
+//!   backend-owned thread. A datagram may be lost (simulated loss, a crashed
+//!   peer, a full outbound queue, a torn connection) but a single `send` is
+//!   never spontaneously duplicated by `TcpNet`; `SimNet` duplicates only
+//!   when configured to. Reliability is the job of the protocols above
+//!   (RelComm's acks and retransmissions).
+//! * **Ordering.** `SimNet` reorders within its configured delay window;
+//!   `TcpNet` preserves per-(sender, receiver) FIFO order for frames that
+//!   survive (TCP), but drops are possible between them. Protocols must not
+//!   assume more than per-pair FIFO of an unreliable link.
+//! * **`site_count`** is the size of the static address table the transport
+//!   was created with — the number of *addressable* sites, constant for the
+//!   transport's lifetime, independent of how many sites are currently
+//!   registered, reachable, or crashed.
+//! * **`register`** installs (or replaces) the delivery callback of a site
+//!   *hosted by this transport instance*. `SimNet` hosts every site;
+//!   `TcpNet` hosts exactly one (its local site) and panics if asked to
+//!   register a callback for a site it does not host. Re-registering
+//!   replaces the previous callback; datagrams delivered concurrently with
+//!   the swap may invoke either callback.
+//! * **Sends to unregistered sites are silently discarded** at delivery
+//!   time — the sender cannot tell — and counted in the destination's
+//!   stats (`SiteStats::dropped_no_receiver` on `SimNet`;
+//!   `TcpStats::dropped_no_receiver` on `TcpNet`). Sends to crashed or
+//!   unreachable sites are likewise dropped and counted
+//!   (`dropped_crash` / `TcpStats::dropped_backpressure` + reconnect
+//!   counters), never surfaced as send-side errors.
+//!
+//! [`SimNet`]: crate::sim::SimNet
+
+use std::sync::Arc;
 
 use bytes::Bytes;
 
-use crate::sim::{NetHandle, SiteId};
+use crate::sim::{DeliveryFn, NetHandle, SiteId};
 
 /// Anything that can carry datagrams between sites. The group-communication
 /// stack in `samoa-proto` is written against this trait; [`SimNet`] is the
-/// default implementation, and tests can substitute an instrumented one.
+/// default implementation, [`TcpNet`](crate::tcp::TcpNet) is the
+/// real-socket one, and tests can substitute an instrumented one.
+///
+/// See the [module docs](self) for the delivery contract all backends
+/// share.
 ///
 /// [`SimNet`]: crate::sim::SimNet
 pub trait Transport: Send + Sync + 'static {
-    /// Fire-and-forget datagram send (UDP semantics: may be lost,
-    /// duplicated never, reordered possibly).
+    /// Fire-and-forget datagram send (UDP semantics: may be lost, is never
+    /// duplicated by the transport itself, may be reordered across peers).
+    /// Never blocks and never reports failure; see the module docs.
     fn send(&self, from: SiteId, to: SiteId, payload: Bytes);
 
-    /// Number of sites addressable on this transport.
+    /// Broadcast a payload to every site except `from` itself.
+    fn send_all(&self, from: SiteId, payload: Bytes) {
+        for to in self.sites() {
+            if to != from {
+                self.send(from, to, payload.clone());
+            }
+        }
+    }
+
+    /// Number of sites addressable on this transport (the static address
+    /// table size, not the number of currently registered sites).
     fn site_count(&self) -> usize;
+
+    /// All addressable site ids, `0..site_count`.
+    fn sites(&self) -> Vec<SiteId> {
+        (0..self.site_count() as u16).map(SiteId).collect()
+    }
+
+    /// Install (or replace) the delivery callback of a site hosted by this
+    /// transport instance. The callback runs on a transport-owned thread,
+    /// concurrently with the registering thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is not hosted by this instance (a `TcpNet` hosts
+    /// only its local site; a `SimNet` hosts all of them).
+    fn register(&self, site: SiteId, callback: Arc<DeliveryFn>);
 }
 
 impl Transport for NetHandle {
@@ -24,8 +104,20 @@ impl Transport for NetHandle {
         NetHandle::send(self, from, to, payload)
     }
 
+    fn send_all(&self, from: SiteId, payload: Bytes) {
+        NetHandle::send_all(self, from, payload)
+    }
+
     fn site_count(&self) -> usize {
         NetHandle::site_count(self)
+    }
+
+    fn sites(&self) -> Vec<SiteId> {
+        NetHandle::sites(self)
+    }
+
+    fn register(&self, site: SiteId, callback: Arc<DeliveryFn>) {
+        NetHandle::register(self, site, move |dg| callback(dg));
     }
 }
 
@@ -50,5 +142,32 @@ mod tests {
         net.quiesce();
         assert_eq!(*got.lock(), vec![5]);
         assert_eq!(t.site_count(), 2);
+        assert_eq!(t.sites(), vec![SiteId(0), SiteId(1)]);
+    }
+
+    #[test]
+    fn trait_register_seam_delivers() {
+        let net = SimNet::new(2, NetConfig::fast(2));
+        let t: Arc<dyn Transport> = Arc::new(net.handle());
+        let got: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let got = Arc::clone(&got);
+            t.register(
+                SiteId(0),
+                Arc::new(move |dg| got.lock().push(dg.payload[0])),
+            );
+        }
+        t.send_all(SiteId(1), Bytes::copy_from_slice(&[9]));
+        net.quiesce();
+        assert_eq!(*got.lock(), vec![9]);
+    }
+
+    #[test]
+    fn send_to_unregistered_site_counts_dropped_no_receiver() {
+        let net = SimNet::new(2, NetConfig::fast(3));
+        net.send(SiteId(0), SiteId(1), Bytes::copy_from_slice(&[1]));
+        net.quiesce();
+        assert_eq!(net.stats(SiteId(1)).dropped_no_receiver, 1);
+        assert_eq!(net.stats(SiteId(1)).delivered, 0);
     }
 }

@@ -1,0 +1,562 @@
+//! Replicated key-value store: an application microprotocol on top of
+//! atomic broadcast.
+//!
+//! `put` / `get` / `cas` commands are encoded into
+//! [`AbPayload::User`](crate::msgs::AbPayload) frames, totally ordered by
+//! the abcast stack, and applied by a deterministic state machine at every
+//! site — textbook state-machine replication, with SAMOA providing the
+//! total order and the isolation. Because the commands ride the existing
+//! `ABcast`/`ADeliver` events, the store runs unchanged over `SimNet` or
+//! `TcpNet`, under every [`StackPolicy`](crate::node::StackPolicy).
+//!
+//! Reads (`get`) are ordered through abcast like writes, so every
+//! operation is linearizable: its point of effect is its position in the
+//! total order.
+//!
+//! The originating site completes the client's pending handle when *it*
+//! applies the command (origin-local completion): the reply reflects the
+//! state machine at the command's position in the total order.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::{BufMut, Bytes, BytesMut};
+use parking_lot::{Condvar, Mutex};
+
+use samoa_core::prelude::*;
+use samoa_net::SiteId;
+
+use crate::events::Events;
+use crate::msgs::{AbPayload, MsgUid};
+
+/// Magic prefix distinguishing KV commands from plain abcast user
+/// payloads (which the store ignores).
+const MAGIC: [u8; 2] = [0xB5, 0x4B];
+
+/// One replicated command. `req` is an origin-local request id used to
+/// route the reply back to the issuing client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCmd {
+    /// Set `key` to `value`; replies with the previous value.
+    Put {
+        /// Origin-local request id.
+        req: u64,
+        /// Key.
+        key: Bytes,
+        /// New value.
+        value: Bytes,
+    },
+    /// Read `key` at the command's position in the total order.
+    Get {
+        /// Origin-local request id.
+        req: u64,
+        /// Key.
+        key: Bytes,
+    },
+    /// Compare-and-swap: set `key` to `value` iff its current value equals
+    /// `expect` (`None` = expect absent). Replies `ok` on success, with the
+    /// post-operation value either way.
+    Cas {
+        /// Origin-local request id.
+        req: u64,
+        /// Key.
+        key: Bytes,
+        /// Expected current value (`None` = key absent).
+        expect: Option<Bytes>,
+        /// Value to install on match.
+        value: Bytes,
+    },
+}
+
+impl KvCmd {
+    /// The origin-local request id.
+    pub fn req(&self) -> u64 {
+        match self {
+            KvCmd::Put { req, .. } | KvCmd::Get { req, .. } | KvCmd::Cas { req, .. } => *req,
+        }
+    }
+
+    /// The key the command touches.
+    pub fn key(&self) -> &Bytes {
+        match self {
+            KvCmd::Put { key, .. } | KvCmd::Get { key, .. } | KvCmd::Cas { key, .. } => key,
+        }
+    }
+
+    /// Encode into an abcast user payload.
+    pub fn encode(&self) -> Bytes {
+        fn put_bytes(out: &mut BytesMut, b: &Bytes) {
+            out.put_u32_le(b.len() as u32);
+            out.put_slice(b);
+        }
+        let mut out = BytesMut::new();
+        out.put_slice(&MAGIC);
+        match self {
+            KvCmd::Put { req, key, value } => {
+                out.put_u8(0);
+                out.put_u64_le(*req);
+                put_bytes(&mut out, key);
+                put_bytes(&mut out, value);
+            }
+            KvCmd::Get { req, key } => {
+                out.put_u8(1);
+                out.put_u64_le(*req);
+                put_bytes(&mut out, key);
+            }
+            KvCmd::Cas {
+                req,
+                key,
+                expect,
+                value,
+            } => {
+                out.put_u8(2);
+                out.put_u64_le(*req);
+                put_bytes(&mut out, key);
+                match expect {
+                    None => out.put_u8(0),
+                    Some(e) => {
+                        out.put_u8(1);
+                        put_bytes(&mut out, e);
+                    }
+                }
+                put_bytes(&mut out, value);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Decode from an abcast user payload; `None` if it is not a KV frame.
+    pub fn decode(b: &Bytes) -> Option<KvCmd> {
+        struct Rd<'a>(&'a [u8]);
+        impl Rd<'_> {
+            fn u8(&mut self) -> Option<u8> {
+                let (h, t) = self.0.split_first()?;
+                self.0 = t;
+                Some(*h)
+            }
+            fn u64(&mut self) -> Option<u64> {
+                if self.0.len() < 8 {
+                    return None;
+                }
+                let (h, t) = self.0.split_at(8);
+                self.0 = t;
+                Some(u64::from_le_bytes(h.try_into().ok()?))
+            }
+            fn bytes(&mut self) -> Option<Bytes> {
+                if self.0.len() < 4 {
+                    return None;
+                }
+                let (h, t) = self.0.split_at(4);
+                let len = u32::from_le_bytes(h.try_into().ok()?) as usize;
+                if t.len() < len {
+                    return None;
+                }
+                let (b, rest) = t.split_at(len);
+                self.0 = rest;
+                Some(Bytes::copy_from_slice(b))
+            }
+        }
+        if b.len() < 3 || b[..2] != MAGIC {
+            return None;
+        }
+        let mut r = Rd(&b[2..]);
+        let cmd = match r.u8()? {
+            0 => KvCmd::Put {
+                req: r.u64()?,
+                key: r.bytes()?,
+                value: r.bytes()?,
+            },
+            1 => KvCmd::Get {
+                req: r.u64()?,
+                key: r.bytes()?,
+            },
+            2 => {
+                let req = r.u64()?;
+                let key = r.bytes()?;
+                let expect = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.bytes()?),
+                    _ => return None,
+                };
+                KvCmd::Cas {
+                    req,
+                    key,
+                    expect,
+                    value: r.bytes()?,
+                }
+            }
+            _ => return None,
+        };
+        if r.0.is_empty() {
+            Some(cmd)
+        } else {
+            None
+        }
+    }
+}
+
+/// The outcome of one applied command, reported to the issuing client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvReply {
+    /// `true` for `put`/`get`; for `cas`, whether the swap took effect.
+    pub ok: bool,
+    /// `put`: the previous value; `get`: the read value; `cas`: the
+    /// post-operation value.
+    pub value: Option<Bytes>,
+}
+
+/// One applied command with its position identity in the total order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvApplied {
+    /// The abcast uid (origin site + origin sequence number).
+    pub uid: MsgUid,
+    /// The command.
+    pub cmd: KvCmd,
+}
+
+/// The deterministic state machine: the map plus the applied-command log.
+#[derive(Debug, Default)]
+pub struct KvState {
+    map: BTreeMap<Bytes, Bytes>,
+    log: Vec<KvApplied>,
+}
+
+impl KvState {
+    /// Apply one command (in total-order position `uid`) and produce its
+    /// reply. Pure function of (current state, command) — every site that
+    /// applies the same log prefix has byte-identical state.
+    pub fn apply(&mut self, uid: MsgUid, cmd: KvCmd) -> KvReply {
+        let reply = match &cmd {
+            KvCmd::Put { key, value, .. } => KvReply {
+                ok: true,
+                value: self.map.insert(key.clone(), value.clone()),
+            },
+            KvCmd::Get { key, .. } => KvReply {
+                ok: true,
+                value: self.map.get(key).cloned(),
+            },
+            KvCmd::Cas {
+                key, expect, value, ..
+            } => {
+                let ok = self.map.get(key) == expect.as_ref();
+                if ok {
+                    self.map.insert(key.clone(), value.clone());
+                }
+                KvReply {
+                    ok,
+                    value: self.map.get(key).cloned(),
+                }
+            }
+        };
+        self.log.push(KvApplied { uid, cmd });
+        reply
+    }
+
+    /// Number of applied commands.
+    pub fn applied(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The applied-command log (the site's view of the total order).
+    pub fn log(&self) -> &[KvApplied] {
+        &self.log
+    }
+
+    /// Snapshot of the map.
+    pub fn snapshot(&self) -> Vec<(Bytes, Bytes)> {
+        self.map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// FNV-1a digest of the map contents: byte-identical state machines
+    /// have equal digests.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: &[u8]| {
+            for &x in b {
+                h ^= x as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (k, v) in &self.map {
+            eat(&(k.len() as u64).to_le_bytes());
+            eat(k);
+            eat(&(v.len() as u64).to_le_bytes());
+            eat(v);
+        }
+        h
+    }
+}
+
+#[derive(Debug)]
+struct WaitCell {
+    slot: Mutex<Option<KvReply>>,
+    cv: Condvar,
+}
+
+/// Routes replies from the state machine back to blocked clients on the
+/// originating site. Cloneable handle; shared between the KV handler and
+/// [`Node::kv_put`](crate::node::Node::kv_put)-style entry points.
+#[derive(Clone, Default)]
+pub struct KvWaiters {
+    cells: Arc<Mutex<HashMap<u64, Arc<WaitCell>>>>,
+}
+
+impl KvWaiters {
+    /// Create the pending handle for request `req` (called before the
+    /// command is broadcast, so the reply cannot race past the waiter).
+    pub fn pending(&self, req: u64) -> KvPending {
+        let cell = Arc::new(WaitCell {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        self.cells.lock().insert(req, Arc::clone(&cell));
+        KvPending {
+            req,
+            cell,
+            waiters: self.clone(),
+        }
+    }
+
+    /// Deliver the reply for request `req` (called by the KV handler when
+    /// the origin site applies the command).
+    pub fn complete(&self, req: u64, reply: KvReply) {
+        let cell = self.cells.lock().remove(&req);
+        if let Some(cell) = cell {
+            *cell.slot.lock() = Some(reply);
+            cell.cv.notify_all();
+        }
+    }
+}
+
+impl std::fmt::Debug for KvWaiters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvWaiters")
+            .field("pending", &self.cells.lock().len())
+            .finish()
+    }
+}
+
+/// A client's handle on one in-flight KV operation.
+#[derive(Debug)]
+pub struct KvPending {
+    req: u64,
+    cell: Arc<WaitCell>,
+    waiters: KvWaiters,
+}
+
+impl KvPending {
+    /// The origin-local request id.
+    pub fn req(&self) -> u64 {
+        self.req
+    }
+
+    /// Block until the origin site applies the command, or `timeout`
+    /// elapses (`None` on timeout — the command may still apply later; the
+    /// waiter is deregistered either way).
+    pub fn wait(self, timeout: Duration) -> Option<KvReply> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.cell.slot.lock();
+        loop {
+            if let Some(r) = slot.take() {
+                return Some(r);
+            }
+            if Instant::now() >= deadline {
+                drop(slot);
+                self.waiters.cells.lock().remove(&self.req);
+                return None;
+            }
+            self.cell.cv.wait_until(&mut slot, deadline);
+        }
+    }
+}
+
+/// Register the KV store on the builder: one handler bound to `ADeliver`,
+/// applying KV-framed payloads in delivery order. A pure sink within the
+/// stack — it triggers nothing — so routing patterns stay unchanged.
+pub fn register(
+    b: &mut StackBuilder,
+    pid: ProtocolId,
+    ev: &Events,
+    state: ProtocolState<KvState>,
+    waiters: KvWaiters,
+    site: SiteId,
+) -> HandlerId {
+    let e = ev.adeliver;
+    b.bind_with_triggers(e, pid, "kv.on_adeliver", &[], move |ctx, data| {
+        let m: &crate::msgs::AbMsg = data.expect(e)?;
+        let AbPayload::User(bytes) = &m.payload else {
+            return Ok(());
+        };
+        let Some(cmd) = KvCmd::decode(bytes) else {
+            return Ok(());
+        };
+        let uid = m.uid;
+        let req = cmd.req();
+        let reply = state.with(ctx, |s| s.apply(uid, cmd));
+        if uid.origin == site {
+            waiters.complete(req, reply);
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(origin: u16, seq: u64) -> MsgUid {
+        MsgUid {
+            origin: SiteId(origin),
+            seq,
+        }
+    }
+
+    #[test]
+    fn cmd_codec_roundtrips() {
+        let cmds = [
+            KvCmd::Put {
+                req: 7,
+                key: Bytes::from_static(b"k"),
+                value: Bytes::from_static(b"v"),
+            },
+            KvCmd::Get {
+                req: 8,
+                key: Bytes::from_static(b""),
+            },
+            KvCmd::Cas {
+                req: 9,
+                key: Bytes::from_static(b"k"),
+                expect: None,
+                value: Bytes::from_static(b"n"),
+            },
+            KvCmd::Cas {
+                req: 10,
+                key: Bytes::from_static(b"k"),
+                expect: Some(Bytes::from_static(b"old")),
+                value: Bytes::from_static(b"new"),
+            },
+        ];
+        for c in cmds {
+            assert_eq!(KvCmd::decode(&c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn non_kv_payloads_are_ignored() {
+        assert_eq!(KvCmd::decode(&Bytes::from_static(b"hello")), None);
+        assert_eq!(KvCmd::decode(&Bytes::from_static(b"")), None);
+        // Truncated KV frame.
+        let mut enc = KvCmd::Get {
+            req: 1,
+            key: Bytes::from_static(b"key"),
+        }
+        .encode()
+        .to_vec();
+        enc.pop();
+        assert_eq!(KvCmd::decode(&Bytes::from(enc)), None);
+        // Trailing garbage.
+        let mut enc = KvCmd::Get {
+            req: 1,
+            key: Bytes::from_static(b"key"),
+        }
+        .encode()
+        .to_vec();
+        enc.push(0);
+        assert_eq!(KvCmd::decode(&Bytes::from(enc)), None);
+    }
+
+    #[test]
+    fn state_machine_is_deterministic() {
+        let script = [
+            KvCmd::Put {
+                req: 1,
+                key: Bytes::from_static(b"a"),
+                value: Bytes::from_static(b"1"),
+            },
+            KvCmd::Cas {
+                req: 2,
+                key: Bytes::from_static(b"a"),
+                expect: Some(Bytes::from_static(b"1")),
+                value: Bytes::from_static(b"2"),
+            },
+            KvCmd::Cas {
+                req: 3,
+                key: Bytes::from_static(b"a"),
+                expect: Some(Bytes::from_static(b"1")),
+                value: Bytes::from_static(b"3"),
+            },
+            KvCmd::Get {
+                req: 4,
+                key: Bytes::from_static(b"a"),
+            },
+        ];
+        let mut s1 = KvState::default();
+        let mut s2 = KvState::default();
+        let r1: Vec<KvReply> = script
+            .iter()
+            .enumerate()
+            .map(|(i, c)| s1.apply(uid(0, i as u64), c.clone()))
+            .collect();
+        let r2: Vec<KvReply> = script
+            .iter()
+            .enumerate()
+            .map(|(i, c)| s2.apply(uid(0, i as u64), c.clone()))
+            .collect();
+        assert_eq!(r1, r2);
+        assert_eq!(s1.digest(), s2.digest());
+        assert!(!r1[2].ok, "stale cas must fail");
+        assert_eq!(r1[3].value, Some(Bytes::from_static(b"2")));
+        assert_eq!(s1.applied(), 4);
+    }
+
+    #[test]
+    fn digest_distinguishes_states() {
+        let mut a = KvState::default();
+        let mut b = KvState::default();
+        a.apply(
+            uid(0, 0),
+            KvCmd::Put {
+                req: 1,
+                key: Bytes::from_static(b"k"),
+                value: Bytes::from_static(b"v1"),
+            },
+        );
+        b.apply(
+            uid(0, 0),
+            KvCmd::Put {
+                req: 1,
+                key: Bytes::from_static(b"k"),
+                value: Bytes::from_static(b"v2"),
+            },
+        );
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn waiters_complete_and_timeout() {
+        let w = KvWaiters::default();
+        let p = w.pending(1);
+        w.complete(
+            1,
+            KvReply {
+                ok: true,
+                value: None,
+            },
+        );
+        assert!(p.wait(Duration::from_millis(10)).is_some());
+        let p2 = w.pending(2);
+        assert!(p2.wait(Duration::from_millis(10)).is_none());
+        // Completing after timeout is a no-op, not a panic.
+        w.complete(
+            2,
+            KvReply {
+                ok: true,
+                value: None,
+            },
+        );
+    }
+}

@@ -34,6 +34,7 @@ pub mod app;
 pub mod consensus;
 pub mod events;
 pub mod fd;
+pub mod kv;
 pub mod membership;
 pub mod msgs;
 pub mod node;
@@ -42,6 +43,7 @@ pub mod relcomm;
 pub mod view;
 
 pub use events::Events;
+pub use kv::{KvApplied, KvCmd, KvPending, KvReply, KvState};
 pub use msgs::{AbMsg, AbPayload, CastData, CastMsg, ConsMsg, MsgUid, Payload, SyncMsg, Wire};
-pub use node::{Cluster, Node, NodeConfig, StackPolicy};
+pub use node::{Cluster, Node, NodeConfig, StackPolicy, TcpCluster};
 pub use view::{GroupView, ViewOp};

@@ -24,22 +24,23 @@
 //! * [`StackPolicy::TwoPhase`] — conservative 2PL over the same sets as
 //!   `Basic`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use samoa_core::analysis::infer_route;
 use samoa_core::prelude::*;
-use samoa_net::{NetConfig, NetHandle, SimNet, SiteId, Transport};
+use samoa_net::{NetConfig, NetHandle, SimNet, SiteId, TcpMesh, Transport};
 
 use crate::abcast::{self, AbcastState};
 use crate::app::{self, AppState};
 use crate::consensus::{self, ConsensusState};
 use crate::events::Events;
 use crate::fd::{self, FdState};
+use crate::kv::{self, KvApplied, KvCmd, KvPending, KvState, KvWaiters};
 use crate::membership::{self, MembershipState};
 use crate::msgs::{AbPayload, CastData, Payload, Wire};
 use crate::relcast::{self, RelCastState};
@@ -94,6 +95,15 @@ pub struct NodeConfig {
     /// The paper notes that `M` "could be inferred statically" — this knob
     /// measures what that inference buys.
     pub declare_all: bool,
+    /// Maximum in-flight external computations per node. Every computation
+    /// runs on its own thread, so an unbounded arrival rate (real sockets
+    /// deliver far faster than the simulator) can pile up thousands of
+    /// admission-blocked threads until thread creation fails. The entry
+    /// point (reader thread, timer, application) blocks while the node is
+    /// at this limit — natural backpressure that TCP propagates to the
+    /// sender. Ignored for hooked runtimes (the controller owns
+    /// scheduling).
+    pub max_inflight_external: usize,
 }
 
 impl Default for NodeConfig {
@@ -110,6 +120,7 @@ impl Default for NodeConfig {
             record_history: false,
             view_change_delay: Duration::ZERO,
             declare_all: false,
+            max_inflight_external: 64,
         }
     }
 }
@@ -171,13 +182,44 @@ struct RouteTable {
     fd_tick: RoutePattern,
 }
 
+/// Counting gate bounding in-flight external computations (backpressure
+/// from the Network/Timer/Application modules into the runtime).
+struct ExtGate {
+    count: Mutex<usize>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl ExtGate {
+    fn acquire(self: &Arc<Self>) -> ExtSlot {
+        let mut g = self.count.lock();
+        while *g >= self.cap {
+            self.cv.wait(&mut g);
+        }
+        *g += 1;
+        ExtSlot(Arc::clone(self))
+    }
+}
+
+/// RAII slot in the gate; released when the computation's body finishes.
+struct ExtSlot(Arc<ExtGate>);
+
+impl Drop for ExtSlot {
+    fn drop(&mut self) {
+        let mut g = self.0.count.lock();
+        *g -= 1;
+        drop(g);
+        self.0.cv.notify_one();
+    }
+}
+
 /// One site of the group-communication system.
 pub struct Node {
     /// This node's site id.
     pub site: SiteId,
     rt: Runtime,
     ev: Events,
-    net: NetHandle,
+    transport: Arc<dyn Transport>,
     cfg: NodeConfig,
     decls: DeclSets,
     app: ProtocolState<AppState>,
@@ -187,6 +229,10 @@ pub struct Node {
     abcast: ProtocolState<AbcastState>,
     fd: ProtocolState<FdState>,
     consensus: ProtocolState<ConsensusState>,
+    kv: ProtocolState<KvState>,
+    kv_waiters: KvWaiters,
+    kv_req: AtomicU64,
+    ext_gate: Option<Arc<ExtGate>>,
     stop: Arc<AtomicBool>,
     timer: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -195,7 +241,24 @@ impl Node {
     /// Build the node, wire its stack, register it on the network, and (if
     /// enabled) start its timers.
     pub fn new(net: NetHandle, site: SiteId, cfg: NodeConfig) -> Arc<Node> {
-        Node::build(net, site, cfg, None, None)
+        Node::build(Arc::new(net), site, cfg, None, None)
+    }
+
+    /// [`Node::new`] over any [`Transport`] backend — the same stack runs
+    /// unchanged over `SimNet` (via [`Node::new`]) or a real-socket
+    /// [`TcpNet`](samoa_net::TcpNet):
+    ///
+    /// ```no_run
+    /// use std::sync::Arc;
+    /// use samoa_net::{SiteId, TcpMesh, Transport};
+    /// use samoa_proto::{Node, NodeConfig};
+    ///
+    /// let mesh = TcpMesh::new(3).unwrap();
+    /// let t: Arc<dyn Transport> = Arc::clone(mesh.net(0)) as Arc<dyn Transport>;
+    /// let node = Node::new_on(t, SiteId(0), NodeConfig::default());
+    /// ```
+    pub fn new_on(transport: Arc<dyn Transport>, site: SiteId, cfg: NodeConfig) -> Arc<Node> {
+        Node::build(transport, site, cfg, None, None)
     }
 
     /// [`Node::new`] with a [`TraceSink`](samoa_core::TraceSink) attached to
@@ -210,7 +273,7 @@ impl Node {
         cfg: NodeConfig,
         sink: Arc<dyn samoa_core::TraceSink>,
     ) -> Arc<Node> {
-        Node::build(net, site, cfg, None, Some(sink))
+        Node::build(Arc::new(net), site, cfg, None, Some(sink))
     }
 
     /// [`Node::new`] with a scheduling hook installed on the node's runtime,
@@ -225,11 +288,11 @@ impl Node {
         cfg: NodeConfig,
         hook: Arc<dyn samoa_core::SchedHook>,
     ) -> Arc<Node> {
-        Node::build(net, site, cfg, Some(hook), None)
+        Node::build(Arc::new(net), site, cfg, Some(hook), None)
     }
 
     fn build(
-        net: NetHandle,
+        transport: Arc<dyn Transport>,
         site: SiteId,
         cfg: NodeConfig,
         hook: Option<Arc<dyn samoa_core::SchedHook>>,
@@ -237,9 +300,9 @@ impl Node {
     ) -> Arc<Node> {
         let view = match &cfg.initial_members {
             Some(m) => GroupView::initial(m.iter().copied()),
-            None => GroupView::initial(net.sites()),
+            None => GroupView::initial(transport.sites()),
         };
-        let n_sites = net.site_count() as u64;
+        let n_sites = transport.site_count() as u64;
 
         let mut b = StackBuilder::new();
         let p_relcomm = b.protocol("RelComm");
@@ -249,6 +312,7 @@ impl Node {
         let p_abcast = b.protocol("ABcast");
         let p_membership = b.protocol("Membership");
         let p_app = b.protocol("App");
+        let p_kv = b.protocol("Kv");
         let ev = Events::declare(&mut b);
 
         let relcomm_st =
@@ -259,12 +323,13 @@ impl Node {
         let abcast_st = ProtocolState::new(p_abcast, AbcastState::new(site, view.clone()));
         let membership_st = ProtocolState::new(p_membership, MembershipState::new(view));
         let app_st = ProtocolState::new(p_app, AppState::default());
+        let kv_st = ProtocolState::new(p_kv, KvState::default());
+        let kv_waiters = KvWaiters::default();
 
         if !cfg.view_change_delay.is_zero() {
             relcomm_st.write(|s| s.view_change_delay = cfg.view_change_delay);
         }
 
-        let transport: Arc<dyn Transport> = Arc::new(net.clone());
         // RelCast registers before RelComm so that `triggerAll ViewChange`
         // updates the upper layer first — the §3 race window: RelCast fans
         // out using the new view while RelComm still holds the old one.
@@ -276,11 +341,12 @@ impl Node {
             relcomm_st.clone(),
             Arc::clone(&transport),
         );
-        fd::register(&mut b, p_fd, &ev, fd_st.clone(), transport);
+        fd::register(&mut b, p_fd, &ev, fd_st.clone(), Arc::clone(&transport));
         consensus::register(&mut b, p_consensus, &ev, consensus_st.clone());
         abcast::register(&mut b, p_abcast, &ev, abcast_st.clone());
         membership::register(&mut b, p_membership, &ev, membership_st.clone());
         app::register(&mut b, p_app, &ev, app_st.clone());
+        kv::register(&mut b, p_kv, &ev, kv_st.clone(), kv_waiters.clone(), site);
 
         let stack = b.build();
 
@@ -308,7 +374,10 @@ impl Node {
             p_abcast,
             p_membership,
             p_app,
+            p_kv,
         ];
+        // Plain user casts never reach Kv (it binds only ADeliver), so the
+        // cast set stays tight — no needless Kv serialisation under Basic.
         let user_cast = vec![p_relcomm, p_relcast, p_abcast, p_app];
         let generous = 8 * n_sites + 16;
         let bounds = |pids: &[ProtocolId]| -> Vec<(ProtocolId, u64)> {
@@ -331,17 +400,25 @@ impl Node {
             max_threads_per_computation: cfg.intra_threads.max(1),
             ..RuntimeConfig::default()
         };
+        let hooked = hook.is_some();
         let rt = match (hook, trace) {
             (Some(h), _) => Runtime::with_hook(stack, rt_cfg, h),
             (None, Some(s)) => Runtime::with_trace(stack, rt_cfg, s),
             (None, None) => Runtime::with_config(stack, rt_cfg),
         };
+        let ext_gate = (!hooked && cfg.max_inflight_external > 0).then(|| {
+            Arc::new(ExtGate {
+                count: Mutex::new(0),
+                cv: Condvar::new(),
+                cap: cfg.max_inflight_external,
+            })
+        });
 
         let node = Arc::new(Node {
             site,
             rt,
             ev,
-            net: net.clone(),
+            transport,
             cfg,
             decls,
             app: app_st,
@@ -351,6 +428,10 @@ impl Node {
             abcast: abcast_st,
             fd: fd_st,
             consensus: consensus_st,
+            kv: kv_st,
+            kv_waiters,
+            kv_req: AtomicU64::new(0),
+            ext_gate,
             stop: Arc::new(AtomicBool::new(false)),
             timer: Mutex::new(None),
         });
@@ -358,11 +439,14 @@ impl Node {
         // Network Module: decode, classify, spawn an isolated computation.
         {
             let weak = Arc::downgrade(&node);
-            net.register(site, move |dg| {
-                if let Some(node) = weak.upgrade() {
-                    node.on_datagram(dg.from, dg.payload);
-                }
-            });
+            node.transport.register(
+                site,
+                Arc::new(move |dg| {
+                    if let Some(node) = weak.upgrade() {
+                        node.on_datagram(dg.from, dg.payload);
+                    }
+                }),
+            );
         }
 
         // Timer Module.
@@ -460,14 +544,19 @@ impl Node {
         } else {
             (basic, bound)
         };
+        // The slot rides the computation's root thread (not just the body):
+        // it is released only when the thread fully exits, so the gate
+        // counts every thread the computation still occupies — including
+        // ones blocked in the post-body drain phase.
+        let slot = self.ext_gate.as_ref().map(|g| g.acquire());
         let body = move |ctx: &Ctx| ctx.trigger(event, data);
         match self.cfg.policy {
-            StackPolicy::Unsync => self.rt.spawn(Decl::Unsync, body),
-            StackPolicy::Serial => self.rt.spawn(Decl::Serial, body),
-            StackPolicy::Basic => self.rt.spawn(Decl::Basic(basic), body),
-            StackPolicy::Bound => self.rt.spawn(Decl::Bound(bound), body),
-            StackPolicy::Route => self.rt.spawn(Decl::Route(route), body),
-            StackPolicy::TwoPhase => self.rt.spawn(Decl::TwoPhase(basic), body),
+            StackPolicy::Unsync => self.rt.spawn_guarded(Decl::Unsync, slot, body),
+            StackPolicy::Serial => self.rt.spawn_guarded(Decl::Serial, slot, body),
+            StackPolicy::Basic => self.rt.spawn_guarded(Decl::Basic(basic), slot, body),
+            StackPolicy::Bound => self.rt.spawn_guarded(Decl::Bound(bound), slot, body),
+            StackPolicy::Route => self.rt.spawn_guarded(Decl::Route(route), slot, body),
+            StackPolicy::TwoPhase => self.rt.spawn_guarded(Decl::TwoPhase(basic), slot, body),
         };
     }
 
@@ -505,6 +594,73 @@ impl Node {
             self.ev.join_leave,
             EventData::new((ViewOp::Leave, site)),
         );
+    }
+
+    fn kv_submit(&self, make: impl FnOnce(u64) -> KvCmd) -> KvPending {
+        let req = self.kv_req.fetch_add(1, Ordering::Relaxed);
+        // Install the waiter before broadcasting so the reply cannot race
+        // past it.
+        let pending = self.kv_waiters.pending(req);
+        let cmd = make(req);
+        self.spawn_external(
+            ExtKind::AbRequest,
+            self.ev.abcast,
+            EventData::new(AbPayload::User(cmd.encode())),
+        );
+        pending
+    }
+
+    /// Replicated KV: set `key` to `value`, totally ordered by abcast.
+    /// The returned handle resolves (with the previous value) once this
+    /// site applies the command; see [`KvPending::wait`].
+    pub fn kv_put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> KvPending {
+        let (key, value) = (key.into(), value.into());
+        self.kv_submit(|req| KvCmd::Put { req, key, value })
+    }
+
+    /// Replicated KV: linearizable read of `key` (ordered through abcast
+    /// like a write).
+    pub fn kv_get(&self, key: impl Into<Bytes>) -> KvPending {
+        let key = key.into();
+        self.kv_submit(|req| KvCmd::Get { req, key })
+    }
+
+    /// Replicated KV: compare-and-swap — install `value` iff `key`
+    /// currently equals `expect` (`None` = expect absent).
+    pub fn kv_cas(
+        &self,
+        key: impl Into<Bytes>,
+        expect: Option<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> KvPending {
+        let (key, value) = (key.into(), value.into());
+        self.kv_submit(|req| KvCmd::Cas {
+            req,
+            key,
+            expect,
+            value,
+        })
+    }
+
+    /// FNV digest of this site's KV map (equal digests ⇔ byte-identical
+    /// replicas).
+    pub fn kv_digest(&self) -> u64 {
+        self.kv.read(|s| s.digest())
+    }
+
+    /// Number of KV commands this site has applied.
+    pub fn kv_applied(&self) -> usize {
+        self.kv.read(|s| s.applied())
+    }
+
+    /// This site's applied-command log (its view of the total order).
+    pub fn kv_log(&self) -> Vec<KvApplied> {
+        self.kv.read(|s| s.log().to_vec())
+    }
+
+    /// Snapshot of this site's KV map.
+    pub fn kv_snapshot(&self) -> Vec<(Bytes, Bytes)> {
+        self.kv.read(|s| s.snapshot())
     }
 
     /// Reliable-broadcast deliveries observed by the application.
@@ -574,9 +730,9 @@ impl Node {
         &self.ev
     }
 
-    /// The network this node is attached to.
-    pub fn net(&self) -> &NetHandle {
-        &self.net
+    /// The transport this node is attached to.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Stop the timer thread. Idempotent.
@@ -712,6 +868,92 @@ impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+/// A bundle of `n` nodes over real localhost TCP sockets
+/// ([`TcpMesh`]) — the same stack as [`Cluster`], different backend.
+///
+/// There is no `settle()` here: real sockets have no global quiescence
+/// oracle. Poll observable state with a deadline instead (e.g. all sites'
+/// [`Node::kv_applied`] reaching a target).
+pub struct TcpCluster {
+    mesh: TcpMesh,
+    nodes: Vec<Option<Arc<Node>>>,
+}
+
+impl TcpCluster {
+    /// Build `n` nodes over a fresh localhost TCP mesh (ephemeral ports).
+    pub fn new(n: usize, node_cfg: NodeConfig) -> std::io::Result<TcpCluster> {
+        let mesh = TcpMesh::new(n)?;
+        let nodes = (0..n)
+            .map(|i| {
+                let t: Arc<dyn Transport> = Arc::clone(mesh.net(i)) as Arc<dyn Transport>;
+                Some(Node::new_on(t, SiteId(i as u16), node_cfg.clone()))
+            })
+            .collect();
+        Ok(TcpCluster { mesh, nodes })
+    }
+
+    /// Node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if site `i` was crashed.
+    pub fn node(&self, i: usize) -> &Arc<Node> {
+        self.nodes[i].as_ref().expect("site was crashed")
+    }
+
+    /// All live nodes with their site indices.
+    pub fn live_nodes(&self) -> impl Iterator<Item = (usize, &Arc<Node>)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (i, n)))
+    }
+
+    /// Is site `i` still up?
+    pub fn is_live(&self, i: usize) -> bool {
+        self.nodes[i].is_some()
+    }
+
+    /// The underlying mesh (for stats and addresses).
+    pub fn mesh(&self) -> &TcpMesh {
+        &self.mesh
+    }
+
+    /// Crash site `i`: tear its TCP endpoint down (it neither sends nor
+    /// receives afterwards), stop its timers, and drop the node. Survivors'
+    /// failure detectors will suspect it and consensus will rotate away —
+    /// this is the failover injection for the e12 scenario.
+    pub fn crash(&mut self, i: usize) {
+        self.mesh.crash(i);
+        if let Some(n) = self.nodes[i].take() {
+            n.stop_timers();
+        }
+    }
+
+    /// Stop all timers and tear every endpoint down.
+    pub fn shutdown(&mut self) {
+        for n in self.nodes.iter().flatten() {
+            n.stop_timers();
+        }
+        self.mesh.shutdown();
+    }
+}
+
+impl Drop for TcpCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for TcpCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpCluster")
+            .field("sites", &self.nodes.len())
+            .field("live", &self.nodes.iter().flatten().count())
             .finish()
     }
 }

@@ -71,14 +71,69 @@ impl Dedup {
     }
 }
 
+/// How many of the oldest unacked messages per target each retransmit tick
+/// may resend. Unbounded retransmission turns a transient receiver stall
+/// into a self-sustaining storm: the whole backlog re-enters the (bounded)
+/// send queues every RTO, drowning both the fresh traffic and the acks
+/// that would drain it.
+const RETRANSMIT_WINDOW: usize = 32;
+
+/// One sent-but-unacknowledged message: payload, last transmission time,
+/// and how many retransmissions it has had (drives exponential backoff).
+struct Pending {
+    payload: Payload,
+    last: Instant,
+    attempts: u32,
+}
+
+/// Per-target smoothed round-trip estimator (RFC 6298 shape). A fixed RTO
+/// below the *loaded* RTT retransmits spuriously: each duplicate costs the
+/// receiver a serialized computation, raising the RTT further — the
+/// classic congestion spiral. Tracking `srtt + 4·rttvar` per target keeps
+/// the timeout above the real ack latency as load varies, with the
+/// configured RTO as the floor (so an idle, fast link still recovers from
+/// a genuine loss quickly).
+#[derive(Clone, Copy)]
+struct Rtt {
+    srtt: Duration,
+    rttvar: Duration,
+}
+
+impl Rtt {
+    /// Fold in an ack-latency sample (only taken from never-retransmitted
+    /// messages — Karn's rule — so a retransmission's ambiguous ack can
+    /// never corrupt the estimate).
+    fn observe(&mut self, sample: Duration) {
+        let dev = self.srtt.abs_diff(sample);
+        self.rttvar = (self.rttvar * 3 + dev) / 4;
+        self.srtt = (self.srtt * 7 + sample) / 8;
+    }
+
+    fn timeout(&self) -> Duration {
+        self.srtt + self.rttvar * 4
+    }
+}
+
+impl Pending {
+    /// The timeout before the next retransmission: `rto << attempts`,
+    /// capped at 16x. Backoff keeps a congested or stalled peer from being
+    /// flooded with duplicates every tick — sustained retransmit storms
+    /// feed on themselves (each duplicate costs the receiver an isolated
+    /// computation, slowing it further, losing more acks).
+    fn due(&self, rto: Duration) -> Duration {
+        rto * (1u32 << self.attempts.min(4))
+    }
+}
+
 /// The local state of the RelComm microprotocol.
 pub struct RelCommState {
     site: SiteId,
     view: GroupView,
     next_seq: HashMap<SiteId, u64>,
-    pending: HashMap<(SiteId, u64), (Payload, Instant)>,
+    pending: HashMap<(SiteId, u64), Pending>,
     inbound: HashMap<SiteId, Dedup>,
     rto: Duration,
+    rtt: HashMap<SiteId, Rtt>,
     /// Retransmissions performed (observable for tests/benches).
     pub retransmissions: u64,
     /// Sends discarded because the target was not in RelComm's view. Under
@@ -103,6 +158,7 @@ impl RelCommState {
             pending: HashMap::new(),
             inbound: HashMap::new(),
             rto,
+            rtt: HashMap::new(),
             retransmissions: 0,
             discarded: 0,
             view_change_delay: Duration::ZERO,
@@ -117,6 +173,18 @@ impl RelCommState {
     /// The view RelComm currently believes in.
     pub fn view(&self) -> &GroupView {
         &self.view
+    }
+
+    /// The effective retransmission timeout toward `target`: the adaptive
+    /// estimate when one exists (never below the configured floor, capped
+    /// at 40x so a single extreme sample cannot park the channel).
+    fn rto_for(&self, target: SiteId) -> Duration {
+        let adaptive = self
+            .rtt
+            .get(&target)
+            .map(|r| r.timeout())
+            .unwrap_or(Duration::ZERO);
+        adaptive.clamp(self.rto, self.rto * 40)
     }
 }
 
@@ -160,8 +228,14 @@ pub fn register(
                 let seq = s.next_seq.entry(*target).or_insert(0);
                 *seq += 1;
                 let seq = *seq;
-                s.pending
-                    .insert((*target, seq), (payload.clone(), Instant::now()));
+                s.pending.insert(
+                    (*target, seq),
+                    Pending {
+                        payload: payload.clone(),
+                        last: Instant::now(),
+                        attempts: 0,
+                    },
+                );
                 Some((s.site, seq))
             });
             if let Some((site, seq)) = frame {
@@ -218,7 +292,19 @@ pub fn register(
         b.bind_with_triggers(e, pid, "relcomm.recv_ack", &[], move |ctx, data| {
             let a: &RcAckIn = data.expect(e)?;
             state.with(ctx, |s| {
-                s.pending.remove(&(a.sender, a.seq));
+                if let Some(p) = s.pending.remove(&(a.sender, a.seq)) {
+                    if p.attempts == 0 {
+                        // Karn's rule: sample only unambiguous acks.
+                        let sample = p.last.elapsed();
+                        s.rtt
+                            .entry(a.sender)
+                            .or_insert(Rtt {
+                                srtt: sample,
+                                rttvar: sample / 2,
+                            })
+                            .observe(sample);
+                    }
+                }
             });
             Ok(())
         })
@@ -231,16 +317,32 @@ pub fn register(
         b.bind_with_triggers(e, pid, "relcomm.retransmit", &[], move |ctx, _| {
             let (me, resend) = state.with(ctx, |s| {
                 let now = Instant::now();
-                let rto = s.rto;
                 // Purge pending messages to departed sites.
                 let view = s.view.clone();
                 s.pending.retain(|(target, _), _| view.contains(*target));
+                // Head-of-line retransmission: per target, only the
+                // RETRANSMIT_WINDOW oldest unacked seqs are eligible. The
+                // receiver dedups contiguously from its floor, so resending
+                // far past an undelivered head is pure flood; a windowed
+                // sender advances the head, collects acks, and drains a
+                // backlog instead of regenerating it every tick.
+                let mut by_target: HashMap<SiteId, Vec<u64>> = HashMap::new();
+                for (target, seq) in s.pending.keys() {
+                    by_target.entry(*target).or_default().push(*seq);
+                }
                 let mut resend = Vec::new();
-                for ((target, seq), (payload, last)) in s.pending.iter_mut() {
-                    if now.duration_since(*last) >= rto {
-                        *last = now;
-                        s.retransmissions += 1;
-                        resend.push((*target, *seq, payload.clone()));
+                for (target, mut seqs) in by_target {
+                    seqs.sort_unstable();
+                    seqs.truncate(RETRANSMIT_WINDOW);
+                    let rto = s.rto_for(target);
+                    for seq in seqs {
+                        let p = s.pending.get_mut(&(target, seq)).expect("pending key");
+                        if now.duration_since(p.last) >= p.due(rto) {
+                            p.last = now;
+                            p.attempts += 1;
+                            s.retransmissions += 1;
+                            resend.push((target, seq, p.payload.clone()));
+                        }
                     }
                 }
                 (s.site, resend)
