@@ -37,7 +37,7 @@ use std::sync::Arc;
 use std::thread::ThreadId;
 
 use parking_lot::{Condvar, Mutex};
-use samoa_core::sched::{SchedHook, SchedPoint, SchedResource};
+use samoa_core::sched::{ExternalChoice, SchedHook, SchedPoint, SchedResource};
 
 use crate::strategy::Decider;
 
@@ -537,6 +537,76 @@ impl SchedHook for Controller {
             }
         }
     }
+
+    /// An external (environment) decision: the calling thread keeps the
+    /// turn — no rescheduling happens — but the choice among `alts` is
+    /// recorded exactly like a thread decision, with each alternative
+    /// appearing as a *pseudo-thread*: its [`ExternalChoice::id`] lands in
+    /// the [`StepRecord::ready`] set, its footprint in the parallel
+    /// `pending` list, and the chosen move's footprint opens the new
+    /// segment's first [`SegEvent`]. DPOR then reasons about environment
+    /// moves (deliver/drop/duplicate a message, crash a site, advance the
+    /// timer wheel) with the same machinery it uses for threads: races
+    /// against an external move schedule backtracks at the decision where
+    /// its pseudo-id was ready.
+    ///
+    /// Pseudo-ids must be stable across runs sharing the decision prefix
+    /// (the scenario derives them from transport sequence numbers and site
+    /// ids) and disjoint from real thread ids, which are small registration
+    /// indices. A single alternative is a *forced move*: taken without
+    /// recording, its footprint folded into the ongoing segment — the same
+    /// rule that keeps thread traces short.
+    fn choose_external(&self, alts: &[ExternalChoice]) -> usize {
+        let mut st = self.st.lock();
+        if st.abort || alts.is_empty() {
+            return 0;
+        }
+        if let Some(tid) = self.lookup(&st) {
+            debug_assert_eq!(
+                st.current,
+                Some(tid),
+                "external choice from a thread without the turn"
+            );
+        }
+        // Canonical order: sorted by pseudo-id, so the recorded ready set —
+        // and therefore the meaning of a replayed choice index — is a pure
+        // function of the alternatives offered, never of the caller's
+        // enumeration order.
+        let mut order: Vec<usize> = (0..alts.len()).collect();
+        order.sort_by_key(|&i| alts[i].id);
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.runaway = true;
+            st.abort = true;
+            self.cv.notify_all();
+            return 0;
+        }
+        st.decider.note_step();
+        if alts.len() == 1 {
+            let fp = alts[0].footprint.clone();
+            st.touch_all(alts[0].id as usize, &fp);
+            return 0;
+        }
+        let ready: Vec<usize> = order.iter().map(|&i| alts[i].id as usize).collect();
+        let step = st.trace.len();
+        let idx = st.decider.choose(&ready, step).min(ready.len() - 1);
+        st.trace.push(ChoiceRecord {
+            chosen: idx as u32,
+            alternatives: ready.len() as u32,
+        });
+        let winner = &alts[order[idx]];
+        st.records.push(StepRecord {
+            ready: order.iter().map(|&i| alts[i].id).collect(),
+            pending: order.iter().map(|&i| alts[i].footprint.clone()).collect(),
+            seeds: vec![Vec::new(); alts.len()],
+            chosen: winner.id,
+            events: vec![SegEvent {
+                tid: winner.id,
+                resources: winner.footprint.clone(),
+            }],
+        });
+        order[idx]
+    }
 }
 
 #[cfg(test)]
@@ -686,6 +756,44 @@ mod tests {
             Some(&[SchedResource::Version(7)][..]),
             "seed must stand in for the unannounced pending"
         );
+    }
+
+    #[test]
+    fn external_choices_record_pseudo_threads_and_fold_forced_moves() {
+        let ctrl = Controller::new(Box::new(PrefixDecider::new(vec![1])), 1000);
+        ctrl.register_main();
+        // Deliberately unsorted: the controller must canonicalise by id, so
+        // the replayed choice index means the same alternative every run.
+        let alts = vec![
+            ExternalChoice::new(4100, vec![SchedResource::Msg(2)]),
+            ExternalChoice::new(4096, vec![SchedResource::Msg(1)]),
+        ];
+        let picked = ctrl.choose_external(&alts);
+        // Prefix choice 1 = second entry of the *sorted* ready set
+        // [4096, 4100] = id 4100 = index 0 of the caller's slice.
+        assert_eq!(picked, 0);
+        // A single alternative is a forced move: taken, not recorded, its
+        // footprint folded into the ongoing segment.
+        let forced =
+            ctrl.choose_external(&[ExternalChoice::new(1600, vec![SchedResource::TimeWheel])]);
+        assert_eq!(forced, 0);
+        let trace = ctrl.finish();
+        assert_eq!(trace.choices.len(), 1);
+        assert_eq!(
+            trace.choices[0],
+            ChoiceRecord {
+                chosen: 1,
+                alternatives: 2
+            }
+        );
+        let rec = &trace.records[0];
+        assert_eq!(rec.ready, vec![4096, 4100]);
+        assert_eq!(rec.chosen, 4100);
+        assert_eq!(rec.pending_of(4096), Some(&[SchedResource::Msg(1)][..]));
+        let fp = rec.footprint();
+        assert!(fp.contains(&SchedResource::Msg(2)), "winner's footprint");
+        assert!(fp.contains(&SchedResource::TimeWheel), "forced tick folded");
+        assert!(!fp.contains(&SchedResource::Msg(1)), "loser stayed pending");
     }
 
     #[test]

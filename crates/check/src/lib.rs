@@ -40,6 +40,7 @@
 pub mod controller;
 pub mod dpor;
 pub mod explorer;
+pub mod faults;
 pub mod independence;
 pub mod scenarios;
 pub mod strategy;
@@ -47,6 +48,7 @@ pub mod strategy;
 pub use controller::{ChoiceRecord, Controller, ScheduleTrace, SegEvent, StepRecord};
 pub use dpor::{DporSearch, HappensBefore, HbUnit};
 pub use explorer::{Exploration, Explorer, ExplorerConfig, Failure, Strategy, Sweep, Witness};
+pub use faults::{ClusterProbe, ClusterScenario, FaultBudget};
 pub use independence::StaticIndependence;
 pub use scenarios::{
     DiamondScenario, DisjointClustersScenario, OccScenario, RunReport, Scenario, ScenarioPolicy,

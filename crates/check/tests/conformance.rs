@@ -7,8 +7,8 @@
 use std::collections::BTreeSet;
 
 use samoa_check::{
-    DiamondScenario, DisjointClustersScenario, Explorer, ExplorerConfig, Failure, OccScenario,
-    Scenario, ScenarioPolicy, Strategy, Sweep, ViewChangeScenario,
+    ClusterScenario, DiamondScenario, DisjointClustersScenario, Explorer, ExplorerConfig, Failure,
+    FaultBudget, OccScenario, Scenario, ScenarioPolicy, Strategy, Sweep, ViewChangeScenario,
 };
 
 fn signatures(sweep: &Sweep) -> BTreeSet<String> {
@@ -213,6 +213,30 @@ fn occ_lost_update_witness_is_pinned() {
     let r2 = Explorer::replay(&scenario, &first).expect("witness must replay again");
     assert_eq!(r1, first.failure);
     assert_eq!(r1, r2);
+}
+
+/// With a **zero fault budget** the cluster explorer degenerates to pure
+/// schedule exploration of a healthy stack — exactly the regime the
+/// [`ViewChangeScenario`] family already pins. A bounded DPOR sweep of the
+/// hooked 3-site cluster must report the same failure set (none) as the
+/// clean view-change scenario: fault promotion must not manufacture
+/// failures the schedule-only search would not see.
+#[test]
+fn cluster_zero_budget_conforms_to_view_change_family() {
+    let cluster = ClusterScenario::new(3, samoa_proto::StackPolicy::Basic, 7, FaultBudget::none());
+    let cfg = ExplorerConfig::new(8, Strategy::Dpor);
+    let cl = Explorer::sweep(&cluster, &cfg);
+    assert!(cl.schedules_run > 0);
+    let vc = Explorer::sweep(
+        &ViewChangeScenario::new(ScenarioPolicy::Serial, 7),
+        &ExplorerConfig::new(1_000, Strategy::Dpor),
+    );
+    assert_eq!(
+        signatures(&cl),
+        signatures(&vc),
+        "zero-budget cluster sweep diverged from the view-change family"
+    );
+    assert_eq!(signatures(&cl), BTreeSet::new());
 }
 
 /// The correct OCC variant's retry bound (the livelock probe) holds on

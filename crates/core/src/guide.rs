@@ -271,7 +271,53 @@
 //! anything schedule-pure (fresh state per run, manual simulated network,
 //! no wall-clock) explores and replays deterministically.
 //!
-//! ## 7. Observing a stack
+//! ## 7. Exploring the fault space of the real stack
+//!
+//! §6 explores *schedules*; real distributed failures also involve the
+//! network deciding to lose, duplicate or reorder a datagram, a site
+//! dying, a partition forming. `samoa_check::ClusterScenario` promotes all
+//! of those to controller decision points too: it boots a full multi-site
+//! proto cluster (the §9 stack, RelComm through membership and KV) on the
+//! *manual* simulated network — no delivery thread, every in-flight
+//! datagram is a visible choice — and on virtual time, so RelComm
+//! retransmission and failure-detector timeouts become injected ticks
+//! instead of wall-clock races. At each step the controller picks one
+//! enabled move: deliver/drop/duplicate a specific datagram, crash a site,
+//! partition or heal the network, or advance time by one tick. Fault moves
+//! spend a `FaultBudget` (so the search stays bounded)
+//! and carry resource footprints like any other step, which means
+//! `Strategy::Dpor` searches the *combined* schedule × fault space with the
+//! same happens-before pruning as §6 (this snippet lives downstream of
+//! `samoa-core`, so it is shown as text; `examples/fault_explore.rs` is the
+//! runnable version):
+//!
+//! ```text
+//! // A 3-site cluster; the budget allows one crash and one drop.
+//! let s = ClusterScenario::new(3, StackPolicy::Basic, 7, FaultBudget::crash_and_drop());
+//! let sweep = Explorer::sweep(&s, &ExplorerConfig::new(12, Strategy::Dpor));
+//! assert!(sweep.failures.is_empty());   // healthy stack survives the space
+//!
+//! // Plant a real ordering bug (abcast delivers in arrival order) and the
+//! // search pins a minimised, deterministically replayable witness.
+//! let buggy = s.with_ab_order_bug();
+//! let w = Explorer::explore(&buggy, &cfg).violation.expect("caught");
+//! assert_eq!(Explorer::replay(&buggy, &w).unwrap(), w.failure);
+//! ```
+//!
+//! Every run checks cluster-level invariants — exactly-once delivery,
+//! pairwise prefix agreement on the atomic-broadcast streams, KV replica
+//! digest equality — and a violating run shrinks to a `Witness` whose
+//! choice trace encodes the faults (crash site 2, drop datagram 17, …)
+//! alongside the thread schedule, so "the bug needs a crash between the
+//! propose and the decide" becomes a replayable artifact. The substrate is
+//! schedule purity: with a fixed decision log the whole cluster — wire
+//! traffic included — re-runs byte-identically (a property test in
+//! `crates/check/tests/fault_proptest.rs` pins this), which is what lets
+//! DPOR restart from prefixes and witnesses survive minimisation. The CI
+//! `fault-explore` job runs the bounded sweep twice in release mode and
+//! fails on any nondeterminism or on a healthy-stack violation.
+//!
+//! ## 8. Observing a stack
 //!
 //! Exploration (§6) is for *testing*; in production you attach a
 //! [`TraceSink`] instead. The shipped [`TraceBuffer`] collects structured,
@@ -328,7 +374,7 @@
 //! same sink, and `cargo run --release --example samoa_trace` writes a
 //! comparative trace of the whole proto stack under each algorithm.
 //!
-//! ## 8. A replicated service end to end
+//! ## 9. A replicated service end to end
 //!
 //! Everything above composes into `samoa-proto`'s replicated key-value
 //! store: the paper's §3 group-communication stack (RelComm → RelCast →
@@ -379,7 +425,7 @@
 //! throughput and p50/p95/p99 commit latency at 3/5/9 sites over both
 //! backends, and mid-load coordinator-failover latency over TCP.
 //!
-//! ## 9. Pitfalls
+//! ## 10. Pitfalls
 //!
 //! * **Don't trigger while holding state.** Keep
 //!   [`ProtocolState::with`] closures short; compute what to send, end the

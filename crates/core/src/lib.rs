@@ -72,7 +72,7 @@ pub use history::{check_serializable, Access, History, IsolationViolation, RunEn
 pub use policy::{AccessMode, CellKind, Policy};
 pub use protocol::{ProtocolId, ProtocolState};
 pub use runtime::{CompHandle, Decl, Runtime, RuntimeConfig, RuntimeStats};
-pub use sched::{ReleaseReason, SchedHook, SchedPoint, SchedResource};
+pub use sched::{ExternalChoice, ReleaseReason, SchedHook, SchedPoint, SchedResource};
 pub use stack::{Stack, StackBuilder};
 pub use trace::{
     chrome_trace, percentile_us, render_summary, Algo, ChromeTrace, ContentionProfile, TraceBuffer,

@@ -128,6 +128,48 @@ pub enum SchedResource {
     /// members of an optimistic transaction's validation set. Two
     /// transactions conflict iff their validation sets intersect.
     OccCell(u64),
+    /// The network fate of one site: its inbound/outbound channel state and
+    /// its liveness. Sends to a site, deliveries at it, and the decision to
+    /// crash or isolate it all name this resource, so they are mutually
+    /// ordered by dependence-aware exploration.
+    NetSite(u16),
+    /// One in-flight datagram, by the transport's monotone send sequence
+    /// number. The alternatives for a single message (deliver it, drop it,
+    /// duplicate it) conflict with each other through this resource.
+    Msg(u64),
+    /// The scenario's fault budget: every budget-consuming fault decision
+    /// (crash, drop, duplicate, partition) names it, so faults are totally
+    /// ordered — which alternatives remain depends on what was spent.
+    FaultBudget,
+    /// The virtual timer wheel of a fault scenario: advancing time (and the
+    /// retransmission/failure-detector ticks it fires) conflicts with every
+    /// other tick.
+    TimeWheel,
+}
+
+/// One alternative of an *external* decision point: an environment move —
+/// deliver this in-flight datagram, drop it, crash that site, advance the
+/// timer wheel — that a fault-exploring scenario offers to the controller.
+///
+/// `id` is a pseudo-thread identity: it must be *stable* (the same physical
+/// alternative gets the same id in every run that shares the decision
+/// prefix) and must never collide with a real controller thread id, so a
+/// dependence-aware explorer can treat environment moves exactly like
+/// thread steps. `footprint` is the move's [`SchedResource`] set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternalChoice {
+    /// Stable pseudo-thread id of this alternative (disjoint from real
+    /// controller thread ids).
+    pub id: u32,
+    /// The shared state this move touches, in DPOR's resource vocabulary.
+    pub footprint: Vec<SchedResource>,
+}
+
+impl ExternalChoice {
+    /// Convenience constructor.
+    pub fn new(id: u32, footprint: Vec<SchedResource>) -> ExternalChoice {
+        ExternalChoice { id, footprint }
+    }
 }
 
 /// Instrumentation hook for schedule control (see module docs).
@@ -210,6 +252,21 @@ pub trait SchedHook: Send + Sync {
     fn signal(&self, resource: SchedResource) {
         let _ = resource;
     }
+
+    /// An *external* decision point: the calling thread (which currently
+    /// holds the turn, under a serialising controller) offers `alts` —
+    /// environment moves such as message delivery, fault injection, or a
+    /// timer tick — and the hook picks one. Returns an index into `alts`.
+    ///
+    /// Callers must pass the alternatives in a canonical order that is a
+    /// pure function of the decision history (sorted by
+    /// [`ExternalChoice::id`] is the convention), so replaying a recorded
+    /// choice sequence re-offers the identical slice. The default picks the
+    /// first alternative, which makes uninstrumented runs deterministic.
+    fn choose_external(&self, alts: &[ExternalChoice]) -> usize {
+        let _ = alts;
+        0
+    }
 }
 
 /// The do-nothing hook; useful as a placeholder in tests.
@@ -246,10 +303,26 @@ mod tests {
             SchedResource::SpawnLock,
             SchedResource::OccCell(0),
             SchedResource::OccCell(1),
+            SchedResource::NetSite(0),
+            SchedResource::NetSite(1),
+            SchedResource::Msg(0),
+            SchedResource::Msg(1),
+            SchedResource::FaultBudget,
+            SchedResource::TimeWheel,
         ]
         .into_iter()
         .collect();
-        assert_eq!(set.len(), 9);
+        assert_eq!(set.len(), 15);
+    }
+
+    #[test]
+    fn choose_external_defaults_to_first_alternative() {
+        let h = NoopHook;
+        let alts = [
+            ExternalChoice::new(4096, vec![SchedResource::Msg(0)]),
+            ExternalChoice::new(4100, vec![SchedResource::Msg(1)]),
+        ];
+        assert_eq!(h.choose_external(&alts), 0);
     }
 
     #[test]

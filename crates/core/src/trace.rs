@@ -53,7 +53,7 @@
 //!   track per computation.
 //! * [`render_summary`] — a human-readable text digest.
 //!
-//! See guide §7 ("Observing a stack") for a worked example.
+//! See guide §8 ("Observing a stack") for a worked example.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};

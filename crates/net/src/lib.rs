@@ -38,7 +38,7 @@ pub mod tcp;
 pub mod transport;
 
 pub use config::NetConfig;
-pub use sim::{Datagram, NetHandle, SimNet, SiteId};
+pub use sim::{Datagram, NetHandle, PendingDg, SimNet, SiteId};
 pub use stats::SiteStats;
 pub use tcp::{TcpConfig, TcpMesh, TcpNet, TcpStats};
 pub use transport::Transport;

@@ -21,7 +21,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,6 +64,19 @@ pub struct Datagram {
 
 /// Per-site delivery callback.
 pub type DeliveryFn = dyn Fn(Datagram) + Send + Sync;
+
+/// Identity and addressing of one in-flight datagram on a manual network
+/// (from [`NetHandle::pending_datagrams`]). `seq` is the transport's
+/// monotone send counter — stable for the datagram's whole lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingDg {
+    /// Transport sequence number (stable identity).
+    pub seq: u64,
+    /// Originating site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+}
 
 struct InFlight {
     at: Instant,
@@ -299,11 +312,20 @@ impl NetHandle {
     /// (the `samoa-check` explorer pumps from a controlled thread); on a
     /// threaded network it races the delivery thread and is not useful.
     pub fn pump_one(&self) -> bool {
-        let inner = &self.inner;
-        let mut st = inner.state.lock();
-        let Some(mut item) = st.heap.pop() else {
+        let mut st = self.inner.state.lock();
+        let Some(item) = st.heap.pop() else {
             return false;
         };
+        self.deliver_in_flight(st, item);
+        true
+    }
+
+    /// Deliver one already-extracted in-flight datagram with the exact
+    /// semantics of [`NetHandle::pump_one`] (corruption, crash and partition
+    /// checks, counters, callback on the calling thread). Consumes the lock
+    /// guard — the callback must run unlocked.
+    fn deliver_in_flight<'a>(&'a self, mut st: MutexGuard<'a, NetState>, mut item: InFlight) {
+        let inner = &self.inner;
         let (from, to) = (item.dg.from, item.dg.to);
         if st.corruption > 0.0 && !item.dg.payload.is_empty() {
             let p = st.corruption;
@@ -318,11 +340,11 @@ impl NetHandle {
         }
         if st.crashed[to.index()] || st.crashed[from.index()] {
             inner.counters[to.index()].note_dropped_crash();
-            return true;
+            return;
         }
         if st.partition[from.index()] != st.partition[to.index()] {
             inner.counters[to.index()].note_dropped_partition();
-            return true;
+            return;
         }
         let cb = inner.callbacks.read()[to.index()].clone();
         if let Some(cb) = cb {
@@ -340,7 +362,6 @@ impl NetHandle {
             // the drop is visible in stats (Transport contract).
             inner.counters[to.index()].note_dropped_no_receiver();
         }
-        true
     }
 
     /// Pump until nothing is in flight (callbacks may send more; the whole
@@ -351,6 +372,90 @@ impl NetHandle {
             n += 1;
         }
         n
+    }
+
+    /// Enumerate the in-flight datagrams, sorted by transport sequence
+    /// number. The `seq` of a [`PendingDg`] is the monotone counter stamped
+    /// at send time — a **stable identity** for the physical datagram: it
+    /// never changes as other messages are pumped or dropped, and it is a
+    /// pure function of the send history, never of the seeded delay draws.
+    /// A fault-exploring harness uses it to address individual messages
+    /// ([`pump_seq`](NetHandle::pump_seq), [`drop_seq`](NetHandle::drop_seq),
+    /// [`duplicate_seq`](NetHandle::duplicate_seq)) across replayed runs.
+    pub fn pending_datagrams(&self) -> Vec<PendingDg> {
+        let st = self.inner.state.lock();
+        let mut v: Vec<PendingDg> = st
+            .heap
+            .iter()
+            .map(|f| PendingDg {
+                seq: f.seq,
+                from: f.dg.from,
+                to: f.dg.to,
+            })
+            .collect();
+        v.sort_unstable_by_key(|d| d.seq);
+        v
+    }
+
+    /// Extract the in-flight datagram with transport sequence `seq`. The
+    /// heap is rebuilt without it; in-flight counts here are small (manual
+    /// fault scenarios), so the O(n) rebuild is irrelevant.
+    fn extract_seq(st: &mut NetState, seq: u64) -> Option<InFlight> {
+        let mut v = std::mem::take(&mut st.heap).into_vec();
+        let idx = v.iter().position(|f| f.seq == seq);
+        let item = idx.map(|i| v.swap_remove(i));
+        st.heap = BinaryHeap::from(v);
+        item
+    }
+
+    /// Deliver the in-flight datagram with transport sequence `seq` (from
+    /// [`NetHandle::pending_datagrams`]) on the calling thread, out of
+    /// timestamp order if need be — this is the *message reorder* seam: a
+    /// controller that picks which pending datagram to pump next owns the
+    /// delivery order outright. Same crash/partition/callback semantics as
+    /// [`NetHandle::pump_one`]. Returns `false` if `seq` is not in flight.
+    pub fn pump_seq(&self, seq: u64) -> bool {
+        let mut st = self.inner.state.lock();
+        let Some(item) = Self::extract_seq(&mut st, seq) else {
+            return false;
+        };
+        self.deliver_in_flight(st, item);
+        true
+    }
+
+    /// Drop the in-flight datagram with transport sequence `seq`: it is
+    /// removed and never delivered, counted as a loss at the destination.
+    /// The *message drop* fault decision. Returns `false` if not in flight.
+    pub fn drop_seq(&self, seq: u64) -> bool {
+        let mut st = self.inner.state.lock();
+        let Some(item) = Self::extract_seq(&mut st, seq) else {
+            return false;
+        };
+        self.inner.counters[item.dg.to.index()].note_dropped_loss();
+        if st.delivering == 0 && st.heap.is_empty() {
+            self.inner.quiesce_cv.notify_all();
+        }
+        true
+    }
+
+    /// Duplicate the in-flight datagram with transport sequence `seq`: an
+    /// identical copy (same timestamp, fresh sequence number — no random
+    /// draw, so determinism is preserved) joins the in-flight set. The
+    /// *message duplicate* fault decision. Returns the copy's sequence
+    /// number, or `None` if `seq` is not in flight.
+    pub fn duplicate_seq(&self, seq: u64) -> Option<u64> {
+        let mut st = self.inner.state.lock();
+        let found = st.heap.iter().find(|f| f.seq == seq)?;
+        let (at, dg) = (found.at, found.dg.clone());
+        st.seq += 1;
+        let new_seq = st.seq;
+        self.inner.counters[dg.to.index()].note_duplicated();
+        st.heap.push(InFlight {
+            at,
+            seq: new_seq,
+            dg,
+        });
+        Some(new_seq)
     }
 
     fn request_shutdown(&self) {
@@ -544,6 +649,73 @@ mod tests {
             });
         }
         (net, logs)
+    }
+
+    fn collect_manual(n: usize, cfg: NetConfig) -> (SimNet, Vec<Arc<Mutex<Vec<u8>>>>) {
+        let net = SimNet::new_manual(n, cfg);
+        let logs: Vec<Arc<Mutex<Vec<u8>>>> =
+            (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        for (i, log) in logs.iter().enumerate() {
+            let log = Arc::clone(log);
+            net.register(SiteId(i as u16), move |dg| {
+                log.lock().push(dg.payload[0]);
+            });
+        }
+        (net, logs)
+    }
+
+    #[test]
+    fn pending_datagrams_expose_stable_seqs() {
+        let (net, _logs) = collect_manual(3, NetConfig::fast(5));
+        net.send(SiteId(0), SiteId(1), payload(1));
+        net.send(SiteId(0), SiteId(2), payload(2));
+        net.send(SiteId(1), SiteId(2), payload(3));
+        let pend = net.handle().pending_datagrams();
+        assert_eq!(pend.len(), 3);
+        // Sorted by monotone seq: identity follows send order, not delays.
+        assert_eq!(pend[0].seq, 1);
+        assert_eq!(pend[2].seq, 3);
+        assert_eq!((pend[1].from, pend[1].to), (SiteId(0), SiteId(2)));
+        // Pumping one message leaves the others' identities untouched.
+        assert!(net.handle().pump_seq(pend[1].seq));
+        let rest: Vec<u64> = net
+            .handle()
+            .pending_datagrams()
+            .iter()
+            .map(|d| d.seq)
+            .collect();
+        assert_eq!(rest, vec![1, 3]);
+    }
+
+    #[test]
+    fn pump_seq_delivers_out_of_order_and_drop_seq_discards() {
+        let (net, logs) = collect_manual(2, NetConfig::fast(6));
+        net.send(SiteId(0), SiteId(1), payload(10));
+        net.send(SiteId(0), SiteId(1), payload(20));
+        net.send(SiteId(0), SiteId(1), payload(30));
+        let h = net.handle();
+        // Deliver the third first (reorder), drop the first, deliver the rest.
+        assert!(h.pump_seq(3));
+        assert!(h.drop_seq(1));
+        assert!(!h.drop_seq(1), "already gone");
+        assert_eq!(h.pump_all(), 1);
+        assert_eq!(*logs[1].lock(), vec![30, 20]);
+        assert_eq!(net.stats(SiteId(1)).dropped_loss, 1);
+        assert_eq!(net.stats(SiteId(1)).delivered, 2);
+    }
+
+    #[test]
+    fn duplicate_seq_clones_without_consuming_randomness() {
+        let (net, logs) = collect_manual(2, NetConfig::fast(7));
+        net.send(SiteId(0), SiteId(1), payload(42));
+        let h = net.handle();
+        let copy = h.duplicate_seq(1).expect("in flight");
+        assert_ne!(copy, 1);
+        assert_eq!(h.pending_datagrams().len(), 2);
+        assert!(h.duplicate_seq(99).is_none());
+        h.pump_all();
+        assert_eq!(*logs[1].lock(), vec![42, 42]);
+        assert_eq!(net.stats(SiteId(1)).duplicated, 1);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct AbcastState {
     proposed_for: Option<u64>,
     /// Total messages delivered (diagnostics).
     pub delivered_count: u64,
+    /// When false, [`note_decide`](AbcastState::note_decide) skips the
+    /// instance-order buffering and delivers every arriving decision
+    /// immediately — an **injected bug** for the fault explorer
+    /// (`samoa-check`): a reordered `Decide` flood then produces divergent
+    /// delivery prefixes across sites. Leave true everywhere else.
+    pub order_enabled: bool,
 }
 
 impl AbcastState {
@@ -51,6 +57,7 @@ impl AbcastState {
             decides: BTreeMap::new(),
             proposed_for: None,
             delivered_count: 0,
+            order_enabled: true,
         }
     }
 
@@ -97,9 +104,14 @@ impl AbcastState {
 
     /// Build the state-transfer snapshot for a joiner.
     fn snapshot(&self) -> SyncMsg {
+        // Sorted so the encoded snapshot is a pure function of the state:
+        // the delivered set is hashed, and hooked exploration needs
+        // byte-identical wire traffic across replays.
+        let mut delivered: Vec<MsgUid> = self.delivered.iter().copied().collect();
+        delivered.sort_unstable();
         SyncMsg {
             next_inst: self.next_inst,
-            delivered: self.delivered.iter().copied().collect(),
+            delivered,
             view_id: self.view.id,
             members: self.view.members().to_vec(),
         }
@@ -123,6 +135,21 @@ impl AbcastState {
 
     /// Buffer a decision; returns batches now deliverable, in order.
     fn note_decide(&mut self, inst: u64, batch: Vec<AbMsg>) -> Vec<AbMsg> {
+        if !self.order_enabled {
+            // Injected bug (see `order_enabled`): deliver in arrival order.
+            self.next_inst = self.next_inst.max(inst + 1);
+            let mut batch = batch;
+            batch.sort_by_key(|m| m.uid);
+            let mut out = Vec::new();
+            for m in batch {
+                if self.delivered.insert(m.uid) {
+                    self.pending.remove(&m.uid);
+                    self.delivered_count += 1;
+                    out.push(m);
+                }
+            }
+            return out;
+        }
         if inst >= self.next_inst {
             self.decides.entry(inst).or_insert(batch);
         }

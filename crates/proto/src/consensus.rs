@@ -171,12 +171,15 @@ impl ConsensusState {
     /// The failure detector suspects `site`: advance the round of every
     /// undecided instance whose current coordinator is that site.
     pub fn on_suspect(&mut self, site: SiteId) -> Actions {
-        let insts: Vec<u64> = self
+        let mut insts: Vec<u64> = self
             .insts
             .iter()
             .filter(|(_, i)| !i.decided && !i.est.is_empty())
             .map(|(&k, _)| k)
             .collect();
+        // Restart in instance order: the map is hashed, and hooked
+        // exploration requires send order to be schedule-pure.
+        insts.sort_unstable();
         let mut acts = Actions::none();
         for inst in insts {
             let i = self.insts.get_mut(&inst).expect("listed");
@@ -192,12 +195,13 @@ impl ConsensusState {
     /// making progress under the new coordinator mapping.
     pub fn set_view(&mut self, view: GroupView) -> Actions {
         self.view = view;
-        let insts: Vec<u64> = self
+        let mut insts: Vec<u64> = self
             .insts
             .iter()
             .filter(|(_, i)| !i.decided && !i.est.is_empty())
             .map(|(&k, _)| k)
             .collect();
+        insts.sort_unstable();
         let mut acts = Actions::none();
         for inst in insts {
             acts.merge(self.restart(inst));

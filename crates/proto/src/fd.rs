@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use samoa_core::prelude::*;
 use samoa_net::{SiteId, Transport};
 
+use crate::clock::ProtoClock;
 use crate::events::Events;
 use crate::msgs::Wire;
 use crate::view::GroupView;
@@ -26,18 +27,28 @@ pub struct FdState {
     suspected: HashSet<SiteId>,
     timeout: Duration,
     started: Instant,
+    clock: ProtoClock,
 }
 
 impl FdState {
-    /// Fresh state; every member gets a grace period of `timeout` from now.
+    /// Fresh state on the wall clock; every member gets a grace period of
+    /// `timeout` from now.
     pub fn new(site: SiteId, view: GroupView, timeout: Duration) -> Self {
+        FdState::with_clock(site, view, timeout, ProtoClock::wall())
+    }
+
+    /// Fresh state reading time from `clock` (a manual clock makes the
+    /// detector fully deterministic: suspicion depends only on explicit
+    /// `advance` calls, never on host scheduling).
+    pub fn with_clock(site: SiteId, view: GroupView, timeout: Duration, clock: ProtoClock) -> Self {
         FdState {
             site,
             view,
             last_heard: HashMap::new(),
             suspected: HashSet::new(),
             timeout,
-            started: Instant::now(),
+            started: clock.now(),
+            clock,
         }
     }
 
@@ -77,7 +88,7 @@ pub fn register(
         // per peer); the static declaration lists the event once.
         b.bind_with_triggers(e, pid, "fd.tick", &[suspect_ev], move |ctx, _| {
             let (me, peers, suspects) = state.with(ctx, |s| {
-                let now = Instant::now();
+                let now = s.clock.now();
                 let peers: Vec<SiteId> = s
                     .view
                     .members()
@@ -113,7 +124,8 @@ pub fn register(
         b.bind_with_triggers(e, pid, "fd.beat", &[], move |ctx, data| {
             let sender: &SiteId = data.expect(e)?;
             state.with(ctx, |s| {
-                s.last_heard.insert(*sender, Instant::now());
+                let now = s.clock.now();
+                s.last_heard.insert(*sender, now);
                 s.suspected.remove(sender);
             });
             Ok(())

@@ -31,6 +31,7 @@
 
 pub mod abcast;
 pub mod app;
+pub mod clock;
 pub mod consensus;
 pub mod events;
 pub mod fd;
@@ -42,6 +43,7 @@ pub mod relcast;
 pub mod relcomm;
 pub mod view;
 
+pub use clock::ProtoClock;
 pub use events::Events;
 pub use kv::{KvApplied, KvCmd, KvPending, KvReply, KvState};
 pub use msgs::{AbMsg, AbPayload, CastData, CastMsg, ConsMsg, MsgUid, Payload, SyncMsg, Wire};

@@ -37,6 +37,7 @@ use samoa_net::{NetConfig, NetHandle, SimNet, SiteId, TcpMesh, Transport};
 
 use crate::abcast::{self, AbcastState};
 use crate::app::{self, AppState};
+use crate::clock::ProtoClock;
 use crate::consensus::{self, ConsensusState};
 use crate::events::Events;
 use crate::fd::{self, FdState};
@@ -104,6 +105,24 @@ pub struct NodeConfig {
     /// sender. Ignored for hooked runtimes (the controller owns
     /// scheduling).
     pub max_inflight_external: usize,
+    /// The time source the stack's timeout logic (failure detector,
+    /// RelComm retransmission) reads. Defaults to the wall clock; a
+    /// [`ProtoClock::manual`] clock shared across a cluster makes every
+    /// timeout a function of explicit [`ProtoClock::advance`] calls —
+    /// the substrate for deterministic fault exploration.
+    pub clock: ProtoClock,
+    /// When false, RelComm's inbound duplicate suppression is bypassed —
+    /// an **injected fault-surface knob** for the fault explorer: the
+    /// upper layers' own uid-based dedup (RelCast, abcast, consensus)
+    /// then becomes load-bearing against duplicated frames. Leave true
+    /// everywhere else.
+    pub dedup_enabled: bool,
+    /// When false, abcast delivers decisions in *arrival* order instead of
+    /// instance order — an **injected bug** the fault explorer uses to
+    /// demonstrate a minimised, replayable cluster-level witness: a
+    /// reordered `Decide` flood makes two sites disagree on the delivery
+    /// prefix. Leave true everywhere else.
+    pub ab_order_enabled: bool,
 }
 
 impl Default for NodeConfig {
@@ -121,6 +140,9 @@ impl Default for NodeConfig {
             view_change_delay: Duration::ZERO,
             declare_all: false,
             max_inflight_external: 64,
+            clock: ProtoClock::wall(),
+            dedup_enabled: true,
+            ab_order_enabled: true,
         }
     }
 }
@@ -291,6 +313,19 @@ impl Node {
         Node::build(Arc::new(net), site, cfg, Some(hook), None)
     }
 
+    /// [`Node::new_hooked`] over any [`Transport`] backend — lets a fault-
+    /// exploring harness interpose an instrumented transport (e.g. one that
+    /// announces each send's destination to the hook) between the stack and
+    /// the manual network.
+    pub fn new_hooked_on(
+        transport: Arc<dyn Transport>,
+        site: SiteId,
+        cfg: NodeConfig,
+        hook: Arc<dyn samoa_core::SchedHook>,
+    ) -> Arc<Node> {
+        Node::build(transport, site, cfg, Some(hook), None)
+    }
+
     fn build(
         transport: Arc<dyn Transport>,
         site: SiteId,
@@ -315,10 +350,15 @@ impl Node {
         let p_kv = b.protocol("Kv");
         let ev = Events::declare(&mut b);
 
-        let relcomm_st =
-            ProtocolState::new(p_relcomm, RelCommState::new(site, view.clone(), cfg.rto));
+        let relcomm_st = ProtocolState::new(
+            p_relcomm,
+            RelCommState::with_clock(site, view.clone(), cfg.rto, cfg.clock.clone()),
+        );
         let relcast_st = ProtocolState::new(p_relcast, RelCastState::new(site, view.clone()));
-        let fd_st = ProtocolState::new(p_fd, FdState::new(site, view.clone(), cfg.fd_timeout));
+        let fd_st = ProtocolState::new(
+            p_fd,
+            FdState::with_clock(site, view.clone(), cfg.fd_timeout, cfg.clock.clone()),
+        );
         let consensus_st = ProtocolState::new(p_consensus, ConsensusState::new(site, view.clone()));
         let abcast_st = ProtocolState::new(p_abcast, AbcastState::new(site, view.clone()));
         let membership_st = ProtocolState::new(p_membership, MembershipState::new(view));
@@ -328,6 +368,12 @@ impl Node {
 
         if !cfg.view_change_delay.is_zero() {
             relcomm_st.write(|s| s.view_change_delay = cfg.view_change_delay);
+        }
+        if !cfg.dedup_enabled {
+            relcomm_st.write(|s| s.dedup_enabled = false);
+        }
+        if !cfg.ab_order_enabled {
+            abcast_st.write(|s| s.order_enabled = false);
         }
 
         // RelCast registers before RelComm so that `triggerAll ViewChange`
@@ -560,6 +606,30 @@ impl Node {
         };
     }
 
+    /// Inject one retransmission-timer tick, exactly as the timer thread
+    /// would. With `enable_timers: false` and a [`ProtoClock::manual`]
+    /// clock this is the *only* way RelComm retransmits — the seam that
+    /// turns timeout behaviour into an explicit, explorable decision.
+    pub fn inject_retransmit_tick(&self) {
+        self.spawn_external(
+            ExtKind::RetrTick,
+            self.ev.retransmit_tick,
+            EventData::empty(),
+        );
+    }
+
+    /// Inject one failure-detector tick (heartbeats + suspicion sweep),
+    /// exactly as the timer thread would. Deterministic counterpart of
+    /// `enable_fd` under a manual clock.
+    pub fn inject_fd_tick(&self) {
+        self.spawn_external(ExtKind::FdTick, self.ev.fd_tick, EventData::empty());
+    }
+
+    /// The time source this node's stack reads (see [`NodeConfig::clock`]).
+    pub fn clock(&self) -> &ProtoClock {
+        &self.cfg.clock
+    }
+
     /// Application request: reliable broadcast (RelCast).
     pub fn rbcast(&self, data: impl Into<Bytes>) {
         self.spawn_external(
@@ -774,6 +844,23 @@ impl Cluster {
     /// Build `n` nodes over a fresh network.
     pub fn new(n: usize, net_cfg: NetConfig, node_cfg: NodeConfig) -> Cluster {
         let net = SimNet::new(n, net_cfg);
+        let nodes = (0..n as u16)
+            .map(|i| Node::new(net.handle(), SiteId(i), node_cfg.clone()))
+            .collect();
+        Cluster { net, nodes }
+    }
+
+    /// Build `n` nodes over a **manual** network
+    /// ([`SimNet::new_manual`]): no delivery thread — datagrams sit until
+    /// [`NetHandle::pump_one`]/[`NetHandle::pump_all`] (and [`Cluster::settle`],
+    /// which pumps) deliver them on the calling thread. Pair with
+    /// `enable_timers: false` and a shared [`ProtoClock::manual`] in
+    /// `node_cfg` for fully deterministic virtual-time tests: drive
+    /// retransmissions and failure detection with
+    /// [`Node::inject_retransmit_tick`]/[`Node::inject_fd_tick`] after
+    /// advancing the clock, instead of polling wall-clock deadlines.
+    pub fn new_manual(n: usize, net_cfg: NetConfig, node_cfg: NodeConfig) -> Cluster {
+        let net = SimNet::new_manual(n, net_cfg);
         let nodes = (0..n as u16)
             .map(|i| Node::new(net.handle(), SiteId(i), node_cfg.clone()))
             .collect();

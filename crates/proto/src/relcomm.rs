@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use samoa_core::prelude::*;
 use samoa_net::{SiteId, Transport};
 
+use crate::clock::ProtoClock;
 use crate::events::Events;
 use crate::msgs::{Payload, Wire};
 use crate::view::GroupView;
@@ -134,6 +135,14 @@ pub struct RelCommState {
     inbound: HashMap<SiteId, Dedup>,
     rto: Duration,
     rtt: HashMap<SiteId, Rtt>,
+    clock: ProtoClock,
+    /// When false, inbound duplicate suppression is bypassed: every data
+    /// frame is delivered upward, even retransmissions and network-level
+    /// duplicates. **This is an injected bug** — it exists so the fault
+    /// explorer can demonstrate a minimised cluster-level witness (a
+    /// duplicated frame double-delivers through abcast). Always true in
+    /// production configurations.
+    pub dedup_enabled: bool,
     /// Retransmissions performed (observable for tests/benches).
     pub retransmissions: u64,
     /// Sends discarded because the target was not in RelComm's view. Under
@@ -149,8 +158,14 @@ pub struct RelCommState {
 
 impl RelCommState {
     /// Fresh state for `site` with the given initial view and
-    /// retransmission timeout.
+    /// retransmission timeout, on the wall clock.
     pub fn new(site: SiteId, view: GroupView, rto: Duration) -> Self {
+        RelCommState::with_clock(site, view, rto, ProtoClock::wall())
+    }
+
+    /// Fresh state reading time from `clock` (a manual clock makes
+    /// retransmission timing deterministic under the checker).
+    pub fn with_clock(site: SiteId, view: GroupView, rto: Duration, clock: ProtoClock) -> Self {
         RelCommState {
             site,
             view,
@@ -159,6 +174,8 @@ impl RelCommState {
             inbound: HashMap::new(),
             rto,
             rtt: HashMap::new(),
+            clock,
+            dedup_enabled: true,
             retransmissions: 0,
             discarded: 0,
             view_change_delay: Duration::ZERO,
@@ -228,11 +245,12 @@ pub fn register(
                 let seq = s.next_seq.entry(*target).or_insert(0);
                 *seq += 1;
                 let seq = *seq;
+                let now = s.clock.now();
                 s.pending.insert(
                     (*target, seq),
                     Pending {
                         payload: payload.clone(),
-                        last: Instant::now(),
+                        last: now,
                         attempts: 0,
                     },
                 );
@@ -266,7 +284,10 @@ pub fn register(
             move |ctx, data| {
                 let m: &RcDataIn = data.expect(e)?;
                 let (me, deliver) = state.with(ctx, |s| {
+                    // The dedup filter is the exactly-once guarantee; with
+                    // the injected bug enabled it is recorded but ignored.
                     let fresh = s.inbound.entry(m.sender).or_default().fresh(m.seq);
+                    let fresh = fresh || !s.dedup_enabled;
                     // Deliver only from in-view senders (paper's recv).
                     (s.site, fresh && s.view.contains(m.sender))
                 });
@@ -295,7 +316,7 @@ pub fn register(
                 if let Some(p) = s.pending.remove(&(a.sender, a.seq)) {
                     if p.attempts == 0 {
                         // Karn's rule: sample only unambiguous acks.
-                        let sample = p.last.elapsed();
+                        let sample = s.clock.now().saturating_duration_since(p.last);
                         s.rtt
                             .entry(a.sender)
                             .or_insert(Rtt {
@@ -316,7 +337,7 @@ pub fn register(
         let e = ev.retransmit_tick;
         b.bind_with_triggers(e, pid, "relcomm.retransmit", &[], move |ctx, _| {
             let (me, resend) = state.with(ctx, |s| {
-                let now = Instant::now();
+                let now = s.clock.now();
                 // Purge pending messages to departed sites.
                 let view = s.view.clone();
                 s.pending.retain(|(target, _), _| view.contains(*target));
@@ -326,7 +347,11 @@ pub fn register(
                 // far past an undelivered head is pure flood; a windowed
                 // sender advances the head, collects acks, and drains a
                 // backlog instead of regenerating it every tick.
-                let mut by_target: HashMap<SiteId, Vec<u64>> = HashMap::new();
+                // BTreeMap so resend order is a pure function of the pending
+                // set: hooked exploration replays schedules by decision index
+                // and diverges if send order varies run to run.
+                let mut by_target: std::collections::BTreeMap<SiteId, Vec<u64>> =
+                    std::collections::BTreeMap::new();
                 for (target, seq) in s.pending.keys() {
                     by_target.entry(*target).or_default().push(*seq);
                 }

@@ -1,36 +1,74 @@
 //! Fault-injection tests: partitions, duplication, churn, and coordinator
 //! crash in the middle of an atomic-broadcast stream.
+//!
+//! All tests run on the manual-pump substrate ([`Cluster::new_manual`]) with
+//! a shared [`ProtoClock::manual`]: no delivery threads, no timer threads,
+//! no wall-clock deadlines. Timeout-driven behaviour (retransmission,
+//! failure detection) is driven by advancing the virtual clock and
+//! injecting ticks, so every run is deterministic and a "wait" is a bounded
+//! tick loop rather than a polling sleep.
 
 #![allow(clippy::field_reassign_with_default)]
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
 use samoa_net::{NetConfig, SiteId};
-use samoa_proto::{Cluster, NodeConfig};
+use samoa_proto::{Cluster, NodeConfig, ProtoClock};
+
+const RTO: Duration = Duration::from_millis(20);
+const MAX_TICKS: usize = 200;
 
 fn msg(i: usize) -> Bytes {
     Bytes::from(format!("m{i}"))
 }
 
-fn wait_until(deadline: Duration, what: &str, mut cond: impl FnMut() -> bool) {
-    let end = Instant::now() + deadline;
-    while !cond() {
-        assert!(Instant::now() < end, "timed out waiting for {what}");
-        std::thread::sleep(Duration::from_millis(20));
+/// A node config on virtual time: timer threads off, shared manual clock.
+/// `Cluster::new_manual` clones the config per site; the clock is
+/// `Arc`-backed, so every site reads the same virtual now.
+fn manual_cfg() -> (NodeConfig, ProtoClock) {
+    let clock = ProtoClock::manual();
+    let mut cfg = NodeConfig::default();
+    cfg.enable_timers = false;
+    cfg.clock = clock.clone();
+    cfg.rto = RTO;
+    (cfg, clock)
+}
+
+/// Deterministic replacement for deadline polling: pump to a fixed point,
+/// then repeatedly advance virtual time past the RTO and fire one
+/// retransmission tick per live site until `cond` holds. Panics after
+/// `MAX_TICKS` rounds — a stall here is a bug, not a slow machine.
+fn tick_until(
+    c: &Cluster,
+    clock: &ProtoClock,
+    live: &[usize],
+    what: &str,
+    mut cond: impl FnMut() -> bool,
+) {
+    c.settle();
+    for _ in 0..MAX_TICKS {
+        if cond() {
+            return;
+        }
+        clock.advance(RTO * 2);
+        for &i in live {
+            c.node(i).inject_retransmit_tick();
+        }
+        c.settle();
     }
+    assert!(cond(), "stalled after {MAX_TICKS} ticks: {what}");
 }
 
 #[test]
 fn partition_stalls_minority_and_heals() {
-    let mut cfg = NodeConfig::default();
-    cfg.rto = Duration::from_millis(15);
-    let c = Cluster::new(3, NetConfig::fast(21), cfg);
+    let (cfg, clock) = manual_cfg();
+    let c = Cluster::new_manual(3, NetConfig::fast(21), cfg);
     // Partition site 2 away; the majority {0, 1} keeps ordering.
     c.net().partition(&[&[SiteId(0), SiteId(1)], &[SiteId(2)]]);
     c.node(0).abcast(msg(0));
     c.node(1).abcast(msg(1));
-    wait_until(Duration::from_secs(20), "majority ordering", || {
+    tick_until(&c, &clock, &[0, 1], "majority ordering", || {
         c.node(0).ab_delivered().len() == 2 && c.node(1).ab_delivered().len() == 2
     });
     assert_eq!(c.node(0).ab_delivered(), c.node(1).ab_delivered());
@@ -38,7 +76,7 @@ fn partition_stalls_minority_and_heals() {
     assert!(c.node(2).ab_delivered().is_empty());
     // Heal: retransmissions (and the decide flood) catch site 2 up.
     c.net().heal();
-    wait_until(Duration::from_secs(30), "minority catch-up", || {
+    tick_until(&c, &clock, &[0, 1, 2], "minority catch-up", || {
         c.node(2).ab_delivered().len() == 2
     });
     assert_eq!(c.node(2).ab_delivered(), c.node(0).ab_delivered());
@@ -46,11 +84,8 @@ fn partition_stalls_minority_and_heals() {
 
 #[test]
 fn duplication_is_masked_by_relcomm_dedup() {
-    let c = Cluster::new(
-        3,
-        NetConfig::fast(22).with_duplicates(0.5),
-        NodeConfig::default(),
-    );
+    let (cfg, _clock) = manual_cfg();
+    let c = Cluster::new_manual(3, NetConfig::fast(22).with_duplicates(0.5), cfg);
     for i in 0..8 {
         c.node(i % 3).abcast(msg(i));
     }
@@ -75,7 +110,8 @@ fn duplication_is_masked_by_relcomm_dedup() {
 
 #[test]
 fn membership_churn_keeps_views_consistent() {
-    let c = Cluster::new(5, NetConfig::fast(23), NodeConfig::default());
+    let (cfg, _clock) = manual_cfg();
+    let c = Cluster::new_manual(5, NetConfig::fast(23), cfg);
     // Interleaved joins/leaves from different sites, racing each other.
     c.node(0).request_leave(SiteId(4));
     c.node(1).request_leave(SiteId(3));
@@ -103,29 +139,50 @@ fn coordinator_crash_mid_stream_recovers() {
     // Site 0 coordinates instance 0/round 0. Crash it while a stream of
     // abcasts is in flight; the failure detector excludes it and the
     // survivors re-coordinate and keep ordering.
-    let mut cfg = NodeConfig::default();
-    cfg.enable_fd = true;
+    let (mut cfg, clock) = manual_cfg();
     cfg.fd_timeout = Duration::from_millis(150);
-    cfg.tick_interval = Duration::from_millis(20);
-    cfg.rto = Duration::from_millis(20);
-    let c = Cluster::new(3, NetConfig::fast(24), cfg);
-    std::thread::sleep(Duration::from_millis(180)); // heartbeats flowing
+    let c = Cluster::new_manual(3, NetConfig::fast(24), cfg);
+    // One heartbeat round so every FD has heard every peer.
+    for i in 0..3 {
+        c.node(i).inject_fd_tick();
+    }
+    c.settle();
 
     for i in 0..4 {
         c.node(1).abcast(msg(i));
     }
+    c.settle();
     c.net().crash(SiteId(0));
     for i in 4..8 {
         c.node(2).abcast(msg(i));
     }
+    c.settle();
 
-    wait_until(Duration::from_secs(30), "exclusion of crashed site", || {
+    // Drive virtual time in sub-timeout steps: each round the survivors
+    // heartbeat each other (staying fresh) while site 0 goes stale, gets
+    // suspected, and is voted out; retransmission ticks re-deliver anything
+    // that raced the crash.
+    let excluded_and_delivered = || {
         !c.node(1).current_view().contains(SiteId(0))
             && !c.node(2).current_view().contains(SiteId(0))
-    });
-    wait_until(Duration::from_secs(30), "survivor delivery", || {
-        c.node(1).ab_delivered().len() >= 8 && c.node(2).ab_delivered().len() >= 8
-    });
+            && c.node(1).ab_delivered().len() >= 8
+            && c.node(2).ab_delivered().len() >= 8
+    };
+    for _ in 0..MAX_TICKS {
+        if excluded_and_delivered() {
+            break;
+        }
+        clock.advance(Duration::from_millis(60));
+        for i in [1, 2] {
+            c.node(i).inject_fd_tick();
+            c.node(i).inject_retransmit_tick();
+        }
+        c.settle();
+    }
+    assert!(
+        excluded_and_delivered(),
+        "stalled: exclusion of crashed site + survivor delivery"
+    );
     assert_eq!(c.node(1).ab_delivered(), c.node(2).ab_delivered());
     // Exactly the 8 messages, no duplicates.
     let set: BTreeSet<_> = c.node(1).ab_delivered().into_iter().collect();
@@ -137,18 +194,18 @@ fn loss_duplication_and_churn_combined() {
     // The kitchen sink: loss + duplication + a leave, under VCAbasic.
     let mut net_cfg = NetConfig::fast(25).with_duplicates(0.2);
     net_cfg.loss_probability = 0.05;
-    let mut cfg = NodeConfig::default();
-    cfg.rto = Duration::from_millis(15);
-    let c = Cluster::new(4, net_cfg, cfg);
+    let (cfg, clock) = manual_cfg();
+    let c = Cluster::new_manual(4, net_cfg, cfg);
     for i in 0..6 {
         c.node(i % 4).abcast(msg(i));
     }
     c.node(0).request_leave(SiteId(3));
-    wait_until(
-        Duration::from_secs(60),
+    tick_until(
+        &c,
+        &clock,
+        &[0, 1, 2, 3],
         "all ordered + view installed",
         || {
-            c.settle();
             (0..3).all(|i| {
                 c.node(i).ab_delivered().len() == 6 && !c.node(i).current_view().contains(SiteId(3))
             })
