@@ -198,6 +198,24 @@ fn main() {
         t.print();
         println!();
         json.table("e12-failover", title, &t);
+
+        let title = "E12 (metrics): observability overhead — the same fleet with and\n    without a metrics registry installed, plus the cluster health report";
+        println!("{title}\n");
+        let (t, health) = experiments::e12_metrics(quick);
+        t.print();
+        println!("\ncluster health (metered run):\n{health}");
+        json.table("e12-metrics", title, &t);
+        json.text("e12-health", "E12 cluster health report", &health);
+    }
+
+    if want("e13") {
+        println!("==============================================================");
+        let title = "E13 (checking): trace-guided PCT — schedules to the first §3\n    view-change violation, guided vs unguided change-point placement";
+        println!("{title}\n");
+        let t = experiments::e13(quick);
+        t.print();
+        println!();
+        json.table("e13", title, &t);
     }
 
     if let Some(path) = json_path {

@@ -26,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use samoa_core::percentile_us;
 use samoa_net::{NetConfig, SiteId};
-use samoa_proto::{Cluster, Node, NodeConfig, StackPolicy, TcpCluster};
+use samoa_proto::{Cluster, ClusterMetrics, Node, NodeConfig, Observe, StackPolicy, TcpCluster};
 
 /// Which transport backend carries the cluster's datagrams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +66,10 @@ pub struct FleetConfig {
     pub op_timeout: Duration,
     /// Deadline for post-load convergence polling.
     pub converge_timeout: Duration,
+    /// Install a metrics [`Registry`](samoa_core::Registry) on every node
+    /// and snapshot it into [`FleetOutcome::health`] after the run. Off by
+    /// default so the measured hot path is the uninstrumented one.
+    pub metered: bool,
 }
 
 impl FleetConfig {
@@ -87,7 +91,14 @@ impl FleetConfig {
             seed: 42,
             op_timeout: Duration::from_secs(10),
             converge_timeout: Duration::from_secs(30),
+            metered: false,
         }
+    }
+
+    /// The same run with the metrics registry installed.
+    pub fn metered(mut self) -> FleetConfig {
+        self.metered = true;
+        self
     }
 }
 
@@ -116,6 +127,9 @@ pub struct FleetOutcome {
     pub retried_frames: u64,
     /// TCP reconnect attempts (0 on Sim).
     pub reconnects: u64,
+    /// Post-run cluster health snapshot (`Some` iff the run was
+    /// [`metered`](FleetConfig::metered)).
+    pub health: Option<ClusterMetrics>,
 }
 
 impl FleetOutcome {
@@ -191,6 +205,13 @@ impl Fleet {
             Fleet::Tcp(c) => c.node(i),
         }
     }
+
+    fn metrics(&self) -> Option<ClusterMetrics> {
+        match self {
+            Fleet::Sim(c) => c.metrics(),
+            Fleet::Tcp(c) => c.metrics(),
+        }
+    }
 }
 
 fn wait_until(deadline: Duration, mut pred: impl FnMut() -> bool) -> bool {
@@ -246,11 +267,25 @@ fn run_client(
 /// throughput, tail latency, and convergence.
 pub fn kv_fleet_run(cfg: &FleetConfig) -> FleetOutcome {
     let node_cfg = NodeConfig::with_policy(cfg.policy);
-    let fleet = match cfg.backend {
-        Backend::Sim => Fleet::Sim(Cluster::new(cfg.sites, NetConfig::fast(cfg.seed), node_cfg)),
-        Backend::Tcp => {
+    let observe = cfg
+        .metered
+        .then(|| Observe::metered(Arc::new(samoa_core::Registry::new())));
+    let fleet = match (cfg.backend, observe) {
+        (Backend::Sim, None) => {
+            Fleet::Sim(Cluster::new(cfg.sites, NetConfig::fast(cfg.seed), node_cfg))
+        }
+        (Backend::Sim, Some(obs)) => Fleet::Sim(Cluster::new_observed(
+            cfg.sites,
+            NetConfig::fast(cfg.seed),
+            node_cfg,
+            obs,
+        )),
+        (Backend::Tcp, None) => {
             Fleet::Tcp(TcpCluster::new(cfg.sites, node_cfg).expect("bind localhost mesh"))
         }
+        (Backend::Tcp, Some(obs)) => Fleet::Tcp(
+            TcpCluster::new_observed(cfg.sites, node_cfg, obs).expect("bind localhost mesh"),
+        ),
     };
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -300,6 +335,7 @@ pub fn kv_fleet_run(cfg: &FleetConfig) -> FleetOutcome {
         dropped_frames,
         retried_frames,
         reconnects,
+        health: fleet.metrics(),
     }
 }
 
@@ -401,6 +437,40 @@ mod tests {
         assert!(o.converged, "replicas diverged");
         assert!(o.p50_us > 0.0 && o.p99_us >= o.p50_us);
         assert!(o.throughput() > 0.0);
+    }
+
+    #[test]
+    fn metered_sim_fleet_reports_health() {
+        let cfg = FleetConfig::new(Backend::Sim, 3, 2, 4, StackPolicy::Basic).metered();
+        let o = kv_fleet_run(&cfg);
+        assert!(o.converged, "replicas diverged");
+        let health = o.health.expect("metered run must snapshot health");
+        // Every site's abcast and KV instruments must have fired.
+        for site in 0..3 {
+            let delivered = health
+                .metrics
+                .counters
+                .get(&format!("site{site}.abcast.delivered"))
+                .copied()
+                .unwrap_or(0);
+            assert!(delivered > 0, "site {site} delivered nothing: {health:?}");
+            let applies = health
+                .metrics
+                .counters
+                .get(&format!("site{site}.kv.applies"))
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(applies, 8, "site {site} applied {applies}/8 commands");
+        }
+        // And the JSON/text renderings carry the transport counters.
+        assert!(health.to_json().contains("\"site0\""));
+        assert!(health.render().contains("site0.net:"));
+    }
+
+    #[test]
+    fn unmetered_fleet_reports_no_health() {
+        let cfg = FleetConfig::new(Backend::Sim, 3, 1, 2, StackPolicy::Basic);
+        assert!(kv_fleet_run(&cfg).health.is_none());
     }
 
     #[test]

@@ -549,6 +549,102 @@ pub fn e12_failover(quick: bool) -> Table {
     t
 }
 
+/// E12 (metrics overhead) — the observability tax: the identical closed-loop
+/// fleet run with and without a metrics [`Registry`](samoa_core::Registry)
+/// installed on every node. With no registry the instrument fields are
+/// `None` and the hot path is a single branch, so the two rows must sit
+/// within run-to-run noise of each other; the `overhead` column pins the
+/// ratio. The metered run's registry is also the source of the cluster
+/// health report the harness prints (see `tables`).
+pub fn e12_metrics(quick: bool) -> (Table, String) {
+    let mut t = Table::new(&[
+        "backend",
+        "sites",
+        "metered",
+        "committed",
+        "ops/s",
+        "p50_us",
+        "p95_us",
+        "overhead",
+    ]);
+    let (clients, ops) = if quick { (3, 8) } else { (4, 20) };
+    let mut health = String::new();
+    for &(backend, sites) in &[(Backend::Sim, 3usize), (Backend::Tcp, 3)] {
+        let base_cfg = FleetConfig::new(backend, sites, clients, ops, StackPolicy::Basic);
+        let plain = kv_fleet_run(&base_cfg);
+        let metered = kv_fleet_run(&base_cfg.clone().metered());
+        for (label, o) in [("no", &plain), ("yes", &metered)] {
+            t.row(&[
+                backend.label().to_string(),
+                sites.to_string(),
+                label.to_string(),
+                o.committed.to_string(),
+                per_sec(o.throughput()),
+                format!("{:.1}", o.p50_us),
+                format!("{:.1}", o.p95_us),
+                ratio(plain.wall.as_secs_f64() / o.wall.as_secs_f64().max(1e-9)),
+            ]);
+        }
+        if let Some(h) = &metered.health {
+            health.push_str(&format!("[{} x{}]\n{}", backend.label(), sites, h.render()));
+        }
+    }
+    (t, health)
+}
+
+/// E13 — trace-guided schedule search: schedules to the first §3
+/// view-change violation under plain PCT vs PCT whose change points are
+/// steered by the previous run's contention trace ([`Strategy::Guided`]).
+/// Both start from the same seed and bug depth; guidance only biases
+/// *where* the priority demotions land (toward steps whose footprints touch
+/// the microprotocol with the largest admission-wait mass), so the PCT
+/// detection bound is preserved and every witness still replays. The
+/// summary row pins the acceptance criterion: guided must need no more
+/// schedules in total than unguided across the seed sweep.
+pub fn e13(quick: bool) -> Table {
+    use samoa_check::{Explorer, ExplorerConfig, ScenarioPolicy, Strategy, ViewChangeScenario};
+    let mut t = Table::new(&["seed", "pct", "guided-pct", "speedup"]);
+    let seeds: &[u64] = if quick {
+        &[1, 2, 3]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
+    let depth = 2;
+    let budget = 500;
+    let to_first = |got: samoa_check::Exploration| -> Option<u64> {
+        got.violation.map(|w| w.schedule_index as u64 + 1)
+    };
+    let (mut pct_total, mut guided_total) = (0u64, 0u64);
+    for &seed in seeds {
+        let mut cfg = ExplorerConfig::new(budget, Strategy::Pct { seed, depth });
+        cfg.minimise = false;
+        let pct = to_first(Explorer::explore(
+            &ViewChangeScenario::new(ScenarioPolicy::Unsync, 9),
+            &cfg,
+        ));
+        cfg.strategy = Strategy::Guided { seed, depth };
+        let guided = to_first(Explorer::explore(
+            &ViewChangeScenario::traced(ScenarioPolicy::Unsync, 9),
+            &cfg,
+        ));
+        let cell = |v: Option<u64>| v.map_or("miss".to_string(), |n| n.to_string());
+        pct_total += pct.unwrap_or(budget as u64);
+        guided_total += guided.unwrap_or(budget as u64);
+        let speedup = match (pct, guided) {
+            (Some(p), Some(g)) => ratio(p as f64 / g as f64),
+            _ => "-".to_string(),
+        };
+        t.row(&[seed.to_string(), cell(pct), cell(guided), speedup]);
+    }
+    t.row(&[
+        "total".to_string(),
+        pct_total.to_string(),
+        guided_total.to_string(),
+        ratio(pct_total as f64 / guided_total.max(1) as f64),
+    ]);
+    t
+}
+
 /// E11 — DPOR reduction ratios: for each bounded checking scenario, the
 /// number of schedules exhaustive enumeration explores vs the DPOR-reduced
 /// search, with the failure sets compared signature-by-signature. The

@@ -1,19 +1,29 @@
-//! Acceptance guard for the tracing cost model: with no sink installed the
-//! hot path is a single `Option` branch — no event is constructed, no
-//! timestamp read, nothing emitted. `samoa_core::trace::events_emitted()`
-//! counts every event delivered to any sink process-wide, so a zero delta
-//! across a full workload proves the untraced path never reaches delivery.
+//! Acceptance guard for the observability cost model: with no sink (trace)
+//! or registry (metrics) installed the hot path is a single `Option`
+//! branch — no event is constructed, no timestamp read, no counter bumped.
+//! `samoa_core::trace::events_emitted()` counts every event delivered to
+//! any sink process-wide, and `samoa_core::instruments_touched()` counts
+//! every instrument update process-wide, so zero deltas across full
+//! workloads prove the uninstrumented paths never reach delivery.
 //!
-//! Both checks live in one `#[test]` because the counter is process-global;
-//! a parallel traced test would perturb the untraced delta.
+//! All checks live in one `#[test]` each per counter because the counters
+//! are process-global; a parallel instrumented test would perturb the
+//! uninstrumented delta. The two `#[test]`s below watch *different*
+//! counters, so they may still run in parallel with each other: the trace
+//! test never installs a registry and the metrics test never installs a
+//! sink on the uninstrumented leg it measures — wrong-counter cross-talk is
+//! exactly what the assertions would catch.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use samoa_bench::cluster::{kv_fleet_run, Backend, FleetConfig};
 use samoa_bench::synth::{
     pipeline_stack, pipeline_stack_with_sink, run_pipeline, BenchPolicy, WorkKind,
 };
 use samoa_core::trace::events_emitted;
-use samoa_core::TraceBuffer;
+use samoa_core::{instruments_touched, Registry, TraceBuffer};
+use samoa_proto::StackPolicy;
 
 #[test]
 fn untraced_runtime_emits_nothing_traced_runtime_emits() {
@@ -45,4 +55,40 @@ fn untraced_runtime_emits_nothing_traced_runtime_emits() {
     let delta = events_emitted() - before;
     assert!(delta > 0, "traced runtime emitted no events");
     assert_eq!(sink.drain().len() as u64, delta);
+}
+
+#[test]
+fn unmetered_cluster_touches_no_instrument_metered_cluster_does() {
+    // No registry: a full replicated-KV fleet run — client submits, abcast
+    // ordering, per-site applies, transport traffic — must not update a
+    // single metrics instrument. This is the branch-only proof for the
+    // whole per-node instrument family (RelComm, consensus, abcast, KV).
+    let cfg = FleetConfig::new(Backend::Sim, 3, 2, 4, StackPolicy::Basic);
+    let before = instruments_touched();
+    let o = kv_fleet_run(&cfg);
+    assert!(o.converged, "uninstrumented fleet diverged");
+    assert_eq!(
+        instruments_touched() - before,
+        0,
+        "unmetered cluster updated metrics instruments: the no-registry \
+         hot path must cost exactly one branch"
+    );
+
+    // Same workload with a registry: instruments move (the counter is
+    // live, not a vacuous zero) and the snapshot reflects the run.
+    let before = instruments_touched();
+    let o = kv_fleet_run(&cfg.clone().metered());
+    assert!(o.converged, "metered fleet diverged");
+    assert!(
+        instruments_touched() - before > 0,
+        "metered cluster touched no instruments"
+    );
+    let health = o.health.expect("metered run snapshots health");
+    assert!(health.metrics.counters.values().any(|&v| v > 0));
+
+    // And a bare registry handle shows the same discipline directly.
+    let reg = Arc::new(Registry::new());
+    let before = instruments_touched();
+    reg.counter("guard.probe").add(1);
+    assert_eq!(instruments_touched() - before, 1);
 }

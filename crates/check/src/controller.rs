@@ -89,6 +89,12 @@ pub struct StepRecord {
     pub seeds: Vec<Vec<SchedResource>>,
     /// Id of the thread that ran.
     pub chosen: u32,
+    /// 0-based index of this decision on the scheduling-*step* clock (the
+    /// [`Decider::note_step`](crate::strategy::Decider::note_step) clock —
+    /// every yield point, forced moves included). Recorded decisions are a
+    /// subsequence of that clock; this field is the exact position, which is
+    /// what lets trace-guided PCT aim change points at specific decisions.
+    pub step: u64,
     /// Per-thread access runs of the segment after this decision, in
     /// execution order.
     pub events: Vec<SegEvent>,
@@ -355,6 +361,7 @@ impl Controller {
                     .map(|&t| st.static_pending[t].clone())
                     .collect(),
                 chosen: ready[idx] as u32,
+                step: st.steps - 1,
                 events: Vec::new(),
             };
             st.records.push(record);
@@ -595,11 +602,13 @@ impl SchedHook for Controller {
             alternatives: ready.len() as u32,
         });
         let winner = &alts[order[idx]];
+        let step_idx = st.steps - 1;
         st.records.push(StepRecord {
             ready: order.iter().map(|&i| alts[i].id).collect(),
             pending: order.iter().map(|&i| alts[i].footprint.clone()).collect(),
             seeds: vec![Vec::new(); alts.len()],
             chosen: winner.id,
+            step: step_idx,
             events: vec![SegEvent {
                 tid: winner.id,
                 resources: winner.footprint.clone(),

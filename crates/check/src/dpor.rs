@@ -429,6 +429,7 @@ mod tests {
             pending: ready.iter().map(|_| Vec::new()).collect(),
             seeds: ready.iter().map(|_| Vec::new()).collect(),
             chosen,
+            step: 0,
             events: vec![SegEvent {
                 tid: chosen,
                 resources: fp.to_vec(),

@@ -28,6 +28,21 @@ pub enum Strategy {
         /// Bug depth `d` (`d − 1` priority-change points per run).
         depth: usize,
     },
+    /// Trace-guided PCT: same priority mechanics as [`Strategy::Pct`], but
+    /// between schedules the generator drains the scenario's
+    /// [`trace_buffer`](crate::scenarios::Scenario::trace_buffer),
+    /// aggregates per-microprotocol contention the way
+    /// [`ContentionProfile`](samoa_core::ContentionProfile) does (admission
+    /// wait time, falling back to handler service time when no schedule has
+    /// waited yet), and places the next run's priority-change points on
+    /// scheduling steps whose recorded footprint touches the hottest
+    /// protocol. Scenarios without a trace buffer degrade to plain PCT.
+    Guided {
+        /// Base seed (run `i` uses `seed + i`).
+        seed: u64,
+        /// Bug depth `d` (`d − 1` priority-change points per run).
+        depth: usize,
+    },
     /// Exhaustive bounded depth-first enumeration of the choice tree.
     /// Stops early when the space is exhausted.
     Exhaustive,
@@ -45,6 +60,9 @@ impl std::fmt::Display for Strategy {
         match self {
             Strategy::Random { seed } => write!(f, "random(seed={seed})"),
             Strategy::Pct { seed, depth } => write!(f, "pct(seed={seed}, depth={depth})"),
+            Strategy::Guided { seed, depth } => {
+                write!(f, "guided-pct(seed={seed}, depth={depth})")
+            }
             Strategy::Exhaustive => write!(f, "exhaustive"),
             Strategy::Dpor => write!(f, "dpor"),
         }
@@ -207,6 +225,17 @@ enum Gen {
         depth: usize,
         horizon: usize,
     },
+    Guided {
+        seed: u64,
+        depth: usize,
+        horizon: usize,
+        /// The scenario's trace feedback channel; `None` (no traced
+        /// scenario) leaves the strategy running as plain PCT.
+        buffer: Option<Arc<samoa_core::TraceBuffer>>,
+        /// Scheduling-step indices (the change-point clock) whose recorded
+        /// segment touched the hottest microprotocol in the last run.
+        hot: Vec<usize>,
+    },
     Exhaustive {
         prefix: Vec<u32>,
     },
@@ -216,13 +245,24 @@ enum Gen {
 }
 
 impl Gen {
-    fn new(strategy: Strategy, independence: Option<StaticIndependence>) -> Gen {
+    fn new(
+        strategy: Strategy,
+        independence: Option<StaticIndependence>,
+        buffer: Option<Arc<samoa_core::TraceBuffer>>,
+    ) -> Gen {
         match strategy {
             Strategy::Random { seed } => Gen::Random { seed },
             Strategy::Pct { seed, depth } => Gen::Pct {
                 seed,
                 depth,
                 horizon: 64,
+            },
+            Strategy::Guided { seed, depth } => Gen::Guided {
+                seed,
+                depth,
+                horizon: 64,
+                buffer,
+                hot: Vec::new(),
             },
             Strategy::Exhaustive => Gen::Exhaustive { prefix: Vec::new() },
             Strategy::Dpor => Gen::Dpor {
@@ -243,6 +283,18 @@ impl Gen {
                 *depth,
                 *horizon,
             )),
+            Gen::Guided {
+                seed,
+                depth,
+                horizon,
+                hot,
+                ..
+            } => Box::new(PctDecider::guided(
+                seed.wrapping_add(i as u64),
+                *depth,
+                *horizon,
+                hot,
+            )),
             Gen::Exhaustive { prefix } => Box::new(PrefixDecider::new(prefix.clone())),
             Gen::Dpor { search } => Box::new(PrefixDecider::new(search.prefix())),
         }
@@ -261,6 +313,20 @@ impl Gen {
                 *horizon = (trace.steps as usize).max(16);
                 false
             }
+            Gen::Guided {
+                horizon,
+                buffer,
+                hot,
+                ..
+            } => {
+                *horizon = (trace.steps as usize).max(16);
+                if let Some(buf) = buffer {
+                    if let Some(h) = hot_steps(&buf.drain(), trace) {
+                        *hot = h;
+                    }
+                }
+                false
+            }
             Gen::Exhaustive { prefix } => match next_prefix(trace) {
                 Some(p) => {
                     *prefix = p;
@@ -276,6 +342,68 @@ impl Gen {
     }
 }
 
+/// The trace-guidance heuristic: from one run's drained trace events and
+/// its schedule trace, the scheduling-step indices worth spending the next
+/// run's PCT change points on.
+///
+/// The hottest microprotocol is the one where admission-wait time
+/// concentrates (the same per-protocol aggregation
+/// [`ContentionProfile`](samoa_core::ContentionProfile) reports); when no
+/// schedule has produced a wait yet — e.g. `Unsync` workloads, which never
+/// block on admission — handler service time stands in, so the guidance
+/// still points at the protocol doing the contended work. Steps qualify
+/// when their recorded segment footprint touched that protocol's version
+/// counter or lock slot. `None` (keep the previous guidance) when the
+/// drained trace attributes nothing to any protocol or no step qualifies.
+fn hot_steps(events: &[samoa_core::TraceEvent], trace: &ScheduleTrace) -> Option<Vec<usize>> {
+    use samoa_core::sched::SchedResource;
+    use samoa_core::TraceKind;
+
+    let mut wait_ns: HashMap<u32, u64> = HashMap::new();
+    let mut service_ns: HashMap<u32, u64> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            TraceKind::WaitEnd {
+                protocol,
+                wait_ns: w,
+                ..
+            } => *wait_ns.entry(protocol.index() as u32).or_default() += w,
+            TraceKind::HandlerExit {
+                protocol,
+                service_ns: s,
+                ..
+            } => *service_ns.entry(protocol.index() as u32).or_default() += s,
+            _ => {}
+        }
+    }
+    let table = if wait_ns.is_empty() {
+        &service_ns
+    } else {
+        &wait_ns
+    };
+    // Ties broken toward the lower index to keep runs deterministic.
+    let hottest = table
+        .iter()
+        .max_by_key(|&(&idx, &ns)| (ns, std::cmp::Reverse(idx)))
+        .map(|(&idx, _)| idx)?;
+    let hot: Vec<usize> = trace
+        .records
+        .iter()
+        .filter(|r| {
+            r.footprint().iter().any(|rs| {
+                matches!(rs,
+                    SchedResource::Version(i) | SchedResource::Lock(i) if *i == hottest)
+            })
+        })
+        .map(|r| r.step as usize)
+        .collect();
+    if hot.is_empty() {
+        None
+    } else {
+        Some(hot)
+    }
+}
+
 /// Runs scenarios under controlled schedules.
 pub struct Explorer;
 
@@ -283,7 +411,11 @@ impl Explorer {
     /// Run `scenario` for up to `cfg.schedules` schedules; stop at the
     /// first failure.
     pub fn explore(scenario: &dyn Scenario, cfg: &ExplorerConfig) -> Exploration {
-        let mut generator = Gen::new(cfg.strategy, scenario.static_independence());
+        let mut generator = Gen::new(
+            cfg.strategy,
+            scenario.static_independence(),
+            scenario.trace_buffer(),
+        );
         let mut runs = 0;
         for i in 0..cfg.schedules {
             let (report, trace) = run_once(scenario, generator.decider(i), cfg.max_steps);
@@ -328,7 +460,11 @@ impl Explorer {
     /// two strategies comparable: DPOR must find exactly the exhaustive
     /// failure set in (usually far) fewer schedules.
     pub fn sweep(scenario: &dyn Scenario, cfg: &ExplorerConfig) -> Sweep {
-        let mut generator = Gen::new(cfg.strategy, scenario.static_independence());
+        let mut generator = Gen::new(
+            cfg.strategy,
+            scenario.static_independence(),
+            scenario.trace_buffer(),
+        );
         let mut seen: BTreeSet<String> = BTreeSet::new();
         let mut failures: Vec<Witness> = Vec::new();
         let mut runs = 0;

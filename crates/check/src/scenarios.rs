@@ -63,6 +63,15 @@ pub trait Scenario {
     fn static_independence(&self) -> Option<StaticIndependence> {
         None
     }
+
+    /// The trace buffer this scenario's runtime emits into, when it runs
+    /// traced. [`Strategy::Guided`](crate::explorer::Strategy::Guided)
+    /// drains it between schedules and steers PCT change points toward the
+    /// microprotocols where the drained events concentrate; the default
+    /// (`None`) leaves guided search running as plain PCT.
+    fn trace_buffer(&self) -> Option<Arc<samoa_core::TraceBuffer>> {
+        None
+    }
 }
 
 /// Synchronisation policy a scenario runs its computations under.
@@ -532,13 +541,30 @@ impl Scenario for OccScenario {
 pub struct ViewChangeScenario {
     policy: ScenarioPolicy,
     net_seed: u64,
+    trace: Option<Arc<TraceBuffer>>,
 }
 
 impl ViewChangeScenario {
     /// A view-change race under `policy`, network delays drawn from
     /// `net_seed`.
     pub fn new(policy: ScenarioPolicy, net_seed: u64) -> ViewChangeScenario {
-        ViewChangeScenario { policy, net_seed }
+        ViewChangeScenario {
+            policy,
+            net_seed,
+            trace: None,
+        }
+    }
+
+    /// Like [`new`](ViewChangeScenario::new), but each run's runtime also
+    /// emits into a shared [`TraceBuffer`] — the feedback channel
+    /// [`Strategy::Guided`](crate::explorer::Strategy::Guided) drains to
+    /// steer the next schedule.
+    pub fn traced(policy: ScenarioPolicy, net_seed: u64) -> ViewChangeScenario {
+        ViewChangeScenario {
+            policy,
+            net_seed,
+            trace: Some(TraceBuffer::new()),
+        }
     }
 
     /// The stack *shape* (registration order matches [`Scenario::run`]'s
@@ -635,7 +661,15 @@ impl Scenario for ViewChangeScenario {
             })
         };
 
-        let rt = Runtime::with_hook(b.build(), RuntimeConfig::recording(), hook);
+        let rt = match &self.trace {
+            Some(sink) => Runtime::with_hook_and_trace(
+                b.build(),
+                RuntimeConfig::recording(),
+                hook,
+                sink.clone(),
+            ),
+            None => Runtime::with_hook(b.build(), RuntimeConfig::recording(), hook),
+        };
         let policy = self.policy;
         let spawn_one = |ev: EventType, decl: &[ProtocolId], pat: &RoutePattern| {
             let body = move |ctx: &Ctx| ctx.trigger(ev, EventData::empty());
@@ -674,6 +708,10 @@ impl Scenario for ViewChangeScenario {
     fn static_independence(&self) -> Option<StaticIndependence> {
         let (stack, roots) = ViewChangeScenario::shape();
         Some(relation_of(&stack, &roots))
+    }
+
+    fn trace_buffer(&self) -> Option<Arc<TraceBuffer>> {
+        self.trace.clone()
     }
 }
 

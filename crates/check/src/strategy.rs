@@ -95,6 +95,37 @@ impl PctDecider {
         }
     }
 
+    /// A *trace-guided* PCT schedule: identical priority/demotion
+    /// mechanics, but the `depth − 1` change points are drawn from `hot` —
+    /// scheduling steps a previous run's trace showed touching the most
+    /// contended microprotocol — instead of uniformly over the horizon.
+    /// With no hot steps yet (the first run, or a trace with no admission
+    /// activity) this degenerates to plain [`PctDecider::new`].
+    ///
+    /// PCT's detection bound holds because change-point *placement* is
+    /// arbitrary in the proof; steering it toward steps that touch the
+    /// contended protocol spends the same budget where reorderings can
+    /// actually matter.
+    pub fn guided(seed: u64, depth: usize, horizon: usize, hot: &[usize]) -> PctDecider {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = horizon.max(1);
+        let change_points = (0..depth.saturating_sub(1))
+            .map(|_| {
+                if hot.is_empty() {
+                    rng.gen_range(0..horizon)
+                } else {
+                    hot[rng.gen_range(0..hot.len())]
+                }
+            })
+            .collect();
+        PctDecider {
+            rng,
+            prio: Vec::new(),
+            change_points,
+            steps: 0,
+        }
+    }
+
     fn prio_of(&mut self, tid: usize) -> u64 {
         if tid >= self.prio.len() {
             self.prio.resize(tid + 1, None);
@@ -210,6 +241,39 @@ mod tests {
             d.note_step();
             assert_eq!(d.choose(&ready, s), second);
         }
+    }
+
+    #[test]
+    fn guided_pct_places_change_points_on_hot_steps() {
+        // All hot mass on step 0: the demotion must fire at the second
+        // decision regardless of seed, like the 1-step-horizon case.
+        for seed in 0..8 {
+            let mut d = PctDecider::guided(seed, 2, 1000, &[0]);
+            let ready = [0usize, 1];
+            d.note_step();
+            let first = d.choose(&ready, 0);
+            d.note_step();
+            let second = d.choose(&ready, 1);
+            assert_ne!(first, second, "hot change point must demote (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn guided_pct_without_hot_steps_matches_uniform() {
+        // Empty hot set ⇒ byte-identical schedule to plain PCT.
+        let ready = [0usize, 1, 2];
+        let run = |mut d: PctDecider| {
+            (0..32)
+                .map(|s| {
+                    d.note_step();
+                    d.choose(&ready, s)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(PctDecider::guided(11, 3, 64, &[])),
+            run(PctDecider::new(11, 3, 64))
+        );
     }
 
     #[test]

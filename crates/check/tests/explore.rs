@@ -186,6 +186,47 @@ fn view_change_race_is_found_and_isolating_policy_fixes_it() {
 }
 
 #[test]
+fn guided_pct_finds_view_change_race_with_replayable_witness() {
+    // The traced scenario feeds each run's contention back into the
+    // generator; the guided strategy must still find the §3 race and pin
+    // it to a witness that replays — guidance may steer placement, but
+    // witnesses stay pure functions of the choice sequence.
+    let scenario = ViewChangeScenario::traced(ScenarioPolicy::Unsync, 9);
+    let got = Explorer::explore(
+        &scenario,
+        &ExplorerConfig::new(500, Strategy::Guided { seed: 5, depth: 2 }),
+    );
+    let w = got
+        .violation
+        .expect("guided PCT must find the view-change race");
+    assert_eq!(
+        Explorer::replay(&scenario, &w).expect("witness must replay"),
+        w.failure
+    );
+}
+
+#[test]
+fn guided_pct_without_trace_buffer_matches_plain_pct() {
+    // An untraced scenario gives the guided generator nothing to drain, so
+    // it must degrade to byte-identical plain PCT: same seed, same
+    // schedule count to first violation.
+    let seed = 7;
+    let plain = Explorer::explore(
+        &DiamondScenario::new(ScenarioPolicy::Unsync),
+        &ExplorerConfig::new(500, Strategy::Pct { seed, depth: 3 }),
+    );
+    let guided = Explorer::explore(
+        &DiamondScenario::new(ScenarioPolicy::Unsync),
+        &ExplorerConfig::new(500, Strategy::Guided { seed, depth: 3 }),
+    );
+    assert_eq!(plain.schedules_run, guided.schedules_run);
+    assert_eq!(
+        plain.violation.map(|w| w.choices),
+        guided.violation.map(|w| w.choices)
+    );
+}
+
+#[test]
 fn view_change_exhaustive_certifies_serial() {
     // The serial policy's choice tree is small enough to exhaust: a real
     // (bounded) proof of isolation rather than a sample.

@@ -425,7 +425,51 @@
 //! throughput and p50/p95/p99 commit latency at 3/5/9 sites over both
 //! backends, and mid-load coordinator-failover latency over TCP.
 //!
-//! ## 10. Pitfalls
+//! ## 10. Cluster observability
+//!
+//! §8's sink observes one runtime; a replicated service needs the *cross-
+//! site* picture. `samoa-proto` adds three pieces, all following the same
+//! pay-nothing-when-off discipline (with neither a sink nor a registry
+//! installed, every instrumentation site is a single `Option` branch —
+//! pinned by `crates/bench/tests/no_sink_guard.rs`):
+//!
+//! * **Causal trace propagation.** Every wire message carries a compact
+//!   causal context — originating site, per-site operation id, hop count —
+//!   re-emitted into the receiving node's sink on arrival (`CtxSend` /
+//!   `CtxRecv`, plus `ClientSubmit`, `AbDeliver`, `KvApply`, `Retransmit`,
+//!   `ClusterViewChange` at the protocol layer). Build the cluster with one
+//!   shared sink and epoch (`Cluster::new_observed`, `Observe`) and a
+//!   single KV `put` renders in the Chrome/Perfetto exporter
+//!   ([`ChromeTrace`](crate::ChromeTrace)) as one causally-linked arrow
+//!   chain across all sites: client submit → wire hops → per-site abcast
+//!   delivery → per-site apply, with `cat: "causal"` flow events stitching
+//!   the site tracks together.
+//! * **A metrics registry.** [`Registry`](crate::Registry) hands out
+//!   shared-on-clone counters, gauges, and histograms by name; each node
+//!   registers per-site instruments (`site{N}.relcomm.retransmits`,
+//!   `site{N}.consensus.rounds`, `site{N}.abcast.lag_us`,
+//!   `site{N}.kv.apply_latency_us`, ...). `Cluster::metrics()` /
+//!   `TcpCluster::metrics()` snapshot the registry together with the
+//!   canonical per-site transport counters (`Transport::stats_named`, the
+//!   *same names over `SimNet` and `TcpNet`*) into a `ClusterMetrics`
+//!   health report with JSON and text renderings. `instruments_touched()`
+//!   is the process-global proof hook that the unmetered path never bumps
+//!   an instrument.
+//! * **Trace-guided schedule search.** `samoa-check`'s `Strategy::Guided`
+//!   drains a scenario's trace buffer between exploration iterations and
+//!   re-aims PCT's priority-demotion points at the scheduling steps whose
+//!   footprints touch the microprotocol where admission waits concentrate
+//!   — contention is evidence of racing access. Placement is arbitrary in
+//!   PCT's detection-probability proof, so the bound survives; experiment
+//!   E13 pins the payoff (fewer schedules to the §3 view-change race than
+//!   uniform placement) and `crates/check/tests/causal_trace.rs` pins
+//!   cross-site causal integrity under a controlled schedule.
+//!
+//! `cargo run -p samoa-proto --example observe_cluster` runs a 3-site
+//! observed cluster, writes the Perfetto trace and the health JSON, and
+//! self-validates both (CI runs it as the `observe-smoke` job).
+//!
+//! ## 11. Pitfalls
 //!
 //! * **Don't trigger while holding state.** Keep
 //!   [`ProtocolState::with`] closures short; compute what to send, end the

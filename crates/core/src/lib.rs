@@ -53,6 +53,7 @@ pub mod graph;
 pub mod guide;
 pub mod handler;
 pub mod history;
+pub mod metrics;
 pub mod optimistic;
 pub mod policy;
 pub mod protocol;
@@ -69,6 +70,9 @@ pub use event::{EventData, EventType};
 pub use graph::RoutePattern;
 pub use handler::HandlerId;
 pub use history::{check_serializable, Access, History, IsolationViolation, RunEntry};
+pub use metrics::{
+    instruments_touched, Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry,
+};
 pub use policy::{AccessMode, CellKind, Policy};
 pub use protocol::{ProtocolId, ProtocolState};
 pub use runtime::{CompHandle, Decl, Runtime, RuntimeConfig, RuntimeStats};

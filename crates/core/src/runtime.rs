@@ -520,6 +520,28 @@ impl Runtime {
         Runtime::build(stack, config, Some(hook), None)
     }
 
+    /// Create a runtime with both a schedule-control hook and a
+    /// [`TraceSink`] installed — controlled exploration ([`Runtime::with_hook`])
+    /// that also records the structured trace ([`Runtime::with_trace`]).
+    /// `samoa-check`'s trace-guided search uses this to steer schedule
+    /// perturbation toward the microprotocols where admission waits
+    /// concentrate. `strict_analysis` linting is applied as in
+    /// [`Runtime::with_config`].
+    pub fn with_hook_and_trace(
+        stack: Stack,
+        config: RuntimeConfig,
+        hook: Arc<dyn SchedHook>,
+        sink: Arc<dyn TraceSink>,
+    ) -> Self {
+        if config.strict_analysis {
+            let report = Runtime::static_report(&stack);
+            if report.has_errors() {
+                panic!("strict_analysis rejected the stack:\n{}", report.render());
+            }
+        }
+        Runtime::build(stack, config, Some(hook), Some(sink))
+    }
+
     /// Create a runtime only if the stack passes the full static safety
     /// pass ([`Runtime::static_report`]: linting, admission-deadlock and
     /// conflict analysis, every event treated as external): Error-level

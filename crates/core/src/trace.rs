@@ -205,6 +205,82 @@ pub enum TraceKind {
         /// The 1-based number of the aborted attempt.
         attempt: u64,
     },
+    /// Cluster: a client operation — the root of a causal tree — was
+    /// submitted at `site`. `(site, op)` is the operation's cluster-wide
+    /// identity; every event below that shares the pair is causally
+    /// downstream of this one.
+    ClientSubmit {
+        /// The originating site.
+        site: u16,
+        /// The per-site operation id (the abcast uid sequence).
+        op: u64,
+    },
+    /// Cluster: a wire message carrying causal context for `(origin, op)`
+    /// left `from` towards `to`.
+    CtxSend {
+        /// The sending site.
+        from: u16,
+        /// The destination site.
+        to: u16,
+        /// The site that originated the operation.
+        origin: u16,
+        /// The operation id at the origin.
+        op: u64,
+        /// Causal hop count (0 = first transmission from the origin).
+        hop: u8,
+    },
+    /// Cluster: a wire message carrying causal context for `(origin, op)`
+    /// arrived at `site`.
+    CtxRecv {
+        /// The receiving site.
+        site: u16,
+        /// The site that originated the operation.
+        origin: u16,
+        /// The operation id at the origin.
+        op: u64,
+        /// Causal hop count observed on the wire.
+        hop: u8,
+    },
+    /// Cluster: abcast delivered `(origin, op)` at `site` in total order.
+    AbDeliver {
+        /// The delivering site.
+        site: u16,
+        /// The site that originated the operation.
+        origin: u16,
+        /// The operation id at the origin.
+        op: u64,
+        /// Submit-to-delivery lag as observed at the origin site (0 at
+        /// non-origin sites, which never saw the submit).
+        lag_ns: u64,
+    },
+    /// Cluster: the replicated KV state machine applied `(origin, op)` at
+    /// `site` — the leaf of the operation's causal tree on that site.
+    KvApply {
+        /// The applying site.
+        site: u16,
+        /// The site that originated the operation.
+        origin: u16,
+        /// The operation id at the origin.
+        op: u64,
+    },
+    /// Cluster: RelComm retransmitted a pending message to `to`.
+    Retransmit {
+        /// The retransmitting site.
+        site: u16,
+        /// The peer being retransmitted to.
+        to: u16,
+        /// Retransmission attempts so far for this message (1-based).
+        attempts: u32,
+    },
+    /// Cluster: `site` installed membership view `view_id`.
+    ClusterViewChange {
+        /// The site installing the view.
+        site: u16,
+        /// The new view number.
+        view_id: u64,
+        /// Members in the new view.
+        members: u32,
+    },
 }
 
 impl TraceKind {
@@ -221,7 +297,14 @@ impl TraceKind {
             | TraceKind::Complete { comp } => Some(comp),
             TraceKind::OccValidate { .. }
             | TraceKind::OccCommit { .. }
-            | TraceKind::OccAbort { .. } => None,
+            | TraceKind::OccAbort { .. }
+            | TraceKind::ClientSubmit { .. }
+            | TraceKind::CtxSend { .. }
+            | TraceKind::CtxRecv { .. }
+            | TraceKind::AbDeliver { .. }
+            | TraceKind::KvApply { .. }
+            | TraceKind::Retransmit { .. }
+            | TraceKind::ClusterViewChange { .. } => None,
         }
     }
 }
@@ -265,6 +348,16 @@ pub(crate) fn deliver(sink: &Arc<dyn TraceSink>, epoch: Instant, kind: TraceKind
 pub(crate) fn deliver_at(sink: &Arc<dyn TraceSink>, t_ns: u64, kind: TraceKind) {
     EMITTED.fetch_add(1, Ordering::Relaxed);
     sink.event(TraceEvent { t_ns, kind });
+}
+
+/// Emit `kind` into `sink`, stamped relative to `epoch` — the public face of
+/// the runtime's internal emission path, for instrumentation that lives
+/// *outside* `samoa-core` (the cluster layer's causal-context events).
+/// Counts against [`events_emitted`] like every other emission, so the
+/// `no_sink_guard` cost-model proof covers external emitters too: callers
+/// must hold the sink as an `Option` and only reach this inside the branch.
+pub fn emit(sink: &Arc<dyn TraceSink>, epoch: Instant, kind: TraceKind) {
+    deliver(sink, epoch, kind);
 }
 
 // ---------------------------------------------------------------------------
@@ -941,6 +1034,17 @@ impl ChromeTrace {
             json_str(name)
         ));
         let mut named: HashMap<CompId, ()> = HashMap::new();
+        let mut site_named: HashMap<u16, ()> = HashMap::new();
+        let mut name_site = |entries: &mut Vec<String>, site: u16| {
+            site_named.entry(site).or_insert_with(|| {
+                entries.push(format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \
+                     \"tid\": {}, \"args\": {{\"name\": {}}}}}",
+                    site_tid(site),
+                    json_str(&format!("site{site}"))
+                ));
+            });
+        };
         for ev in events {
             let us = ev.t_ns as f64 / 1e3;
             match ev.kind {
@@ -1049,11 +1153,132 @@ impl ChromeTrace {
                         occ_tid(tx)
                     ));
                 }
+                TraceKind::ClientSubmit { site, op } => {
+                    name_site(&mut self.entries, site);
+                    self.cluster_instant(
+                        pid,
+                        site,
+                        us,
+                        "cluster",
+                        &format!("submit op {op}@s{site}"),
+                    );
+                    self.flow(pid, site, us, "s", site, op);
+                }
+                TraceKind::CtxSend {
+                    from,
+                    to,
+                    origin,
+                    op,
+                    hop,
+                } => {
+                    name_site(&mut self.entries, from);
+                    self.cluster_instant(
+                        pid,
+                        from,
+                        us,
+                        "cluster",
+                        &format!("send\u{2192}s{to} op {op}@s{origin} hop {hop}"),
+                    );
+                    self.flow(pid, from, us, "t", origin, op);
+                }
+                TraceKind::CtxRecv {
+                    site,
+                    origin,
+                    op,
+                    hop,
+                } => {
+                    name_site(&mut self.entries, site);
+                    self.cluster_instant(
+                        pid,
+                        site,
+                        us,
+                        "cluster",
+                        &format!("recv op {op}@s{origin} hop {hop}"),
+                    );
+                    self.flow(pid, site, us, "t", origin, op);
+                }
+                TraceKind::AbDeliver {
+                    site,
+                    origin,
+                    op,
+                    lag_ns,
+                } => {
+                    name_site(&mut self.entries, site);
+                    self.cluster_instant(
+                        pid,
+                        site,
+                        us,
+                        "cluster",
+                        &format!(
+                            "adeliver op {op}@s{origin} ({:.0}\u{b5}s)",
+                            lag_ns as f64 / 1e3
+                        ),
+                    );
+                    self.flow(pid, site, us, "t", origin, op);
+                }
+                TraceKind::KvApply { site, origin, op } => {
+                    name_site(&mut self.entries, site);
+                    self.cluster_instant(
+                        pid,
+                        site,
+                        us,
+                        "cluster",
+                        &format!("kv apply op {op}@s{origin}"),
+                    );
+                    self.flow(pid, site, us, "f", origin, op);
+                }
+                TraceKind::Retransmit { site, to, attempts } => {
+                    name_site(&mut self.entries, site);
+                    self.cluster_instant(
+                        pid,
+                        site,
+                        us,
+                        "retransmit",
+                        &format!("retransmit\u{2192}s{to} (attempt {attempts})"),
+                    );
+                }
+                TraceKind::ClusterViewChange {
+                    site,
+                    view_id,
+                    members,
+                } => {
+                    name_site(&mut self.entries, site);
+                    self.cluster_instant(
+                        pid,
+                        site,
+                        us,
+                        "view-change",
+                        &format!("view {view_id} ({members} members)"),
+                    );
+                }
                 TraceKind::WaitBegin { .. } | TraceKind::HandlerEnter { .. } => {
                     // Folded into the matching WaitEnd / HandlerExit span.
                 }
             }
         }
+    }
+
+    /// An instant marker on a site track.
+    fn cluster_instant(&mut self, pid: u32, site: u16, us: f64, cat: &str, name: &str) {
+        self.entries.push(format!(
+            "{{\"name\": {}, \"cat\": \"{cat}\", \"ph\": \"i\", \"s\": \"t\", \
+             \"ts\": {us:.3}, \"pid\": {pid}, \"tid\": {}}}",
+            json_str(name),
+            site_tid(site)
+        ));
+    }
+
+    /// A Perfetto flow event (`ph` ∈ {s, t, f}) linking every marker of one
+    /// cluster operation `(origin, op)` into a single causal arrow chain.
+    fn flow(&mut self, pid: u32, site: u16, us: f64, ph: &str, origin: u16, op: u64) {
+        let bp = if ph == "f" { ", \"bp\": \"e\"" } else { "" };
+        self.entries.push(format!(
+            "{{\"name\": {}, \"cat\": \"causal\", \"ph\": \"{ph}\", \"id\": {}, \
+             \"ts\": {us:.3}, \"pid\": {pid}, \"tid\": {}{bp}}}",
+            json_str(&format!("op {op}@s{origin}")),
+            flow_id(origin, op),
+            site_tid(site)
+        ));
     }
 
     /// Render the `{"traceEvents": [...]}` document.
@@ -1068,6 +1293,18 @@ impl ChromeTrace {
 /// OCC transactions get their own track block, clear of computation ids.
 fn occ_tid(tx: u64) -> u64 {
     1_000_000 + tx
+}
+
+/// Cluster sites get their own track block, clear of computation and OCC
+/// ids.
+fn site_tid(site: u16) -> u64 {
+    500_000 + site as u64
+}
+
+/// Stable flow id for one cluster operation: origin site in the top 16 bits,
+/// operation id below.
+fn flow_id(origin: u16, op: u64) -> u64 {
+    ((origin as u64) << 48) | (op & 0xFFFF_FFFF_FFFF)
 }
 
 /// Export one traced run as a single-process Chrome `trace_event` JSON

@@ -76,10 +76,21 @@ fn check_well_nested(events: &[TraceEvent]) -> std::result::Result<(), String> {
                     }
                 },
                 TraceKind::EarlyRelease { .. } => {}
+                // Events with `comp() == None` (OCC, cluster-level spans)
+                // can never appear in a per-computation stream.
                 TraceKind::OccValidate { .. }
                 | TraceKind::OccCommit { .. }
-                | TraceKind::OccAbort { .. } => {
-                    return Err(format!("k{comp}: OCC event in a versioned stream"));
+                | TraceKind::OccAbort { .. }
+                | TraceKind::ClientSubmit { .. }
+                | TraceKind::CtxSend { .. }
+                | TraceKind::CtxRecv { .. }
+                | TraceKind::AbDeliver { .. }
+                | TraceKind::KvApply { .. }
+                | TraceKind::Retransmit { .. }
+                | TraceKind::ClusterViewChange { .. } => {
+                    return Err(format!(
+                        "k{comp}: non-computation event in a versioned stream"
+                    ));
                 }
             }
         }

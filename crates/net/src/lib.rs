@@ -41,4 +41,4 @@ pub use config::NetConfig;
 pub use sim::{Datagram, NetHandle, PendingDg, SimNet, SiteId};
 pub use stats::SiteStats;
 pub use tcp::{TcpConfig, TcpMesh, TcpNet, TcpStats};
-pub use transport::Transport;
+pub use transport::{Transport, STAT_NAMES};

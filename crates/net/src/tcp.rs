@@ -347,6 +347,23 @@ impl Transport for TcpNet {
         );
         *self.inner.callback.write() = Some(callback);
     }
+
+    fn stats_named(&self, site: SiteId) -> Vec<(&'static str, u64)> {
+        if site != self.inner.site {
+            return Vec::new(); // counters are per-endpoint; we host one site
+        }
+        let s = self.stats();
+        vec![
+            ("sent", s.frames_sent),
+            ("delivered", s.frames_delivered),
+            ("dropped", s.dropped()),
+            ("duplicated", 0),
+            ("corrupted", 0),
+            ("retried", s.retried),
+            ("reconnects", s.reconnects),
+            ("decode_errors", s.decode_errors),
+        ]
+    }
 }
 
 fn encode_frame(from: SiteId, payload: &Bytes) -> Bytes {

@@ -97,7 +97,35 @@ pub trait Transport: Send + Sync + 'static {
     /// Panics if `site` is not hosted by this instance (a `TcpNet` hosts
     /// only its local site; a `SimNet` hosts all of them).
     fn register(&self, site: SiteId, callback: Arc<DeliveryFn>);
+
+    /// Canonical per-site counters, with the **same names over every
+    /// backend** so cluster health reports read identically over `SimNet`
+    /// and `TcpNet`: `sent`, `delivered`, `dropped`, `duplicated`,
+    /// `corrupted`, `retried`, `reconnects`, `decode_errors` (in that
+    /// order). Counters a backend cannot produce are reported as `0`
+    /// (e.g. `reconnects` on the simulator, `duplicated` on TCP).
+    ///
+    /// Backends without counters — or asked about a site they do not host —
+    /// return an empty vec (the default).
+    fn stats_named(&self, site: SiteId) -> Vec<(&'static str, u64)> {
+        let _ = site;
+        Vec::new()
+    }
 }
+
+/// The canonical counter names every [`Transport::stats_named`]
+/// implementation reports, in report order (pinned by
+/// `crates/net/tests/transport_conformance.rs`).
+pub const STAT_NAMES: [&str; 8] = [
+    "sent",
+    "delivered",
+    "dropped",
+    "duplicated",
+    "corrupted",
+    "retried",
+    "reconnects",
+    "decode_errors",
+];
 
 impl Transport for NetHandle {
     fn send(&self, from: SiteId, to: SiteId, payload: Bytes) {
@@ -118,6 +146,23 @@ impl Transport for NetHandle {
 
     fn register(&self, site: SiteId, callback: Arc<DeliveryFn>) {
         NetHandle::register(self, site, move |dg| callback(dg));
+    }
+
+    fn stats_named(&self, site: SiteId) -> Vec<(&'static str, u64)> {
+        if site.index() >= NetHandle::site_count(self) {
+            return Vec::new();
+        }
+        let s = NetHandle::stats(self, site);
+        vec![
+            ("sent", s.sent),
+            ("delivered", s.delivered),
+            ("dropped", s.dropped()),
+            ("duplicated", s.duplicated),
+            ("corrupted", s.corrupted),
+            ("retried", 0),
+            ("reconnects", 0),
+            ("decode_errors", 0),
+        ]
     }
 }
 

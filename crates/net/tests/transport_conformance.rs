@@ -1,0 +1,64 @@
+//! Cross-backend stats conformance: [`Transport::stats_named`] must report
+//! the **same counter names in the same order** over `SimNet` and `TcpNet`,
+//! pinned against [`samoa_net::STAT_NAMES`]. Cluster health reports
+//! (`ClusterMetrics` in `samoa-proto`) key on these names, so a renamed or
+//! reordered counter would silently desynchronise sim-vs-tcp comparisons —
+//! this test turns that into a hard failure.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use samoa_net::{NetConfig, SimNet, SiteId, TcpMesh, Transport, STAT_NAMES};
+
+fn names(stats: &[(&'static str, u64)]) -> Vec<&'static str> {
+    stats.iter().map(|&(n, _)| n).collect()
+}
+
+#[test]
+fn sim_and_tcp_report_identical_counter_names_in_order() {
+    // Sim: every hosted site reports the full canonical set.
+    let sim = SimNet::new(2, NetConfig::fast(1));
+    let sim_t: Arc<dyn Transport> = Arc::new(sim.handle());
+    sim.register(SiteId(1), |_| {});
+    sim_t.send(SiteId(0), SiteId(1), Bytes::copy_from_slice(&[1]));
+    sim.quiesce();
+
+    // Tcp: each endpoint hosts exactly one site; same names, same order.
+    let mesh = TcpMesh::new(2).expect("bind localhost mesh");
+    let tcp_t: Arc<dyn Transport> = Arc::clone(mesh.net(0)) as Arc<dyn Transport>;
+
+    for site in [SiteId(0), SiteId(1)] {
+        let sim_stats = sim_t.stats_named(site);
+        assert_eq!(
+            names(&sim_stats),
+            STAT_NAMES.to_vec(),
+            "SimNet counter names diverged for {site}"
+        );
+    }
+    let tcp_stats = tcp_t.stats_named(SiteId(0));
+    assert_eq!(
+        names(&tcp_stats),
+        STAT_NAMES.to_vec(),
+        "TcpNet counter names diverged from the canonical set"
+    );
+
+    // The conformance assertion: both backends, byte-identical name lists.
+    assert_eq!(
+        names(&sim_t.stats_named(SiteId(0))),
+        names(&tcp_t.stats_named(SiteId(0))),
+        "SimNet and TcpNet disagree on stats_named"
+    );
+
+    // Unhosted/unknown sites report empty, not a partial set, on both.
+    assert!(tcp_t.stats_named(SiteId(1)).is_empty());
+    assert!(sim_t.stats_named(SiteId(9)).is_empty());
+
+    // And the sim counters actually moved (names are live, not a stub).
+    let delivered = sim_t
+        .stats_named(SiteId(1))
+        .iter()
+        .find(|&&(n, _)| n == "delivered")
+        .map(|&(_, v)| v)
+        .unwrap();
+    assert_eq!(delivered, 1);
+}

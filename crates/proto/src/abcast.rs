@@ -9,13 +9,16 @@
 //! instance order — messages within a batch in `uid` order — yielding the
 //! same total order at every site.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
 
 use samoa_core::prelude::*;
+use samoa_core::TraceKind;
 use samoa_net::SiteId;
 
 use crate::events::Events;
 use crate::msgs::{AbMsg, AbPayload, CastData, CastMsg, MsgUid, Payload, SyncMsg};
+use crate::observe::{AbcastInstruments, ClusterTracer};
 use crate::relcomm::RDeliver;
 use crate::view::GroupView;
 
@@ -42,6 +45,14 @@ pub struct AbcastState {
     /// (`samoa-check`): a reordered `Decide` flood then produces divergent
     /// delivery prefixes across sites. Leave true everywhere else.
     pub order_enabled: bool,
+    /// Submit times of locally originated requests, for delivery-lag
+    /// accounting (populated only when a tracer or instruments are
+    /// installed).
+    submit_at: HashMap<u64, Instant>,
+    /// Cluster tracer, when the node is traced (submit/deliver spans).
+    pub tracer: Option<ClusterTracer>,
+    /// Metric instruments, when a registry is installed.
+    pub instruments: Option<AbcastInstruments>,
 }
 
 impl AbcastState {
@@ -58,6 +69,9 @@ impl AbcastState {
             proposed_for: None,
             delivered_count: 0,
             order_enabled: true,
+            submit_at: HashMap::new(),
+            tracer: None,
+            instruments: None,
         }
     }
 
@@ -71,15 +85,55 @@ impl AbcastState {
         self.next_inst
     }
 
-    /// Create a new request from this site.
+    /// Create a new request from this site. `(site, seq)` is the cluster
+    /// operation id every downstream causal-context event refers back to.
     fn new_request(&mut self, payload: AbPayload) -> AbMsg {
         self.next_seq += 1;
+        if self.tracer.is_some() || self.instruments.is_some() {
+            self.submit_at.insert(self.next_seq, Instant::now());
+        }
+        if let Some(t) = &self.tracer {
+            t.emit(TraceKind::ClientSubmit {
+                site: self.site.0,
+                op: self.next_seq,
+            });
+        }
         AbMsg {
             uid: MsgUid {
                 origin: self.site,
                 seq: self.next_seq,
             },
             payload,
+        }
+    }
+
+    /// Emission-only accounting for a batch of just-delivered messages:
+    /// AbDeliver trace spans and delivered/lag instruments. A no-op (two
+    /// never-taken branches) when nothing is installed.
+    fn observe_delivered(&mut self, out: &[AbMsg]) {
+        if self.tracer.is_none() && self.instruments.is_none() {
+            return;
+        }
+        for m in out {
+            let lag = if m.uid.origin == self.site {
+                self.submit_at.remove(&m.uid.seq).map(|t0| t0.elapsed())
+            } else {
+                None
+            };
+            if let Some(t) = &self.tracer {
+                t.emit(TraceKind::AbDeliver {
+                    site: self.site.0,
+                    origin: m.uid.origin.0,
+                    op: m.uid.seq,
+                    lag_ns: lag.map_or(0, |d| d.as_nanos() as u64),
+                });
+            }
+            if let Some(ins) = &self.instruments {
+                ins.delivered.inc();
+                if let Some(d) = lag {
+                    ins.lag_us.observe(d.as_micros() as u64);
+                }
+            }
         }
     }
 
@@ -148,6 +202,7 @@ impl AbcastState {
                     out.push(m);
                 }
             }
+            self.observe_delivered(&out);
             return out;
         }
         if inst >= self.next_inst {
@@ -166,6 +221,7 @@ impl AbcastState {
                 }
             }
         }
+        self.observe_delivered(&out);
         out
     }
 }

@@ -93,6 +93,8 @@ pub struct ConsensusState {
     view: GroupView,
     gc_below: u64,
     insts: HashMap<u64, Inst>,
+    /// Metric instruments, when a registry is installed.
+    pub instruments: Option<crate::observe::ConsensusInstruments>,
 }
 
 impl ConsensusState {
@@ -103,6 +105,7 @@ impl ConsensusState {
             view,
             gc_below: 0,
             insts: HashMap::new(),
+            instruments: None,
         }
     }
 
@@ -260,6 +263,9 @@ impl ConsensusState {
             if c.round >= round {
                 return Actions::none(); // already coordinating this round
             }
+        }
+        if let Some(ins) = &self.instruments {
+            ins.rounds.inc();
         }
         i.max_round = i.max_round.max(round);
         i.round = i.round.max(round);

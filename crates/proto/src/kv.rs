@@ -29,6 +29,7 @@ use samoa_net::SiteId;
 
 use crate::events::Events;
 use crate::msgs::{AbPayload, MsgUid};
+use crate::observe::{ClusterTracer, KvInstruments};
 
 /// Magic prefix distinguishing KV commands from plain abcast user
 /// payloads (which the store ignores).
@@ -297,15 +298,36 @@ struct WaitCell {
     cv: Condvar,
 }
 
+/// Client-latency accounting attached to a waiter set when metric
+/// instruments are installed: maps in-flight request ids to their submit
+/// instant so `complete` can observe the submit-to-reply latency.
+struct KvObserver {
+    ins: KvInstruments,
+    started: HashMap<u64, Instant>,
+}
+
 /// Routes replies from the state machine back to blocked clients on the
 /// originating site. Cloneable handle; shared between the KV handler and
 /// [`Node::kv_put`](crate::node::Node::kv_put)-style entry points.
 #[derive(Clone, Default)]
 pub struct KvWaiters {
     cells: Arc<Mutex<HashMap<u64, Arc<WaitCell>>>>,
+    observer: Option<Arc<Mutex<KvObserver>>>,
 }
 
 impl KvWaiters {
+    /// A waiter set that additionally records client-observed apply latency
+    /// into `ins` (uninstrumented waiters pay one never-taken branch).
+    pub fn with_instruments(ins: KvInstruments) -> KvWaiters {
+        KvWaiters {
+            cells: Arc::default(),
+            observer: Some(Arc::new(Mutex::new(KvObserver {
+                ins,
+                started: HashMap::new(),
+            }))),
+        }
+    }
+
     /// Create the pending handle for request `req` (called before the
     /// command is broadcast, so the reply cannot race past the waiter).
     pub fn pending(&self, req: u64) -> KvPending {
@@ -314,6 +336,9 @@ impl KvWaiters {
             cv: Condvar::new(),
         });
         self.cells.lock().insert(req, Arc::clone(&cell));
+        if let Some(o) = &self.observer {
+            o.lock().started.insert(req, Instant::now());
+        }
         KvPending {
             req,
             cell,
@@ -324,6 +349,14 @@ impl KvWaiters {
     /// Deliver the reply for request `req` (called by the KV handler when
     /// the origin site applies the command).
     pub fn complete(&self, req: u64, reply: KvReply) {
+        if let Some(o) = &self.observer {
+            let mut o = o.lock();
+            if let Some(t0) = o.started.remove(&req) {
+                o.ins
+                    .apply_latency_us
+                    .observe(t0.elapsed().as_micros() as u64);
+            }
+        }
         let cell = self.cells.lock().remove(&req);
         if let Some(cell) = cell {
             *cell.slot.lock() = Some(reply);
@@ -367,11 +400,24 @@ impl KvPending {
             if Instant::now() >= deadline {
                 drop(slot);
                 self.waiters.cells.lock().remove(&self.req);
+                if let Some(o) = &self.waiters.observer {
+                    o.lock().started.remove(&self.req);
+                }
                 return None;
             }
             self.cell.cv.wait_until(&mut slot, deadline);
         }
     }
+}
+
+/// Observability handles for the KV sink, both optional: absent fields cost
+/// one never-taken branch per apply.
+#[derive(Default)]
+pub struct KvObserve {
+    /// Re-emits each apply as a causal `KvApply` trace event.
+    pub tracer: Option<ClusterTracer>,
+    /// Counts applies into the node's metrics registry.
+    pub instruments: Option<KvInstruments>,
 }
 
 /// Register the KV store on the builder: one handler bound to `ADeliver`,
@@ -384,7 +430,12 @@ pub fn register(
     state: ProtocolState<KvState>,
     waiters: KvWaiters,
     site: SiteId,
+    observe: KvObserve,
 ) -> HandlerId {
+    let KvObserve {
+        tracer,
+        instruments,
+    } = observe;
     let e = ev.adeliver;
     b.bind_with_triggers(e, pid, "kv.on_adeliver", &[], move |ctx, data| {
         let m: &crate::msgs::AbMsg = data.expect(e)?;
@@ -397,6 +448,16 @@ pub fn register(
         let uid = m.uid;
         let req = cmd.req();
         let reply = state.with(ctx, |s| s.apply(uid, cmd));
+        if let Some(t) = &tracer {
+            t.emit(samoa_core::TraceKind::KvApply {
+                site: site.0,
+                origin: uid.origin.0,
+                op: uid.seq,
+            });
+        }
+        if let Some(ins) = &instruments {
+            ins.applies.inc();
+        }
         if uid.origin == site {
             waiters.complete(req, reply);
         }

@@ -39,6 +39,7 @@ pub mod kv;
 pub mod membership;
 pub mod msgs;
 pub mod node;
+pub mod observe;
 pub mod relcast;
 pub mod relcomm;
 pub mod view;
@@ -46,6 +47,9 @@ pub mod view;
 pub use clock::ProtoClock;
 pub use events::Events;
 pub use kv::{KvApplied, KvCmd, KvPending, KvReply, KvState};
-pub use msgs::{AbMsg, AbPayload, CastData, CastMsg, ConsMsg, MsgUid, Payload, SyncMsg, Wire};
-pub use node::{Cluster, Node, NodeConfig, StackPolicy, TcpCluster};
+pub use msgs::{
+    AbMsg, AbPayload, CastData, CastMsg, ConsMsg, MsgUid, Payload, SyncMsg, TraceCtx, Wire,
+};
+pub use node::{Cluster, ClusterMetrics, Node, NodeConfig, Observe, StackPolicy, TcpCluster};
+pub use observe::ClusterTracer;
 pub use view::{GroupView, ViewOp};

@@ -14,6 +14,7 @@ use samoa_net::SiteId;
 
 use crate::events::Events;
 use crate::msgs::{AbMsg, AbPayload, SyncMsg};
+use crate::observe::{ClusterTracer, ConsensusInstruments};
 use crate::view::{GroupView, ViewOp};
 
 /// The local state of the membership microprotocol.
@@ -25,6 +26,12 @@ pub struct MembershipState {
     /// failure-detector announcements do not flood atomic broadcast with
     /// duplicate leave operations.
     leave_requested: std::collections::HashSet<SiteId>,
+    /// Cluster tracer, when the node is traced (view-change spans).
+    pub tracer: Option<ClusterTracer>,
+    /// Metric instruments, when a registry is installed (shares the
+    /// `site{N}.consensus.view_changes` counter with the consensus state —
+    /// the registry is name-addressed, so both hold the same instrument).
+    pub instruments: Option<ConsensusInstruments>,
 }
 
 impl MembershipState {
@@ -34,12 +41,28 @@ impl MembershipState {
             history: vec![view.clone()],
             view,
             leave_requested: std::collections::HashSet::new(),
+            tracer: None,
+            instruments: None,
         }
     }
 
     /// The current view.
     pub fn view(&self) -> &GroupView {
         &self.view
+    }
+
+    /// Emission-only accounting for a just-installed view.
+    fn observe_installed(&self) {
+        if let Some(t) = &self.tracer {
+            t.emit(samoa_core::TraceKind::ClusterViewChange {
+                site: t.site().0,
+                view_id: self.view.id,
+                members: self.view.len() as u32,
+            });
+        }
+        if let Some(ins) = &self.instruments {
+            ins.view_changes.inc();
+        }
     }
 }
 
@@ -101,6 +124,7 @@ pub fn register(
                     // suspected (and removed) again.
                     let view = s.view.clone();
                     s.leave_requested.retain(|m| view.contains(*m));
+                    s.observe_installed();
                     s.view.clone()
                 });
                 // `triggerAll ViewChange view` — synchronous propagation.
@@ -148,6 +172,7 @@ pub fn register(
                     if sync.view_id > s.view.id {
                         s.view = GroupView::from_parts(sync.view_id, sync.members.iter().copied());
                         s.history.push(s.view.clone());
+                        s.observe_installed();
                         Some(s.view.clone())
                     } else {
                         None

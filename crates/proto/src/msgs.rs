@@ -154,6 +154,48 @@ pub enum Payload {
     Sync(SyncMsg),
 }
 
+impl Payload {
+    /// The uid of the cluster operation this payload is causally downstream
+    /// of, when one is identifiable: the carried request for casts, the
+    /// first batch element for consensus values and decisions. `None` for
+    /// pure control traffic (collect/ack/sync), which serves no single
+    /// operation. Deterministic in the payload alone, so attaching contexts
+    /// derived from it preserves schedule purity.
+    pub fn root_uid(&self) -> Option<MsgUid> {
+        match self {
+            Payload::Cast(c) => match &c.data {
+                CastData::User(_) => Some(c.uid),
+                CastData::AbRequest(ab) => Some(ab.uid),
+                CastData::Decide { batch, .. } => batch.first().map(|m| m.uid).or(Some(c.uid)),
+            },
+            Payload::Cons(m) => match m {
+                ConsMsg::Kick { est, .. } | ConsMsg::Estimate { est, .. } => {
+                    est.first().map(|m| m.uid)
+                }
+                ConsMsg::Propose { value, .. } => value.first().map(|m| m.uid),
+                ConsMsg::Collect { .. } | ConsMsg::Ack { .. } => None,
+            },
+            Payload::Sync(_) => None,
+        }
+    }
+}
+
+/// Compact causal context carried on RelComm data frames: the identity of
+/// the cluster operation this frame is causally downstream of, plus a hop
+/// counter. Derived deterministically from the payload's root uid at send
+/// time, re-derived hop-incremented on forward, and re-emitted into the
+/// receiving node's trace sink — the mechanism that stitches one KV `put`
+/// into a single cross-site causal tree in the Perfetto exporter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The site that originated the operation.
+    pub origin: SiteId,
+    /// The operation id at the origin (the abcast uid sequence).
+    pub op: u64,
+    /// Causal hops so far (0 = first transmission from the origin).
+    pub hop: u8,
+}
+
 /// A datagram on the simulated network.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Wire {
@@ -161,6 +203,8 @@ pub enum Wire {
     Data {
         /// RelComm sequence number (per sender→receiver channel).
         seq: u64,
+        /// Causal context of the operation the payload serves, when known.
+        ctx: Option<TraceCtx>,
         /// The reliable payload.
         payload: Payload,
     },
@@ -455,9 +499,18 @@ impl Wire {
     pub fn encode(&self) -> Bytes {
         let mut out = BytesMut::with_capacity(64);
         match self {
-            Wire::Data { seq, payload } => {
+            Wire::Data { seq, ctx, payload } => {
                 out.put_u8(0);
                 out.put_u64_le(*seq);
+                match ctx {
+                    Some(c) => {
+                        out.put_u8(1);
+                        out.put_u16_le(c.origin.0);
+                        out.put_u64_le(c.op);
+                        out.put_u8(c.hop);
+                    }
+                    None => out.put_u8(0),
+                }
                 match payload {
                     Payload::Cast(c) => {
                         out.put_u8(0);
@@ -491,13 +544,26 @@ impl Wire {
             0 => {
                 need(&buf, 9)?;
                 let seq = buf.get_u64_le();
+                let ctx = match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        need(&buf, 11)?;
+                        Some(TraceCtx {
+                            origin: SiteId(buf.get_u16_le()),
+                            op: buf.get_u64_le(),
+                            hop: buf.get_u8(),
+                        })
+                    }
+                    t => return Err(CodecError::BadTag(t)),
+                };
+                need(&buf, 1)?;
                 let payload = match buf.get_u8() {
                     0 => Payload::Cast(get_cast(&mut buf)?),
                     1 => Payload::Cons(get_cons(&mut buf)?),
                     2 => Payload::Sync(get_sync(&mut buf)?),
                     t => return Err(CodecError::BadTag(t)),
                 };
-                Ok(Wire::Data { seq, payload })
+                Ok(Wire::Data { seq, ctx, payload })
             }
             1 => {
                 need(&buf, 8)?;
@@ -508,6 +574,22 @@ impl Wire {
             2 => Ok(Wire::Heartbeat),
             t => Err(CodecError::BadTag(t)),
         }
+    }
+
+    /// Header-only read of the causal context on an encoded frame: inspects
+    /// at most the first 21 bytes, no payload decode. `None` for non-data
+    /// frames, frames without a context, or anything malformed (full
+    /// [`decode`](Wire::decode) is the arbiter of validity).
+    pub fn peek_ctx(buf: &Bytes) -> Option<TraceCtx> {
+        let b: &[u8] = buf.as_ref();
+        if b.len() < 21 || b[0] != 0 || b[9] != 1 {
+            return None;
+        }
+        Some(TraceCtx {
+            origin: SiteId(u16::from_le_bytes([b[10], b[11]])),
+            op: u64::from_le_bytes([b[12], b[13], b[14], b[15], b[16], b[17], b[18], b[19]]),
+            hop: b[20],
+        })
     }
 }
 
@@ -539,6 +621,7 @@ mod tests {
     fn roundtrip_user_cast() {
         roundtrip(Wire::Data {
             seq: 7,
+            ctx: None,
             payload: Payload::Cast(CastMsg {
                 uid: uid(3, 9),
                 data: CastData::User(Bytes::from_static(b"payload")),
@@ -550,6 +633,7 @@ mod tests {
     fn roundtrip_empty_user_payload() {
         roundtrip(Wire::Data {
             seq: 0,
+            ctx: None,
             payload: Payload::Cast(CastMsg {
                 uid: uid(0, 0),
                 data: CastData::User(Bytes::new()),
@@ -561,6 +645,7 @@ mod tests {
     fn roundtrip_ab_request_and_view_op() {
         roundtrip(Wire::Data {
             seq: 1,
+            ctx: None,
             payload: Payload::Cast(CastMsg {
                 uid: uid(1, 2),
                 data: CastData::AbRequest(AbMsg {
@@ -571,6 +656,7 @@ mod tests {
         });
         roundtrip(Wire::Data {
             seq: 1,
+            ctx: None,
             payload: Payload::Cast(CastMsg {
                 uid: uid(1, 3),
                 data: CastData::AbRequest(AbMsg {
@@ -595,6 +681,7 @@ mod tests {
         ];
         roundtrip(Wire::Data {
             seq: 2,
+            ctx: None,
             payload: Payload::Cast(CastMsg {
                 uid: uid(0, 4),
                 data: CastData::Decide { inst: 11, batch },
@@ -631,6 +718,7 @@ mod tests {
         ] {
             roundtrip(Wire::Data {
                 seq: 5,
+                ctx: None,
                 payload: Payload::Cons(m),
             });
         }
@@ -655,6 +743,7 @@ mod tests {
         let mut out = BytesMut::new();
         out.put_u8(0); // Wire::Data
         out.put_u64_le(1); // seq
+        out.put_u8(0); // no TraceCtx
         out.put_u8(0); // Payload::Cast
         out.put_u16_le(0); // uid.origin
         out.put_u64_le(0); // uid.seq
@@ -662,6 +751,88 @@ mod tests {
         out.put_u64_le(0); // inst
         out.put_u32_le(u32::MAX); // absurd batch length
         assert_eq!(Wire::decode(out.freeze()), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn roundtrip_trace_ctx() {
+        let ctx = TraceCtx {
+            origin: SiteId(2),
+            op: 0x0123_4567_89ab,
+            hop: 3,
+        };
+        let w = Wire::Data {
+            seq: 42,
+            ctx: Some(ctx),
+            payload: Payload::Cast(CastMsg {
+                uid: uid(2, 9),
+                data: CastData::User(Bytes::from_static(b"traced")),
+            }),
+        };
+        roundtrip(w.clone());
+        // Header-only peek agrees with the full decode.
+        assert_eq!(Wire::peek_ctx(&w.encode()), Some(ctx));
+    }
+
+    #[test]
+    fn peek_ctx_none_cases() {
+        // No context on the frame.
+        let plain = Wire::Data {
+            seq: 1,
+            ctx: None,
+            payload: Payload::Cast(CastMsg {
+                uid: uid(0, 1),
+                data: CastData::User(Bytes::new()),
+            }),
+        };
+        assert_eq!(Wire::peek_ctx(&plain.encode()), None);
+        // Non-data frames.
+        assert_eq!(Wire::peek_ctx(&Wire::Ack { seq: 5 }.encode()), None);
+        assert_eq!(Wire::peek_ctx(&Wire::Heartbeat.encode()), None);
+        // Garbage too short to hold a context.
+        assert_eq!(Wire::peek_ctx(&Bytes::from_static(&[0, 1, 2])), None);
+    }
+
+    #[test]
+    fn root_uid_follows_the_operation() {
+        let ab = AbMsg {
+            uid: uid(1, 7),
+            payload: AbPayload::User(Bytes::from_static(b"x")),
+        };
+        let cast = |data| {
+            Payload::Cast(CastMsg {
+                uid: uid(3, 2),
+                data,
+            })
+        };
+        assert_eq!(
+            cast(CastData::AbRequest(ab.clone())).root_uid(),
+            Some(uid(1, 7))
+        );
+        assert_eq!(
+            cast(CastData::User(Bytes::new())).root_uid(),
+            Some(uid(3, 2))
+        );
+        assert_eq!(
+            cast(CastData::Decide {
+                inst: 1,
+                batch: vec![ab.clone()],
+            })
+            .root_uid(),
+            Some(uid(1, 7))
+        );
+        assert_eq!(
+            Payload::Cons(ConsMsg::Propose {
+                inst: 0,
+                round: 1,
+                value: vec![ab],
+            })
+            .root_uid(),
+            Some(uid(1, 7))
+        );
+        assert_eq!(
+            Payload::Cons(ConsMsg::Collect { inst: 0, round: 1 }).root_uid(),
+            None
+        );
     }
 
     #[test]

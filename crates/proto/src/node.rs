@@ -26,12 +26,13 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
 use samoa_core::analysis::infer_route;
+use samoa_core::metrics::Registry;
 use samoa_core::prelude::*;
 use samoa_net::{NetConfig, NetHandle, SimNet, SiteId, TcpMesh, Transport};
 
@@ -44,9 +45,100 @@ use crate::fd::{self, FdState};
 use crate::kv::{self, KvApplied, KvCmd, KvPending, KvState, KvWaiters};
 use crate::membership::{self, MembershipState};
 use crate::msgs::{AbPayload, CastData, Payload, Wire};
+use crate::observe::{
+    AbcastInstruments, ClusterTracer, ConsensusInstruments, KvInstruments, RelCommInstruments,
+};
 use crate::relcast::{self, RelCastState};
 use crate::relcomm::{self, RcAckIn, RcDataIn, RelCommState};
 use crate::view::{GroupView, ViewOp};
+
+/// Observability attachments for a node or cluster — all optional, all
+/// following the one-branch zero-cost-when-uninstalled discipline: a
+/// default `Observe` adds nothing to any hot path.
+#[derive(Clone, Default)]
+pub struct Observe {
+    /// Trace sink receiving both the runtime's scheduling events and the
+    /// stack's cluster-level causal spans (`ClientSubmit`, `CtxSend`,
+    /// `CtxRecv`, `AbDeliver`, `KvApply`, ...).
+    pub sink: Option<Arc<dyn samoa_core::TraceSink>>,
+    /// Metrics registry the node's per-protocol instruments register into
+    /// (names are `site{N}.<proto>.<metric>`).
+    pub registry: Option<Arc<Registry>>,
+    /// Timestamp epoch. Share one across a cluster so every site's spans
+    /// land on a single comparable timeline; defaults to "now" per node.
+    pub epoch: Option<Instant>,
+}
+
+impl Observe {
+    /// Tracing only.
+    pub fn traced(sink: Arc<dyn samoa_core::TraceSink>) -> Observe {
+        Observe {
+            sink: Some(sink),
+            ..Observe::default()
+        }
+    }
+
+    /// Metrics only.
+    pub fn metered(registry: Arc<Registry>) -> Observe {
+        Observe {
+            registry: Some(registry),
+            ..Observe::default()
+        }
+    }
+}
+
+impl std::fmt::Debug for Observe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observe")
+            .field("sink", &self.sink.is_some())
+            .field("registry", &self.registry.is_some())
+            .finish()
+    }
+}
+
+/// Transport decorator that emits a `CtxSend` flow event for every
+/// outbound data frame carrying a trace context. Header-only
+/// ([`Wire::peek_ctx`]) — the payload is never re-decoded, and frames
+/// without a context (acks, heartbeats, un-traced data) cost one length
+/// check.
+struct TracingTransport {
+    inner: Arc<dyn Transport>,
+    tracer: ClusterTracer,
+}
+
+impl Transport for TracingTransport {
+    fn send(&self, from: SiteId, to: SiteId, payload: Bytes) {
+        if let Some(c) = Wire::peek_ctx(&payload) {
+            self.tracer.emit(samoa_core::TraceKind::CtxSend {
+                from: from.0,
+                to: to.0,
+                origin: c.origin.0,
+                op: c.op,
+                hop: c.hop,
+            });
+        }
+        self.inner.send(from, to, payload);
+    }
+
+    // The default `send_all` fans out through `self.send`, emitting one
+    // flow event per destination — exactly what the exporter needs.
+
+    fn site_count(&self) -> usize {
+        self.inner.site_count()
+    }
+
+    fn sites(&self) -> Vec<SiteId> {
+        self.inner.sites()
+    }
+
+    fn register(&self, site: SiteId, callback: Arc<samoa_net::sim::DeliveryFn>) {
+        self.inner.register(site, callback)
+    }
+
+    fn stats_named(&self, site: SiteId) -> Vec<(&'static str, u64)> {
+        self.inner.stats_named(site)
+    }
+}
 
 /// Which isolation policy the node's external events run under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -242,6 +334,7 @@ pub struct Node {
     rt: Runtime,
     ev: Events,
     transport: Arc<dyn Transport>,
+    tracer: Option<ClusterTracer>,
     cfg: NodeConfig,
     decls: DeclSets,
     app: ProtocolState<AppState>,
@@ -263,7 +356,7 @@ impl Node {
     /// Build the node, wire its stack, register it on the network, and (if
     /// enabled) start its timers.
     pub fn new(net: NetHandle, site: SiteId, cfg: NodeConfig) -> Arc<Node> {
-        Node::build(Arc::new(net), site, cfg, None, None)
+        Node::build(Arc::new(net), site, cfg, None, Observe::default())
     }
 
     /// [`Node::new`] over any [`Transport`] backend — the same stack runs
@@ -280,7 +373,7 @@ impl Node {
     /// let node = Node::new_on(t, SiteId(0), NodeConfig::default());
     /// ```
     pub fn new_on(transport: Arc<dyn Transport>, site: SiteId, cfg: NodeConfig) -> Arc<Node> {
-        Node::build(transport, site, cfg, None, None)
+        Node::build(transport, site, cfg, None, Observe::default())
     }
 
     /// [`Node::new`] with a [`TraceSink`](samoa_core::TraceSink) attached to
@@ -295,7 +388,7 @@ impl Node {
         cfg: NodeConfig,
         sink: Arc<dyn samoa_core::TraceSink>,
     ) -> Arc<Node> {
-        Node::build(Arc::new(net), site, cfg, None, Some(sink))
+        Node::build(Arc::new(net), site, cfg, None, Observe::traced(sink))
     }
 
     /// [`Node::new`] with a scheduling hook installed on the node's runtime,
@@ -310,7 +403,7 @@ impl Node {
         cfg: NodeConfig,
         hook: Arc<dyn samoa_core::SchedHook>,
     ) -> Arc<Node> {
-        Node::build(Arc::new(net), site, cfg, Some(hook), None)
+        Node::build(Arc::new(net), site, cfg, Some(hook), Observe::default())
     }
 
     /// [`Node::new_hooked`] over any [`Transport`] backend — lets a fault-
@@ -323,7 +416,23 @@ impl Node {
         cfg: NodeConfig,
         hook: Arc<dyn samoa_core::SchedHook>,
     ) -> Arc<Node> {
-        Node::build(transport, site, cfg, Some(hook), None)
+        Node::build(transport, site, cfg, Some(hook), Observe::default())
+    }
+
+    /// The general constructor: any [`Transport`], an optional scheduling
+    /// hook, and any combination of [`Observe`] attachments. Hook + trace
+    /// compose ([`Runtime::with_hook_and_trace`]): a controlled exploration
+    /// records the same structured trace a production run would — the
+    /// substrate for `samoa-check`'s trace-guided schedule search and the
+    /// cross-site causal-propagation tests.
+    pub fn new_observed_on(
+        transport: Arc<dyn Transport>,
+        site: SiteId,
+        cfg: NodeConfig,
+        hook: Option<Arc<dyn samoa_core::SchedHook>>,
+        observe: Observe,
+    ) -> Arc<Node> {
+        Node::build(transport, site, cfg, hook, observe)
     }
 
     fn build(
@@ -331,8 +440,12 @@ impl Node {
         site: SiteId,
         cfg: NodeConfig,
         hook: Option<Arc<dyn samoa_core::SchedHook>>,
-        trace: Option<Arc<dyn samoa_core::TraceSink>>,
+        observe: Observe,
     ) -> Arc<Node> {
+        let tracer = observe.sink.as_ref().map(|s| {
+            let epoch = observe.epoch.unwrap_or_else(Instant::now);
+            ClusterTracer::new(site, Arc::clone(s), epoch)
+        });
         let view = match &cfg.initial_members {
             Some(m) => GroupView::initial(m.iter().copied()),
             None => GroupView::initial(transport.sites()),
@@ -364,7 +477,22 @@ impl Node {
         let membership_st = ProtocolState::new(p_membership, MembershipState::new(view));
         let app_st = ProtocolState::new(p_app, AppState::default());
         let kv_st = ProtocolState::new(p_kv, KvState::default());
-        let kv_waiters = KvWaiters::default();
+        let kv_waiters = match &observe.registry {
+            Some(reg) => KvWaiters::with_instruments(KvInstruments::new(reg, site)),
+            None => KvWaiters::default(),
+        };
+
+        if let Some(t) = &tracer {
+            relcomm_st.write(|s| s.tracer = Some(t.clone()));
+            abcast_st.write(|s| s.tracer = Some(t.clone()));
+            membership_st.write(|s| s.tracer = Some(t.clone()));
+        }
+        if let Some(reg) = &observe.registry {
+            relcomm_st.write(|s| s.instruments = Some(RelCommInstruments::new(reg, site)));
+            abcast_st.write(|s| s.instruments = Some(AbcastInstruments::new(reg, site)));
+            consensus_st.write(|s| s.instruments = Some(ConsensusInstruments::new(reg, site)));
+            membership_st.write(|s| s.instruments = Some(ConsensusInstruments::new(reg, site)));
+        }
 
         if !cfg.view_change_delay.is_zero() {
             relcomm_st.write(|s| s.view_change_delay = cfg.view_change_delay);
@@ -379,20 +507,49 @@ impl Node {
         // RelCast registers before RelComm so that `triggerAll ViewChange`
         // updates the upper layer first — the §3 race window: RelCast fans
         // out using the new view while RelComm still holds the old one.
+        // When traced, protocol sends go through a decorator that emits one
+        // `CtxSend` flow event per outbound context-carrying frame.
+        let send_transport: Arc<dyn Transport> = match &tracer {
+            Some(t) => Arc::new(TracingTransport {
+                inner: Arc::clone(&transport),
+                tracer: t.clone(),
+            }),
+            None => Arc::clone(&transport),
+        };
         relcast::register(&mut b, p_relcast, &ev, relcast_st.clone());
         relcomm::register(
             &mut b,
             p_relcomm,
             &ev,
             relcomm_st.clone(),
-            Arc::clone(&transport),
+            Arc::clone(&send_transport),
         );
-        fd::register(&mut b, p_fd, &ev, fd_st.clone(), Arc::clone(&transport));
+        fd::register(
+            &mut b,
+            p_fd,
+            &ev,
+            fd_st.clone(),
+            Arc::clone(&send_transport),
+        );
         consensus::register(&mut b, p_consensus, &ev, consensus_st.clone());
         abcast::register(&mut b, p_abcast, &ev, abcast_st.clone());
         membership::register(&mut b, p_membership, &ev, membership_st.clone());
         app::register(&mut b, p_app, &ev, app_st.clone());
-        kv::register(&mut b, p_kv, &ev, kv_st.clone(), kv_waiters.clone(), site);
+        kv::register(
+            &mut b,
+            p_kv,
+            &ev,
+            kv_st.clone(),
+            kv_waiters.clone(),
+            site,
+            kv::KvObserve {
+                tracer: tracer.clone(),
+                instruments: observe
+                    .registry
+                    .as_ref()
+                    .map(|r| KvInstruments::new(r, site)),
+            },
+        );
 
         let stack = b.build();
 
@@ -447,8 +604,9 @@ impl Node {
             ..RuntimeConfig::default()
         };
         let hooked = hook.is_some();
-        let rt = match (hook, trace) {
-            (Some(h), _) => Runtime::with_hook(stack, rt_cfg, h),
+        let rt = match (hook, observe.sink) {
+            (Some(h), Some(s)) => Runtime::with_hook_and_trace(stack, rt_cfg, h, s),
+            (Some(h), None) => Runtime::with_hook(stack, rt_cfg, h),
             (None, Some(s)) => Runtime::with_trace(stack, rt_cfg, s),
             (None, None) => Runtime::with_config(stack, rt_cfg),
         };
@@ -465,6 +623,7 @@ impl Node {
             rt,
             ev,
             transport,
+            tracer,
             cfg,
             decls,
             app: app_st,
@@ -534,7 +693,15 @@ impl Node {
     /// Handle one inbound datagram (the Network Module).
     fn on_datagram(&self, from: SiteId, payload: Bytes) {
         match Wire::decode(payload) {
-            Ok(Wire::Data { seq, payload }) => {
+            Ok(Wire::Data { seq, ctx, payload }) => {
+                if let (Some(t), Some(c)) = (&self.tracer, ctx) {
+                    t.emit(samoa_core::TraceKind::CtxRecv {
+                        site: t.site().0,
+                        origin: c.origin.0,
+                        op: c.op,
+                        hop: c.hop,
+                    });
+                }
                 let kind = match &payload {
                     Payload::Cast(c) if matches!(c.data, CastData::User(_)) => ExtKind::DataUser,
                     _ => ExtKind::DataFull,
@@ -545,6 +712,7 @@ impl Node {
                     EventData::new(RcDataIn {
                         sender: from,
                         seq,
+                        ctx,
                         payload,
                     }),
                 );
@@ -834,10 +1002,64 @@ impl std::fmt::Debug for Node {
     }
 }
 
+/// A point-in-time cluster health snapshot: every node's metric
+/// instruments (from the shared [`Registry`]) alongside canonical
+/// per-site transport counters — the **same counter names over `SimNet`
+/// and `TcpNet`** (see [`Transport::stats_named`]), so a health report
+/// reads identically whichever backend the cluster runs on.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// Registry snapshot (instrument names are `site{N}.<proto>.<metric>`).
+    pub metrics: samoa_core::MetricsSnapshot,
+    /// Canonical transport counters per site.
+    pub transport: Vec<(u16, Vec<(&'static str, u64)>)>,
+}
+
+impl ClusterMetrics {
+    /// JSON object: `{"metrics": <registry snapshot>, "transport":
+    /// {"site0": {"sent": ..., ...}, ...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\": ");
+        out.push_str(&self.metrics.to_json());
+        out.push_str(", \"transport\": {");
+        for (i, (site, counters)) in self.transport.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"site{site}\": {{"));
+            for (j, (name, v)) in counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{name}\": {v}"));
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// A plain-text health report: the transport counters per site, then
+    /// every registered instrument.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (site, counters) in &self.transport {
+            out.push_str(&format!("site{site}.net:"));
+            for (name, v) in counters {
+                out.push_str(&format!(" {name}={v}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&self.metrics.render());
+        out
+    }
+}
+
 /// A bundle of `n` nodes over one simulated network.
 pub struct Cluster {
     net: SimNet,
     nodes: Vec<Arc<Node>>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl Cluster {
@@ -847,7 +1069,92 @@ impl Cluster {
         let nodes = (0..n as u16)
             .map(|i| Node::new(net.handle(), SiteId(i), node_cfg.clone()))
             .collect();
-        Cluster { net, nodes }
+        Cluster {
+            net,
+            nodes,
+            registry: None,
+        }
+    }
+
+    /// Build `n` nodes with the given [`Observe`] attachments shared across
+    /// the cluster: one sink (merged cross-site causal trace), one registry
+    /// (aggregate via [`Cluster::metrics`]), one timestamp epoch.
+    pub fn new_observed(
+        n: usize,
+        net_cfg: NetConfig,
+        node_cfg: NodeConfig,
+        observe: Observe,
+    ) -> Cluster {
+        let observe = Observe {
+            epoch: Some(observe.epoch.unwrap_or_else(Instant::now)),
+            ..observe
+        };
+        let net = SimNet::new(n, net_cfg);
+        let nodes = (0..n as u16)
+            .map(|i| {
+                Node::new_observed_on(
+                    Arc::new(net.handle()),
+                    SiteId(i),
+                    node_cfg.clone(),
+                    None,
+                    observe.clone(),
+                )
+            })
+            .collect();
+        Cluster {
+            net,
+            nodes,
+            registry: observe.registry,
+        }
+    }
+
+    /// [`Cluster::new_observed`] over a **manual** network
+    /// ([`Cluster::new_manual`] semantics), with an optional scheduling
+    /// hook on every node — the construction `samoa-check` uses for
+    /// deterministic, traced exploration of the full cluster.
+    pub fn new_manual_observed(
+        n: usize,
+        net_cfg: NetConfig,
+        node_cfg: NodeConfig,
+        hook: Option<Arc<dyn samoa_core::SchedHook>>,
+        observe: Observe,
+    ) -> Cluster {
+        let observe = Observe {
+            epoch: Some(observe.epoch.unwrap_or_else(Instant::now)),
+            ..observe
+        };
+        let net = SimNet::new_manual(n, net_cfg);
+        let nodes = (0..n as u16)
+            .map(|i| {
+                Node::new_observed_on(
+                    Arc::new(net.handle()),
+                    SiteId(i),
+                    node_cfg.clone(),
+                    hook.clone(),
+                    observe.clone(),
+                )
+            })
+            .collect();
+        Cluster {
+            net,
+            nodes,
+            registry: observe.registry,
+        }
+    }
+
+    /// Snapshot the cluster's health: registry instruments plus canonical
+    /// per-site transport counters. `None` when the cluster was built
+    /// without a registry.
+    pub fn metrics(&self) -> Option<ClusterMetrics> {
+        let reg = self.registry.as_ref()?;
+        Some(ClusterMetrics {
+            metrics: reg.snapshot(),
+            transport: self
+                .nodes
+                .iter()
+                .map(|n| (n.site.0, n.transport().stats_named(n.site)))
+                .collect(),
+        })
     }
 
     /// Build `n` nodes over a **manual** network
@@ -864,7 +1171,11 @@ impl Cluster {
         let nodes = (0..n as u16)
             .map(|i| Node::new(net.handle(), SiteId(i), node_cfg.clone()))
             .collect();
-        Cluster { net, nodes }
+        Cluster {
+            net,
+            nodes,
+            registry: None,
+        }
     }
 
     /// [`Cluster::new`] with a [`TraceSink`](samoa_core::TraceSink) per
@@ -889,7 +1200,11 @@ impl Cluster {
                 )
             })
             .collect();
-        Cluster { net, nodes }
+        Cluster {
+            net,
+            nodes,
+            registry: None,
+        }
     }
 
     /// Node `i`.
@@ -968,19 +1283,57 @@ impl std::fmt::Debug for Cluster {
 pub struct TcpCluster {
     mesh: TcpMesh,
     nodes: Vec<Option<Arc<Node>>>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl TcpCluster {
     /// Build `n` nodes over a fresh localhost TCP mesh (ephemeral ports).
     pub fn new(n: usize, node_cfg: NodeConfig) -> std::io::Result<TcpCluster> {
+        TcpCluster::new_observed(n, node_cfg, Observe::default())
+    }
+
+    /// [`TcpCluster::new`] with shared [`Observe`] attachments — same
+    /// semantics as [`Cluster::new_observed`], real sockets underneath.
+    pub fn new_observed(
+        n: usize,
+        node_cfg: NodeConfig,
+        observe: Observe,
+    ) -> std::io::Result<TcpCluster> {
+        let observe = Observe {
+            epoch: Some(observe.epoch.unwrap_or_else(Instant::now)),
+            ..observe
+        };
         let mesh = TcpMesh::new(n)?;
         let nodes = (0..n)
             .map(|i| {
                 let t: Arc<dyn Transport> = Arc::clone(mesh.net(i)) as Arc<dyn Transport>;
-                Some(Node::new_on(t, SiteId(i as u16), node_cfg.clone()))
+                Some(Node::new_observed_on(
+                    t,
+                    SiteId(i as u16),
+                    node_cfg.clone(),
+                    None,
+                    observe.clone(),
+                ))
             })
             .collect();
-        Ok(TcpCluster { mesh, nodes })
+        Ok(TcpCluster {
+            mesh,
+            nodes,
+            registry: observe.registry,
+        })
+    }
+
+    /// Snapshot the cluster's health (see [`Cluster::metrics`]); crashed
+    /// sites report no transport counters. `None` without a registry.
+    pub fn metrics(&self) -> Option<ClusterMetrics> {
+        let reg = self.registry.as_ref()?;
+        Some(ClusterMetrics {
+            metrics: reg.snapshot(),
+            transport: self
+                .live_nodes()
+                .map(|(_, n)| (n.site.0, n.transport().stats_named(n.site)))
+                .collect(),
+        })
     }
 
     /// Node `i`.

@@ -16,7 +16,8 @@ use samoa_net::{SiteId, Transport};
 
 use crate::clock::ProtoClock;
 use crate::events::Events;
-use crate::msgs::{Payload, Wire};
+use crate::msgs::{MsgUid, Payload, TraceCtx, Wire};
+use crate::observe::{ClusterTracer, RelCommInstruments};
 use crate::view::GroupView;
 
 /// A reliably delivered payload handed to upper microprotocols via the
@@ -36,6 +37,8 @@ pub struct RcDataIn {
     pub sender: SiteId,
     /// RelComm channel sequence number.
     pub seq: u64,
+    /// Causal context carried on the frame, if any.
+    pub ctx: Option<TraceCtx>,
     /// The carried payload.
     pub payload: Payload,
 }
@@ -79,10 +82,13 @@ impl Dedup {
 /// that would drain it.
 const RETRANSMIT_WINDOW: usize = 32;
 
-/// One sent-but-unacknowledged message: payload, last transmission time,
-/// and how many retransmissions it has had (drives exponential backoff).
+/// One sent-but-unacknowledged message: payload, causal context as first
+/// transmitted (retransmissions must be byte-identical), last transmission
+/// time, and how many retransmissions it has had (drives exponential
+/// backoff).
 struct Pending {
     payload: Payload,
+    ctx: Option<TraceCtx>,
     last: Instant,
     attempts: u32,
 }
@@ -154,6 +160,16 @@ pub struct RelCommState {
     /// experiment E5 to widen the §3 race window (simulating the "time
     /// consuming" view installation work the paper's motivation cites).
     pub view_change_delay: Duration,
+    /// Smallest causal hop count observed per operation uid, learned from
+    /// inbound frame contexts. Outbound frames serving a learned operation
+    /// carry `hop + 1`; frames serving a locally originated operation carry
+    /// hop 0. A pure function of delivered frames, so attached contexts are
+    /// schedule-replay stable.
+    ctx_hops: HashMap<MsgUid, u8>,
+    /// Cluster tracer, when the node is traced (retransmit spans).
+    pub tracer: Option<ClusterTracer>,
+    /// Metric instruments, when a registry is installed.
+    pub instruments: Option<RelCommInstruments>,
 }
 
 impl RelCommState {
@@ -179,7 +195,27 @@ impl RelCommState {
             retransmissions: 0,
             discarded: 0,
             view_change_delay: Duration::ZERO,
+            ctx_hops: HashMap::new(),
+            tracer: None,
+            instruments: None,
         }
+    }
+
+    /// The causal context an outbound `payload` should carry: the payload's
+    /// root operation, at the learned inbound hop count + 1 (0 when this
+    /// site originated the operation or never saw a context for it).
+    fn ctx_for(&self, payload: &Payload) -> Option<TraceCtx> {
+        let uid = payload.root_uid()?;
+        let hop = self
+            .ctx_hops
+            .get(&uid)
+            .map(|h| h.saturating_add(1))
+            .unwrap_or(0);
+        Some(TraceCtx {
+            origin: uid.origin,
+            op: uid.seq,
+            hop,
+        })
     }
 
     /// Messages sent but not yet acknowledged.
@@ -239,6 +275,9 @@ pub fn register(
                 if !s.view.contains(*target) || *target == s.site {
                     if *target != s.site {
                         s.discarded += 1;
+                        if let Some(ins) = &s.instruments {
+                            ins.discards.inc();
+                        }
                     }
                     return None; // discard, as the paper prescribes
                 }
@@ -246,22 +285,29 @@ pub fn register(
                 *seq += 1;
                 let seq = *seq;
                 let now = s.clock.now();
+                let wire_ctx = s.ctx_for(payload);
                 s.pending.insert(
                     (*target, seq),
                     Pending {
                         payload: payload.clone(),
+                        ctx: wire_ctx,
                         last: now,
                         attempts: 0,
                     },
                 );
-                Some((s.site, seq))
+                if let Some(ins) = &s.instruments {
+                    ins.sends.inc();
+                    ins.rto_us.set(s.rto_for(*target).as_micros() as u64);
+                }
+                Some((s.site, seq, wire_ctx))
             });
-            if let Some((site, seq)) = frame {
+            if let Some((site, seq, wire_ctx)) = frame {
                 net.send(
                     site,
                     *target,
                     Wire::Data {
                         seq,
+                        ctx: wire_ctx,
                         payload: payload.clone(),
                     }
                     .encode(),
@@ -284,6 +330,18 @@ pub fn register(
             move |ctx, data| {
                 let m: &RcDataIn = data.expect(e)?;
                 let (me, deliver) = state.with(ctx, |s| {
+                    // Learn the operation's hop distance so frames this site
+                    // forwards on the operation's behalf carry hop + 1.
+                    if let Some(c) = m.ctx {
+                        let uid = MsgUid {
+                            origin: c.origin,
+                            seq: c.op,
+                        };
+                        s.ctx_hops
+                            .entry(uid)
+                            .and_modify(|h| *h = (*h).min(c.hop))
+                            .or_insert(c.hop);
+                    }
                     // The dedup filter is the exactly-once guarantee; with
                     // the injected bug enabled it is recorded but ignored.
                     let fresh = s.inbound.entry(m.sender).or_default().fresh(m.seq);
@@ -366,14 +424,34 @@ pub fn register(
                             p.last = now;
                             p.attempts += 1;
                             s.retransmissions += 1;
-                            resend.push((target, seq, p.payload.clone()));
+                            let attempts = p.attempts;
+                            if let Some(ins) = &s.instruments {
+                                ins.retransmits.inc();
+                            }
+                            if let Some(t) = &s.tracer {
+                                t.emit(samoa_core::TraceKind::Retransmit {
+                                    site: t.site().0,
+                                    to: target.0,
+                                    attempts,
+                                });
+                            }
+                            resend.push((target, seq, p.ctx, p.payload.clone()));
                         }
                     }
                 }
                 (s.site, resend)
             });
-            for (target, seq, payload) in resend {
-                net.send(me, target, Wire::Data { seq, payload }.encode());
+            for (target, seq, wire_ctx, payload) in resend {
+                net.send(
+                    me,
+                    target,
+                    Wire::Data {
+                        seq,
+                        ctx: wire_ctx,
+                        payload,
+                    }
+                    .encode(),
+                );
             }
             Ok(())
         })

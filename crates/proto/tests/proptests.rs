@@ -6,7 +6,8 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use samoa_net::SiteId;
 use samoa_proto::{
-    AbMsg, AbPayload, CastData, CastMsg, ConsMsg, GroupView, MsgUid, Payload, SyncMsg, ViewOp, Wire,
+    AbMsg, AbPayload, CastData, CastMsg, ConsMsg, GroupView, MsgUid, Payload, SyncMsg, TraceCtx,
+    ViewOp, Wire,
 };
 
 fn arb_uid() -> impl Strategy<Value = MsgUid> {
@@ -87,18 +88,32 @@ fn arb_sync() -> impl Strategy<Value = SyncMsg> {
         })
 }
 
+fn arb_ctx() -> impl Strategy<Value = Option<TraceCtx>> {
+    prop_oneof![
+        Just(None),
+        (any::<u16>(), any::<u64>(), any::<u8>()).prop_map(|(origin, op, hop)| Some(TraceCtx {
+            origin: SiteId(origin),
+            op,
+            hop,
+        })),
+    ]
+}
+
 fn arb_wire() -> impl Strategy<Value = Wire> {
     prop_oneof![
-        (any::<u64>(), arb_cast()).prop_map(|(seq, c)| Wire::Data {
+        (any::<u64>(), arb_ctx(), arb_cast()).prop_map(|(seq, ctx, c)| Wire::Data {
             seq,
+            ctx,
             payload: Payload::Cast(c)
         }),
-        (any::<u64>(), arb_cons()).prop_map(|(seq, c)| Wire::Data {
+        (any::<u64>(), arb_ctx(), arb_cons()).prop_map(|(seq, ctx, c)| Wire::Data {
             seq,
+            ctx,
             payload: Payload::Cons(c)
         }),
-        (any::<u64>(), arb_sync()).prop_map(|(seq, s)| Wire::Data {
+        (any::<u64>(), arb_ctx(), arb_sync()).prop_map(|(seq, ctx, s)| Wire::Data {
             seq,
+            ctx,
             payload: Payload::Sync(s)
         }),
         any::<u64>().prop_map(|seq| Wire::Ack { seq }),

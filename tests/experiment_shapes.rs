@@ -116,3 +116,60 @@ fn e6_shape_versioning_approaches_unsync_without_conflicts() {
         "serial should be the floor: {serial:?} vs {basic:?}"
     );
 }
+
+/// E12-metrics shape: a metered fleet commits the same workload as an
+/// unmetered one, snapshots a health report accounting for every apply,
+/// and the unmetered run reports no health at all.
+#[test]
+fn e12_metrics_shape_metered_fleet_health_accounts_for_all_applies() {
+    use samoa_bench::cluster::{kv_fleet_run, Backend, FleetConfig};
+
+    let cfg = FleetConfig::new(Backend::Sim, 3, 2, 4, StackPolicy::Basic);
+    let plain = kv_fleet_run(&cfg);
+    let metered = kv_fleet_run(&cfg.clone().metered());
+    assert!(plain.health.is_none(), "unmetered run grew a registry");
+    assert_eq!(plain.committed, metered.committed);
+    assert!(metered.converged, "metered fleet diverged");
+    let health = metered.health.expect("metered fleet must snapshot health");
+    for site in 0..3 {
+        assert_eq!(
+            health
+                .metrics
+                .counters
+                .get(&format!("site{site}.kv.applies"))
+                .copied(),
+            Some(8),
+            "site {site} apply counter wrong"
+        );
+    }
+    // Transport counters ride along under the canonical names.
+    assert!(health.to_json().contains("\"delivered\""));
+}
+
+/// E13 shape: across a seed sweep, trace-guided PCT needs no more
+/// schedules in total than plain PCT to hit the §3 view-change race, and
+/// both find it within budget on every seed.
+#[test]
+fn e13_shape_guided_pct_never_loses_to_plain_pct() {
+    use samoa_check::{Explorer, ExplorerConfig, ScenarioPolicy, Strategy, ViewChangeScenario};
+
+    let (mut pct_total, mut guided_total) = (0usize, 0usize);
+    for seed in 1..=3 {
+        let mut cfg = ExplorerConfig::new(500, Strategy::Pct { seed, depth: 2 });
+        cfg.minimise = false;
+        let pct = Explorer::explore(&ViewChangeScenario::new(ScenarioPolicy::Unsync, 9), &cfg)
+            .violation
+            .unwrap_or_else(|| panic!("plain PCT missed the race (seed {seed})"));
+        cfg.strategy = Strategy::Guided { seed, depth: 2 };
+        let guided =
+            Explorer::explore(&ViewChangeScenario::traced(ScenarioPolicy::Unsync, 9), &cfg)
+                .violation
+                .unwrap_or_else(|| panic!("guided PCT missed the race (seed {seed})"));
+        pct_total += pct.schedule_index + 1;
+        guided_total += guided.schedule_index + 1;
+    }
+    assert!(
+        guided_total <= pct_total,
+        "guidance regressed: guided {guided_total} vs pct {pct_total} schedules"
+    );
+}
