@@ -218,6 +218,16 @@ fn main() {
         json.table("e13", title, &t);
     }
 
+    if want("e14") {
+        println!("==============================================================");
+        let title = "E14 (fast path): uncontended admission cost per policy —\n    lock-free probe + CAS sweep, parking-seam counters pinned at zero";
+        println!("{title}\n");
+        let t = experiments::e14(quick);
+        t.print();
+        println!();
+        json.table("e14", title, &t);
+    }
+
     if let Some(path) = json_path {
         std::fs::write(&path, json.render()).expect("write --json output");
         eprintln!("wrote {path}");

@@ -717,3 +717,101 @@ pub fn e11(quick: bool) -> Table {
     }
     t
 }
+
+/// E14 — the admission fast path: per-admission cost of each policy on a
+/// strictly uncontended workload (sequential computations, joined one by
+/// one, so every Rule-2 check and Rule-1 sweep takes its lock-free path),
+/// with the parking-seam counters (`samoa_core::version`) alongside. The
+/// `parks`/`gate_spins` columns must read 0 on every row — an uncontended
+/// admission that parks or spins is the regression this experiment exists
+/// to catch — and `ns/adm` vs the `unsync` row is the *absolute* overhead
+/// of the versioning machinery: one atomic load per admission plus one
+/// CAS+store per declared cell per spawn.
+pub fn e14(quick: bool) -> Table {
+    use samoa_core::version::{gate_spins, parks};
+
+    let mut t = Table::new(&[
+        "policy",
+        "admissions",
+        "wall_ms",
+        "ns/adm",
+        "vs-unsync",
+        "parks",
+        "gate_spins",
+    ]);
+    let n_protocols = 4;
+    let (rounds, triggers_per) = if quick {
+        (64usize, 64usize)
+    } else {
+        (256, 256)
+    };
+
+    let build = || -> (Runtime, Vec<ProtocolId>, Vec<EventType>) {
+        let mut b = StackBuilder::new();
+        let mut protocols = Vec::new();
+        let mut events = Vec::new();
+        for i in 0..n_protocols {
+            let p = b.protocol(&format!("P{i}"));
+            let e = b.event(&format!("E{i}"));
+            b.bind(e, p, &format!("h{i}"), move |_ctx, _ev| Ok(()));
+            protocols.push(p);
+            events.push(e);
+        }
+        (Runtime::new(b.build()), protocols, events)
+    };
+
+    let mut base_ns = None;
+    for policy in [
+        BenchPolicy::Unsync,
+        BenchPolicy::Basic,
+        BenchPolicy::Bound,
+        BenchPolicy::TwoPhase,
+        BenchPolicy::Serial,
+    ] {
+        let (rt, protocols, events) = build();
+        let bounds: Vec<(ProtocolId, u64)> = protocols
+            .iter()
+            .map(|&p| (p, (triggers_per * n_protocols) as u64))
+            .collect();
+        let (p0, g0) = (parks(), gate_spins());
+        let start = std::time::Instant::now();
+        for _ in 0..rounds {
+            let evs = events.clone();
+            let body = move |ctx: &Ctx| {
+                for _ in 0..triggers_per {
+                    for e in &evs {
+                        ctx.trigger(*e, EventData::empty())?;
+                    }
+                }
+                Ok(())
+            };
+            match policy {
+                BenchPolicy::Unsync => rt.spawn(Decl::Unsync, body),
+                BenchPolicy::Serial => rt.spawn(Decl::Serial, body),
+                BenchPolicy::TwoPhase => rt.spawn(Decl::TwoPhase(&protocols), body),
+                BenchPolicy::Basic => rt.spawn(Decl::Basic(&protocols), body),
+                BenchPolicy::Bound => rt.spawn(Decl::Bound(&bounds), body),
+                BenchPolicy::Route => unreachable!("route needs a pipeline stack"),
+            }
+            .join()
+            .expect("e14 computation");
+        }
+        let wall = start.elapsed();
+        rt.quiesce();
+        let admissions = rounds * triggers_per * n_protocols;
+        let ns = wall.as_nanos() as f64 / admissions as f64;
+        if policy == BenchPolicy::Unsync {
+            base_ns = Some(ns);
+        }
+        t.row(&[
+            policy.label().to_string(),
+            admissions.to_string(),
+            ms(wall),
+            format!("{ns:.1}"),
+            base_ns.map(|b| ratio(ns / b)).unwrap_or_default(),
+            (parks() - p0).to_string(),
+            (gate_spins() - g0).to_string(),
+        ]);
+    }
+    t
+}

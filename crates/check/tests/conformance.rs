@@ -165,6 +165,81 @@ fn disjoint_clusters_static_pruning_conformance() {
     );
 }
 
+/// Fast-path conformance: the lock-free admission core (atomic
+/// `VersionCell` + gate-bit Rule-1 sweep + sharded 2PL table) must be
+/// *semantically invisible* to DPOR. These literal failure sets were
+/// captured by the same sweeps on the pre-rewrite core (Mutex+Condvar
+/// cells, global spawn lock) and are pinned byte-for-byte: any divergence
+/// — a new signature, a lost signature, a changed victim set — means the
+/// rewrite changed observable interleaving semantics, not just its cost.
+/// Schedule counts are pinned too (pre-rewrite values; may only shrink).
+#[test]
+fn fast_path_failure_sets_byte_identical_to_pre_rewrite() {
+    let iso12: BTreeSet<String> = ["isolation:[1, 2]".to_string()].into();
+    let lost: BTreeSet<String> =
+        ["invariant:lost update: 2 increments committed 1".to_string()].into();
+    let none = BTreeSet::new();
+
+    // (scenario, budget, pre-rewrite DPOR schedule count, pinned set)
+    type Case<'a> = (Box<dyn Scenario>, usize, usize, &'a BTreeSet<String>);
+    let cases: Vec<Case> = vec![
+        (
+            Box::new(DiamondScenario::new(ScenarioPolicy::Unsync)),
+            1_000,
+            48,
+            &iso12,
+        ),
+        (
+            Box::new(DiamondScenario::new(ScenarioPolicy::VcaBasic)),
+            1_000,
+            35,
+            &none,
+        ),
+        (
+            Box::new(ViewChangeScenario::new(ScenarioPolicy::Unsync, 7)),
+            1_000,
+            23,
+            &iso12,
+        ),
+        (Box::new(OccScenario::lost_update(2)), 2_000, 55, &lost),
+        (Box::new(OccScenario::serialised(2)), 2_000, 55, &none),
+        (
+            Box::new(DisjointClustersScenario::new(ScenarioPolicy::VcaBasic)),
+            40_000,
+            331,
+            &none,
+        ),
+        (
+            Box::new(DisjointClustersScenario::new(ScenarioPolicy::Unsync)),
+            60_000,
+            847,
+            &iso12,
+        ),
+    ];
+    for (scenario, budget, pre_rewrite_runs, pinned) in cases {
+        let mut cfg = ExplorerConfig::new(budget, Strategy::Dpor);
+        cfg.minimise = false;
+        let dp = Explorer::sweep(scenario.as_ref(), &cfg);
+        assert!(
+            dp.exhausted,
+            "{}: DPOR did not exhaust within {budget}",
+            scenario.name()
+        );
+        assert_eq!(
+            &signatures(&dp),
+            pinned,
+            "{}: failure set diverged from the pre-rewrite core",
+            scenario.name()
+        );
+        assert!(
+            dp.schedules_run <= pre_rewrite_runs,
+            "{}: schedule count grew past the pre-rewrite core: {} > {pre_rewrite_runs}",
+            scenario.name(),
+            dp.schedules_run
+        );
+    }
+}
+
 /// The ISSUE acceptance bar: a diamond sized so exhaustive enumeration
 /// explores ≥ 10 000 schedules, where DPOR must explore ≤ 1/5 as many and
 /// still produce the identical violation set. Expensive (exhaustive alone

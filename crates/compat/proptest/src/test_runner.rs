@@ -15,8 +15,15 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable via `PROPTEST_CASES` (same env knob as the
+    /// real proptest crate) so CI can trade depth for wall-clock.
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&c| c >= 1)
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 

@@ -172,7 +172,7 @@ impl ComputationInner {
         for e in &self.spec.entries {
             seed.push(SchedResource::Version(e.pid.index() as u32));
             if self.spec.mode == CompMode::Locked {
-                seed.push(SchedResource::Lock(e.pid.index() as u32));
+                seed.push(SchedResource::Lock(self.rt.lock_idx(e.pid) as u32));
             }
         }
         Some(seed)
@@ -409,7 +409,7 @@ impl ComputationInner {
             // version cell for the versioning family, its lock slot for
             // 2PL — standing for the handler's state accesses too.
             let fp = if self.spec.mode == CompMode::Locked {
-                SchedResource::Lock(pid.index() as u32)
+                SchedResource::Lock(self.rt.lock_idx(pid) as u32)
             } else {
                 SchedResource::Version(pid.index() as u32)
             };
@@ -423,11 +423,9 @@ impl ComputationInner {
         }
 
         // ---- Rule 2: admission ----
-        let wait_start = if self.spec.mode == CompMode::Unsync {
-            None
-        } else {
-            Some(std::time::Instant::now())
-        };
+        // Blocked-time accounting lives inside the `vwait_*`/lock waits and
+        // brackets only the parked phase, so an admission that never
+        // deschedules reads no clock at all.
         match self.spec.mode {
             CompMode::Unsync => {}
             CompMode::Locked => {
@@ -502,9 +500,6 @@ impl ComputationInner {
         }
 
         // ---- execute ----
-        if let Some(t0) = wait_start {
-            self.rt.stats.note_admission_wait(t0.elapsed());
-        }
         self.rt.stats.note_handler_call();
         self.rt.history.record_call(self.id, event, handler);
         let exec = Arc::new(ExecState::new(PostAction::Handler(handler, pid)));
@@ -650,8 +645,11 @@ impl ComputationInner {
         match self.spec.mode {
             CompMode::Unsync => {}
             CompMode::Locked => {
-                for e in &self.spec.entries {
-                    self.rt.lock_release(e.pid.index());
+                // Release the stripes actually held — with a sharded table
+                // several declared protocols can map to one slot, and the
+                // growing phase acquired it once.
+                for s in self.rt.lock_stripes(&self.spec.entries) {
+                    self.rt.lock_release(s);
                 }
             }
             CompMode::Basic | CompMode::Bound => {
@@ -663,15 +661,8 @@ impl ComputationInner {
                         continue;
                     }
                     let (pv, b) = (e.pv, e.bound);
-                    self.rt.vwait_then(
-                        e.pid.index(),
-                        move |lv| lv + b >= pv,
-                        move |lv| {
-                            if *lv < pv {
-                                *lv = pv;
-                            }
-                        },
-                    );
+                    self.rt
+                        .vwait_raise(e.pid.index(), move |lv| lv + b >= pv, pv);
                     self.rt.vsignal(e.pid.index());
                 }
             }
@@ -686,15 +677,7 @@ impl ComputationInner {
                 for p in remaining {
                     let e = self.spec.entry(p).expect("pattern protocol declared");
                     let pv = e.pv;
-                    self.rt.vwait_then(
-                        p.index(),
-                        move |lv| lv + 1 >= pv,
-                        move |lv| {
-                            if *lv < pv {
-                                *lv = pv;
-                            }
-                        },
-                    );
+                    self.rt.vwait_raise(p.index(), move |lv| lv + 1 >= pv, pv);
                     self.rt.vsignal(p.index());
                 }
             }

@@ -12,9 +12,21 @@
 //! microprotocol whose handlers are all inactive and unreachable from any
 //! active handler can be released before the computation completes, which is
 //! where `VCAroute` gets its extra parallelism.
+//!
+//! The pattern compiles once into an immutable [`RouteGraph`] — sorted
+//! vertex table, adjacency, and a precomputed reachability closure stored as
+//! bitsets — cached on the pattern and shared (`Arc`) by every computation
+//! spawned from it. Per-spawn setup is then a handful of zeroed vectors, the
+//! per-call admission check is a single bitset probe, and the per-call
+//! release scan is a few word ORs, instead of rebuilding and walking the
+//! graph under the route lock on every call. Once a protocol has been
+//! removed the scans fall back to the explicit DFS (paths through removed
+//! vertices must not conduct), so behaviour is bit-for-bit identical to the
+//! naive implementation.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use crate::handler::HandlerId;
 use crate::protocol::ProtocolId;
@@ -30,10 +42,25 @@ use crate::protocol::ProtocolId;
 ///     .edge(h(1), h(2));
 /// assert_eq!(pattern.vertices().len(), 3);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct RoutePattern {
     pub(crate) roots: Vec<HandlerId>,
     pub(crate) edges: Vec<(HandlerId, HandlerId)>,
+    /// Compiled form, built lazily on first spawn and reused by every
+    /// computation declared with this pattern (see [`RouteGraph`]).
+    compiled: OnceLock<Arc<RouteGraph>>,
+}
+
+impl Clone for RoutePattern {
+    fn clone(&self) -> Self {
+        // The compiled cache embeds a handler→protocol mapping; a clone may
+        // be used against a different stack, so it starts cold.
+        RoutePattern {
+            roots: self.roots.clone(),
+            edges: self.edges.clone(),
+            compiled: OnceLock::new(),
+        }
+    }
 }
 
 impl RoutePattern {
@@ -47,6 +74,7 @@ impl RoutePattern {
     pub fn root(mut self, h: HandlerId) -> Self {
         if !self.roots.contains(&h) {
             self.roots.push(h);
+            self.compiled = OnceLock::new();
         }
         self
     }
@@ -56,6 +84,7 @@ impl RoutePattern {
     pub fn edge(mut self, from: HandlerId, to: HandlerId) -> Self {
         if !self.edges.contains(&(from, to)) {
             self.edges.push((from, to));
+            self.compiled = OnceLock::new();
         }
         self
     }
@@ -112,6 +141,26 @@ impl RoutePattern {
         }
         v
     }
+
+    /// The compiled graph for this pattern under `protocol_of`, from the
+    /// cache when possible. A cache hit is validated against `protocol_of`
+    /// (the same pattern value may in principle be declared on two stacks
+    /// with different handler→protocol maps); a mismatch rebuilds uncached.
+    fn compile(&self, protocol_of: &dyn Fn(HandlerId) -> ProtocolId) -> Arc<RouteGraph> {
+        if let Some(g) = self.compiled.get() {
+            if g.handlers
+                .iter()
+                .enumerate()
+                .all(|(i, &h)| g.protocol[i] == protocol_of(h))
+            {
+                return Arc::clone(g);
+            }
+            return Arc::new(RouteGraph::build(self, protocol_of));
+        }
+        let g = Arc::new(RouteGraph::build(self, protocol_of));
+        let _ = self.compiled.set(Arc::clone(&g));
+        g
+    }
 }
 
 impl fmt::Debug for RoutePattern {
@@ -123,31 +172,148 @@ impl fmt::Debug for RoutePattern {
     }
 }
 
-#[derive(Debug)]
-struct Vertex {
-    handler: HandlerId,
-    protocol: ProtocolId,
-    /// Successor vertex indices.
-    succ: Vec<usize>,
-    /// Number of currently executing calls of this handler.
-    active: u32,
-    /// Number of issued-but-not-yet-executed asynchronous events targeting
-    /// this handler.
-    pending: u32,
-    /// Removed by early release (Rule 4(b)); removed vertices neither accept
-    /// calls nor conduct reachability.
-    removed: bool,
-}
-
-/// Per-computation mutable routing state for `VCAroute`.
-pub(crate) struct RouteState {
-    verts: Vec<Vertex>,
+/// A [`RoutePattern`] compiled against a stack's handler→protocol mapping.
+///
+/// Immutable and shared: built once per pattern, `Arc`-cloned into every
+/// computation spawned from it. Reachability (`reach`) and the per-protocol
+/// vertex masks (`proto_mask`) are bitsets of `words` × 64 bits, one row per
+/// vertex / protocol, so the hot-path queries are word operations.
+pub(crate) struct RouteGraph {
+    /// Vertex handlers, sorted (vertex index = position here).
+    handlers: Vec<HandlerId>,
+    /// Owning protocol per vertex.
+    protocol: Vec<ProtocolId>,
+    /// Successor vertex indices per vertex (deduplicated).
+    succ: Vec<Vec<usize>>,
+    /// Bitset words per row.
+    words: usize,
+    /// Row `i`: vertices reachable from `i` via one or more edges (contains
+    /// `i` itself only when a cycle leads back — the paper's rule that every
+    /// call, including recursion, must be authorised by the pattern).
+    reach: Vec<u64>,
     /// Vertex indices callable directly from the closure body.
     root_succ: Vec<usize>,
+    /// Union over the roots of `{r} ∪ reach(r)` — everything the still-live
+    /// closure body keeps reachable.
+    root_cover: Vec<u64>,
+    /// Distinct protocols covered by the pattern, in vertex order.
+    protocols: Vec<ProtocolId>,
+    /// Row `p`: the vertices owned by `protocols[p]`.
+    proto_mask: Vec<u64>,
+    /// Every protocol has a vertex inside `root_cover`. While the closure
+    /// body is live and nothing has been removed, a release scan can then
+    /// release nothing — the per-call scan exits without touching the
+    /// bitsets at all. True for every pattern inferred from an event's call
+    /// closure (all vertices are root-reachable by construction).
+    root_covers_all: bool,
+}
+
+impl RouteGraph {
+    fn build(pattern: &RoutePattern, protocol_of: &dyn Fn(HandlerId) -> ProtocolId) -> RouteGraph {
+        let handlers: Vec<HandlerId> = pattern.vertices().into_iter().collect();
+        let n = handlers.len();
+        let index_of = |h: HandlerId| handlers.binary_search(&h).expect("vertex present");
+        let protocol: Vec<ProtocolId> = handlers.iter().map(|&h| protocol_of(h)).collect();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &pattern.edges {
+            let (ia, ib) = (index_of(a), index_of(b));
+            if !succ[ia].contains(&ib) {
+                succ[ia].push(ib);
+            }
+        }
+        let root_succ: Vec<usize> = {
+            let mut seen = BTreeSet::new();
+            pattern
+                .roots
+                .iter()
+                .map(|&h| index_of(h))
+                .filter(|&i| seen.insert(i))
+                .collect()
+        };
+        let mut protocols = Vec::new();
+        for &p in &protocol {
+            if !protocols.contains(&p) {
+                protocols.push(p);
+            }
+        }
+        let words = n.div_ceil(64).max(1);
+        let mut reach = vec![0u64; n * words];
+        let mut seen = vec![false; n];
+        let mut stack = Vec::new();
+        for i in 0..n {
+            seen.iter_mut().for_each(|s| *s = false);
+            stack.extend(succ[i].iter().copied());
+            for &j in &succ[i] {
+                seen[j] = true;
+            }
+            while let Some(j) = stack.pop() {
+                reach[i * words + j / 64] |= 1 << (j % 64);
+                for &k in &succ[j] {
+                    if !seen[k] {
+                        seen[k] = true;
+                        stack.push(k);
+                    }
+                }
+            }
+        }
+        let mut root_cover = vec![0u64; words];
+        for &r in &root_succ {
+            root_cover[r / 64] |= 1 << (r % 64);
+            for w in 0..words {
+                root_cover[w] |= reach[r * words + w];
+            }
+        }
+        let mut proto_mask = vec![0u64; protocols.len() * words];
+        for (i, p) in protocol.iter().enumerate() {
+            let pi = protocols.iter().position(|q| q == p).expect("collected");
+            proto_mask[pi * words + i / 64] |= 1 << (i % 64);
+        }
+        let root_covers_all = (0..protocols.len()).all(|pi| {
+            proto_mask[pi * words..(pi + 1) * words]
+                .iter()
+                .zip(&root_cover)
+                .any(|(m, r)| m & r != 0)
+        });
+        RouteGraph {
+            handlers,
+            protocol,
+            succ,
+            words,
+            reach,
+            root_succ,
+            root_cover,
+            protocols,
+            proto_mask,
+            root_covers_all,
+        }
+    }
+
+    /// Is `to` reachable from `from` via ≥1 edges, ignoring removals?
+    fn reach_bit(&self, from: usize, to: usize) -> bool {
+        self.reach[from * self.words + to / 64] & (1 << (to % 64)) != 0
+    }
+}
+
+/// Per-computation mutable routing state for `VCAroute`: mark counts and
+/// removal bitsets over a shared [`RouteGraph`].
+pub(crate) struct RouteState {
+    g: Arc<RouteGraph>,
+    /// Number of currently executing calls, per vertex.
+    active: Vec<u32>,
+    /// Number of issued-but-not-yet-executed asynchronous events, per vertex.
+    pending: Vec<u32>,
+    /// Bitset of vertices with `active + pending > 0`.
+    marked: Vec<u64>,
+    /// Bitset of vertices removed by early release (Rule 4(b)); removed
+    /// vertices neither accept calls nor conduct reachability. Vertices are
+    /// only ever removed in whole-protocol batches.
+    removed: Vec<u64>,
+    /// Released flag per protocol (parallel to the graph's `protocols`).
+    released: Vec<bool>,
+    /// Number of protocols released so far — the fast paths apply while 0.
+    n_removed: usize,
     /// True while the `isolated` closure body is still running.
     root_active: bool,
-    /// Distinct protocols covered by the pattern, in first-seen order.
-    protocols: Vec<ProtocolId>,
 }
 
 /// Outcome of a route admission check.
@@ -169,58 +335,37 @@ impl RouteState {
         pattern: &RoutePattern,
         protocol_of: impl Fn(HandlerId) -> ProtocolId,
     ) -> Self {
-        let vertices: Vec<HandlerId> = pattern.vertices().into_iter().collect();
-        let index_of = |h: HandlerId| vertices.binary_search(&h).expect("vertex present");
-        let mut verts: Vec<Vertex> = vertices
-            .iter()
-            .map(|&h| Vertex {
-                handler: h,
-                protocol: protocol_of(h),
-                succ: Vec::new(),
-                active: 0,
-                pending: 0,
-                removed: false,
-            })
-            .collect();
-        for &(a, b) in &pattern.edges {
-            let (ia, ib) = (index_of(a), index_of(b));
-            if !verts[ia].succ.contains(&ib) {
-                verts[ia].succ.push(ib);
-            }
-        }
-        let root_succ: Vec<usize> = {
-            let mut seen = BTreeSet::new();
-            pattern
-                .roots
-                .iter()
-                .map(|&h| index_of(h))
-                .filter(|&i| seen.insert(i))
-                .collect()
-        };
-        let mut protocols = Vec::new();
-        for v in &verts {
-            if !protocols.contains(&v.protocol) {
-                protocols.push(v.protocol);
-            }
-        }
+        let g = pattern.compile(&protocol_of);
+        let n = g.handlers.len();
+        let words = g.words;
+        let protos = g.protocols.len();
         RouteState {
-            verts,
-            root_succ,
+            g,
+            active: vec![0; n],
+            pending: vec![0; n],
+            marked: vec![0; words],
+            removed: vec![0; words],
+            released: vec![false; protos],
+            n_removed: 0,
             root_active: true,
-            protocols,
         }
     }
 
     /// Protocols covered by the pattern (the `M` of Rule 1).
     pub(crate) fn protocols(&self) -> &[ProtocolId] {
-        &self.protocols
+        &self.g.protocols
+    }
+
+    fn is_removed(&self, i: usize) -> bool {
+        self.removed[i / 64] & (1 << (i % 64)) != 0
     }
 
     fn vertex(&self, h: HandlerId) -> Option<usize> {
-        self.verts
-            .binary_search_by_key(&h, |v| v.handler)
+        self.g
+            .handlers
+            .binary_search(&h)
             .ok()
-            .filter(|&i| !self.verts[i].removed)
+            .filter(|&i| !self.is_removed(i))
     }
 
     /// Is there a live path from vertex `from` to vertex `to`?
@@ -228,15 +373,21 @@ impl RouteState {
     /// a self-edge (or cycle back) is declared, matching the paper's rule
     /// that the *pattern* authorises every call.
     fn has_path(&self, from: usize, to: usize) -> bool {
-        if self.verts[from].removed {
+        if self.n_removed == 0 {
+            // Nothing removed: the precomputed closure is exact.
+            return self.g.reach_bit(from, to);
+        }
+        if self.is_removed(from) {
             return false;
         }
-        let mut visited = vec![false; self.verts.len()];
+        // Removals present: paths through removed vertices do not conduct,
+        // so walk the adjacency explicitly.
+        let mut visited = vec![false; self.g.handlers.len()];
         let mut stack = vec![from];
         visited[from] = true;
         while let Some(i) = stack.pop() {
-            for &j in &self.verts[i].succ {
-                if self.verts[j].removed {
+            for &j in &self.g.succ[i] {
+                if self.is_removed(j) {
                     continue;
                 }
                 if j == to {
@@ -268,7 +419,7 @@ impl RouteState {
             return RouteCheck::NotInPattern;
         };
         let admitted = match from {
-            None => self.root_active && self.root_succ.contains(&ti),
+            None => self.root_active && self.g.root_succ.contains(&ti),
             Some(f) => match self.vertex(f) {
                 Some(fi) => self.has_path(fi, ti),
                 None => false,
@@ -278,33 +429,38 @@ impl RouteState {
             return RouteCheck::NoRoute;
         }
         if is_async {
-            self.verts[ti].pending += 1;
+            self.pending[ti] += 1;
         } else {
-            self.verts[ti].active += 1;
+            self.active[ti] += 1;
         }
+        self.marked[ti / 64] |= 1 << (ti % 64);
         RouteCheck::Ok
+    }
+
+    fn vertex_any(&self, h: HandlerId, what: &str) -> usize {
+        match self.g.handlers.binary_search(&h) {
+            Ok(i) => i,
+            Err(_) => panic!("{what} handler is a vertex"),
+        }
     }
 
     /// Convert one pending mark into an active mark when an asynchronous
     /// event's handler starts executing.
     pub(crate) fn activate_pending(&mut self, h: HandlerId) {
-        let i = self
-            .verts
-            .binary_search_by_key(&h, |v| v.handler)
-            .expect("pending handler is a vertex");
-        debug_assert!(self.verts[i].pending > 0);
-        self.verts[i].pending -= 1;
-        self.verts[i].active += 1;
+        let i = self.vertex_any(h, "pending");
+        debug_assert!(self.pending[i] > 0);
+        self.pending[i] -= 1;
+        self.active[i] += 1;
     }
 
     /// Mark a handler execution as finished (Rule 4(a)).
     pub(crate) fn deactivate(&mut self, h: HandlerId) {
-        let i = self
-            .verts
-            .binary_search_by_key(&h, |v| v.handler)
-            .expect("active handler is a vertex");
-        debug_assert!(self.verts[i].active > 0);
-        self.verts[i].active -= 1;
+        let i = self.vertex_any(h, "active");
+        debug_assert!(self.active[i] > 0);
+        self.active[i] -= 1;
+        if self.active[i] == 0 && self.pending[i] == 0 {
+            self.marked[i / 64] &= !(1 << (i % 64));
+        }
     }
 
     /// Mark the closure body as returned; its direct-call privilege ends.
@@ -317,64 +473,114 @@ impl RouteState {
     /// still-running closure body), remove those vertices, and return the
     /// protocols so the caller can upgrade their local versions.
     pub(crate) fn release_scan(&mut self) -> Vec<ProtocolId> {
-        let n = self.verts.len();
-        let mut reachable = vec![false; n];
-        let mut stack: Vec<usize> = Vec::new();
-        for (i, v) in self.verts.iter().enumerate() {
-            if !v.removed && (v.active > 0 || v.pending > 0) {
-                reachable[i] = true;
-                stack.push(i);
-            }
+        if self.root_active && self.n_removed == 0 && self.g.root_covers_all {
+            // The live closure body keeps every protocol reachable: nothing
+            // can release, so skip the scan entirely. This is the per-call
+            // common case — handler calls nested inside a still-running
+            // `isolated` body.
+            return Vec::new();
         }
-        if self.root_active {
-            for &i in &self.root_succ {
-                if !self.verts[i].removed && !reachable[i] {
-                    reachable[i] = true;
+        let words = self.g.words;
+        let mut reach = vec![0u64; words];
+        if self.n_removed == 0 {
+            // Nothing removed yet: union the precomputed covers of every
+            // marked vertex (marked vertices are reachable from themselves).
+            for (wi, &mw) in self.marked.iter().enumerate() {
+                let mut m = mw;
+                while m != 0 {
+                    let i = wi * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    reach[i / 64] |= 1 << (i % 64);
+                    for (w, r) in reach.iter_mut().enumerate() {
+                        *r |= self.g.reach[i * words + w];
+                    }
+                }
+            }
+            if self.root_active {
+                for (r, &c) in reach.iter_mut().zip(&self.g.root_cover) {
+                    *r |= c;
+                }
+            }
+        } else {
+            // Removals present: walk the adjacency, skipping removed
+            // vertices, exactly as the closure-free implementation did.
+            let n = self.g.handlers.len();
+            let mut stack: Vec<usize> = Vec::new();
+            for i in 0..n {
+                if !self.is_removed(i) && self.marked[i / 64] & (1 << (i % 64)) != 0 {
+                    reach[i / 64] |= 1 << (i % 64);
                     stack.push(i);
                 }
             }
-        }
-        while let Some(i) = stack.pop() {
-            for &j in &self.verts[i].succ {
-                if !self.verts[j].removed && !reachable[j] {
-                    reachable[j] = true;
-                    stack.push(j);
+            if self.root_active {
+                for &i in &self.g.root_succ {
+                    if !self.is_removed(i) && reach[i / 64] & (1 << (i % 64)) == 0 {
+                        reach[i / 64] |= 1 << (i % 64);
+                        stack.push(i);
+                    }
+                }
+            }
+            while let Some(i) = stack.pop() {
+                for &j in &self.g.succ[i] {
+                    if !self.is_removed(j) && reach[j / 64] & (1 << (j % 64)) == 0 {
+                        reach[j / 64] |= 1 << (j % 64);
+                        stack.push(j);
+                    }
                 }
             }
         }
-        let mut released = Vec::new();
-        for &p in &self.protocols.clone() {
-            let vs: Vec<usize> = (0..n).filter(|&i| self.verts[i].protocol == p).collect();
-            let all_gone = vs.iter().all(|&i| {
-                let v = &self.verts[i];
-                v.removed || (!reachable[i] && v.active == 0 && v.pending == 0)
-            });
-            let any_live = vs.iter().any(|&i| !self.verts[i].removed);
-            if all_gone && any_live {
-                for &i in &vs {
-                    self.verts[i].removed = true;
+        // A protocol releases when none of its vertices are reachable; live
+        // marks imply reachability (they seed the scan), so the mask test
+        // subsumes the active/pending check.
+        let mut out = Vec::new();
+        for pi in 0..self.g.protocols.len() {
+            if self.released[pi] {
+                continue;
+            }
+            let mask = &self.g.proto_mask[pi * words..(pi + 1) * words];
+            if mask.iter().zip(&reach).all(|(m, r)| m & r == 0) {
+                self.released[pi] = true;
+                self.n_removed += 1;
+                for (rw, &mw) in self.removed.iter_mut().zip(mask) {
+                    *rw |= mw;
                 }
-                released.push(p);
+                out.push(self.g.protocols[pi]);
             }
         }
-        released
+        out
     }
 
     /// Protocols whose vertices have *not* been removed yet — these are the
     /// ones Rule 3 must still upgrade at completion.
     pub(crate) fn unreleased_protocols(&self) -> Vec<ProtocolId> {
-        self.protocols
+        self.g
+            .protocols
             .iter()
-            .copied()
-            .filter(|&p| self.verts.iter().any(|v| v.protocol == p && !v.removed))
+            .enumerate()
+            .filter(|&(pi, _)| !self.released[pi])
+            .map(|(_, &p)| p)
             .collect()
     }
 }
 
 impl fmt::Debug for RouteState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verts: Vec<String> = self
+            .g
+            .handlers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                format!(
+                    "{h:?}: active {} pending {}{}",
+                    self.active[i],
+                    self.pending[i],
+                    if self.is_removed(i) { " removed" } else { "" }
+                )
+            })
+            .collect();
         f.debug_struct("RouteState")
-            .field("vertices", &self.verts)
+            .field("vertices", &verts)
             .field("root_active", &self.root_active)
             .finish()
     }
@@ -534,10 +740,80 @@ mod tests {
         // Deduplicated already in the pattern itself...
         assert_eq!(pat.roots.len(), 1);
         assert_eq!(pat.edges.len(), 1);
-        // ...and (defensively) in the runtime state built from it.
+        // ...and (defensively) in the compiled graph built from it.
         let s = RouteState::new(&pat, |hid| p(hid.0));
-        assert_eq!(s.root_succ.len(), 1);
-        assert_eq!(s.verts[0].succ.len(), 1);
+        assert_eq!(s.g.root_succ.len(), 1);
+        assert_eq!(s.g.succ[0].len(), 1);
+    }
+
+    #[test]
+    fn compiled_graph_is_cached_and_shared() {
+        let pat = RoutePattern::new()
+            .root(h(0))
+            .edge(h(0), h(1))
+            .edge(h(1), h(2));
+        let a = RouteState::new(&pat, |hid| p(hid.0));
+        let b = RouteState::new(&pat, |hid| p(hid.0));
+        assert!(Arc::ptr_eq(&a.g, &b.g), "second spawn reuses the graph");
+        // A different handler→protocol map must not hit the stale cache.
+        let c = RouteState::new(&pat, |_| p(7));
+        assert!(!Arc::ptr_eq(&a.g, &c.g));
+        assert_eq!(c.protocols(), &[p(7)]);
+        // Extending the pattern invalidates the cache.
+        let pat2 = pat.clone().edge(h(2), h(3));
+        let d = RouteState::new(&pat2, |hid| p(hid.0));
+        assert_eq!(d.protocols(), &[p(0), p(1), p(2), p(3)]);
+    }
+
+    #[test]
+    fn admission_after_release_matches_dfs_semantics() {
+        // 0 -> 1 -> 2 and 0 -> 3; after protocol 1 is released, the static
+        // closure (0 reaches 2 through 1) must not admit 0 -> 2.
+        let pat = RoutePattern::new()
+            .root(h(0))
+            .edge(h(0), h(1))
+            .edge(h(1), h(2))
+            .edge(h(0), h(3));
+        let mut s = RouteState::new(&pat, |hid| p(hid.0));
+        assert_eq!(s.admit(None, h(0), false), RouteCheck::Ok);
+        s.finish_root();
+        assert_eq!(s.admit(Some(h(0)), h(3), false), RouteCheck::Ok);
+        s.deactivate(h(3));
+        // h0 still active: everything it reaches stays; nothing released.
+        assert!(s.release_scan().is_empty());
+        assert_eq!(s.admit(Some(h(0)), h(1), false), RouteCheck::Ok);
+        s.deactivate(h(1));
+        s.deactivate(h(0));
+        // Only h3's protocol had its last chance pass? No: nothing is
+        // active, so every protocol releases at once.
+        let mut r = s.release_scan();
+        r.sort();
+        assert_eq!(r, vec![p(0), p(1), p(2), p(3)]);
+        assert_eq!(s.admit(Some(h(0)), h(2), false), RouteCheck::NotInPattern);
+    }
+
+    #[test]
+    fn removed_vertices_do_not_conduct_paths() {
+        // Diamond with a cycle keeping the far side alive: 0 -> 1 -> 2,
+        // 0 -> 3, 3 -> 3 (self-cycle so 3 stays admissible while active).
+        let pat = RoutePattern::new()
+            .root(h(0))
+            .root(h(3))
+            .edge(h(0), h(1))
+            .edge(h(1), h(2))
+            .edge(h(3), h(3));
+        let mut s = RouteState::new(&pat, |hid| p(hid.0));
+        assert_eq!(s.admit(None, h(3), false), RouteCheck::Ok);
+        s.finish_root();
+        // Chain 0/1/2 unreachable from active h3: released in one sweep.
+        let mut r = s.release_scan();
+        r.sort();
+        assert_eq!(r, vec![p(0), p(1), p(2)]);
+        // The DFS fallback now governs: h3's self-cycle still admits...
+        assert_eq!(s.admit(Some(h(3)), h(3), false), RouteCheck::Ok);
+        // ...but removed vertices are gone for good.
+        assert_eq!(s.admit(Some(h(3)), h(1), false), RouteCheck::NotInPattern);
+        assert_eq!(s.unreleased_protocols(), vec![p(3)]);
     }
 
     #[test]

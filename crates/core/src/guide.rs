@@ -469,7 +469,48 @@
 //! observed cluster, writes the Perfetto trace and the health JSON, and
 //! self-validates both (CI runs it as the `observe-smoke` job).
 //!
-//! ## 11. Pitfalls
+//! ## 11. The admission fast path (why lock-free Rule 2 is safe)
+//!
+//! Admission used to take a mutex per version cell; it is now a single
+//! atomic probe. The argument that this is safe is short and worth
+//! knowing, because every extension must preserve it:
+//!
+//! * **Local versions only move up.** A cell's `lv` changes by CAS bumps
+//!   (Rule 4(a)), `fetch_max` raises (Rule 3, Rule 4(b)), and nothing
+//!   else. Concurrent raises linearize trivially — `fetch_max` commutes.
+//! * **Admission predicates are monotone in `lv`.** Every Rule-2 check has
+//!   the shape `lv + k >= pv` (`k = 1` for VCAbasic/VCAroute, the bound
+//!   for VCAbound, `k = 0` for read-mode). A predicate that is true stays
+//!   true forever: private versions `pv` were fixed at spawn by the gv CAS
+//!   sweep, and `lv` never decreases. So an unlocked load that observes
+//!   the predicate true *is* the admission — there is nothing to
+//!   re-validate and no ABA window, which is exactly why the mutex was
+//!   never load-bearing.
+//! * **The parking seam is a Dekker handshake.** A waiter that must block
+//!   publishes itself (waiter count, `SeqCst`), re-checks the predicate,
+//!   and only then parks; a completer raises `lv` first and checks the
+//!   waiter count after (`SeqCst` again). Whatever the interleaving, one
+//!   side sees the other: either the waiter's re-check sees the new `lv`,
+//!   or the completer sees the waiter and notifies. No lost wakeups —
+//!   `crates/core/tests/version_proptest.rs` races this seam explicitly.
+//! * **Parking happens only on actual conflict.** An unsatisfied waiter
+//!   probes through a bounded spin window and a time-bounded yield window
+//!   before touching the park mutex. All blocked-time surfaces —
+//!   [`RuntimeStats::admission_wait`](crate::runtime::RuntimeStats),
+//!   trace `WaitBegin`/`WaitEnd` spans, the [`Runtime::waiters`] wait-for
+//!   graph — share one *parked-only* definition: a probing waiter is
+//!   runnable, not descheduled, and records nothing. (Corollary: a waiter
+//!   headed for a real park appears in the wait-for graph at most one
+//!   probe window late; deadlock detection is delayed, never wrong.)
+//!
+//! Rule 4(b)'s route releases ride the same machinery: `VCAroute` patterns
+//! compile once into an immutable reachability closure (bitsets over the
+//! pattern's vertices), each release is a `fetch_max` raise of the freed
+//! protocol's cell, and the wake path is the handshake above. Experiment
+//! E14 pins the result — uncontended admission within noise of `unsync`,
+//! parking-seam counters identically zero.
+//!
+//! ## 12. Pitfalls
 //!
 //! * **Don't trigger while holding state.** Keep
 //!   [`ProtocolState::with`] closures short; compute what to send, end the

@@ -170,13 +170,25 @@ impl fmt::Debug for CompSpec {
     }
 }
 
-/// One slot of the two-phase-locking lock table: a plain blocking binary
-/// lock whose guard can be released from a different thread than the one
-/// that acquired it (a computation's completion may run on any of its
-/// worker threads).
+/// One slot of the two-phase-locking lock table: a blocking binary lock
+/// whose guard can be released from a different thread than the one that
+/// acquired it (a computation's completion may run on any of its worker
+/// threads).
+///
+/// Like [`VersionCell`](crate::version), the uncontended paths are pure
+/// atomics — acquire is one CAS, release one store — and a thread parks
+/// only after the CAS actually fails; the release side takes the park lock
+/// only when the waiter count says someone is parked. Same Dekker-style
+/// lost-wakeup argument over the `SeqCst` order as the version cell: the
+/// waiter registers in `waiters` before retrying the CAS, the releaser
+/// clears `held` before reading `waiters`.
 #[derive(Debug, Default)]
 pub(crate) struct LockCell {
-    held: Mutex<bool>,
+    /// 0 = free, 1 = held.
+    held: AtomicU64,
+    /// Threads inside the parking protocol (registered under `park`).
+    waiters: AtomicU64,
+    park: Mutex<()>,
     cv: Condvar,
 }
 
@@ -185,30 +197,70 @@ impl LockCell {
         LockCell::default()
     }
 
+    /// Full blocking acquire; the runtime drives the two phases separately
+    /// (the parked phase is what its blocked-time accounting brackets).
+    #[cfg(test)]
     pub(crate) fn acquire(&self) {
-        let mut held = self.held.lock();
-        while *held {
-            self.cv.wait(&mut held);
+        if self.spin_acquire() {
+            return;
         }
-        *held = true;
+        self.park_acquire();
     }
 
-    /// Non-blocking acquire, for the cooperative-scheduling path.
-    pub(crate) fn try_acquire(&self) -> bool {
-        let mut held = self.held.lock();
-        if *held {
-            false
-        } else {
-            *held = true;
-            true
+    /// The bounded non-parking prefix of [`Self::acquire`]: the one-CAS
+    /// probe, then busy probes, then yielding probes (same window as
+    /// `VersionCell::spin_until`). `false` means the caller should park.
+    pub(crate) fn spin_acquire(&self) -> bool {
+        if self.try_acquire() {
+            return true;
         }
+        for _ in 0..crate::version::SPIN_LIMIT {
+            std::hint::spin_loop();
+            if self.try_acquire() {
+                return true;
+            }
+        }
+        let deadline = std::time::Instant::now() + crate::version::YIELD_WINDOW;
+        loop {
+            for _ in 0..crate::version::YIELD_CHECK {
+                std::thread::yield_now();
+                if self.try_acquire() {
+                    return true;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+        }
+    }
+
+    /// The parking tail of [`Self::acquire`].
+    pub(crate) fn park_acquire(&self) {
+        let mut guard = self.park.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        while !self.try_acquire() {
+            crate::version::note_park();
+            self.cv.wait(&mut guard);
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Non-blocking acquire — one CAS. Also the cooperative-scheduling
+    /// path's probe.
+    pub(crate) fn try_acquire(&self) -> bool {
+        self.held
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
     }
 
     pub(crate) fn release(&self) {
-        let mut held = self.held.lock();
-        debug_assert!(*held, "releasing a lock that is not held");
-        *held = false;
-        self.cv.notify_one();
+        let prev = self.held.swap(0, Ordering::SeqCst);
+        debug_assert!(prev == 1, "releasing a lock that is not held");
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            crate::version::note_park_notify();
+            let _guard = self.park.lock();
+            self.cv.notify_all();
+        }
     }
 }
 

@@ -35,7 +35,7 @@ use crate::protocol::ProtocolId;
 use crate::sched::{SchedHook, SchedPoint, SchedResource};
 use crate::stack::Stack;
 use crate::trace::{Algo, TraceCtl, TraceKind, TraceSink, WaitForGraph};
-use crate::version::VersionCell;
+use crate::version::{CachePadded, VersionCell};
 
 /// Tunables of a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -57,6 +57,16 @@ pub struct RuntimeConfig {
     /// default: the closure check is conservative and may reject tight
     /// declarations that are correct for a particular entry event.
     pub strict_analysis: bool,
+    /// Number of slots in the 2PL lock table. `0` (the default) gives every
+    /// microprotocol its own slot — exact locking. A positive value stripes
+    /// microprotocols across that many slots (`pid % shards`): coarser and
+    /// therefore more conservative (two protocols sharing a slot serialise
+    /// even without a real conflict), but still deadlock-free — the growing
+    /// phase acquires deduplicated slots in ascending order — and still
+    /// policy-equivalent: every history a striped table admits is a history
+    /// the exact table admits. Values above the protocol count clamp to the
+    /// exact table.
+    pub lock_shards: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -65,6 +75,7 @@ impl Default for RuntimeConfig {
             record_history: false,
             max_threads_per_computation: 4,
             strict_analysis: false,
+            lock_shards: 0,
         }
     }
 }
@@ -83,6 +94,17 @@ impl RuntimeConfig {
     pub fn strict() -> Self {
         RuntimeConfig {
             strict_analysis: true,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// A recording config with a striped 2PL lock table of `shards` slots
+    /// (see [`RuntimeConfig::lock_shards`]) — what the shard-sweep
+    /// equivalence tests use.
+    pub fn recording_sharded(shards: usize) -> Self {
+        RuntimeConfig {
+            record_history: true,
+            lock_shards: shards,
             ..RuntimeConfig::default()
         }
     }
@@ -122,9 +144,14 @@ pub struct RuntimeStats {
     pub computations_completed: u64,
     /// Handler calls executed.
     pub handler_calls: u64,
-    /// Total time computations spent blocked in admission (Rule 2 waits
-    /// plus 2PL lock acquisition) — the direct cost of isolation. Summed
-    /// across threads, so it can exceed wall-clock time.
+    /// Total time computations spent *descheduled* in admission — parked
+    /// on a version or lock cell (or cooperatively blocked under a
+    /// `SchedHook`) in Rule 2 waits and 2PL lock acquisition. The direct
+    /// cost of isolation. The bounded spin/yield probe window that precedes
+    /// parking is the fast path and is not counted: a probing waiter is
+    /// still runnable, and at fine grain most conflicts resolve inside it
+    /// without the thread ever leaving the CPU. Summed across threads, so
+    /// under coarse-grain contention it can exceed wall-clock time.
     pub admission_wait: std::time::Duration,
     /// Rule 4 early releases by VCAbound computations: one per handler call
     /// whose completion advanced `lv_p` before the computation finished.
@@ -188,10 +215,18 @@ impl StatCounters {
     }
 }
 
+/// The gate bit of a `gv` word: bit 0 marks the cell as held by a Rule-1
+/// sweep; the version value lives in the upper 63 bits.
+const GV_GATE: u64 = 1;
+
 pub(crate) struct RuntimeInner {
     pub(crate) stack: Stack,
-    pub(crate) versions: Vec<VersionCell>,
-    pub(crate) locks: Vec<LockCell>,
+    /// Per-microprotocol `lv_p` cells, cache-line padded so neighbouring
+    /// protocols never false-share.
+    pub(crate) versions: Vec<CachePadded<VersionCell>>,
+    /// The 2PL lock table — one padded slot per microprotocol, or fewer
+    /// stripes under [`RuntimeConfig::lock_shards`].
+    pub(crate) locks: Vec<CachePadded<LockCell>>,
     pub(crate) history: HistoryRecorder,
     pub(crate) config: RuntimeConfig,
     pub(crate) stats: StatCounters,
@@ -201,82 +236,139 @@ pub(crate) struct RuntimeInner {
     /// Trace sink + wait-for registry ([`Runtime::with_trace`]); `None` when
     /// untraced, so — like `hook` — every trace site costs one branch.
     pub(crate) trace: Option<TraceCtl>,
-    /// Global version counters, Rule 1's atomicity domain.
-    gv: Mutex<Vec<u64>>,
+    /// Global version counters, one padded atomic per microprotocol with an
+    /// embedded gate bit ([`GV_GATE`]). Rule 1's atomicity domain: a spawn
+    /// gates every *declared* cell (ascending pid, strict two-phase) instead
+    /// of one global mutex, so disjoint spawns never serialise.
+    gv: Vec<CachePadded<AtomicU64>>,
     comp_seq: AtomicU64,
-    active: Mutex<usize>,
-    active_cv: Condvar,
+    /// Computations spawned but not yet completed. Plain atomic; `quiesce`
+    /// parks on `quiesce_park`/`quiesce_cv` only while this is nonzero.
+    active: AtomicU64,
+    quiesce_waiters: AtomicU64,
+    quiesce_park: Mutex<()>,
+    quiesce_cv: Condvar,
 }
 
 impl RuntimeInner {
     pub(crate) fn computation_finished(&self) {
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
-        let idle = {
-            let mut a = self.active.lock();
-            *a -= 1;
-            *a == 0
-        };
-        if idle {
-            self.active_cv.notify_all();
+        if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Same park protocol as `VersionCell`: the quiescer registers in
+            // `quiesce_waiters` (under the park mutex) before re-checking
+            // `active`, we drop `active` before reading `quiesce_waiters`.
+            if self.quiesce_waiters.load(Ordering::SeqCst) > 0 {
+                crate::version::note_park_notify();
+                let _guard = self.quiesce_park.lock();
+                self.quiesce_cv.notify_all();
+            }
             if let Some(h) = &self.hook {
                 h.signal(SchedResource::Quiesce);
             }
         }
     }
 
+    /// Active (spawned, not yet completed) computations right now.
+    pub(crate) fn active_count(&self) -> u64 {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// The lock-table stripe serving microprotocol `pid`.
+    pub(crate) fn lock_idx(&self, pid: ProtocolId) -> usize {
+        debug_assert!(!self.locks.is_empty(), "lock table is empty");
+        pid.index() % self.locks.len()
+    }
+
+    /// The deduplicated, ascending lock-table stripes covering `entries` —
+    /// the canonical 2PL acquisition (and release) order. Striping can map
+    /// two declared protocols to one slot; acquiring it twice would
+    /// self-deadlock, so callers must always go through this.
+    pub(crate) fn lock_stripes(&self, entries: &[PvEntry]) -> Vec<usize> {
+        let mut stripes: Vec<usize> = entries.iter().map(|e| self.lock_idx(e.pid)).collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        stripes
+    }
+
     // ---- cooperative version waits ----
     //
-    // Uninstrumented runtimes use the condvar waits in `VersionCell`
-    // directly; with a hook installed, every wait becomes a
-    // try-predicate → `SchedHook::block` loop so the controller owns the
+    // Uninstrumented runtimes use the atomic fast path / parked slow path
+    // in `VersionCell` directly; with a hook installed, every wait becomes
+    // a try-predicate → `SchedHook::block` loop so the controller owns the
     // interleaving, and every `lv` change signals the matching resource.
+    //
+    // These are the Rule-2 sites, so they also own the `admission_wait`
+    // accounting: the clock brackets only the *descheduled* phase (parked
+    // on the cell, or cooperatively blocked in the hook) — an admission
+    // that resolves in the probe window reads no clock and takes no lock.
 
-    pub(crate) fn vwait_until(&self, idx: usize, pred: impl Fn(u64) -> bool) -> u64 {
+    /// Probe the cell without descheduling: the bounded spin/yield window
+    /// when free-running, a single check under a hook (spinning would
+    /// perturb the cooperative schedule).
+    fn vprobe_until(&self, idx: usize, pred: &impl Fn(u64) -> bool) -> Option<u64> {
         match &self.hook {
-            None => self.versions[idx].wait_until(pred),
+            None => self.versions[idx].spin_until(pred),
+            Some(_) => self.versions[idx].try_until(pred),
+        }
+    }
+
+    fn vprobe_write(&self, idx: usize, pred: &impl Fn(u64) -> bool, pv: u64) -> Option<u64> {
+        match &self.hook {
+            None => self.versions[idx].spin_write(pred, pv),
+            Some(_) => self.versions[idx].try_write(pred, pv),
+        }
+    }
+
+    /// Descheduled phase after a failed probe: park on the cell (or block
+    /// cooperatively under the hook), clocking the elapsed time into
+    /// `admission_wait`.
+    fn vblock_until(&self, idx: usize, pred: impl Fn(u64) -> bool) -> u64 {
+        let t0 = std::time::Instant::now();
+        let v = match &self.hook {
+            None => self.versions[idx].park_wait_until(pred),
             Some(h) => loop {
                 if let Some(v) = self.versions[idx].try_until(&pred) {
-                    return v;
+                    break v;
                 }
                 h.block(SchedResource::Version(idx as u32));
                 self.versions[idx].note_wakeup();
             },
-        }
+        };
+        self.stats.note_admission_wait(t0.elapsed());
+        v
     }
 
-    pub(crate) fn vwait_write(&self, idx: usize, pred: impl Fn(u64) -> bool, pv: u64) -> u64 {
-        match &self.hook {
-            None => self.versions[idx].wait_write(pred, pv),
+    fn vblock_write(&self, idx: usize, pred: impl Fn(u64) -> bool, pv: u64) -> u64 {
+        let t0 = std::time::Instant::now();
+        let v = match &self.hook {
+            None => self.versions[idx].park_wait_write(pred, pv),
             Some(h) => loop {
                 if let Some(v) = self.versions[idx].try_write(&pred, pv) {
-                    return v;
+                    break v;
                 }
                 h.block(SchedResource::Version(idx as u32));
                 self.versions[idx].note_wakeup();
             },
-        }
+        };
+        self.stats.note_admission_wait(t0.elapsed());
+        v
     }
 
-    pub(crate) fn vwait_then<R>(
-        &self,
-        idx: usize,
-        pred: impl Fn(u64) -> bool,
-        mut f: impl FnOnce(&mut u64) -> R,
-    ) -> R {
+    /// Rule-3 completion step for one cell: wait until `pred(lv)` holds,
+    /// then raise `lv` to at least `target`. Replaces the old
+    /// locked wait-then-mutate: every completion action is a monotone raise,
+    /// so an unlocked check + `fetch_max` is linearizable against concurrent
+    /// bumps (see `version.rs` module docs).
+    pub(crate) fn vwait_raise(&self, idx: usize, pred: impl Fn(u64) -> bool, target: u64) {
         match &self.hook {
-            None => self.versions[idx].wait_then(pred, f),
+            None => self.versions[idx].wait_raise(pred, target),
             Some(h) => loop {
-                match self.versions[idx].try_then(&pred, f) {
-                    Ok(r) => {
-                        self.vsignal(idx);
-                        return r;
-                    }
-                    Err(back) => {
-                        f = back;
-                        h.block(SchedResource::Version(idx as u32));
-                        self.versions[idx].note_wakeup();
-                    }
+                if self.versions[idx].try_raise(&pred, target) {
+                    self.vsignal(idx);
+                    return;
                 }
+                h.block(SchedResource::Version(idx as u32));
+                self.versions[idx].note_wakeup();
             },
         }
     }
@@ -292,9 +384,13 @@ impl RuntimeInner {
     //
     // Rule 2 call sites go through these: with no sink attached they
     // delegate straight to the waits above (one branch); with a sink, a
-    // wait that actually blocks is bracketed by WaitBegin/WaitEnd events
-    // carrying the blocking computation's identity, and registered in the
-    // wait-for graph for `Runtime::waiters`.
+    // wait that actually *deschedules* is bracketed by WaitBegin/WaitEnd
+    // events carrying the blocking computation's identity, and registered
+    // in the wait-for graph for `Runtime::waiters`. The probe window is
+    // invisible here by the same parked-only definition as the
+    // `admission_wait` stat: a probing waiter is runnable, not blocked, so
+    // it records no span and never appears in the wait-for graph (a waiter
+    // headed for a real block shows up at most one probe window late).
 
     pub(crate) fn vwait_write_traced(
         &self,
@@ -303,38 +399,38 @@ impl RuntimeInner {
         pred: impl Fn(u64) -> bool + Copy,
         pv: u64,
     ) -> u64 {
+        if let Some(v) = self.vprobe_write(idx, &pred, pv) {
+            return v;
+        }
         match &self.trace {
-            None => self.vwait_write(idx, pred, pv),
-            Some(t) => match self.versions[idx].try_write(pred, pv) {
-                Some(v) => v,
-                None => {
-                    let protocol = ProtocolId(idx as u32);
-                    let lv = self.versions[idx].get();
-                    let blocker = t.wait_begin(comp, idx, pv, lv);
-                    let t0 = t.now_ns();
-                    t.emit_at(
-                        t0,
-                        TraceKind::WaitBegin {
-                            comp,
-                            protocol,
-                            blocker,
-                        },
-                    );
-                    let v = self.vwait_write(idx, pred, pv);
-                    let t1 = t.now_ns();
-                    t.wait_end(comp, idx);
-                    t.emit_at(
-                        t1,
-                        TraceKind::WaitEnd {
-                            comp,
-                            protocol,
-                            wait_ns: t1.saturating_sub(t0),
-                            blocker,
-                        },
-                    );
-                    v
-                }
-            },
+            None => self.vblock_write(idx, pred, pv),
+            Some(t) => {
+                let protocol = ProtocolId(idx as u32);
+                let lv = self.versions[idx].get();
+                let blocker = t.wait_begin(comp, idx, pv, lv);
+                let t0 = t.now_ns();
+                t.emit_at(
+                    t0,
+                    TraceKind::WaitBegin {
+                        comp,
+                        protocol,
+                        blocker,
+                    },
+                );
+                let v = self.vblock_write(idx, pred, pv);
+                let t1 = t.now_ns();
+                t.wait_end(comp, idx);
+                t.emit_at(
+                    t1,
+                    TraceKind::WaitEnd {
+                        comp,
+                        protocol,
+                        wait_ns: t1.saturating_sub(t0),
+                        blocker,
+                    },
+                );
+                v
+            }
         }
     }
 
@@ -348,50 +444,50 @@ impl RuntimeInner {
         pred: impl Fn(u64) -> bool + Copy,
         pv: u64,
     ) -> u64 {
+        if let Some(v) = self.vprobe_until(idx, &pred) {
+            return v;
+        }
         match &self.trace {
-            None => self.vwait_until(idx, pred),
-            Some(t) => match self.versions[idx].try_until(pred) {
-                Some(v) => v,
-                None => {
-                    let protocol = ProtocolId(idx as u32);
-                    let lv = self.versions[idx].get();
-                    let blocker = t.wait_begin(comp, idx, pv + 1, lv);
-                    let t0 = t.now_ns();
-                    t.emit_at(
-                        t0,
-                        TraceKind::WaitBegin {
-                            comp,
-                            protocol,
-                            blocker,
-                        },
-                    );
-                    let v = self.vwait_until(idx, pred);
-                    let t1 = t.now_ns();
-                    t.wait_end(comp, idx);
-                    t.emit_at(
-                        t1,
-                        TraceKind::WaitEnd {
-                            comp,
-                            protocol,
-                            wait_ns: t1.saturating_sub(t0),
-                            blocker,
-                        },
-                    );
-                    v
-                }
-            },
+            None => self.vblock_until(idx, pred),
+            Some(t) => {
+                let protocol = ProtocolId(idx as u32);
+                let lv = self.versions[idx].get();
+                let blocker = t.wait_begin(comp, idx, pv + 1, lv);
+                let t0 = t.now_ns();
+                t.emit_at(
+                    t0,
+                    TraceKind::WaitBegin {
+                        comp,
+                        protocol,
+                        blocker,
+                    },
+                );
+                let v = self.vblock_until(idx, pred);
+                let t1 = t.now_ns();
+                t.wait_end(comp, idx);
+                t.emit_at(
+                    t1,
+                    TraceKind::WaitEnd {
+                        comp,
+                        protocol,
+                        wait_ns: t1.saturating_sub(t0),
+                        blocker,
+                    },
+                );
+                v
+            }
         }
     }
 
     /// 2PL growing-phase acquisition with tracing. The lock table does not
     /// track owners, so the wait edge carries no blocker.
     pub(crate) fn lock_acquire_traced(&self, comp: CompId, idx: usize) {
+        if self.lock_probe(idx) {
+            return;
+        }
         match &self.trace {
-            None => self.lock_acquire(idx),
+            None => self.lock_block(idx),
             Some(t) => {
-                if self.locks[idx].try_acquire() {
-                    return;
-                }
                 let protocol = ProtocolId(idx as u32);
                 let t0 = t.now_ns();
                 t.lock_wait_begin(comp, idx);
@@ -403,7 +499,7 @@ impl RuntimeInner {
                         blocker: None,
                     },
                 );
-                self.lock_acquire(idx);
+                self.lock_block(idx);
                 let t1 = t.now_ns();
                 t.wait_end(comp, idx);
                 t.emit_at(
@@ -419,16 +515,28 @@ impl RuntimeInner {
         }
     }
 
-    /// Acquire 2PL lock `idx`, cooperatively when hooked.
-    pub(crate) fn lock_acquire(&self, idx: usize) {
+    /// Probe stripe `idx` without descheduling (spin/yield window when
+    /// free-running, single try under a hook).
+    fn lock_probe(&self, idx: usize) -> bool {
         match &self.hook {
-            None => self.locks[idx].acquire(),
+            None => self.locks[idx].spin_acquire(),
+            Some(_) => self.locks[idx].try_acquire(),
+        }
+    }
+
+    /// Descheduled acquisition after a failed probe, clocked into
+    /// `admission_wait`.
+    fn lock_block(&self, idx: usize) {
+        let t0 = std::time::Instant::now();
+        match &self.hook {
+            None => self.locks[idx].park_acquire(),
             Some(h) => {
                 while !self.locks[idx].try_acquire() {
                     h.block(SchedResource::Lock(idx as u32));
                 }
             }
         }
+        self.stats.note_admission_wait(t0.elapsed());
     }
 
     /// Release 2PL lock `idx` and wake waiters.
@@ -566,20 +674,33 @@ impl Runtime {
     ) -> Self {
         let n = stack.protocol_count();
         let stats = StatCounters::default();
+        let lock_slots = if config.lock_shards == 0 {
+            n
+        } else {
+            config.lock_shards.min(n).max(usize::from(n > 0))
+        };
         Runtime {
             inner: Arc::new(RuntimeInner {
                 versions: (0..n)
-                    .map(|_| VersionCell::with_counter(Arc::clone(&stats.version_wait_wakeups)))
+                    .map(|_| {
+                        CachePadded(VersionCell::with_counter(Arc::clone(
+                            &stats.version_wait_wakeups,
+                        )))
+                    })
                     .collect(),
-                locks: (0..n).map(|_| LockCell::new()).collect(),
+                locks: (0..lock_slots)
+                    .map(|_| CachePadded(LockCell::new()))
+                    .collect(),
                 history: HistoryRecorder::new(config.record_history),
                 stats,
                 hook,
                 trace: sink.map(|s| TraceCtl::new(s, n)),
-                gv: Mutex::new(vec![0; n]),
+                gv: (0..n).map(|_| CachePadded(AtomicU64::new(0))).collect(),
                 comp_seq: AtomicU64::new(0),
-                active: Mutex::new(0),
-                active_cv: Condvar::new(),
+                active: AtomicU64::new(0),
+                quiesce_waiters: AtomicU64::new(0),
+                quiesce_park: Mutex::new(()),
+                quiesce_cv: Condvar::new(),
                 stack,
                 config,
             }),
@@ -607,19 +728,17 @@ impl Runtime {
     /// For debugging stuck stacks: a protocol with `lv < gv` is held by
     /// `gv - lv` not-yet-released computations.
     pub fn debug_snapshot(&self) -> String {
-        let gv = self.inner.gv.lock().clone();
-        let active = *self.inner.active.lock();
+        let active = self.inner.active_count();
         let mut out = format!("active computations: {active}\n");
         for (i, name) in (0..self.inner.stack.protocol_count())
             .map(|i| (i, self.inner.stack.protocol_name(ProtocolId(i as u32))))
         {
+            let gv = self.inner.gv[i].load(Ordering::SeqCst) >> 1;
             let lv = self.inner.versions[i].get();
             let holds = self.inner.versions[i].reader_holds();
             out.push_str(&format!(
-                "  {name:<16} gv={:<6} lv={:<6} pending={:<4} readers={holds}\n",
-                gv[i],
-                lv,
-                gv[i].saturating_sub(lv),
+                "  {name:<16} gv={gv:<6} lv={lv:<6} pending={:<4} readers={holds}\n",
+                gv.saturating_sub(lv),
             ));
         }
         out
@@ -650,15 +769,15 @@ impl Runtime {
             });
         }
         if spec.mode == CompMode::Locked {
-            // Conservative 2PL growing phase: all locks before the
-            // computation starts, in canonical order (deadlock-free).
-            let t0 = std::time::Instant::now();
-            for e in &spec.entries {
-                self.inner.lock_acquire_traced(id, e.pid.index());
+            // Conservative 2PL growing phase: all lock-table stripes before
+            // the computation starts, in canonical deduplicated ascending
+            // order (deadlock-free; contended time feeds `admission_wait`
+            // inside `lock_acquire`).
+            for s in self.inner.lock_stripes(&spec.entries) {
+                self.inner.lock_acquire_traced(id, s);
             }
-            self.inner.stats.note_admission_wait(t0.elapsed());
         }
-        *self.inner.active.lock() += 1;
+        self.inner.active.fetch_add(1, Ordering::SeqCst);
         ComputationInner::new(id, Arc::clone(&self.inner), spec)
     }
 
@@ -701,30 +820,78 @@ impl Runtime {
     }
 
     /// Rule 1: atomically bump `gv_p` for each declared microprotocol and
-    /// snapshot the private versions. Read-mode declarations snapshot the
-    /// epoch *without* bumping and register a reader hold — still inside the
-    /// spawn lock, so any writer spawned later is guaranteed to observe the
-    /// hold before its own admission check.
+    /// snapshot the private versions, as one **ordered two-phase CAS
+    /// sweep** instead of a global spawn mutex. Phase 1 CAS-acquires the
+    /// gate bit of every *declared* cell in ascending pid order (`pairs` is
+    /// sorted by `dedup_max`); phase 2 bumps, snapshots and releases. This
+    /// is strict 2PL over the declared cells, so overlapping spawns are
+    /// conflict-serialised — the per-cell `pv` orders stay consistent with
+    /// one total spawn order, which is what the paper's deadlock-freedom
+    /// argument (§6, younger always waits on strictly older) needs —
+    /// while disjoint spawns proceed fully in parallel, one uncontended CAS
+    /// plus one store per declared cell, zero allocation beyond the entry
+    /// vector. Read-mode declarations snapshot the epoch *without* bumping
+    /// and register a reader hold while the cell's gate is still held, so
+    /// any writer spawned later is guaranteed to observe the hold before
+    /// its own admission check.
     fn allocate_versions(
         &self,
         mode: CompMode,
         pairs: &[(ProtocolId, u64, AccessMode)],
     ) -> Vec<PvEntry> {
-        let mut gv = self.inner.gv.lock();
+        // Phase 1: gate every declared cell, ascending.
+        for &(pid, _, _) in pairs {
+            assert!(
+                pid.index() < self.inner.gv.len(),
+                "declared unknown protocol {pid:?}"
+            );
+            let cell = &self.inner.gv[pid.index()];
+            let mut spins = 0u32;
+            loop {
+                let cur = cell.load(Ordering::Relaxed);
+                if cur & GV_GATE == 0
+                    && cell
+                        .compare_exchange_weak(
+                            cur,
+                            cur | GV_GATE,
+                            Ordering::SeqCst,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    break;
+                }
+                crate::version::note_gate_spin();
+                spins += 1;
+                if spins < crate::version::SPIN_LIMIT {
+                    std::hint::spin_loop();
+                } else {
+                    // A sweep holds its gates for nanoseconds; yielding is
+                    // only reachable under heavy oversubscription. (Under a
+                    // SchedHook only one thread runs between yield points
+                    // and the sweep contains none, so hooked runs never
+                    // spin here at all.)
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // Phase 2: bump + snapshot + release, in the same order. Releasing
+        // cell i before computing cell j is safe — the growing phase is
+        // over, which is all 2PL serializability needs.
         pairs
             .iter()
             .map(|&(pid, bound, access)| {
-                assert!(pid.index() < gv.len(), "declared unknown protocol {pid:?}");
+                let cell = &self.inner.gv[pid.index()];
                 let increment = if mode == CompMode::Locked || access == AccessMode::Read {
                     0
                 } else {
                     bound
                 };
-                gv[pid.index()] += increment;
-                let pv = gv[pid.index()];
+                let pv = (cell.load(Ordering::Relaxed) >> 1) + increment;
                 if access == AccessMode::Read && mode != CompMode::Locked {
                     self.inner.versions[pid.index()].register_reader(pv);
                 }
+                cell.store(pv << 1, Ordering::SeqCst);
                 PvEntry {
                     pid,
                     pv,
@@ -986,13 +1153,24 @@ impl Runtime {
     pub fn quiesce(&self) {
         match &self.inner.hook {
             None => {
-                let mut a = self.inner.active.lock();
-                while *a > 0 {
-                    self.inner.active_cv.wait(&mut a);
+                // Fast path: already quiescent — one atomic load, no lock.
+                if self.inner.active_count() == 0 {
+                    return;
                 }
+                // Same park protocol as `VersionCell`: register in
+                // `quiesce_waiters` under the park mutex before re-checking
+                // `active`; `computation_finished` drops `active` to zero
+                // before reading `quiesce_waiters` (both `SeqCst`).
+                let mut guard = self.inner.quiesce_park.lock();
+                self.inner.quiesce_waiters.fetch_add(1, Ordering::SeqCst);
+                while self.inner.active.load(Ordering::SeqCst) > 0 {
+                    crate::version::note_park();
+                    self.inner.quiesce_cv.wait(&mut guard);
+                }
+                self.inner.quiesce_waiters.fetch_sub(1, Ordering::SeqCst);
             }
             Some(h) => loop {
-                if *self.inner.active.lock() == 0 {
+                if self.inner.active_count() == 0 {
                     return;
                 }
                 h.block(SchedResource::Quiesce);
@@ -1057,7 +1235,7 @@ impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
             .field("stack", &self.inner.stack)
-            .field("active", &*self.inner.active.lock())
+            .field("active", &self.inner.active_count())
             .finish()
     }
 }

@@ -27,6 +27,12 @@ pub struct ConflictStack {
 }
 
 pub fn conflict_stack(n: usize) -> ConflictStack {
+    conflict_stack_with(n, RuntimeConfig::recording())
+}
+
+/// [`conflict_stack`] under an explicit runtime configuration (e.g. a
+/// sharded 2PL lock table via [`RuntimeConfig::recording_sharded`]).
+pub fn conflict_stack_with(n: usize, config: RuntimeConfig) -> ConflictStack {
     let mut b = StackBuilder::new();
     let mut protocols = Vec::new();
     let mut events = Vec::new();
@@ -51,7 +57,7 @@ pub fn conflict_stack(n: usize) -> ConflictStack {
         events.push(e);
         logs.push(log);
     }
-    let rt = Runtime::with_config(b.build(), RuntimeConfig::recording());
+    let rt = Runtime::with_config(b.build(), config);
     ConflictStack {
         rt,
         protocols,

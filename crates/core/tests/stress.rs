@@ -4,9 +4,11 @@
 
 mod common;
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
-use common::{conflict_stack, join_within};
+use common::{conflict_stack, conflict_stack_with, join_within, ConflictStack};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use samoa_core::prelude::*;
@@ -93,6 +95,127 @@ fn stress_serial() {
 #[test]
 fn stress_two_phase() {
     stress(30, Policy::TwoPhase, 4, 24);
+}
+
+/// The sharded 2PL lock table at every interesting stripe count — one
+/// global slot, a few stripes, and more stripes than protocols (identity
+/// after the clamp) — must admit only policy-equivalent histories: no
+/// lost updates and a serializable run, exactly like the unsharded table.
+#[test]
+fn stress_two_phase_shard_sweep() {
+    for shards in [1usize, 4, 64] {
+        let s = conflict_stack_with(4, RuntimeConfig::recording_sharded(shards));
+        let mut rng = StdRng::seed_from_u64(40 + shards as u64);
+        let mut handles = Vec::new();
+        for _ in 0..24 {
+            let i = rng.gen_range(0..4);
+            let j = rng.gen_range(0..4);
+            let mut decl = vec![s.protocols[i], s.protocols[j]];
+            decl.sort_unstable();
+            decl.dedup();
+            let (ei, ej) = (s.events[i], s.events[j]);
+            let sleep = rng.gen_range(0..=1u64);
+            handles.push(s.rt.spawn_two_phase(&decl, move |ctx| {
+                ctx.trigger(ei, sleep)?;
+                if ej != ei {
+                    ctx.trigger(ej, sleep)?;
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            join_within(h, Duration::from_secs(120)).unwrap();
+        }
+        assert!(s.no_lost_updates(), "lost update at {shards} shards");
+        s.rt.check_isolation()
+            .unwrap_or_else(|v| panic!("{shards} shards: {v}"));
+    }
+}
+
+/// Order-insensitive digest of a conflict stack's final state: per
+/// protocol, the sorted tag multiset and the sorted observed-length
+/// multiset, hashed. Serialized appends always observe lengths
+/// `0..count`, whatever the order — so an isolating concurrent run and a
+/// serial run of the same computations digest identically, while a single
+/// lost update (two appends observing the same length) diverges.
+fn state_digest(s: &ConflictStack) -> u64 {
+    let mut h = DefaultHasher::new();
+    for log in &s.logs {
+        let entries = log.snapshot();
+        let mut tags: Vec<u64> = entries.iter().map(|&(c, _)| c).collect();
+        let mut lens: Vec<usize> = entries.iter().map(|&(_, l)| l).collect();
+        tags.sort_unstable();
+        lens.sort_unstable();
+        tags.hash(&mut h);
+        lens.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The contention stress the fast-path rewrite must survive: thousands of
+/// computations (10k in release; CI's `core-stress` job runs it there)
+/// hammering a small protocol set from many threads at once, in bounded
+/// waves so handles are joined while spawning continues elsewhere. The
+/// final state must digest-match a strictly serial run of the same
+/// workload — one lost wakeup deadlocks a wave (the joins time out), one
+/// lost update changes the digest.
+#[test]
+fn stress_ten_k_contention_digest_matches_serial() {
+    let n_comps: usize = if cfg!(debug_assertions) {
+        2_000
+    } else {
+        10_000
+    };
+    let n_protocols = 8;
+    const WAVE: usize = 64;
+
+    let run = |serial: bool| -> u64 {
+        let s = conflict_stack_with(n_protocols, RuntimeConfig::default());
+        let mut rng = StdRng::seed_from_u64(0xfa57);
+        let mut wave = Vec::with_capacity(WAVE);
+        for k in 0..n_comps {
+            let i = k % n_protocols;
+            let j = rng.gen_range(0..n_protocols);
+            let mut decl = vec![s.protocols[i], s.protocols[j]];
+            decl.sort_unstable();
+            decl.dedup();
+            let (ei, ej) = (s.events[i], s.events[j]);
+            let h = s.rt.spawn_isolated(&decl, move |ctx| {
+                ctx.trigger(ei, 0u64)?;
+                if ej != ei {
+                    ctx.trigger(ej, 0u64)?;
+                }
+                Ok(())
+            });
+            if serial {
+                join_within(h, Duration::from_secs(60)).unwrap();
+            } else {
+                wave.push(h);
+                if wave.len() == WAVE {
+                    for h in wave.drain(..) {
+                        join_within(h, Duration::from_secs(120)).unwrap();
+                    }
+                }
+            }
+        }
+        for h in wave {
+            join_within(h, Duration::from_secs(120)).unwrap();
+        }
+        s.rt.quiesce();
+        assert!(
+            s.no_lost_updates(),
+            "lost update in the {} run",
+            if serial { "serial" } else { "concurrent" }
+        );
+        state_digest(&s)
+    };
+
+    let concurrent = run(false);
+    let serial = run(true);
+    assert_eq!(
+        concurrent, serial,
+        "threaded contention run diverged from the serial run"
+    );
 }
 
 #[test]
